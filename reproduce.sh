@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the full reproduction record: build, run every test suite,
+# and regenerate every experiment table (EXPERIMENTS.md's source data).
+set -e
+dune build @all
+dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+dune exec bench/main.exe 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"
