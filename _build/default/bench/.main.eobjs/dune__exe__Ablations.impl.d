@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Common Gossip_conductance Gossip_core Gossip_graph Gossip_sim Gossip_util List Printf Queue

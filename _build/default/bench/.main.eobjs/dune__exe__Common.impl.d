@@ -1,0 +1,1 @@
+bench/common.ml: Array Gossip_util Printf

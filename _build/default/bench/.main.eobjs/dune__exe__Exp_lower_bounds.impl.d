@@ -1,0 +1,1 @@
+bench/exp_lower_bounds.ml: Array Common Gossip_conductance Gossip_core Gossip_game Gossip_graph Gossip_util List Printf

@@ -1,0 +1,1 @@
+bench/exp_upper_bounds.ml: Array Common Gossip_conductance Gossip_core Gossip_graph Gossip_util List

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Exp_lower_bounds Exp_upper_bounds List Micro Printf Sys

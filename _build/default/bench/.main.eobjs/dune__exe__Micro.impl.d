@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Gossip_conductance Gossip_core Gossip_game Gossip_graph Gossip_util Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,545 @@
+(* Ablations and extensions beyond the paper's main claims:
+
+   - robustness under crashes / message loss / jitter (Section 7's
+     closing remarks: push-pull is robust, the spanner route is not);
+   - the bounded in-degree restriction (Daum et al., Section 7);
+   - footnote 3: why subdividing weighted edges misestimates
+     connectivity;
+   - Baswana-Sen vs the sequential greedy spanner;
+   - deterministic vs randomized DTG linking;
+   - related work: rumor spreading on preferential-attachment and
+     small-world graphs. *)
+
+module Rng = Gossip_util.Rng
+module Table = Gossip_util.Table
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Subdivision = Gossip_graph.Subdivision
+module Weighted = Gossip_conductance.Weighted
+module Spectral = Gossip_conductance.Spectral
+module Push_pull = Gossip_core.Push_pull
+module Robustness = Gossip_core.Robustness
+module Spanner = Gossip_core.Spanner
+module Greedy = Gossip_core.Greedy_spanner
+module Dtg = Gossip_core.Dtg
+open Common
+
+(* ------------------------------------------------------------------ *)
+(* Robustness *)
+
+let robustness () =
+  section "A1  Robustness: push-pull vs the spanner route under faults"
+    "Section 7: push-pull is relatively robust to failures, the\n\
+     structure-based routes are not.  Crash-stop a fraction of nodes at\n\
+     round 3 and lose a fraction of exchanges: push-pull always informs\n\
+     every live node; RR broadcast over a precomputed structure strands\n\
+     survivors once the structure is sparse enough (the BFS tree loses\n\
+     up to a third of them; the k=6 spanner survives on redundancy at\n\
+     this density).";
+  (* A dense random base keeps the live graph connected under crashes,
+     while its sparse spanner loses whole branches. *)
+  let rng0 = Rng.of_int 99 in
+  let g =
+    Gen.with_latencies (Rng.split rng0) (Gen.Uniform (1, 3))
+      (Gen.erdos_renyi_connected (Rng.split rng0) ~n:64 ~p:0.2)
+  in
+  let n = Graph.n g in
+  let t =
+    Table.create ~title:"A1: broadcast under faults (dense ER-64; k=6 spanner; BFS tree)"
+      ~columns:
+        [
+          ("fault plan", Table.Left);
+          ("pp rounds", Table.Right);
+          ("pp live coverage", Table.Left);
+          ("rr spanner coverage", Table.Left);
+          ("rr tree coverage", Table.Left);
+        ]
+  in
+  let spanner = Spanner.build (Rng.of_int 5) g ~k:6 () in
+  let k_rr = Paths.weighted_diameter g * 11 in
+  (* The extreme sparse route: a BFS spanning tree oriented away from
+     the source.  One crashed inner node strands its whole subtree. *)
+  let tree =
+    let out = Array.make n [] in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    let tree_edges = ref [] in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun (v, lat) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            out.(u) <- (v, lat) :: out.(u);
+            tree_edges := (u, v, lat) :: !tree_edges;
+            Queue.add v queue
+          end)
+        (Graph.neighbors g u)
+    done;
+    {
+      Spanner.base = g;
+      spanner = Graph.of_edges ~n !tree_edges;
+      out_edges = Array.map Array.of_list out;
+      k = n;
+    }
+  in
+  let plans =
+    [
+      ("none", fun _ -> Robustness.no_faults);
+      ( "crash 10% @ r3",
+        fun seed ->
+          Robustness.crash_fraction (Rng.of_int seed) ~n ~fraction:0.10 ~from_round:3
+            ~protect:[ 0 ] );
+      ( "crash 25% @ r3",
+        fun seed ->
+          Robustness.crash_fraction (Rng.of_int seed) ~n ~fraction:0.25 ~from_round:3
+            ~protect:[ 0 ] );
+      ( "crash 40% @ r3",
+        fun seed ->
+          Robustness.crash_fraction (Rng.of_int seed) ~n ~fraction:0.40 ~from_round:3
+            ~protect:[ 0 ] );
+      ("drop 5%", fun seed -> Robustness.drop_rate (Rng.of_int seed) ~rate:0.05);
+      ("drop 20%", fun seed -> Robustness.drop_rate (Rng.of_int seed) ~rate:0.20);
+      ("jitter +0..4", fun seed -> Robustness.jitter_up_to (Rng.of_int seed) ~extra:4);
+      ( "crash 20% + drop 10%",
+        fun seed ->
+          Robustness.combine
+            [
+              Robustness.crash_fraction (Rng.of_int seed) ~n ~fraction:0.20 ~from_round:3
+                ~protect:[ 0 ];
+              Robustness.drop_rate (Rng.of_int (seed + 1)) ~rate:0.10;
+            ] );
+    ]
+  in
+  List.iter
+    (fun (name, make_plan) ->
+      let pp =
+        Robustness.pushpull_broadcast (Rng.of_int 31) g ~source:0 ~plan:(make_plan 101)
+          ~max_rounds:1_000_000
+      in
+      let rr = Robustness.rr_broadcast spanner ~source:0 ~k:k_rr ~plan:(make_plan 101) in
+      let rt = Robustness.rr_broadcast tree ~source:0 ~k:k_rr ~plan:(make_plan 101) in
+      Table.add_row t
+        [
+          name;
+          (match pp.Robustness.rounds with Some r -> fmt_i r | None -> "cap");
+          Printf.sprintf "%d/%d" pp.Robustness.informed_live pp.Robustness.live;
+          Printf.sprintf "%d/%d" rr.Robustness.informed_live rr.Robustness.live;
+          Printf.sprintf "%d/%d" rt.Robustness.informed_live rt.Robustness.live;
+        ])
+    plans;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bounded in-degree *)
+
+let indegree () =
+  section "A2  Bounded in-degree (Daum et al., Section 7)"
+    "Each node serves at most c incoming requests per round; the rest\n\
+     get no answer.  On a star, capacity 1 forces the hub to serve one\n\
+     leaf at a time: Theta(n) instead of O(1).";
+  let t =
+    Table.create ~title:"A2: push-pull broadcast with bounded in-degree"
+      ~columns:
+        [
+          ("graph", Table.Left);
+          ("capacity", Table.Left);
+          ("rounds", Table.Right);
+          ("rejected", Table.Right);
+        ]
+  in
+  let cases =
+    [
+      ("star-64", Gen.star 64);
+      ("clique-64", Gen.clique 64);
+      ("ring-of-cliques-4x8", Gen.ring_of_cliques ~cliques:4 ~size:8 ~bridge_latency:4);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun capacity ->
+          let r =
+            match capacity with
+            | None ->
+                let p = Push_pull.broadcast (Rng.of_int 7) g ~source:0 ~max_rounds:1_000_000 in
+                ( p.Push_pull.rounds,
+                  p.Push_pull.metrics.Gossip_sim.Engine.rejected )
+            | Some c ->
+                let p =
+                  Robustness.pushpull_bounded_indegree (Rng.of_int 7) g ~source:0 ~capacity:c
+                    ~max_rounds:1_000_000
+                in
+                (p.Robustness.rounds, p.Robustness.metrics.Gossip_sim.Engine.rejected)
+          in
+          Table.add_row t
+            [
+              name;
+              (match capacity with None -> "unbounded" | Some c -> string_of_int c);
+              (match fst r with Some x -> fmt_i x | None -> "cap");
+              fmt_i (snd r);
+            ])
+        [ None; Some 4; Some 1 ])
+    cases;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Footnote 3: subdivision *)
+
+let subdivision () =
+  section "A3  Footnote 3: subdividing weighted edges misestimates connectivity"
+    "Replacing a latency-w edge by w unit edges changes the network: the\n\
+     imaginary nodes relay (pull from both endpoints) and inflate the\n\
+     volume.  The classical conductance of the subdivided graph neither\n\
+     matches phi* nor predicts push-pull on the real network.";
+  let t =
+    Table.create ~title:"A3: weighted conductance vs subdivided classical conductance"
+      ~columns:
+        [
+          ("family", Table.Left);
+          ("phi*", Table.Right);
+          ("ell*", Table.Right);
+          ("phi*/ell*", Table.Right);
+          ("phi(subdivided)", Table.Right);
+          ("pp real", Table.Right);
+          ("pp subdivided", Table.Right);
+        ]
+  in
+  let rng = Rng.of_int 3 in
+  let families =
+    [
+      ("ring-of-cliques-4x6 (L=12)", Gen.ring_of_cliques ~cliques:4 ~size:6 ~bridge_latency:12);
+      ("dumbbell-10 (L=16)", Gen.dumbbell ~size:10 ~bridge_latency:16);
+      ( "er-32-bimodal(1,12)",
+        Gen.with_latencies (Rng.split rng)
+          (Gen.Bimodal { fast = 1; slow = 12; p_fast = 0.6 })
+          (Gen.erdos_renyi_connected (Rng.split rng) ~n:32 ~p:0.2) );
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let wc = Weighted.weighted_conductance ~backend:Weighted.Sweep g in
+      let sub = Subdivision.subdivide g in
+      let phi_sub = Spectral.phi_ell sub.Subdivision.subdivided 1 in
+      let pp graph =
+        let r = Push_pull.broadcast (Rng.of_int 17) graph ~source:0 ~max_rounds:1_000_000 in
+        match r.Push_pull.rounds with Some x -> float_of_int x | None -> nan
+      in
+      Table.add_row t
+        [
+          name;
+          fmt_f ~d:4 wc.Weighted.phi_star;
+          fmt_i wc.Weighted.ell_star;
+          fmt_f ~d:4 (wc.Weighted.phi_star /. float_of_int wc.Weighted.ell_star);
+          fmt_f ~d:4 phi_sub;
+          fmt_f ~d:0 (pp g);
+          fmt_f ~d:0 (pp sub.Subdivision.subdivided);
+        ])
+    families;
+  Table.print t;
+  Printf.printf
+    "The subdivided conductance tracks neither phi* nor phi*/ell*, and the\n\
+     subdivided network broadcasts at a different speed: footnote 3's\n\
+     objection, quantified.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Spanner construction comparison *)
+
+let spanner_comparison () =
+  section "A4  Baswana-Sen vs the sequential greedy spanner"
+    "Same stretch target (r = 2k-1): the distributed construction pays a\n\
+     modest size factor for locality and its O(log n) out-degree\n\
+     orientation; greedy is smaller but sequential and unoriented.";
+  let t =
+    Table.create ~title:"A4: spanner constructions (random weighted base, n = 128)"
+      ~columns:
+        [
+          ("k (r=2k-1)", Table.Right);
+          ("BS edges", Table.Right);
+          ("BS stretch", Table.Right);
+          ("BS max out-deg", Table.Right);
+          ("greedy edges", Table.Right);
+          ("greedy stretch", Table.Right);
+        ]
+  in
+  let rng = Rng.of_int 11 in
+  let g =
+    Gen.with_latencies (Rng.split rng) (Gen.Uniform (1, 10))
+      (Gen.erdos_renyi_connected (Rng.split rng) ~n:128 ~p:0.15)
+  in
+  List.iter
+    (fun k ->
+      let bs = Spanner.build (Rng.split rng) g ~k () in
+      let gr = Greedy.build g ~r:((2 * k) - 1) in
+      Table.add_row t
+        [
+          fmt_i k;
+          fmt_i (Spanner.edge_count bs);
+          fmt_f ~d:2 (Spanner.stretch bs);
+          fmt_i (Spanner.max_out_degree bs);
+          fmt_i (Greedy.edge_count gr);
+          fmt_f ~d:2 (Greedy.stretch gr);
+        ])
+    [ 2; 3; 4; 5 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* DTG linking rule *)
+
+let dtg_linking () =
+  section "A5  DTG linking rule: deterministic vs randomized"
+    "Algorithm 5 links 'any new neighbor'; we compare the lowest-id\n\
+     choice against uniform random linking (the randomized Superstep\n\
+     flavour).  Both complete local broadcast; rounds differ by small\n\
+     constants.";
+  let t =
+    Table.create ~title:"A5: local broadcast rounds by algorithm"
+      ~columns:
+        [
+          ("graph", Table.Left);
+          ("DTG (lowest-id)", Table.Right);
+          ("DTG (random link)", Table.Right);
+          ("random-contact", Table.Right);
+        ]
+  in
+  let cases =
+    [
+      ("clique-48", Gen.clique 48);
+      ("grid-7x7", Gen.grid 7 7);
+      ("star-48", Gen.star 48);
+      ( "er-40",
+        Gen.erdos_renyi_connected (Rng.of_int 2) ~n:40 ~p:0.2 );
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let det = Dtg.phase g ~ell:(Graph.max_latency g) ~max_rounds:1_000_000 () in
+      let rnd =
+        Dtg.phase g ~ell:(Graph.max_latency g) ~max_rounds:1_000_000
+          ~link_rng:(Rng.of_int 23) ()
+      in
+      let flat =
+        Gossip_core.Random_local.phase (Rng.of_int 29) g ~ell:(Graph.max_latency g)
+          ~max_rounds:1_000_000 ()
+      in
+      Table.add_row t
+        [
+          name;
+          (match det.Dtg.rounds with Some r -> fmt_i r | None -> "cap");
+          (match rnd.Dtg.rounds with Some r -> fmt_i r | None -> "cap");
+          (match flat.Gossip_core.Random_local.rounds with
+          | Some r -> fmt_i r
+          | None -> "cap");
+        ])
+    cases;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Related work: social and small-world graphs *)
+
+let social () =
+  section "A6  Related work: rumor spreading on social-network models"
+    "Doerr et al. (cited in the paper): push-pull on preferential-\n\
+     attachment graphs finishes in Theta(log n).  We sweep n on\n\
+     Barabasi-Albert and Watts-Strogatz graphs; rounds must grow\n\
+     logarithmically (flat in log-log against n).";
+  let t =
+    Table.create ~title:"A6: push-pull on BA(attach=3) and WS(k=3, beta=0.2)"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("BA rounds", Table.Right);
+          ("WS rounds", Table.Right);
+          ("ln n", Table.Right);
+        ]
+  in
+  let trials = 3 in
+  let ba_pts = ref [] in
+  List.iter
+    (fun n ->
+      let ba =
+        mean_of ~trials ~base_seed:(n * 3) (fun seed ->
+            let g = Gen.barabasi_albert (Rng.of_int seed) ~n ~attach:3 in
+            let r = Push_pull.broadcast (Rng.of_int (seed + 1)) g ~source:0 ~max_rounds:100_000 in
+            float_of_int (rounds_exn r.Push_pull.rounds))
+      in
+      let ws =
+        mean_of ~trials ~base_seed:(n * 5) (fun seed ->
+            let rec connected tries =
+              if tries = 0 then failwith "ws: disconnected"
+              else begin
+                let g = Gen.watts_strogatz (Rng.of_int (seed + tries)) ~n ~k:3 ~beta:0.2 in
+                if Graph.is_connected g then g else connected (tries - 1)
+              end
+            in
+            let g = connected 50 in
+            let r = Push_pull.broadcast (Rng.of_int (seed + 1)) g ~source:0 ~max_rounds:100_000 in
+            float_of_int (rounds_exn r.Push_pull.rounds))
+      in
+      ba_pts := (float_of_int n, ba) :: !ba_pts;
+      Table.add_row t [ fmt_i n; fmt_f ba; fmt_f ws; fmt_f (log (float_of_int n)) ])
+    [ 64; 128; 256; 512; 1024 ];
+  Table.print t;
+  let pts = List.rev !ba_pts in
+  ignore
+    (report_exponent ~label:"BA push-pull rounds vs n" ~claimed:"~0 (logarithmic)"
+       (Array.of_list (List.map fst pts))
+       (Array.of_list (List.map snd pts)))
+
+(* ------------------------------------------------------------------ *)
+(* Section 6: message sizes *)
+
+let message_sizes () =
+  section "A7  Section 6: message-size accounting"
+    "The paper notes push-pull works with small messages while the\n\
+     spanner route needs large ones (an open question whether that is\n\
+     inherent).  We count delivered payload in rumor units: a\n\
+     single-rumor push-pull message is one unit; rumor-set messages\n\
+     cost their cardinality.";
+  let t =
+    Table.create ~title:"A7: communication until completion (ring-of-cliques 4x8, L=6)"
+      ~columns:
+        [
+          ("strategy", Table.Left);
+          ("rounds", Table.Right);
+          ("messages", Table.Right);
+          ("payload units", Table.Right);
+          ("units/message", Table.Right);
+        ]
+  in
+  let g = Gen.ring_of_cliques ~cliques:4 ~size:8 ~bridge_latency:6 in
+  let row name rounds (m : Gossip_sim.Engine.metrics) =
+    Table.add_row t
+      [
+        name;
+        (match rounds with Some r -> fmt_i r | None -> "cap");
+        fmt_i m.Gossip_sim.Engine.deliveries;
+        fmt_i m.Gossip_sim.Engine.payload_words;
+        fmt_f ~d:1
+          (float_of_int m.Gossip_sim.Engine.payload_words
+          /. float_of_int (max 1 m.Gossip_sim.Engine.deliveries));
+      ]
+  in
+  let pp = Push_pull.broadcast (Rng.of_int 3) g ~source:0 ~max_rounds:1_000_000 in
+  row "push-pull broadcast (1 rumor)" pp.Push_pull.rounds pp.Push_pull.metrics;
+  let ppa = Push_pull.all_to_all (Rng.of_int 3) g ~max_rounds:1_000_000 in
+  row "push-pull all-to-all (rumor sets)" ppa.Push_pull.rounds ppa.Push_pull.metrics;
+  let fl = Gossip_core.Flooding.flood_all g ~max_rounds:1_000_000 in
+  row "round-robin flooding (rumor sets)" fl.Gossip_core.Flooding.rounds
+    fl.Gossip_core.Flooding.metrics;
+  let dtg, _ = Dtg.local_broadcast g ~max_rounds:1_000_000 in
+  row "DTG local broadcast" dtg.Dtg.rounds dtg.Dtg.metrics;
+  let spanner = Spanner.build (Rng.of_int 5) g ~k:3 () in
+  let k_rr = Paths.weighted_diameter g * 5 in
+  let rr = Gossip_core.Rr_broadcast.run_on_spanner spanner ~k:k_rr () in
+  row "RR broadcast over spanner" (Some rr.Gossip_core.Rr_broadcast.rounds)
+    rr.Gossip_core.Rr_broadcast.metrics;
+  Table.print t;
+  Printf.printf
+    "Push-pull's single-rumor broadcast uses constant-size messages; every\n\
+     rumor-set protocol pays tens of units per message — the Section 6\n\
+     trade-off in numbers.\n"
+
+(* ------------------------------------------------------------------ *)
+(* n-hat sensitivity *)
+
+let n_hat_sensitivity () =
+  section "A8  Lemma 13: sensitivity to the network-size estimate n-hat"
+    "EID needs a polynomial upper bound n-hat on n (the only place the\n\
+     paper uses that assumption; Appendix E exists to avoid it).\n\
+     Lemma 13: overestimating only degrades the spanner out-degree to\n\
+     O(n-hat^(1/k) log n).  We run the spanner and full EID with\n\
+     n-hat = n, n^2, n^3.";
+  let t =
+    Table.create ~title:"A8: spanner and EID vs n-hat (er-32, latencies 1-4)"
+      ~columns:
+        [
+          ("n-hat", Table.Left);
+          ("spanner edges", Table.Right);
+          ("max out-deg", Table.Right);
+          ("stretch", Table.Right);
+          ("EID rounds", Table.Right);
+          ("success", Table.Left);
+        ]
+  in
+  let rng = Rng.of_int 21 in
+  let g =
+    Gen.with_latencies (Rng.split rng) (Gen.Uniform (1, 4))
+      (Gen.erdos_renyi_connected (Rng.split rng) ~n:32 ~p:0.25)
+  in
+  let n = Graph.n g in
+  List.iter
+    (fun (label, n_hat) ->
+      let s = Spanner.build (Rng.of_int 31) g ~k:5 ~n_hat () in
+      let eid = Gossip_core.Eid.run (Rng.of_int 32) g ~n_hat () in
+      Table.add_row t
+        [
+          label;
+          fmt_i (Spanner.edge_count s);
+          fmt_i (Spanner.max_out_degree s);
+          fmt_f ~d:2 (Spanner.stretch s);
+          fmt_i eid.Gossip_core.Eid.rounds;
+          string_of_bool eid.Gossip_core.Eid.success;
+        ])
+    [ ("n", n); ("n^2", n * n); ("n^3", n * n * n) ];
+  Table.print t;
+  Printf.printf
+    "Overestimates keep every spanner in play; the degree/size cost grows\n\
+     mildly while EID's round count pays the extra log(n-hat) phases —\n\
+     which is why Appendix E's Path Discovery (no estimate at all)\n\
+     matters.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Methodology: how good is the spectral sweep? *)
+
+let sweep_quality () =
+  section "A9  Methodology: spectral sweep vs exact conductance"
+    "Most experiments use the Cheeger sweep to estimate phi_l on graphs\n\
+     too large for exhaustive cuts.  On small instances we can compare:\n\
+     exact <= sweep <= sqrt(2 * exact) must hold, and the ratio shows\n\
+     how tight the estimate is in practice.";
+  let t =
+    Table.create ~title:"A9: exact vs sweep at the critical latency"
+      ~columns:
+        [
+          ("family", Table.Left);
+          ("ell*", Table.Right);
+          ("exact phi", Table.Right);
+          ("sweep phi", Table.Right);
+          ("ratio", Table.Right);
+          ("Cheeger cap", Table.Right);
+        ]
+  in
+  let rng = Rng.of_int 41 in
+  let families =
+    [
+      ("clique-12", Gen.clique 12);
+      ("cycle-14", Gen.cycle 14);
+      ("dumbbell-6 (L=4)", Gen.dumbbell ~size:6 ~bridge_latency:4);
+      ("ring-of-cliques-3x4 (L=7)", Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:7);
+      ( "er-12-lat(1,5)",
+        Gen.with_latencies (Rng.split rng) (Gen.Uniform (1, 5))
+          (Gen.erdos_renyi_connected (Rng.split rng) ~n:12 ~p:0.4) );
+      ("grid-3x4", Gen.grid 3 4);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let wc = Weighted.weighted_conductance ~backend:Weighted.Exact g in
+      let ell = wc.Weighted.ell_star in
+      let exact = wc.Weighted.phi_star in
+      let sweep = Spectral.phi_ell g ell in
+      Table.add_row t
+        [
+          name;
+          fmt_i ell;
+          fmt_f ~d:4 exact;
+          fmt_f ~d:4 sweep;
+          fmt_f ~d:2 (sweep /. exact);
+          fmt_f ~d:4 (sqrt (2.0 *. exact));
+        ])
+    families;
+  Table.print t

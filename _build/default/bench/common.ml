@@ -1,0 +1,31 @@
+(* Shared helpers for the experiment harness. *)
+
+module Rng = Gossip_util.Rng
+module Stats = Gossip_util.Stats
+module Table = Gossip_util.Table
+
+let section title claim =
+  Printf.printf "\n=== %s ===\n%s\n\n" title claim
+
+(* Run [f seed] for [trials] seeds and return the sample of float
+   results. *)
+let sample ~trials ~base_seed f =
+  Array.init trials (fun i -> f (base_seed + (i * 7919)))
+
+let mean_of ~trials ~base_seed f = Stats.mean (sample ~trials ~base_seed f)
+
+let fmt_f ?(d = 1) x = Table.cell_float ~decimals:d x
+
+let fmt_i = Table.cell_int
+
+(* Render a log-log fit verdict line: measured growth exponent vs the
+   claimed one. *)
+let report_exponent ~label ~claimed xs ys =
+  let fit = Stats.loglog_fit xs ys in
+  Printf.printf "%s: measured growth exponent %.2f (claimed %s, r2 = %.3f)\n" label
+    fit.Stats.slope claimed fit.Stats.r2;
+  fit.Stats.slope
+
+let rounds_exn = function
+  | Some r -> r
+  | None -> failwith "experiment run hit its round cap; enlarge max_rounds"

@@ -1,0 +1,59 @@
+(* Experiment harness: regenerates every quantitative claim of
+   "Gossiping with Latencies" (see DESIGN.md section 5 for the index).
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- e1 e9     # selected experiments
+     dune exec bench/main.exe -- --list    # list experiment ids *)
+
+let experiments =
+  [
+    ("e1", "Theorem 6: Omega(Delta) degree lower bound", Exp_lower_bounds.e1);
+    ("e2", "Theorem 7: Omega(1/phi + ell) conductance lower bound", Exp_lower_bounds.e2);
+    ("e3", "Theorem 8: min(Delta + D, ell/phi) trade-off", Exp_lower_bounds.e3);
+    ("e4", "Theorem 12: push-pull upper bound", Exp_upper_bounds.e4);
+    ("e5", "Lemma 13 / Theorem 14: spanner quality", Exp_upper_bounds.e5);
+    ("e6", "Lemma 15 / Corollary 16: RR broadcast", Exp_upper_bounds.e6);
+    ("e7", "Theorems 14 & 19: EID / General EID", Exp_upper_bounds.e7);
+    ("e8", "Lemmas 24-25: Path Discovery / T(k)", Exp_upper_bounds.e8);
+    ("e9", "Lemmas 4-5: guessing game complexity", Exp_lower_bounds.e9);
+    ("e10", "Theorem 20: unified dissemination", Exp_upper_bounds.e10);
+    ("e11", "Footnote 2: push-only star Omega(nD)", Exp_upper_bounds.e11);
+    ("fig", "Figures 1-2: gadget structure", Exp_lower_bounds.figures);
+    ("a1", "Ablation: robustness under faults (Section 7)", Ablations.robustness);
+    ("a2", "Ablation: bounded in-degree (Daum et al.)", Ablations.indegree);
+    ("a3", "Ablation: footnote 3 edge subdivision", Ablations.subdivision);
+    ("a4", "Ablation: Baswana-Sen vs greedy spanner", Ablations.spanner_comparison);
+    ("a5", "Ablation: DTG linking rule", Ablations.dtg_linking);
+    ("a6", "Related work: social-network rumor spreading", Ablations.social);
+    ("a7", "Ablation: message sizes (Section 6)", Ablations.message_sizes);
+    ("a8", "Ablation: n-hat sensitivity (Lemma 13)", Ablations.n_hat_sensitivity);
+    ("a9", "Methodology: sweep vs exact conductance", Ablations.sweep_quality);
+  ]
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc) experiments;
+  print_endline "  micro  Bechamel kernel micro-benchmarks"
+
+let run_one id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+  | Some (_, _, f) -> f ()
+  | None ->
+      if id = "micro" then Micro.run ()
+      else begin
+        Printf.eprintf "unknown experiment %S\n" id;
+        list_experiments ();
+        exit 2
+      end
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "--all" ] ->
+      print_endline "Gossiping with Latencies - experiment harness";
+      print_endline "(one experiment per quantitative claim; see DESIGN.md / EXPERIMENTS.md)";
+      List.iter (fun (_, _, f) -> f ()) experiments;
+      Micro.run ()
+  | [ "--list" ] -> list_experiments ()
+  | ids -> List.iter run_one ids

@@ -1,0 +1,84 @@
+(* Bechamel micro-benchmarks of the library kernels: one Test.make per
+   experiment family, wall-clock per operation. *)
+
+open Bechamel
+open Toolkit
+module Rng = Gossip_util.Rng
+module Gen = Gossip_graph.Gen
+module Gadgets = Gossip_graph.Gadgets
+
+let bench_pushpull_broadcast () =
+  let g = Gen.clique 64 in
+  Test.make ~name:"push-pull broadcast clique-64"
+    (Staged.stage (fun () ->
+         let r = Gossip_core.Push_pull.broadcast (Rng.of_int 3) g ~source:0 ~max_rounds:10_000 in
+         ignore r.Gossip_core.Push_pull.rounds))
+
+let bench_dtg_phase () =
+  let g = Gen.grid 6 6 in
+  Test.make ~name:"dtg local broadcast grid-6x6"
+    (Staged.stage (fun () -> ignore (Gossip_core.Dtg.local_broadcast g ~max_rounds:100_000)))
+
+let bench_spanner_build () =
+  let g = Gen.clique 128 in
+  Test.make ~name:"spanner build clique-128 k=7"
+    (Staged.stage (fun () -> ignore (Gossip_core.Spanner.build (Rng.of_int 5) g ~k:7 ())))
+
+let bench_conductance_sweep () =
+  let g = Gen.ring_of_cliques ~cliques:8 ~size:16 ~bridge_latency:6 in
+  Test.make ~name:"spectral sweep ring-of-cliques-8x16"
+    (Staged.stage (fun () -> ignore (Gossip_conductance.Spectral.phi_ell g 6)))
+
+let bench_conductance_exact () =
+  let g = Gen.dumbbell ~size:8 ~bridge_latency:3 in
+  Test.make ~name:"exact conductance dumbbell-16"
+    (Staged.stage (fun () -> ignore (Gossip_conductance.Exact.phi_ell g 3)))
+
+let bench_game_round () =
+  Test.make ~name:"guessing game fresh-pairs m=64 p=0.1"
+    (Staged.stage (fun () ->
+         let rng = Rng.of_int 11 in
+         let target = Gadgets.random_p_target rng ~m:64 ~p:0.1 in
+         let game = Gossip_game.Game.create ~m:64 ~target in
+         ignore (Gossip_game.Strategies.fresh_pairs rng game ~max_rounds:1_000_000)))
+
+let bench_dijkstra () =
+  let rng = Rng.of_int 17 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 16)) (Gen.erdos_renyi_connected rng ~n:512 ~p:0.02)
+  in
+  Test.make ~name:"dijkstra er-512"
+    (Staged.stage (fun () -> ignore (Gossip_graph.Paths.dijkstra g 0)))
+
+let all_tests () =
+  [
+    bench_pushpull_broadcast ();
+    bench_dtg_phase ();
+    bench_spanner_build ();
+    bench_conductance_sweep ();
+    bench_conductance_exact ();
+    bench_game_round ();
+    bench_dijkstra ();
+  ]
+
+let run () =
+  Printf.printf "\n=== Micro-benchmarks (Bechamel, monotonic clock) ===\n%!";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let results = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+        results)
+    (all_tests ())

@@ -1,0 +1,514 @@
+(* gossip-cli: run the paper's algorithms and analyses from the shell.
+
+   Subcommands:
+     analyze  - graph statistics and weighted conductance (Definition 2)
+     run      - execute a dissemination algorithm and report rounds
+     game     - play the guessing game with an Alice strategy (Lemmas 4-5)
+     gadget   - build and describe a lower-bound gadget (Section 3.2)
+
+   Examples:
+     gossip-cli analyze --family ring-of-cliques --cliques 4 --size 8 --bridge 12
+     gossip-cli run --algorithm push-pull --family er --nodes 64 --prob 0.1 --latency uniform:1-8
+     gossip-cli game --side 64 --prob 0.1 --strategy random-guessing
+     gossip-cli gadget --which theorem8 --layers 6 --size 8 --ell 16 *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Gadgets = Gossip_graph.Gadgets
+module Paths = Gossip_graph.Paths
+module Weighted = Gossip_conductance.Weighted
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing *)
+
+let seed_arg =
+  let doc = "Seed for all randomness (runs are reproducible)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let latency_spec_conv =
+  let parse s =
+    let fail () = Error (`Msg (Printf.sprintf "bad latency spec %S" s)) in
+    match String.split_on_char ':' s with
+    | [ "unit" ] -> Ok Gen.Unit
+    | [ "fixed"; k ] -> (
+        match int_of_string_opt k with Some k -> Ok (Gen.Fixed k) | None -> fail ())
+    | [ "uniform"; range ] -> (
+        match String.split_on_char '-' range with
+        | [ lo; hi ] -> (
+            match (int_of_string_opt lo, int_of_string_opt hi) with
+            | Some lo, Some hi -> Ok (Gen.Uniform (lo, hi))
+            | _ -> fail ())
+        | _ -> fail ())
+    | [ "bimodal"; args ] -> (
+        match String.split_on_char ',' args with
+        | [ f; s'; p ] -> (
+            match (int_of_string_opt f, int_of_string_opt s', float_of_string_opt p) with
+            | Some fast, Some slow, Some p_fast -> Ok (Gen.Bimodal { fast; slow; p_fast })
+            | _ -> fail ())
+        | _ -> fail ())
+    | [ "powerlaw"; args ] -> (
+        match String.split_on_char ',' args with
+        | [ a; b; e ] -> (
+            match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt e) with
+            | Some min_latency, Some max_latency, Some exponent ->
+                Ok (Gen.Power_law { min_latency; max_latency; exponent })
+            | _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf = function
+    | Gen.Unit -> Format.fprintf ppf "unit"
+    | Gen.Fixed k -> Format.fprintf ppf "fixed:%d" k
+    | Gen.Uniform (lo, hi) -> Format.fprintf ppf "uniform:%d-%d" lo hi
+    | Gen.Bimodal { fast; slow; p_fast } ->
+        Format.fprintf ppf "bimodal:%d,%d,%g" fast slow p_fast
+    | Gen.Power_law { min_latency; max_latency; exponent } ->
+        Format.fprintf ppf "powerlaw:%d,%d,%g" min_latency max_latency exponent
+  in
+  Arg.conv (parse, print)
+
+let latency_arg =
+  let doc =
+    "Latency distribution: unit, fixed:K, uniform:LO-HI, bimodal:FAST,SLOW,P, \
+     powerlaw:MIN,MAX,EXP."
+  in
+  Arg.(value & opt latency_spec_conv Gen.Unit & info [ "latency" ] ~docv:"SPEC" ~doc)
+
+type family_args = {
+  family : string;
+  n : int;
+  p : float;
+  d : int;
+  cliques : int;
+  size : int;
+  bridge : int;
+  rows : int;
+  cols : int;
+  latency : Gen.latency_spec;
+  seed : int;
+}
+
+let family_term =
+  let family =
+    let doc =
+      "Graph family: clique, star, path, cycle, grid, torus, hypercube, tree, er, \
+       regular, ring-of-cliques, dumbbell."
+    in
+    Arg.(value & opt string "clique" & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let n = Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Node count.") in
+  let p =
+    Arg.(value & opt float 0.2 & info [ "prob" ] ~docv:"P" ~doc:"Edge probability for er.")
+  in
+  let d = Arg.(value & opt int 4 & info [ "deg" ] ~docv:"D" ~doc:"Degree for regular.") in
+  let cliques =
+    Arg.(value & opt int 4 & info [ "cliques" ] ~docv:"K" ~doc:"Cliques in the ring.")
+  in
+  let size =
+    Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Clique / side size.")
+  in
+  let bridge =
+    Arg.(value & opt int 8 & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency.")
+  in
+  let rows = Arg.(value & opt int 6 & info [ "rows" ] ~docv:"R" ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 6 & info [ "cols" ] ~docv:"C" ~doc:"Grid columns.") in
+  let make family n p d cliques size bridge rows cols latency seed =
+    { family; n; p; d; cliques; size; bridge; rows; cols; latency; seed }
+  in
+  Term.(
+    const make $ family $ n $ p $ d $ cliques $ size $ bridge $ rows $ cols $ latency_arg
+    $ seed_arg)
+
+let build_graph a =
+  let rng = Rng.of_int a.seed in
+  let base =
+    match a.family with
+    | "clique" -> Gen.clique a.n
+    | "star" -> Gen.star a.n
+    | "path" -> Gen.path a.n
+    | "cycle" -> Gen.cycle a.n
+    | "grid" -> Gen.grid a.rows a.cols
+    | "torus" -> Gen.torus a.rows a.cols
+    | "hypercube" ->
+        let rec log2 acc v = if v >= a.n then acc else log2 (acc + 1) (2 * v) in
+        Gen.hypercube (max 1 (log2 0 1))
+    | "tree" -> Gen.binary_tree a.n
+    | "er" -> Gen.erdos_renyi_connected rng ~n:a.n ~p:a.p
+    | "regular" -> Gen.random_regular rng ~n:a.n ~d:a.d
+    | "ring-of-cliques" ->
+        Gen.ring_of_cliques ~cliques:a.cliques ~size:a.size ~bridge_latency:a.bridge
+    | "dumbbell" -> Gen.dumbbell ~size:a.size ~bridge_latency:a.bridge
+    | other -> failwith (Printf.sprintf "unknown family %S" other)
+  in
+  match a.latency with
+  | Gen.Unit -> base
+  | spec -> Gen.with_latencies rng spec base
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run args =
+    let g = build_graph args in
+    Format.printf "%a@." Graph.pp g;
+    Printf.printf "connected: %b\n" (Graph.is_connected g);
+    Printf.printf "weighted diameter D = %d, hop diameter = %d, radius = %d\n"
+      (Paths.weighted_diameter g) (Paths.hop_diameter g) (Paths.weighted_radius g);
+    if Graph.is_connected g && Graph.n g >= 2 then begin
+      let wc = Weighted.weighted_conductance g in
+      Printf.printf "weighted conductance phi* = %.5f at critical latency ell* = %d\n"
+        wc.Weighted.phi_star wc.Weighted.ell_star;
+      print_endline "latency profile (Definition 1):";
+      List.iter
+        (fun (ell, phi) -> Printf.printf "  phi_%-5d = %.5f   phi/ell = %.6f\n" ell phi (phi /. float_of_int ell))
+        wc.Weighted.profile;
+      Printf.printf "Theorem 12 push-pull bound: %.0f rounds\n"
+        (Weighted.pushpull_round_bound g)
+    end
+  in
+  let doc = "Graph statistics and weighted conductance (Definitions 1-2)." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ family_term)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let algorithm =
+    let doc =
+      "Algorithm: push-pull, push-pull-all, flood, push-only, dtg, eid, eid-known-d, \
+       path-discovery, unified."
+    in
+    Arg.(value & opt string "push-pull" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let source =
+    Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Broadcast source.")
+  in
+  let max_rounds =
+    Arg.(value & opt int 1_000_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round cap.")
+  in
+  let crash =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash" ] ~docv:"FRAC"
+          ~doc:"Crash-stop this fraction of nodes at round 3 (push-pull only).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"RATE" ~doc:"Lose each exchange with this probability (push-pull only).")
+  in
+  let capacity =
+    Arg.(
+      value & opt (some int) None
+      & info [ "capacity" ] ~docv:"C"
+          ~doc:"Bounded in-degree: serve at most C requests per round (push-pull only).")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the informed-set trajectory as CSV (push-pull only).")
+  in
+  let run args algorithm source max_rounds crash drop capacity trace =
+    let g = build_graph args in
+    let rng = Rng.of_int (args.seed + 17) in
+    let show label = function
+      | Some rounds -> Printf.printf "%s: %d rounds\n" label rounds
+      | None -> Printf.printf "%s: hit the %d-round cap\n" label max_rounds
+    in
+    match algorithm with
+    | "push-pull" when crash > 0.0 || drop > 0.0 ->
+        let module R = Gossip_core.Robustness in
+        let plan =
+          R.combine
+            [
+              R.crash_fraction (Rng.of_int (args.seed + 1)) ~n:(Graph.n g) ~fraction:crash
+                ~from_round:3 ~protect:[ source ];
+              R.drop_rate (Rng.of_int (args.seed + 2)) ~rate:drop;
+            ]
+        in
+        let r = R.pushpull_broadcast rng g ~source ~plan ~max_rounds in
+        show "push-pull broadcast (faulty)" r.R.rounds;
+        Printf.printf "live coverage: %d/%d, dropped messages: %d\n" r.R.informed_live
+          r.R.live r.R.metrics.Gossip_sim.Engine.dropped
+    | "push-pull" -> (
+        match capacity with
+        | Some c ->
+            let module R = Gossip_core.Robustness in
+            let r = R.pushpull_bounded_indegree rng g ~source ~capacity:c ~max_rounds in
+            show "push-pull broadcast (bounded in-degree)" r.R.rounds;
+            Printf.printf "rejected requests: %d\n" r.R.metrics.Gossip_sim.Engine.rejected
+        | None ->
+            let r = Gossip_core.Push_pull.broadcast rng g ~source ~max_rounds in
+            show "push-pull broadcast" r.Gossip_core.Push_pull.rounds;
+            (match trace with
+            | None -> ()
+            | Some path ->
+                let t = Gossip_sim.Trace.create ~name:"informed" in
+                List.iter
+                  (fun (round, informed) ->
+                    Gossip_sim.Trace.record t ~round (float_of_int informed))
+                  r.Gossip_core.Push_pull.history;
+                Gossip_sim.Trace.write_csv path [ t ];
+                Printf.printf "trace written to %s\n" path))
+    | "push-pull-all" ->
+        let r = Gossip_core.Push_pull.all_to_all rng g ~max_rounds in
+        show "push-pull all-to-all" r.Gossip_core.Push_pull.rounds
+    | "flood" ->
+        let r = Gossip_core.Flooding.flood_all g ~max_rounds in
+        show "round-robin flooding" r.Gossip_core.Flooding.rounds
+    | "push-only" ->
+        let r = Gossip_core.Flooding.push_round_robin g ~source ~blocking:true ~max_rounds in
+        show "blocking push-only" r.Gossip_core.Flooding.rounds
+    | "dtg" ->
+        let r, ok = Gossip_core.Dtg.local_broadcast g ~max_rounds in
+        show "DTG local broadcast" r.Gossip_core.Dtg.rounds;
+        Printf.printf "local broadcast complete: %b\n" ok
+    | "eid" ->
+        let r = Gossip_core.Eid.run rng g () in
+        Printf.printf "General EID: %d rounds, k_final = %d, attempts = %d, success = %b\n"
+          r.Gossip_core.Eid.rounds r.Gossip_core.Eid.k_final
+          (List.length r.Gossip_core.Eid.attempts)
+          r.Gossip_core.Eid.success
+    | "eid-known-d" ->
+        let d = Paths.weighted_diameter g in
+        let r = Gossip_core.Eid.run_known_diameter rng g ~d () in
+        Printf.printf "EID(D = %d): %d rounds, success = %b\n" d r.Gossip_core.Eid.rounds
+          r.Gossip_core.Eid.success
+    | "path-discovery" ->
+        let r = Gossip_core.Path_discovery.run g in
+        Printf.printf "Path Discovery: %d rounds, k_final = %d, success = %b\n"
+          r.Gossip_core.Path_discovery.rounds r.Gossip_core.Path_discovery.k_final
+          r.Gossip_core.Path_discovery.success
+    | "unified" ->
+        let r =
+          Gossip_core.Dissemination.all_to_all rng g
+            ~knowledge:Gossip_core.Dissemination.Known_latencies ~max_rounds
+        in
+        Printf.printf "unified: %d rounds (winner: %s; push-pull %s, spanner %d)\n"
+          r.Gossip_core.Dissemination.rounds
+          (match r.Gossip_core.Dissemination.winner with
+          | Gossip_core.Dissemination.Push_pull_won -> "push-pull"
+          | Gossip_core.Dissemination.Spanner_route_won -> "spanner")
+          (match r.Gossip_core.Dissemination.pushpull_rounds with
+          | Some x -> string_of_int x
+          | None -> "cap")
+          r.Gossip_core.Dissemination.spanner_rounds
+    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  in
+  let doc = "Run a dissemination algorithm and report round counts." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ family_term $ algorithm $ source $ max_rounds $ crash $ drop $ capacity
+      $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* game *)
+
+let game_cmd =
+  let m = Arg.(value & opt int 32 & info [ "side" ] ~docv:"M" ~doc:"Side size of A and B.") in
+  let p =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "prob" ] ~docv:"P" ~doc:"Random_p target density (omit for a singleton).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt string "fresh-pairs"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Alice strategy: random-guessing, fresh-pairs, sequential-scan.")
+  in
+  let run m p strategy seed =
+    let rng = Rng.of_int seed in
+    let target =
+      match p with
+      | None -> Gadgets.singleton_target rng ~m
+      | Some p -> Gadgets.random_p_target rng ~m ~p
+    in
+    let game = Gossip_game.Game.create ~m ~target in
+    Printf.printf "Guessing(2m = %d, |T| = %d), strategy %s\n" (2 * m)
+      (Gossip_game.Game.target_size game)
+      strategy;
+    match List.assoc_opt strategy Gossip_game.Strategies.all with
+    | None -> failwith (Printf.sprintf "unknown strategy %S" strategy)
+    | Some s -> (
+        match s rng game ~max_rounds:10_000_000 with
+        | Some o ->
+            Printf.printf "solved in %d rounds with %d guesses\n" o.Gossip_game.Strategies.rounds
+              o.Gossip_game.Strategies.guesses
+        | None -> print_endline "not solved within the round cap")
+  in
+  let doc = "Play the guessing game of Section 3.1." in
+  Cmd.v (Cmd.info "game" ~doc) Term.(const run $ m $ p $ strategy $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce *)
+
+let reduce_cmd =
+  let m = Arg.(value & opt int 16 & info [ "side" ] ~docv:"M" ~doc:"Gadget side size.") in
+  let p =
+    Arg.(
+      value & opt (some float) None
+      & info [ "prob" ] ~docv:"P" ~doc:"Random_p target density (omit for a singleton).")
+  in
+  let symmetric =
+    Arg.(value & flag & info [ "symmetric" ] ~doc:"Use the G_sym(P) gadget.")
+  in
+  let run m p symmetric seed =
+    let rng = Rng.of_int seed in
+    let target =
+      match p with
+      | None -> Gadgets.singleton_target rng ~m
+      | Some p -> Gadgets.random_p_target rng ~m ~p
+    in
+    let o =
+      Gossip_core.Reduction.simulate_push_pull rng ~m ~target ~fast_latency:1 ~symmetric
+        ~max_rounds:1_000_000
+    in
+    let show = function Some r -> string_of_int r | None -> "never" in
+    Printf.printf
+      "Lemma 3 simulation on %s (m = %d, |T| = %d):\n\
+      \  game solved at round %s, local broadcast at round %s\n\
+      \  guesses submitted: %d; Lemma 3 holds: %b\n"
+      (if symmetric then "G_sym(P)" else "G(P)")
+      m (List.length target)
+      (show o.Gossip_core.Reduction.game_rounds)
+      (show o.Gossip_core.Reduction.broadcast_rounds)
+      o.Gossip_core.Reduction.guesses_submitted o.Gossip_core.Reduction.lemma3_holds
+  in
+  let doc = "Simulate push-pull on a gadget as a guessing game (Lemma 3)." in
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run $ m $ p $ symmetric $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* spanner *)
+
+let spanner_cmd =
+  let k =
+    Arg.(value & opt int 3 & info [ "stretch-k" ] ~docv:"K" ~doc:"Spanner parameter (stretch 2k-1).")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "baswana-sen"
+      & info [ "spanner-algorithm" ] ~docv:"A" ~doc:"baswana-sen or greedy.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the (oriented) spanner as Graphviz DOT.")
+  in
+  let run args k algorithm dot =
+    let g = build_graph args in
+    let rng = Rng.of_int (args.seed + 3) in
+    match algorithm with
+    | "baswana-sen" ->
+        let s = Gossip_core.Spanner.build rng g ~k () in
+        Printf.printf
+          "Baswana-Sen spanner: %d/%d edges, max out-degree %d, stretch %.2f (bound %d)\n"
+          (Gossip_core.Spanner.edge_count s) (Graph.m g)
+          (Gossip_core.Spanner.max_out_degree s)
+          (Gossip_core.Spanner.stretch s)
+          ((2 * k) - 1);
+        (match dot with
+        | None -> ()
+        | Some path ->
+            Gossip_graph.Dot.write path
+              (Gossip_graph.Dot.oriented_to_dot ~out_edges:s.Gossip_core.Spanner.out_edges g);
+            Printf.printf "oriented spanner written to %s\n" path)
+    | "greedy" ->
+        let s = Gossip_core.Greedy_spanner.build g ~r:((2 * k) - 1) in
+        Printf.printf "greedy spanner: %d/%d edges, stretch %.2f (bound %d)\n"
+          (Gossip_core.Greedy_spanner.edge_count s)
+          (Graph.m g)
+          (Gossip_core.Greedy_spanner.stretch s)
+          ((2 * k) - 1);
+        (match dot with
+        | None -> ()
+        | Some path ->
+            Gossip_graph.Dot.write path
+              (Gossip_graph.Dot.to_dot s.Gossip_core.Greedy_spanner.spanner);
+            Printf.printf "spanner written to %s\n" path)
+    | other -> failwith (Printf.sprintf "unknown spanner algorithm %S" other)
+  in
+  let doc = "Build a spanner of the graph (Appendix D / greedy baseline)." in
+  Cmd.v (Cmd.info "spanner" ~doc) Term.(const run $ family_term $ k $ algorithm $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* gadget *)
+
+let gadget_cmd =
+  let which =
+    Arg.(
+      value
+      & opt string "theorem7"
+      & info [ "which" ] ~docv:"W" ~doc:"Gadget: g-p, g-sym, theorem6, theorem7, theorem8.")
+  in
+  let m = Arg.(value & opt int 8 & info [ "side" ] ~docv:"M" ~doc:"Bipartite side size.") in
+  let n = Arg.(value & opt int 64 & info [ "nodes" ] ~docv:"N" ~doc:"Network size.") in
+  let delta = Arg.(value & opt int 8 & info [ "delta" ] ~docv:"D" ~doc:"Theorem 6 delta.") in
+  let ell = Arg.(value & opt int 4 & info [ "ell" ] ~docv:"L" ~doc:"Fast latency.") in
+  let phi = Arg.(value & opt float 0.2 & info [ "phi" ] ~docv:"PHI" ~doc:"Theorem 7 phi.") in
+  let layers = Arg.(value & opt int 6 & info [ "layers" ] ~docv:"K" ~doc:"Theorem 8 layers.") in
+  let size = Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Theorem 8 layer size.") in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the gadget as Graphviz DOT (fast edges bold).")
+  in
+  let run which m n delta ell phi layers size dot seed =
+    let rng = Rng.of_int seed in
+    let describe g label =
+      (match dot with
+      | None -> ()
+      | Some path ->
+          Gossip_graph.Dot.write path (Gossip_graph.Dot.to_dot ~fast_threshold:ell g);
+          Printf.printf "gadget written to %s\n" path);
+      Printf.printf "%s\n" label;
+      Format.printf "  %a@." Graph.pp g;
+      Printf.printf "  weighted diameter %d, max degree %d\n" (Paths.weighted_diameter g)
+        (Graph.max_degree g);
+      if Graph.is_connected g && Graph.n g <= 4096 then begin
+        let wc = Weighted.weighted_conductance ~backend:Weighted.Sweep g in
+        Printf.printf "  phi* = %.4f at ell* = %d\n" wc.Weighted.phi_star wc.Weighted.ell_star
+      end
+    in
+    match which with
+    | "g-p" ->
+        let target = Gadgets.random_p_target rng ~m ~p:phi in
+        let g = Gadgets.g_p ~m ~target ~fast_latency:ell ~slow_latency:(2 * m) in
+        print_string (Gadgets.describe_gadget ~fast_latency:ell g ~m);
+        describe g "G(P)"
+    | "g-sym" ->
+        let target = Gadgets.random_p_target rng ~m ~p:phi in
+        let g = Gadgets.g_sym_p ~m ~target ~fast_latency:ell ~slow_latency:(2 * m) in
+        print_string (Gadgets.describe_gadget ~fast_latency:ell g ~m);
+        describe g "G_sym(P)"
+    | "theorem6" ->
+        let info = Gadgets.theorem6 rng ~n ~delta in
+        describe info.Gadgets.h_graph (Printf.sprintf "Theorem 6 network H(n=%d, delta=%d)" n delta)
+    | "theorem7" ->
+        let info = Gadgets.theorem7 rng ~n ~ell ~phi in
+        Printf.printf "target size %d (expected %.0f)\n"
+          (List.length info.Gadgets.t7_target)
+          (phi *. float_of_int (n * n));
+        describe info.Gadgets.t7_graph
+          (Printf.sprintf "Theorem 7 gadget (n=%d, ell=%d, phi=%.3f)" n ell phi)
+    | "theorem8" ->
+        let info = Gadgets.theorem8 rng ~layers ~layer_size:size ~ell in
+        Printf.printf "analytic phi_ell (Lemma 9) = %.4f, diameter bound ~ k/2 = %d\n"
+          info.Gadgets.t8_phi_analytic info.Gadgets.t8_diameter_bound;
+        describe info.Gadgets.t8_graph
+          (Printf.sprintf "Theorem 8 layered ring (k=%d, s=%d, ell=%d)" layers size ell)
+    | other -> failwith (Printf.sprintf "unknown gadget %S" other)
+  in
+  let doc = "Build and describe a lower-bound gadget (Section 3.2)." in
+  Cmd.v (Cmd.info "gadget" ~doc)
+    Term.(const run $ which $ m $ n $ delta $ ell $ phi $ layers $ size $ dot $ seed_arg)
+
+let () =
+  let doc = "Gossiping with latencies: algorithms, gadgets, and analyses." in
+  let info = Cmd.info "gossip-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_cmd; game_cmd; gadget_cmd; spanner_cmd; reduce_cmd ]))

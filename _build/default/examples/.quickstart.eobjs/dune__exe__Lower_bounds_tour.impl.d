@@ -1,0 +1,1 @@
+examples/lower_bounds_tour.ml: Gossip_core Gossip_game Gossip_graph Gossip_util List Printf

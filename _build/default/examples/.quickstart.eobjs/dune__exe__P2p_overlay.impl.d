@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Gossip_core Gossip_graph Gossip_util List Printf

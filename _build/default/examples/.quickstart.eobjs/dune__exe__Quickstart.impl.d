@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gossip_conductance Gossip_core Gossip_graph Gossip_util List Printf

@@ -1,0 +1,1 @@
+examples/replication.ml: Gossip_conductance Gossip_core Gossip_graph Gossip_sim Gossip_util List Printf

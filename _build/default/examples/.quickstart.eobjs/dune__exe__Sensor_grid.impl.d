@@ -1,0 +1,1 @@
+examples/sensor_grid.ml: Array Gossip_core Gossip_graph Gossip_util List Printf String

@@ -1,0 +1,83 @@
+(* Peer-to-peer publish/subscribe overlay.
+
+   A random-regular overlay with heavy-tailed link latencies (peers
+   spread across the internet).  The operator knows the measured
+   latencies and wants a sparse broadcast overlay: we build the
+   oriented Baswana-Sen spanner (Appendix D), which caps every peer's
+   out-degree at O(log n) while stretching routes by at most 2k-1,
+   then run RR Broadcast over it and compare with flooding the full
+   overlay.
+
+   Run with:  dune exec examples/p2p_overlay.exe *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Spanner = Gossip_core.Spanner
+module Table = Gossip_util.Table
+
+let () =
+  let rng = Rng.of_int 1337 in
+  let n = 200 and degree = 32 in
+  let overlay =
+    Gen.with_latencies rng
+      (Gen.Power_law { min_latency = 1; max_latency = 64; exponent = 2.2 })
+      (Gen.random_regular rng ~n ~d:degree)
+  in
+  Printf.printf "overlay: %d peers, %d links, degree %d, D = %d, l_max = %d\n" n
+    (Graph.m overlay) degree
+    (Paths.weighted_diameter overlay)
+    (Graph.max_latency overlay);
+
+  (* Build spanners at several k and report the size/stretch
+     trade-off. *)
+  let t =
+    Table.create ~title:"spanner trade-off (Appendix D)"
+      ~columns:
+        [
+          ("k", Table.Right);
+          ("edges kept", Table.Right);
+          ("max out-degree", Table.Right);
+          ("stretch", Table.Right);
+          ("guarantee 2k-1", Table.Right);
+        ]
+  in
+  let spanners =
+    List.map
+      (fun k ->
+        let s = Spanner.build (Rng.split rng) overlay ~k () in
+        Table.add_row t
+          [
+            string_of_int k;
+            Printf.sprintf "%d/%d" (Spanner.edge_count s) (Graph.m overlay);
+            string_of_int (Spanner.max_out_degree s);
+            Printf.sprintf "%.2f" (Spanner.stretch s);
+            string_of_int ((2 * k) - 1);
+          ];
+        (k, s))
+      [ 2; 3; 4 ]
+  in
+  Table.print t;
+
+  (* Publish from one peer over the k = 3 spanner using RR Broadcast
+     with parameter stretch * D. *)
+  let _, s3 = List.nth spanners 1 in
+  let d = Paths.weighted_diameter overlay in
+  let k_rr = 5 * d in
+  let rr = Gossip_core.Rr_broadcast.run_on_spanner s3 ~k:k_rr () in
+  Printf.printf
+    "RR broadcast over the k=3 spanner: %d rounds; every peer reached: %b\n"
+    rr.Gossip_core.Rr_broadcast.rounds
+    (Gossip_core.Rumor.all_to_all_done rr.Gossip_core.Rr_broadcast.sets);
+
+  (* Compare against push-pull on the raw overlay (no spanner, no
+     latency knowledge). *)
+  let pp = Gossip_core.Push_pull.broadcast (Rng.split rng) overlay ~source:0 ~max_rounds:1_000_000 in
+  (match pp.Gossip_core.Push_pull.rounds with
+  | Some r -> Printf.printf "push-pull single-source broadcast on the raw overlay: %d rounds\n" r
+  | None -> print_endline "push-pull capped");
+  print_endline
+    "The spanner keeps every peer's fan-out logarithmic — the property\n\
+     Lemma 15 charges for RR broadcast's running time — at the cost of a\n\
+     bounded stretch in latency."

@@ -1,0 +1,146 @@
+(* Geo-replicated database anti-entropy.
+
+   A classic use of gossip (Demers et al. 1987): every replica holds a
+   set of updates and reconciles with peers until all replicas agree.
+   Here the fleet spans four regions; intra-region links are fast,
+   cross-region links are slow, and the question the paper answers is
+   which reconciliation strategy to run:
+
+   - push-pull anti-entropy (unknown latencies, small messages, robust);
+   - the spanner route (known latencies, optimal in D up to polylogs);
+   - naive round-robin flooding as a baseline.
+
+   Run with:  dune exec examples/replication.exe *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Weighted = Gossip_conductance.Weighted
+module Table = Gossip_util.Table
+
+let build_fleet rng ~regions ~replicas_per_region ~wan_latency =
+  (* Regions are cliques; each region is bridged to the next (a WAN
+     ring) and to a random replica two regions over (a backbone
+     shortcut). *)
+  let base = Gen.ring_of_cliques ~cliques:regions ~size:replicas_per_region ~bridge_latency:wan_latency in
+  let shortcut_edges =
+    List.init (regions / 2) (fun i ->
+        let r1 = 2 * i and r2 = (2 * i) + (regions / 2) in
+        let pick r = (r mod regions * replicas_per_region) + Rng.int rng (replicas_per_region - 1) in
+        (pick r1, pick r2, wan_latency + (wan_latency / 2)))
+  in
+  let existing = Graph.edges base in
+  let all =
+    List.map (fun { Graph.u; v; latency } -> (u, v, latency)) existing
+    @ List.filter
+        (fun (u, v, _) -> u <> v && not (Graph.mem_edge base u v))
+        shortcut_edges
+  in
+  Graph.of_edges ~n:(Graph.n base) all
+
+let () =
+  let rng = Rng.of_int 42 in
+  let fleet = build_fleet rng ~regions:4 ~replicas_per_region:10 ~wan_latency:25 in
+  Printf.printf "replica fleet: %d replicas, %d links, D = %d, Delta = %d\n"
+    (Graph.n fleet) (Graph.m fleet)
+    (Paths.weighted_diameter fleet)
+    (Graph.max_degree fleet);
+  let wc = Weighted.weighted_conductance fleet in
+  Printf.printf "phi* = %.4f at ell* = %d  =>  push-pull bound %.0f rounds\n\n"
+    wc.Weighted.phi_star wc.Weighted.ell_star
+    (Weighted.pushpull_round_bound fleet);
+
+  (* One update is written in region 0; how long until every replica
+     has it under each strategy? *)
+  let t =
+    Table.create ~title:"time for one update to reach every replica (rounds)"
+      ~columns:[ ("strategy", Table.Left); ("rounds", Table.Right); ("messages", Table.Right) ]
+  in
+  let pp = Gossip_core.Push_pull.broadcast (Rng.split rng) fleet ~source:0 ~max_rounds:1_000_000 in
+  (match pp.Gossip_core.Push_pull.rounds with
+  | Some r ->
+      Table.add_row t
+        [
+          "push-pull anti-entropy";
+          string_of_int r;
+          string_of_int pp.Gossip_core.Push_pull.metrics.Gossip_sim.Engine.deliveries;
+        ]
+  | None -> Table.add_row t [ "push-pull anti-entropy"; "cap"; "-" ]);
+  let flood =
+    Gossip_core.Flooding.push_round_robin fleet ~source:0 ~blocking:false ~max_rounds:1_000_000
+  in
+  (match flood.Gossip_core.Flooding.rounds with
+  | Some r ->
+      Table.add_row t
+        [
+          "push-only flooding";
+          string_of_int r;
+          string_of_int flood.Gossip_core.Flooding.metrics.Gossip_sim.Engine.deliveries;
+        ]
+  | None -> Table.add_row t [ "push-only flooding"; "cap"; "-" ]);
+  Table.print t;
+
+  (* Full anti-entropy: every replica starts with its own updates and
+     all must converge (all-to-all dissemination, Section 5). *)
+  let t =
+    Table.create ~title:"full reconciliation (all-to-all)"
+      ~columns:[ ("strategy", Table.Left); ("rounds", Table.Right); ("notes", Table.Left) ]
+  in
+  let pp = Gossip_core.Push_pull.all_to_all (Rng.split rng) fleet ~max_rounds:1_000_000 in
+  (match pp.Gossip_core.Push_pull.rounds with
+  | Some r -> Table.add_row t [ "push-pull"; string_of_int r; "robust, small messages" ]
+  | None -> Table.add_row t [ "push-pull"; "cap"; "" ]);
+  let eid = Gossip_core.Eid.run (Rng.split rng) fleet () in
+  Table.add_row t
+    [
+      "General EID (spanner route)";
+      string_of_int eid.Gossip_core.Eid.rounds;
+      Printf.sprintf "k_final=%d, %d attempts, success=%b" eid.Gossip_core.Eid.k_final
+        (List.length eid.Gossip_core.Eid.attempts)
+        eid.Gossip_core.Eid.success;
+    ];
+  let pd = Gossip_core.Path_discovery.run fleet in
+  Table.add_row t
+    [
+      "Path Discovery (T(k))";
+      string_of_int pd.Gossip_core.Path_discovery.rounds;
+      Printf.sprintf "needs no bound on n, success=%b" pd.Gossip_core.Path_discovery.success;
+    ];
+  Table.print t;
+  print_endline
+    "As Theorem 20 predicts, the conductance route (push-pull) wins when\n\
+     ell*/phi* is moderate; the spanner route's polylog factors only pay\n\
+     off on much larger, worse-connected fleets."
+
+(* Operational reality: replicas crash and WAN links lose packets.
+   Push-pull anti-entropy keeps converging for the survivors — the
+   robustness Section 7 of the paper highlights. *)
+let () =
+  print_newline ();
+  let rng = Rng.of_int 77 in
+  let fleet = build_fleet rng ~regions:4 ~replicas_per_region:10 ~wan_latency:25 in
+  let module R = Gossip_core.Robustness in
+  let t =
+    Table.create ~title:"one update under faults (push-pull anti-entropy)"
+      ~columns:
+        [ ("scenario", Table.Left); ("rounds", Table.Right); ("live coverage", Table.Left) ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      let r = R.pushpull_broadcast (Rng.split rng) fleet ~source:0 ~plan ~max_rounds:1_000_000 in
+      Table.add_row t
+        [
+          name;
+          (match r.R.rounds with Some x -> string_of_int x | None -> "cap");
+          Printf.sprintf "%d/%d" r.R.informed_live r.R.live;
+        ])
+    [
+      ("healthy fleet", R.no_faults);
+      ( "one region lost at round 5",
+        R.crash_fraction (Rng.split rng) ~n:(Graph.n fleet) ~fraction:0.25 ~from_round:5
+          ~protect:[ 0 ] );
+      ("10% packet loss", R.drop_rate (Rng.split rng) ~rate:0.10);
+      ("WAN jitter +0..10", R.jitter_up_to (Rng.split rng) ~extra:10);
+    ];
+  Table.print t

@@ -1,0 +1,1 @@
+lib/conductance/cut.ml: Array Gossip_graph List

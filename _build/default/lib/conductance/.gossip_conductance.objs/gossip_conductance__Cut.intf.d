@@ -1,0 +1,1 @@
+lib/conductance/cut.mli: Gossip_graph

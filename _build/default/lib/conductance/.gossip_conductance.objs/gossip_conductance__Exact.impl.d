@@ -1,0 +1,1 @@
+lib/conductance/exact.ml: Array Gossip_graph

@@ -1,0 +1,1 @@
+lib/conductance/exact.mli: Cut Gossip_graph

@@ -1,0 +1,1 @@
+lib/conductance/spectral.ml: Array Gossip_graph Gossip_util

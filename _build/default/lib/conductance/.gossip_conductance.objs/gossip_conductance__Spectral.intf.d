@@ -1,0 +1,1 @@
+lib/conductance/spectral.mli: Cut Gossip_graph

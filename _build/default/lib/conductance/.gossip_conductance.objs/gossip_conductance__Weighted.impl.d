@@ -1,0 +1,1 @@
+lib/conductance/weighted.ml: Exact Gossip_graph List Spectral

@@ -1,0 +1,1 @@
+lib/conductance/weighted.mli: Gossip_graph

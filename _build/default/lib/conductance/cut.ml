@@ -1,0 +1,38 @@
+module Graph = Gossip_graph.Graph
+
+type side = bool array
+
+let of_list g nodes =
+  let side = Array.make (Graph.n g) false in
+  List.iter
+    (fun u ->
+      if u < 0 || u >= Graph.n g then invalid_arg "Cut.of_list: node out of range";
+      side.(u) <- true)
+    nodes;
+  side
+
+let of_mask n mask =
+  if n > 62 then invalid_arg "Cut.of_mask: n too large for an int mask";
+  Array.init n (fun i -> mask land (1 lsl i) <> 0)
+
+let cut_edges_le g side l =
+  let count = ref 0 in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      if latency <= l && side.(u) <> side.(v) then incr count)
+    g;
+  !count
+
+let volumes g side =
+  let vol_in = ref 0 and vol_out = ref 0 in
+  for u = 0 to Graph.n g - 1 do
+    let d = Graph.degree g u in
+    if side.(u) then vol_in := !vol_in + d else vol_out := !vol_out + d
+  done;
+  (!vol_in, !vol_out)
+
+let phi_ell g side l =
+  let vol_in, vol_out = volumes g side in
+  let denom = min vol_in vol_out in
+  if denom = 0 then infinity
+  else float_of_int (cut_edges_le g side l) /. float_of_int denom

@@ -1,0 +1,28 @@
+(** Cuts and the weight-ℓ conductance of a cut (Definition 1).
+
+    For a node set [U ⊆ V] and a latency threshold [ℓ]:
+
+    [φ_ℓ(U) = |E_ℓ(U, V \ U)| / min(Vol(U), Vol(V \ U))]
+
+    where [E_ℓ] keeps only cut edges of latency ≤ ℓ and [Vol] counts
+    all edge endpoints (full degrees, independent of ℓ). *)
+
+(** A cut, as membership of the side containing it. *)
+type side = bool array
+
+(** [of_list g nodes] is the side containing exactly [nodes]. *)
+val of_list : Gossip_graph.Graph.t -> Gossip_graph.Graph.node list -> side
+
+(** [of_mask n mask] interprets bit [i] of [mask] as membership of node
+    [i]; requires [n <= 62]. *)
+val of_mask : int -> int -> side
+
+(** [cut_edges_le g side l] counts cut edges of latency [<= l]. *)
+val cut_edges_le : Gossip_graph.Graph.t -> side -> int -> int
+
+(** [volumes g side] is [(Vol(U), Vol(V \ U))]. *)
+val volumes : Gossip_graph.Graph.t -> side -> int * int
+
+(** [phi_ell g side l] is the weight-ℓ conductance of the cut, per
+    Definition 1.  Returns [infinity] when a side is empty (no cut). *)
+val phi_ell : Gossip_graph.Graph.t -> side -> int -> float

@@ -1,0 +1,45 @@
+module Graph = Gossip_graph.Graph
+
+let max_nodes = 22
+
+let check g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Exact: need n >= 2";
+  if n > max_nodes then invalid_arg "Exact: n too large for exhaustive enumeration"
+
+(* Enumerate all subsets containing node 0; mask bit (i-1) encodes
+   membership of node i.  For each cut, the numerator only counts edges
+   of latency <= l. *)
+let phi_ell_with_cut g l =
+  check g;
+  let n = Graph.n g in
+  let edges = Array.of_list (Graph.edges g) in
+  let degrees = Array.init n (Graph.degree g) in
+  let total_volume = 2 * Graph.m g in
+  let in_set mask u = u = 0 || mask land (1 lsl (u - 1)) <> 0 in
+  let best = ref infinity in
+  let best_mask = ref 0 in
+  let limit = (1 lsl (n - 1)) - 1 in
+  for mask = 0 to limit - 1 do
+    let vol_in = ref degrees.(0) in
+    for u = 1 to n - 1 do
+      if mask land (1 lsl (u - 1)) <> 0 then vol_in := !vol_in + degrees.(u)
+    done;
+    let denom = min !vol_in (total_volume - !vol_in) in
+    if denom > 0 then begin
+      let cut = ref 0 in
+      Array.iter
+        (fun { Graph.u; v; latency } ->
+          if latency <= l && in_set mask u <> in_set mask v then incr cut)
+        edges;
+      let phi = float_of_int !cut /. float_of_int denom in
+      if phi < !best then begin
+        best := phi;
+        best_mask := mask
+      end
+    end
+  done;
+  let side = Array.init n (fun u -> in_set !best_mask u) in
+  (!best, side)
+
+let phi_ell g l = fst (phi_ell_with_cut g l)

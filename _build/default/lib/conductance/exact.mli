@@ -1,0 +1,16 @@
+(** Exact weight-ℓ conductance by exhaustive cut enumeration.
+
+    [φ_ℓ(G) = min_U φ_ℓ(U)] over all non-trivial cuts.  Conductance is
+    invariant under complementation, so we enumerate the [2^(n-1) - 1]
+    subsets containing node 0 (excluding the full set).  Feasible up to
+    roughly [n = 22]. *)
+
+(** Hard cap on [n] accepted by this module. *)
+val max_nodes : int
+
+(** [phi_ell g l] is the exact weight-ℓ conductance.
+    @raise Invalid_argument when [Graph.n g > max_nodes] or [< 2]. *)
+val phi_ell : Gossip_graph.Graph.t -> int -> float
+
+(** [phi_ell_with_cut g l] also returns a minimizing side. *)
+val phi_ell_with_cut : Gossip_graph.Graph.t -> int -> float * Cut.side

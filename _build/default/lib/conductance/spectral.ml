@@ -1,0 +1,83 @@
+module Graph = Gossip_graph.Graph
+module Rng = Gossip_util.Rng
+
+(* One lazy-walk step on the multigraph G_l.  Self-loops (slow incident
+   edges) keep probability mass in place, exactly as Eq. 3 demands. *)
+let walk_step g adj_le degrees x =
+  let n = Graph.n g in
+  let y = Array.make n 0.0 in
+  for u = 0 to n - 1 do
+    let d = float_of_int degrees.(u) in
+    if d > 0.0 then begin
+      let fast = adj_le.(u) in
+      let self_mult = float_of_int (degrees.(u) - Array.length fast) in
+      (* Lazy half plus self-loop mass stays at u. *)
+      y.(u) <- y.(u) +. (x.(u) *. (0.5 +. (0.5 *. self_mult /. d)));
+      let share = 0.5 *. x.(u) /. d in
+      Array.iter (fun v -> y.(v) <- y.(v) +. share) fast
+    end
+    else y.(u) <- x.(u)
+  done;
+  y
+
+let phi_ell_with_cut ?(iterations = 200) ?(seed = 1) g l =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Spectral: need n >= 2";
+  let degrees = Array.init n (Graph.degree g) in
+  let adj_le =
+    Array.init n (fun u ->
+        let fast = ref [] in
+        Array.iter (fun (v, lat) -> if lat <= l then fast := v :: !fast) (Graph.neighbors g u);
+        Array.of_list !fast)
+  in
+  let total_volume = 2 * Graph.m g in
+  if total_volume = 0 then (0.0, Array.init n (fun u -> u = 0))
+  else begin
+    (* Stationary distribution of the walk is pi(u) = deg(u)/2m. *)
+    let pi = Array.map (fun d -> float_of_int d /. float_of_int total_volume) degrees in
+    let deflate x =
+      let proj = ref 0.0 in
+      for u = 0 to n - 1 do
+        proj := !proj +. (pi.(u) *. x.(u))
+      done;
+      Array.map (fun xu -> xu -. !proj) x
+    in
+    let normalize x =
+      let norm = sqrt (Array.fold_left (fun s v -> s +. (v *. v)) 0.0 x) in
+      if norm > 0.0 then Array.map (fun v -> v /. norm) x else x
+    in
+    let rng = Rng.of_int seed in
+    let x = ref (normalize (deflate (Array.init n (fun _ -> Rng.float rng 1.0 -. 0.5)))) in
+    for _ = 1 to iterations do
+      x := normalize (deflate (walk_step g adj_le degrees !x))
+    done;
+    (* Sweep: order by eigenvector entry, scan prefix cuts, maintain the
+       latency-<= l cut size incrementally. *)
+    let order = Array.init n (fun u -> u) in
+    Array.sort (fun a b -> compare !x.(a) !x.(b)) order;
+    let in_set = Array.make n false in
+    let vol_in = ref 0 and cut = ref 0 in
+    let best = ref infinity in
+    let best_k = ref 0 in
+    for k = 0 to n - 2 do
+      let u = order.(k) in
+      in_set.(u) <- true;
+      vol_in := !vol_in + degrees.(u);
+      Array.iter (fun v -> if in_set.(v) then decr cut else incr cut) adj_le.(u);
+      let denom = min !vol_in (total_volume - !vol_in) in
+      if denom > 0 then begin
+        let phi = float_of_int !cut /. float_of_int denom in
+        if phi < !best then begin
+          best := phi;
+          best_k := k
+        end
+      end
+    done;
+    let side = Array.make n false in
+    for k = 0 to !best_k do
+      side.(order.(k)) <- true
+    done;
+    ((if !best = infinity then 0.0 else !best), side)
+  end
+
+let phi_ell ?iterations ?seed g l = fst (phi_ell_with_cut ?iterations ?seed g l)

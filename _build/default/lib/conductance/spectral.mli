@@ -1,0 +1,24 @@
+(** Approximate weight-ℓ conductance via a spectral sweep cut.
+
+    The strongly edge-induced multigraph [G_ℓ] (Eq. 3 of the paper)
+    keeps each latency-[≤ ℓ] edge with multiplicity 1 and adds a
+    self-loop of multiplicity [deg(u) - deg_ℓ(u)] at every node, so
+    multigraph degrees equal the original degrees and
+    [φ(G_ℓ) = φ_ℓ(G)].
+
+    We approximate [φ(G_ℓ)] by the classical Cheeger sweep: power
+    iteration finds (an approximation of) the second eigenvector of the
+    lazy random walk on [G_ℓ]; sorting vertices by its entries and
+    taking the best prefix cut yields a cut whose conductance [φ̂]
+    satisfies [φ_ℓ ≤ φ̂ ≤ √(2 φ_ℓ)].  The returned value is therefore
+    an upper bound on the true conductance, correct within the Cheeger
+    square root. *)
+
+(** [phi_ell ?iterations ?seed g l] runs the sweep.  [iterations]
+    defaults to [200]; [seed] randomises the starting vector (default
+    1). *)
+val phi_ell : ?iterations:int -> ?seed:int -> Gossip_graph.Graph.t -> int -> float
+
+(** As [phi_ell], also returning the sweep cut found. *)
+val phi_ell_with_cut :
+  ?iterations:int -> ?seed:int -> Gossip_graph.Graph.t -> int -> float * Cut.side

@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Array Gossip_graph Gossip_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Gossip_graph Gossip_sim

@@ -1,0 +1,1 @@
+lib/core/dissemination.ml: Discovery Eid Gossip_graph Gossip_util Push_pull

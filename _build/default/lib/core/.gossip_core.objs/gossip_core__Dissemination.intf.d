@@ -1,0 +1,1 @@
+lib/core/dissemination.mli: Gossip_graph Gossip_util

@@ -1,0 +1,1 @@
+lib/core/dtg.ml: Array Gossip_graph Gossip_sim Gossip_util List Rumor

@@ -1,0 +1,1 @@
+lib/core/dtg.mli: Gossip_graph Gossip_sim Gossip_util Rumor

@@ -1,0 +1,1 @@
+lib/core/eid.ml: Array Dtg Gossip_graph Gossip_util List Rr_broadcast Rumor Spanner Termination_check

@@ -1,0 +1,1 @@
+lib/core/eid.mli: Gossip_graph Gossip_util Rumor

@@ -1,0 +1,1 @@
+lib/core/flooding.ml: Array Gossip_graph Gossip_sim Gossip_util Rumor

@@ -1,0 +1,1 @@
+lib/core/flooding.mli: Gossip_graph Gossip_sim

@@ -1,0 +1,1 @@
+lib/core/greedy_spanner.ml: Array Gossip_graph Gossip_util List

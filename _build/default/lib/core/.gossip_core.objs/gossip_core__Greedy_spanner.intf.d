@@ -1,0 +1,1 @@
+lib/core/greedy_spanner.mli: Gossip_graph

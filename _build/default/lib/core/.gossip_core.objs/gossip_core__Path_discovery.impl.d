@@ -1,0 +1,1 @@
+lib/core/path_discovery.ml: Array Dtg Gossip_graph List Rumor Termination_check

@@ -1,0 +1,1 @@
+lib/core/path_discovery.mli: Gossip_graph Rumor

@@ -1,0 +1,1 @@
+lib/core/push_pull.ml: Array Gossip_graph Gossip_sim Gossip_util List Rumor

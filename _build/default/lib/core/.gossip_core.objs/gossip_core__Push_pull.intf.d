@@ -1,0 +1,1 @@
+lib/core/push_pull.mli: Gossip_graph Gossip_sim Gossip_util

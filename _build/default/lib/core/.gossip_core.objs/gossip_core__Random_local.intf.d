@@ -1,0 +1,1 @@
+lib/core/random_local.mli: Gossip_graph Gossip_sim Gossip_util Rumor

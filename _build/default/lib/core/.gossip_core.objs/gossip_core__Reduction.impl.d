@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Gossip_game Gossip_graph Gossip_sim Gossip_util Rumor

@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Gossip_graph Gossip_sim Gossip_util Spanner

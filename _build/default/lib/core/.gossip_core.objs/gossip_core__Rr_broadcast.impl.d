@@ -1,0 +1,1 @@
+lib/core/rr_broadcast.ml: Array Gossip_graph Gossip_sim Gossip_util List Rumor Spanner

@@ -1,0 +1,1 @@
+lib/core/rr_broadcast.mli: Gossip_graph Gossip_sim Rumor Spanner

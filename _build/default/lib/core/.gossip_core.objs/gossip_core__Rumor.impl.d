@@ -1,0 +1,1 @@
+lib/core/rumor.ml: Array Gossip_graph Gossip_util

@@ -1,0 +1,1 @@
+lib/core/rumor.mli: Gossip_graph Gossip_util

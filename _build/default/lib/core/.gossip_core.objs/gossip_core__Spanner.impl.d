@@ -1,0 +1,1 @@
+lib/core/spanner.ml: Array Gossip_graph Gossip_util Hashtbl List

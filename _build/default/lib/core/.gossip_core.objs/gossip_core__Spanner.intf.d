@@ -1,0 +1,1 @@
+lib/core/spanner.mli: Gossip_graph Gossip_util

@@ -1,0 +1,1 @@
+lib/core/termination_check.ml: Array Gossip_graph Gossip_sim Gossip_util List

@@ -1,0 +1,1 @@
+lib/core/termination_check.mli: Gossip_graph Rumor

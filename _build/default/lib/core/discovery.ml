@@ -1,0 +1,67 @@
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type result = {
+  rounds : int;
+  known : (Graph.node * int) list array;
+  complete : bool;
+  metrics : Engine.metrics;
+}
+
+let probe g ~d_bound =
+  if d_bound < 1 then invalid_arg "Discovery.probe: need d_bound >= 1";
+  let n = Graph.n g in
+  let known = Array.make n [] in
+  let pending : (int, int) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 8) in
+  let handlers u =
+    let nbrs = Graph.neighbors g u in
+    let cursor = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round ->
+          if !cursor >= Array.length nbrs then None
+          else begin
+            let peer, _ = nbrs.(!cursor) in
+            incr cursor;
+            Hashtbl.replace pending.(u) peer round;
+            Some (peer, ())
+          end);
+      on_request = (fun ~peer:_ ~round:_ () -> ());
+      on_push = (fun ~peer:_ ~round:_ () -> ());
+      on_response =
+        (fun ~peer ~round () ->
+          match Hashtbl.find_opt pending.(u) peer with
+          | Some start ->
+              Hashtbl.remove pending.(u) peer;
+              let latency = round - start in
+              if latency <= d_bound then known.(u) <- (peer, latency) :: known.(u)
+          | None -> ());
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  let delta = Graph.max_degree g in
+  (* Probe for Delta rounds, then wait d_bound for late responses. *)
+  for _ = 1 to delta + d_bound do
+    Engine.step engine
+  done;
+  let complete =
+    let ok = ref true in
+    Graph.iter_edges
+      (fun { Graph.u; v; latency } ->
+        if latency <= d_bound then begin
+          let have side peer = List.mem_assoc peer known.(side) in
+          if not (have u v && have v u) then ok := false
+        end)
+      g;
+    !ok
+  in
+  { rounds = Engine.current_round engine; known; complete; metrics = Engine.metrics engine }
+
+let probe_doubling g ~target =
+  if target < 1 then invalid_arg "Discovery.probe_doubling: need target >= 1";
+  let rec go d acc_rounds =
+    let r = probe g ~d_bound:d in
+    let acc_rounds = acc_rounds + r.rounds in
+    if d >= target then { r with rounds = acc_rounds } else go (2 * d) acc_rounds
+  in
+  go 1 0

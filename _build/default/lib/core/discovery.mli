@@ -1,0 +1,28 @@
+(** Latency discovery (Section 4.2).
+
+    When nodes do not know the latencies of their incident edges, they
+    can measure them: probe each neighbor in sequence (one initiation
+    per round, non-blocking) and time the responses.  After [Δ] probing
+    rounds plus a [d]-round wait, every edge of latency [<= d] is
+    known, in [Δ + d] rounds total.  With guess-and-double over [d]
+    this is the [Õ(D + Δ)] preprocessing that turns the known-latency
+    spanner algorithm into an unknown-latency one (Theorem 20's first
+    branch). *)
+
+type result = {
+  rounds : int;  (** engine rounds consumed ([Δ + d]) *)
+  known : (Gossip_graph.Graph.node * int) list array;
+      (** per node, the discovered [(neighbor, latency)] pairs *)
+  complete : bool;  (** every edge of latency [<= d] was discovered *)
+  metrics : Gossip_sim.Engine.metrics;
+}
+
+(** [probe g ~d_bound] runs one probing pass with wait bound
+    [d_bound]. *)
+val probe : Gossip_graph.Graph.t -> d_bound:int -> result
+
+(** [probe_doubling g ~target] repeats [probe] with
+    [d = 1, 2, 4, ...] until [d >= target], accumulating rounds — the
+    guess-and-double cost [O(Δ log D + D)].  Returns the accumulated
+    result with [rounds] summed over attempts. *)
+val probe_doubling : Gossip_graph.Graph.t -> target:int -> result

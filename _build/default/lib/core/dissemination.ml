@@ -1,0 +1,44 @@
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+
+type knowledge = Known_latencies | Unknown_latencies
+
+type winner = Push_pull_won | Spanner_route_won
+
+type result = {
+  rounds : int;
+  winner : winner;
+  pushpull_rounds : int option;
+  spanner_rounds : int;
+  discovery_rounds : int;
+  success : bool;
+}
+
+let all_to_all rng g ~knowledge ~max_rounds =
+  let pp = Push_pull.all_to_all (Rng.split rng) g ~max_rounds in
+  let discovery_rounds =
+    match knowledge with
+    | Known_latencies -> 0
+    | Unknown_latencies ->
+        (* Guess-and-double latency discovery up to the weighted
+           diameter; the real protocol detects sufficiency through the
+           same termination check EID runs (Section 4.2). *)
+        let d = Gossip_graph.Paths.weighted_diameter g in
+        (Discovery.probe_doubling g ~target:(max 1 d)).Discovery.rounds
+  in
+  let eid = Eid.run (Rng.split rng) g () in
+  let spanner_rounds = discovery_rounds + eid.Eid.rounds in
+  let pushpull_rounds = pp.Push_pull.rounds in
+  let winner, rounds =
+    match pushpull_rounds with
+    | Some r when r <= spanner_rounds -> (Push_pull_won, r)
+    | Some _ | None -> (Spanner_route_won, spanner_rounds)
+  in
+  {
+    rounds;
+    winner;
+    pushpull_rounds;
+    spanner_rounds;
+    discovery_rounds;
+    success = eid.Eid.success || pushpull_rounds <> None;
+  }

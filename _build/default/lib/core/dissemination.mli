@@ -1,0 +1,38 @@
+(** Unified information dissemination (Theorem 20).
+
+    The paper's final algorithm runs push-pull and the spanner route in
+    parallel and stops with whichever finishes first:
+
+    - latencies {e unknown}:
+      [O(min((D + Delta) log^3 n, (l_star/phi_star) log n))] — the spanner route must
+      first discover latencies (Section 4.2);
+    - latencies {e known}:
+      [O(min(D log^3 n, (l_star/phi_star) log n))].
+
+    Running two protocols in parallel in the model costs a factor of
+    two (alternate rounds between them); we simulate each branch
+    separately and report the minimum and the winner, which preserves
+    every asymptotic claim. *)
+
+type knowledge = Known_latencies | Unknown_latencies
+
+type winner = Push_pull_won | Spanner_route_won
+
+type result = {
+  rounds : int;  (** the minimum of the two branches *)
+  winner : winner;
+  pushpull_rounds : int option;  (** [None] when push-pull hit the cap *)
+  spanner_rounds : int;  (** EID (+ discovery when unknown) total *)
+  discovery_rounds : int;  (** 0 with known latencies *)
+  success : bool;
+}
+
+(** [all_to_all rng g ~knowledge ~max_rounds] solves all-to-all
+    dissemination both ways and reports the unified outcome.
+    [max_rounds] caps the push-pull branch only. *)
+val all_to_all :
+  Gossip_util.Rng.t ->
+  Gossip_graph.Graph.t ->
+  knowledge:knowledge ->
+  max_rounds:int ->
+  result

@@ -1,0 +1,131 @@
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+(* Exchanges carry the phase-local "heard from" set (which drives DTG's
+   linking and termination) alongside the accumulated rumor set (the
+   actual information being disseminated).  Keeping them separate lets
+   T(k) and EID chain phases: every phase re-broadcasts the accumulated
+   rumors to all G_l-neighbors even when their ids are already known. *)
+type payload = { heard : Bitset.t; rumors : Bitset.t }
+
+module P = Gossip_sim.Proc.Make (struct
+  type nonrec payload = payload
+end)
+
+type result = {
+  rounds : int option;
+  metrics : Engine.metrics;
+  sets : Rumor.t array;
+  link_counts : int array;
+}
+
+type node_state = {
+  mutable heard : Bitset.t;
+  sets : Rumor.t array;
+  mutable links : int;
+}
+
+(* One DTG step: exchange the working sets with [peer], fold the reply
+   in, and pad to exactly [ell] rounds so all nodes advance in lockstep
+   (the "simulate 1 round as ell rounds" of Section 5.1). *)
+let dtg_step ctx ~ell ~peer ~peer_latency (wh, wr) =
+  let reply =
+    P.exchange ctx ~peer { heard = Bitset.copy wh; rumors = Bitset.copy wr }
+  in
+  let (_ : bool) = Bitset.union_into ~into:wh reply.heard in
+  let (_ : bool) = Bitset.union_into ~into:wr reply.rumors in
+  P.wait ctx (ell - peer_latency)
+
+let program states ell pick ctx =
+  let u = P.id ctx in
+  let st = states.(u) in
+  let n = Bitset.capacity st.heard in
+  let nbrs =
+    Array.to_list (P.neighbors ctx) |> List.filter (fun (_, lat) -> lat <= ell)
+  in
+  let session = ref [] in
+  (* [session] is kept newest-first: the PUSH order j = i .. 1. *)
+  let push_order () = !session in
+  let pull_order () = List.rev !session in
+  let run_sequence orders working =
+    List.iter
+      (fun order ->
+        List.iter
+          (fun (peer, peer_latency) -> dtg_step ctx ~ell ~peer ~peer_latency working)
+          order)
+      orders
+  in
+  let fresh_working () = (Bitset.singleton n u, Bitset.copy st.sets.(u)) in
+  let absorb (wh, wr) =
+    let (_ : bool) = Bitset.union_into ~into:st.heard wh in
+    let (_ : bool) = Bitset.union_into ~into:st.sets.(u) wr in
+    ()
+  in
+  let rec loop () =
+    match pick (List.filter (fun (v, _) -> not (Bitset.mem st.heard v)) nbrs) with
+    | None -> ()
+    | Some link ->
+        st.links <- st.links + 1;
+        session := link :: !session;
+        (* PUSH then PULL with R'. *)
+        let w1 = fresh_working () in
+        run_sequence [ push_order (); pull_order () ] w1;
+        (* PULL then PUSH with R'' (the symmetry pass). *)
+        let w2 = fresh_working () in
+        run_sequence [ pull_order (); push_order () ] w2;
+        absorb w1;
+        absorb w2;
+        loop ()
+  in
+  loop ()
+
+let phase g ~ell ~max_rounds ?rumors ?link_rng () =
+  let n = Graph.n g in
+  let sets = match rumors with Some r -> r | None -> Rumor.initial g in
+  if Array.length sets <> n then invalid_arg "Dtg.phase: rumor array size mismatch";
+  let states = Array.init n (fun u -> { heard = Bitset.singleton n u; sets; links = 0 }) in
+  let ctxs = Array.make n None in
+  let handlers u =
+    let on_request ~peer:_ ~round:_ (_payload : payload) =
+      let st = states.(u) in
+      { heard = Bitset.copy st.heard; rumors = Bitset.copy st.sets.(u) }
+    in
+    let on_push ~peer:_ ~round:_ (payload : payload) =
+      let st = states.(u) in
+      let (_ : bool) = Bitset.union_into ~into:st.heard payload.heard in
+      let (_ : bool) = Bitset.union_into ~into:st.sets.(u) payload.rumors in
+      ()
+    in
+    let pick =
+      match link_rng with
+      | None -> (fun candidates -> match candidates with [] -> None | c :: _ -> Some c)
+      | Some rng ->
+          let node_rng = Gossip_util.Rng.split rng in
+          fun candidates ->
+            (match candidates with
+            | [] -> None
+            | _ -> Some (Gossip_util.Rng.pick_list node_rng candidates))
+    in
+    let ctx, handlers =
+      P.make g u ~program:(program states ell pick) ~on_request ~on_push
+    in
+    ctxs.(u) <- Some ctx;
+    handlers
+  in
+  let payload_size (p : payload) = Bitset.cardinal p.heard + Bitset.cardinal p.rumors in
+  let engine = Engine.create ~payload_size g ~handlers in
+  let all_done () =
+    Array.for_all (function Some ctx -> P.is_done ctx | None -> false) ctxs
+  in
+  let rounds = Engine.run_until engine ~max_rounds all_done in
+  {
+    rounds;
+    metrics = Engine.metrics engine;
+    sets;
+    link_counts = Array.map (fun st -> st.links) states;
+  }
+
+let local_broadcast g ~max_rounds =
+  let result = phase g ~ell:(Graph.max_latency g) ~max_rounds () in
+  (result, Rumor.local_broadcast_done g result.sets)

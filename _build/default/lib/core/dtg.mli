@@ -1,0 +1,50 @@
+(** ℓ-DTG: Deterministic Tree Gossip local broadcast (Appendix C).
+
+    Haeupler's DTG solves local broadcast — every node exchanges rumors
+    with all of its neighbors — in [O(log² n)] rounds on unweighted
+    graphs.  The ℓ-DTG variant (Algorithm 5 in the paper) runs DTG on
+    the subgraph [G_ℓ] of edges with latency [<= ℓ] and charges [ℓ]
+    rounds per DTG step, for [O(ℓ log² n)] total.
+
+    Each node runs the sequential program: while some [G_ℓ]-neighbor's
+    rumor is missing, link a new neighbor [u_i], then run the pipelined
+    PUSH ([j = i .. 1]) and PULL ([j = 1 .. i]) exchange sequences over
+    the session list [u_1 .. u_i] with a working set [R'], repeat with
+    [R''] in PULL–PUSH order, and fold both into the rumor set [R].
+    Every step is one engine exchange padded to exactly [ℓ] rounds, so
+    nodes stay in lockstep as the unweighted analysis assumes. *)
+
+type result = {
+  rounds : int option;  (** engine rounds until every node finished *)
+  metrics : Gossip_sim.Engine.metrics;
+  sets : Rumor.t array;  (** final rumor sets (aliases the input) *)
+  link_counts : int array;
+      (** how many neighbors each node linked — the number of DTG
+          iterations it ran.  Appendix C's i-tree argument bounds this
+          by [O(log n)]: a node active in iteration [i] roots a
+          vertex-disjoint binomial tree of [2^i] nodes. *)
+}
+
+(** [phase g ~ell ~max_rounds ?rumors ?link_rng ()] runs one ℓ-DTG
+    phase.  [rumors] (default: singletons) is updated in place, which
+    lets EID and [T(k)] chain phases over accumulated rumor sets.  On
+    normal completion, every node's set contains all its
+    [G_ℓ]-neighbors' ids.
+
+    [link_rng] switches "link to any new neighbor" from the
+    deterministic lowest-id choice to a uniformly random one — the
+    randomized flavour of Censor-Hillel et al.'s Superstep linking;
+    the [ablation-dtg-linking] bench compares the two. *)
+val phase :
+  Gossip_graph.Graph.t ->
+  ell:int ->
+  max_rounds:int ->
+  ?rumors:Rumor.t array ->
+  ?link_rng:Gossip_util.Rng.t ->
+  unit ->
+  result
+
+(** [local_broadcast g ~max_rounds] is a fresh full-latency DTG run:
+    [phase] with [ell = max_latency g], reporting whether the local
+    broadcast goal was reached. *)
+val local_broadcast : Gossip_graph.Graph.t -> max_rounds:int -> result * bool

@@ -1,0 +1,115 @@
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+
+type attempt = {
+  k : int;
+  discovery_rounds : int;
+  rr_rounds : int;
+  check_rounds : int;
+  spanner_out_degree : int;
+  spanner_edges : int;
+}
+
+type result = {
+  rounds : int;
+  attempts : attempt list;
+  k_final : int;
+  sets : Rumor.t array;
+  success : bool;
+  unanimous : bool;
+}
+
+let ceil_log2 x =
+  let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
+  max 1 (go 0 1)
+
+(* One EID(k) pass: discovery, spanner, RR broadcast.  [sets] is
+   updated in place; returns the attempt record (check_rounds = 0) and
+   the spanner orientation for the caller's termination check. *)
+let eid_once rng g ~k ~n_hat ~sets =
+  let iterations = ceil_log2 n_hat in
+  let discovery_rounds = ref 0 in
+  (* A DTG phase can only deadlock-guard on the cap; each phase is
+     O(k log^2 n), so this cap is generous. *)
+  let phase_cap = max 1000 (64 * k * iterations * iterations * 4) in
+  for _ = 1 to iterations do
+    let r = Dtg.phase g ~ell:k ~max_rounds:phase_cap ~rumors:sets () in
+    match r.Dtg.rounds with
+    | Some rounds -> discovery_rounds := !discovery_rounds + rounds
+    | None -> discovery_rounds := !discovery_rounds + phase_cap
+  done;
+  let gk = Graph.subgraph_le g k in
+  let k_spanner = ceil_log2 n_hat in
+  let spanner = Spanner.build rng gk ~k:k_spanner ~n_hat () in
+  let k_rr = k * ((2 * k_spanner) - 1) in
+  let rr =
+    Rr_broadcast.run ~base:g ~out_edges:spanner.Spanner.out_edges ~k:k_rr ~rumors:sets ()
+  in
+  let attempt =
+    {
+      k;
+      discovery_rounds = !discovery_rounds;
+      rr_rounds = rr.Rr_broadcast.rounds;
+      check_rounds = 0;
+      spanner_out_degree = Spanner.max_out_degree spanner;
+      spanner_edges = Spanner.edge_count spanner;
+    }
+  in
+  (attempt, spanner, k_rr)
+
+let run_known_diameter rng g ~d ?n_hat () =
+  if d < 1 then invalid_arg "Eid.run_known_diameter: need d >= 1";
+  let n_hat = match n_hat with Some h -> max h (Graph.n g) | None -> Graph.n g in
+  let sets = Rumor.initial g in
+  let attempt, _spanner, _k_rr = eid_once rng g ~k:d ~n_hat ~sets in
+  {
+    rounds = attempt.discovery_rounds + attempt.rr_rounds;
+    attempts = [ attempt ];
+    k_final = d;
+    sets;
+    success = Rumor.all_to_all_done sets;
+    unanimous = true;
+  }
+
+let run rng g ?n_hat () =
+  let n_hat = match n_hat with Some h -> max h (Graph.n g) | None -> Graph.n g in
+  let sets = Rumor.initial g in
+  (* The estimate can never usefully exceed the sum of all latencies. *)
+  let latency_sum =
+    let acc = ref 0 in
+    Graph.iter_edges (fun e -> acc := !acc + e.Graph.latency) g;
+    max 1 !acc
+  in
+  let rec attempt_loop k acc_attempts acc_rounds unanimous =
+    let attempt, spanner, k_rr = eid_once rng g ~k ~n_hat ~sets in
+    let check =
+      Termination_check.run ~base:g ~out_edges:spanner.Spanner.out_edges ~k:k_rr ~sets
+    in
+    let attempt = { attempt with check_rounds = check.Termination_check.rounds } in
+    let rounds =
+      acc_rounds + attempt.discovery_rounds + attempt.rr_rounds + attempt.check_rounds
+    in
+    let attempts = attempt :: acc_attempts in
+    let unanimous = unanimous && check.Termination_check.unanimous in
+    let failed = Array.exists (fun f -> f) check.Termination_check.failed in
+    if not failed then
+      {
+        rounds;
+        attempts = List.rev attempts;
+        k_final = k;
+        sets;
+        success = Rumor.all_to_all_done sets;
+        unanimous;
+      }
+    else if k > 2 * latency_sum then
+      {
+        rounds;
+        attempts = List.rev attempts;
+        k_final = k;
+        sets;
+        success = false;
+        unanimous;
+      }
+    else attempt_loop (2 * k) attempts rounds unanimous
+  in
+  attempt_loop 1 [] 0 true

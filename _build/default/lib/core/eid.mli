@@ -1,0 +1,50 @@
+(** Efficient Information Dissemination — EID (Algorithms 3–4;
+    Theorems 14, 19).
+
+    The spanner route to all-to-all dissemination with known latencies:
+
+    + {b Neighborhood discovery}: [O(log n)] repetitions of [k]-DTG, so
+      every node learns its [log n]-hop neighborhood in the
+      latency-[<= k] subgraph [G_k] (each DTG phase pushes knowledge
+      one hop further);
+    + {b Spanner construction}: Baswana–Sen with [k_spanner = ⌈log n̂⌉]
+      on [G_k], computed from the discovered neighborhoods (local
+      computation; cluster sampling uses shared public coins);
+    + {b RR Broadcast} over the oriented spanner with parameter
+      [k · (2·k_spanner - 1)] (the spanner stretch turns distance-[k]
+      pairs into that spanner distance).
+
+    With [k = D] this takes [O(D log³ n)] rounds (Theorem 14 /
+    Lemma 17).  When [D] is unknown, General EID (Algorithm 4) runs the
+    guess-and-double loop with the Termination Check; Lemma 18
+    guarantees a unanimous verdict each attempt and Theorem 19 the same
+    [O(D log³ n)] total. *)
+
+type attempt = {
+  k : int;  (** the diameter estimate of this attempt *)
+  discovery_rounds : int;
+  rr_rounds : int;
+  check_rounds : int;  (** 0 when no check ran (known-D mode) *)
+  spanner_out_degree : int;
+  spanner_edges : int;
+}
+
+type result = {
+  rounds : int;  (** total engine rounds across phases and attempts *)
+  attempts : attempt list;  (** in execution order *)
+  k_final : int;  (** estimate in force at termination *)
+  sets : Rumor.t array;
+  success : bool;  (** all-to-all dissemination achieved *)
+  unanimous : bool;  (** every check verdict was unanimous (Lemma 18) *)
+}
+
+(** [run_known_diameter rng g ~d ?n_hat ()] is one EID([d]) execution
+    (no termination check).  [n_hat] defaults to [n]. *)
+val run_known_diameter :
+  Gossip_util.Rng.t -> Gossip_graph.Graph.t -> d:int -> ?n_hat:int -> unit -> result
+
+(** [run rng g ?n_hat ()] is General EID: guess-and-double from
+    [k = 1] with termination checks.  Terminates once a check passes
+    (or after the estimate exceeds [2 · D_max] with [D_max] the sum of
+    all latencies, which cannot happen on connected inputs). *)
+val run : Gossip_util.Rng.t -> Gossip_graph.Graph.t -> ?n_hat:int -> unit -> result

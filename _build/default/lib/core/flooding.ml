@@ -1,0 +1,76 @@
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type result = { rounds : int option; metrics : Engine.metrics }
+
+let push_round_robin g ~source ~blocking ~max_rounds =
+  let n = Graph.n g in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let count = ref 1 in
+  let mark v =
+    if not informed.(v) then begin
+      informed.(v) <- true;
+      incr count
+    end
+  in
+  let handlers u =
+    let nbrs = Graph.neighbors g u in
+    let cursor = ref 0 in
+    let in_flight = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          (* Push-only: uninformed nodes stay silent (they cannot pull),
+             informed nodes cycle through neighbors. *)
+          if (not informed.(u)) || Array.length nbrs = 0 then None
+          else if blocking && !in_flight > 0 then None
+          else begin
+            let peer, _ = nbrs.(!cursor mod Array.length nbrs) in
+            incr cursor;
+            incr in_flight;
+            Some (peer, true)
+          end);
+      on_request =
+        (fun ~peer:_ ~round:_ _payload ->
+          (* The response exists in the model but push-only protocols
+             ignore its content: respond "nothing". *)
+          false);
+      on_push = (fun ~peer:_ ~round:_ payload -> if payload then mark u);
+      on_response =
+        (fun ~peer:_ ~round:_ _payload -> in_flight := max 0 (!in_flight - 1));
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  let rounds = Engine.run_until engine ~max_rounds (fun () -> !count = n) in
+  { rounds; metrics = Engine.metrics engine }
+
+let flood_all g ~max_rounds =
+  let sets = Rumor.initial g in
+  let handlers u =
+    let nbrs = Graph.neighbors g u in
+    let cursor = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          if Array.length nbrs = 0 then None
+          else begin
+            let peer, _ = nbrs.(!cursor mod Array.length nbrs) in
+            incr cursor;
+            Some (peer, Bitset.copy sets.(u))
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> Bitset.copy sets.(u));
+      on_push =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+      on_response =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+    }
+  in
+  let engine = Engine.create ~payload_size:Bitset.cardinal g ~handlers in
+  let rounds = Engine.run_until engine ~max_rounds (fun () -> Rumor.all_to_all_done sets) in
+  { rounds; metrics = Engine.metrics engine }

@@ -1,0 +1,30 @@
+(** Flooding baselines.
+
+    Two deliberately weak comparators:
+
+    - [push_round_robin]: informed nodes cycle deterministically through
+      their neighbors, pushing only; responses are discarded
+      ("pull disabled").  Footnote 2 of the paper observes that without
+      pull a star takes [Ω(nD)] time when the hub must serve leaves one
+      at a time over latency-[D] edges — the [blocking:true] mode
+      reproduces that by letting each node keep at most one exchange in
+      flight.
+    - [flood_all]: every node (informed or not) cycles through
+      neighbors exchanging full rumor sets — simple flooding, the
+      baseline that matches the [Ω(nD)] bound on a star and [O(mD)]
+      generally. *)
+
+type result = { rounds : int option; metrics : Gossip_sim.Engine.metrics }
+
+(** [push_round_robin g ~source ~blocking ~max_rounds] floods
+    [source]'s rumor with pushes only. *)
+val push_round_robin :
+  Gossip_graph.Graph.t ->
+  source:Gossip_graph.Graph.node ->
+  blocking:bool ->
+  max_rounds:int ->
+  result
+
+(** [flood_all g ~max_rounds] runs full-rumor-set round-robin flooding
+    to the all-to-all goal. *)
+val flood_all : Gossip_graph.Graph.t -> max_rounds:int -> result

@@ -1,0 +1,63 @@
+module Graph = Gossip_graph.Graph
+module Heap = Gossip_util.Heap
+
+type t = { base : Graph.t; spanner : Graph.t; r : int }
+
+(* Dijkstra over the partial spanner's mutable adjacency, abandoning
+   paths longer than [limit]; returns the distance to [target] or
+   [max_int]. *)
+let bounded_distance adj ~source ~target ~limit =
+  let n = Array.length adj in
+  let dist = Array.make n max_int in
+  let heap = Heap.create () in
+  dist.(source) <- 0;
+  Heap.push heap 0 source;
+  let result = ref max_int in
+  (try
+     while not (Heap.is_empty heap) do
+       let d, u = Heap.pop_min heap in
+       if u = target then begin
+         result := d;
+         raise Exit
+       end;
+       if d = dist.(u) && d <= limit then
+         List.iter
+           (fun (v, w) ->
+             let nd = d + w in
+             if nd <= limit && nd < dist.(v) then begin
+               dist.(v) <- nd;
+               Heap.push heap nd v
+             end)
+           adj.(u)
+     done
+   with Exit -> ());
+  !result
+
+let build g ~r =
+  if r < 1 then invalid_arg "Greedy_spanner.build: need r >= 1";
+  let n = Graph.n g in
+  let edges =
+    List.sort
+      (fun a b ->
+        compare
+          (a.Graph.latency, a.Graph.u, a.Graph.v)
+          (b.Graph.latency, b.Graph.u, b.Graph.v))
+      (Graph.edges g)
+  in
+  let adj = Array.make n [] in
+  let kept = ref [] in
+  List.iter
+    (fun { Graph.u; v; latency } ->
+      let limit = r * latency in
+      let d = bounded_distance adj ~source:u ~target:v ~limit in
+      if d > limit then begin
+        adj.(u) <- (v, latency) :: adj.(u);
+        adj.(v) <- (u, latency) :: adj.(v);
+        kept := (u, v, latency) :: !kept
+      end)
+    edges;
+  { base = g; spanner = Graph.of_edges ~n !kept; r }
+
+let edge_count t = Graph.m t.spanner
+
+let stretch t = Gossip_graph.Paths.stretch ~of_:t.spanner ~wrt:t.base

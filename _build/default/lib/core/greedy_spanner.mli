@@ -1,0 +1,24 @@
+(** Greedy spanner (Althöfer et al. 1993) — a quality baseline.
+
+    The classical sequential greedy algorithm: scan edges by increasing
+    weight and keep an edge only if the spanner built so far does not
+    already connect its endpoints within stretch [r] times its weight.
+    It produces a [r]-spanner with the best known size bounds but is
+    inherently sequential and needs global knowledge — the reason the
+    paper builds on the distributed Baswana–Sen construction instead.
+    The [ablation-spanner] bench compares the two. *)
+
+type t = {
+  base : Gossip_graph.Graph.t;
+  spanner : Gossip_graph.Graph.t;
+  r : int;  (** the stretch parameter *)
+}
+
+(** [build g ~r] runs the greedy scan.  Requires [r >= 1]; ties are
+    broken by endpoint ids like in {!Spanner}. *)
+val build : Gossip_graph.Graph.t -> r:int -> t
+
+val edge_count : t -> int
+
+(** [stretch t] is the measured stretch (guaranteed [<= r]). *)
+val stretch : t -> float

@@ -1,0 +1,69 @@
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type payload = { heard : Bitset.t; rumors : Bitset.t }
+
+type result = {
+  rounds : int option;
+  metrics : Engine.metrics;
+  sets : Rumor.t array;
+}
+
+let phase rng g ~ell ~max_rounds ?rumors () =
+  let n = Graph.n g in
+  let sets = match rumors with Some r -> r | None -> Rumor.initial g in
+  if Array.length sets <> n then invalid_arg "Random_local.phase: rumor array size mismatch";
+  let heard = Array.init n (fun u -> Bitset.singleton n u) in
+  let fast_neighbors =
+    Array.init n (fun u ->
+        Array.of_list
+          (List.filter (fun (_, lat) -> lat <= ell) (Array.to_list (Graph.neighbors g u))))
+  in
+  let node_done u =
+    Array.for_all (fun (v, _) -> Bitset.mem heard.(u) v) fast_neighbors.(u)
+  in
+  let handlers u =
+    let node_rng = Rng.split rng in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          let unheard =
+            Array.of_list
+              (List.filter
+                 (fun (v, _) -> not (Bitset.mem heard.(u) v))
+                 (Array.to_list fast_neighbors.(u)))
+          in
+          if Array.length unheard = 0 then None
+          else begin
+            let peer, _ = Rng.pick node_rng unheard in
+            Some (peer, { heard = Bitset.copy heard.(u); rumors = Bitset.copy sets.(u) })
+          end);
+      on_request =
+        (fun ~peer:_ ~round:_ (_ : payload) ->
+          { heard = Bitset.copy heard.(u); rumors = Bitset.copy sets.(u) });
+      on_push =
+        (fun ~peer:_ ~round:_ (p : payload) ->
+          let (_ : bool) = Bitset.union_into ~into:heard.(u) p.heard in
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) p.rumors in
+          ());
+      on_response =
+        (fun ~peer:_ ~round:_ (p : payload) ->
+          let (_ : bool) = Bitset.union_into ~into:heard.(u) p.heard in
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) p.rumors in
+          ());
+    }
+  in
+  let payload_size (p : payload) = Bitset.cardinal p.heard + Bitset.cardinal p.rumors in
+  let engine = Engine.create ~payload_size g ~handlers in
+  let all_done () =
+    let rec go u = u >= n || (node_done u && go (u + 1)) in
+    go 0
+  in
+  let rounds = Engine.run_until engine ~max_rounds all_done in
+  { rounds; metrics = Engine.metrics engine; sets }
+
+let local_broadcast rng g ~max_rounds =
+  let result = phase rng g ~ell:(Graph.max_latency g) ~max_rounds () in
+  (result, Rumor.local_broadcast_done g result.sets)

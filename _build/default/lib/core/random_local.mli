@@ -1,0 +1,38 @@
+(** Randomized local broadcast baseline ("random unheard neighbor").
+
+    The simplest protocol for the local broadcast problem: in every
+    round each node initiates an exchange with a uniformly random
+    [G_ℓ]-neighbor it has not yet heard from (directly or
+    transitively), carrying its full heard-set and rumor set, and stops
+    once it has heard from all of them.
+
+    This is the flat randomized strategy that both Censor-Hillel et
+    al.'s Superstep algorithm and Haeupler's DTG improve upon: without
+    DTG's pipelined i-trees its worst case degrades toward [O(Δ)]
+    (e.g. on stars where one hub must be heard by everyone), which is
+    exactly the gap the [ablation-dtg-linking] bench exhibits.  It is
+    also non-blocking — nodes initiate every round — so unlike DTG it
+    needs no lockstep padding. *)
+
+type result = {
+  rounds : int option;
+  metrics : Gossip_sim.Engine.metrics;
+  sets : Rumor.t array;
+}
+
+(** [phase rng g ~ell ~max_rounds ?rumors ()] runs the protocol on the
+    latency-[<= ell] subgraph until every node has heard from all its
+    [G_ℓ]-neighbors.  [rumors] accumulates like {!Dtg.phase}. *)
+val phase :
+  Gossip_util.Rng.t ->
+  Gossip_graph.Graph.t ->
+  ell:int ->
+  max_rounds:int ->
+  ?rumors:Rumor.t array ->
+  unit ->
+  result
+
+(** [local_broadcast rng g ~max_rounds] runs [phase] at the maximum
+    latency and reports whether the local broadcast goal was reached. *)
+val local_broadcast :
+  Gossip_util.Rng.t -> Gossip_graph.Graph.t -> max_rounds:int -> result * bool

@@ -1,0 +1,92 @@
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gadgets = Gossip_graph.Gadgets
+module Engine = Gossip_sim.Engine
+module Game = Gossip_game.Game
+
+type outcome = {
+  game_rounds : int option;
+  broadcast_rounds : int option;
+  game_solved_first : bool;
+  lemma3_holds : bool;
+  guesses_submitted : int;
+}
+
+let simulate_push_pull rng ~m ~target ~fast_latency ~symmetric ~max_rounds =
+  let slow = 2 * m in
+  let g =
+    if symmetric then Gadgets.g_sym_p ~m ~target ~fast_latency ~slow_latency:slow
+    else Gadgets.g_p ~m ~target ~fast_latency ~slow_latency:slow
+  in
+  let game = Game.create ~m ~target in
+  let sets = Rumor.initial g in
+  (* Cross activations of the current engine round, as game pairs. *)
+  let current_guesses = ref [] in
+  let record u peer =
+    let cross = (u < m) <> (peer < m) in
+    if cross then begin
+      let a, b = if u < m then (u, peer - m) else (peer, u - m) in
+      current_guesses := (a, b) :: !current_guesses
+    end
+  in
+  let handlers u =
+    let node_rng = Rng.split rng in
+    let nbrs = Graph.neighbors g u in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          let peer, _ = Rng.pick node_rng nbrs in
+          record u peer;
+          Some (peer, Bitset.copy sets.(u)));
+      on_request = (fun ~peer:_ ~round:_ _payload -> Bitset.copy sets.(u));
+      on_push =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+      on_response =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  let game_rounds = ref None in
+  let broadcast_rounds = ref None in
+  let rec go () =
+    let finished = !game_rounds <> None && !broadcast_rounds <> None in
+    if finished || Engine.current_round engine >= max_rounds then ()
+    else begin
+      current_guesses := [];
+      Engine.step engine;
+      let round = Engine.current_round engine in
+      if (not (Game.is_solved game)) && !current_guesses <> [] then begin
+        let (_ : Game.pair list) = Game.guess game !current_guesses in
+        ()
+      end;
+      if !game_rounds = None && Game.is_solved game then game_rounds := Some round;
+      if !broadcast_rounds = None && Rumor.local_broadcast_done g sets then
+        broadcast_rounds := Some round;
+      go ()
+    end
+  in
+  (* A target-free game is solved before any round. *)
+  if Game.is_solved game then game_rounds := Some 0;
+  go ();
+  let game_solved_first =
+    match (!game_rounds, !broadcast_rounds) with
+    | Some gr, Some br -> gr <= br
+    | Some _, None -> true
+    | None, _ -> false
+  in
+  let lemma3_holds =
+    game_solved_first
+    || match !broadcast_rounds with Some br -> br >= m | None -> false
+  in
+  {
+    game_rounds = !game_rounds;
+    broadcast_rounds = !broadcast_rounds;
+    game_solved_first;
+    lemma3_holds;
+    guesses_submitted = Game.total_guesses game;
+  }

@@ -1,0 +1,46 @@
+(** Gossip-to-guessing-game reduction (Lemma 3).
+
+    Alice simulates a gossip algorithm on the gadget [G(P)] /
+    [G_sym(P)] while playing [Guessing(2m, P)]: every time the
+    algorithm activates a cross edge [(v_i, u_j)], she submits
+    [(id(v_i), id(u_j))] as a guess; the oracle's answer reveals the
+    edge's latency (fast iff in the target set).
+
+    This module realises the simulation concretely: it runs push-pull
+    (the canonical gossip algorithm) on the gadget inside the engine,
+    mirrors each round's cross-edge activations into a {!Gossip_game}
+    instance, and reports when the game was solved versus when every
+    target [B]-side node first received a rumor over a fast edge.
+    Lemma 3's content — the game finishes no later than local
+    broadcast — is checked by construction. *)
+
+type outcome = {
+  game_rounds : int option;
+      (** first round the mirrored game was solved ([None]: never) *)
+  broadcast_rounds : int option;
+      (** rounds until local broadcast on the gadget ([None]: capped) *)
+  game_solved_first : bool;
+      (** game solved no later than local broadcast *)
+  lemma3_holds : bool;
+      (** Lemma 3's actual content: either the game was solved by
+          broadcast time, or the broadcast was slow — it crossed a
+          latency-[2m] edge, taking at least [m] rounds (in which case
+          the [Ω]-bound the reduction feeds is met trivially).  On
+          [G_sym(P)], rumors can reach [R] transitively through the
+          [R]-clique after a single slow crossing, so the disjunction
+          is the faithful statement. *)
+  guesses_submitted : int;
+}
+
+(** [simulate_push_pull rng ~m ~target ~fast_latency ~symmetric
+    ~max_rounds] builds the gadget (slow latency [2m]), runs push-pull
+    local broadcast on it, and mirrors cross activations into the
+    game. *)
+val simulate_push_pull :
+  Gossip_util.Rng.t ->
+  m:int ->
+  target:Gossip_graph.Gadgets.target ->
+  fast_latency:int ->
+  symmetric:bool ->
+  max_rounds:int ->
+  outcome

@@ -1,0 +1,170 @@
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type plan = Engine.faults
+
+let no_faults = Engine.no_faults
+
+let crash_fraction rng ~n ~fraction ~from_round ~protect =
+  if not (fraction >= 0.0 && fraction < 1.0) then
+    invalid_arg "Robustness.crash_fraction: fraction out of [0,1)";
+  let crashed = Array.make n false in
+  let victims = int_of_float (fraction *. float_of_int n) in
+  let order = Rng.sample_without_replacement rng n n in
+  let placed = ref 0 in
+  Array.iter
+    (fun v ->
+      if !placed < victims && not (List.mem v protect) then begin
+        crashed.(v) <- true;
+        incr placed
+      end)
+    order;
+  {
+    Engine.no_faults with
+    Engine.alive = (fun ~node ~round -> (not crashed.(node)) || round < from_round);
+  }
+
+let drop_rate rng ~rate =
+  if not (rate >= 0.0 && rate < 1.0) then invalid_arg "Robustness.drop_rate: rate out of [0,1)";
+  {
+    Engine.no_faults with
+    Engine.drop = (fun ~initiator:_ ~responder:_ ~round:_ -> Rng.bernoulli rng rate);
+  }
+
+let jitter_up_to rng ~extra =
+  if extra < 0 then invalid_arg "Robustness.jitter_up_to: negative extra";
+  {
+    Engine.no_faults with
+    Engine.jitter = (fun ~latency ~round:_ -> latency + Rng.int rng (extra + 1));
+  }
+
+let combine plans =
+  {
+    Engine.alive =
+      (fun ~node ~round -> List.for_all (fun p -> p.Engine.alive ~node ~round) plans);
+    drop =
+      (fun ~initiator ~responder ~round ->
+        List.exists (fun p -> p.Engine.drop ~initiator ~responder ~round) plans);
+    jitter =
+      (fun ~latency ~round ->
+        List.fold_left (fun latency p -> p.Engine.jitter ~latency ~round) latency plans);
+  }
+
+type result = {
+  rounds : int option;
+  informed_live : int;
+  live : int;
+  metrics : Engine.metrics;
+}
+
+let count_live_informed ~plan ~round informed =
+  let live = ref 0 and informed_live = ref 0 in
+  Array.iteri
+    (fun node i ->
+      if plan.Engine.alive ~node ~round then begin
+        incr live;
+        if i then incr informed_live
+      end)
+    informed;
+  (!informed_live, !live)
+
+let pushpull_broadcast rng g ~source ~plan ~max_rounds =
+  let n = Graph.n g in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let handlers u =
+    let node_rng = Rng.split rng in
+    let nbrs = Graph.neighbors g u in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          if Array.length nbrs = 0 then None
+          else begin
+            let peer, _ = Rng.pick node_rng nbrs in
+            Some (peer, informed.(u))
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> informed.(u));
+      on_push = (fun ~peer:_ ~round:_ payload -> if payload then informed.(u) <- true);
+      on_response = (fun ~peer:_ ~round:_ payload -> if payload then informed.(u) <- true);
+    }
+  in
+  let engine = Engine.create ~faults:plan g ~handlers in
+  let all_live_informed () =
+    let informed_live, live = count_live_informed ~plan ~round:(Engine.current_round engine) informed in
+    informed_live = live
+  in
+  let rounds = Engine.run_until engine ~max_rounds all_live_informed in
+  let informed_live, live =
+    count_live_informed ~plan ~round:(Engine.current_round engine) informed
+  in
+  { rounds; informed_live; live; metrics = Engine.metrics engine }
+
+let rr_broadcast (s : Spanner.t) ~source ~k ~plan =
+  let base = s.Spanner.base in
+  let n = Graph.n base in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let usable =
+    Array.map
+      (fun l -> Array.of_list (List.filter (fun (_, lat) -> lat <= k) (Array.to_list l)))
+      s.Spanner.out_edges
+  in
+  let delta_out = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 usable in
+  let iterations = (k * delta_out) + k in
+  let handlers u =
+    let cursor = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round ->
+          if round >= iterations || Array.length usable.(u) = 0 then None
+          else begin
+            let peer, _ = usable.(u).(!cursor mod Array.length usable.(u)) in
+            incr cursor;
+            Some (peer, informed.(u))
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> informed.(u));
+      on_push = (fun ~peer:_ ~round:_ payload -> if payload then informed.(u) <- true);
+      on_response = (fun ~peer:_ ~round:_ payload -> if payload then informed.(u) <- true);
+    }
+  in
+  let engine = Engine.create ~faults:plan base ~handlers in
+  for _ = 1 to iterations + k do
+    Engine.step engine
+  done;
+  let informed_live, live =
+    count_live_informed ~plan ~round:(Engine.current_round engine) informed
+  in
+  let rounds = if informed_live = live then Some (Engine.current_round engine) else None in
+  { rounds; informed_live; live; metrics = Engine.metrics engine }
+
+let pushpull_bounded_indegree rng g ~source ~capacity ~max_rounds =
+  let n = Graph.n g in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let count = ref 1 in
+  let mark v =
+    if not informed.(v) then begin
+      informed.(v) <- true;
+      incr count
+    end
+  in
+  let handlers u =
+    let node_rng = Rng.split rng in
+    let nbrs = Graph.neighbors g u in
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          if Array.length nbrs = 0 then None
+          else begin
+            let peer, _ = Rng.pick node_rng nbrs in
+            Some (peer, informed.(u))
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> informed.(u));
+      on_push = (fun ~peer:_ ~round:_ payload -> if payload then mark u);
+      on_response = (fun ~peer:_ ~round:_ payload -> if payload then mark u);
+    }
+  in
+  let engine = Engine.create ~in_capacity:capacity g ~handlers in
+  let rounds = Engine.run_until engine ~max_rounds (fun () -> !count = n) in
+  { rounds; informed_live = !count; live = n; metrics = Engine.metrics engine }

@@ -1,0 +1,85 @@
+(** Fault tolerance and restricted models (Section 7).
+
+    The paper closes by noting that push-pull is "relatively robust to
+    failures, while our other approaches are not", and points at the
+    bounded in-degree model of Daum et al. as a restriction worth
+    studying.  This module makes both remarks measurable:
+
+    - composable fault plans (crash-stop nodes, per-exchange message
+      loss, latency jitter) injected into the engine;
+    - push-pull and RR-broadcast runs under a plan, reporting how many
+      live nodes were reached;
+    - push-pull under a per-round bound on served incoming requests.
+
+    All plans are deterministic given their RNG, so runs replay
+    exactly. *)
+
+type plan = Gossip_sim.Engine.faults
+
+(** [no_faults] re-exported for convenience. *)
+val no_faults : plan
+
+(** [crash_fraction rng ~n ~fraction ~from_round ~protect] crash-stops
+    [fraction · n] uniformly chosen nodes at round [from_round]
+    (never the nodes in [protect], e.g. the broadcast source). *)
+val crash_fraction :
+  Gossip_util.Rng.t ->
+  n:int ->
+  fraction:float ->
+  from_round:int ->
+  protect:Gossip_graph.Graph.node list ->
+  plan
+
+(** [drop_rate rng ~rate] loses each exchange independently with
+    probability [rate]. *)
+val drop_rate : Gossip_util.Rng.t -> rate:float -> plan
+
+(** [jitter_up_to rng ~extra] adds uniform [0..extra] rounds to each
+    exchange's latency. *)
+val jitter_up_to : Gossip_util.Rng.t -> extra:int -> plan
+
+(** [combine plans] intersects liveness, unions drops, and composes
+    jitter in order. *)
+val combine : plan list -> plan
+
+type result = {
+  rounds : int option;
+      (** rounds until every {e live} node was informed; [None] when
+          the cap was reached first *)
+  informed_live : int;  (** live nodes informed at the end *)
+  live : int;  (** nodes still alive at the end *)
+  metrics : Gossip_sim.Engine.metrics;
+}
+
+(** [pushpull_broadcast rng g ~source ~plan ~max_rounds] runs fault-
+    injected push-pull until every live node knows the rumor. *)
+val pushpull_broadcast :
+  Gossip_util.Rng.t ->
+  Gossip_graph.Graph.t ->
+  source:Gossip_graph.Graph.node ->
+  plan:plan ->
+  max_rounds:int ->
+  result
+
+(** [rr_broadcast spanner ~source ~k ~plan] runs RR broadcast over
+    the oriented spanner under the plan for its full schedule and
+    reports live coverage — the spanner route's fragility: crashed
+    nodes sever the only paths. *)
+val rr_broadcast :
+  Spanner.t ->
+  source:Gossip_graph.Graph.node ->
+  k:int ->
+  plan:plan ->
+  result
+
+(** [pushpull_bounded_indegree rng g ~source ~capacity ~max_rounds]
+    runs push-pull where each node serves at most [capacity] incoming
+    requests per round (excess rejected, no response) — the Section 7
+    restricted model.  Faults are off. *)
+val pushpull_bounded_indegree :
+  Gossip_util.Rng.t ->
+  Gossip_graph.Graph.t ->
+  source:Gossip_graph.Graph.node ->
+  capacity:int ->
+  max_rounds:int ->
+  result

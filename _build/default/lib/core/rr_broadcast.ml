@@ -1,0 +1,53 @@
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type result = {
+  rounds : int;
+  metrics : Engine.metrics;
+  sets : Rumor.t array;
+}
+
+let run ~base ~out_edges ~k ?rumors ?iterations () =
+  if k < 1 then invalid_arg "Rr_broadcast.run: need k >= 1";
+  let n = Graph.n base in
+  if Array.length out_edges <> n then invalid_arg "Rr_broadcast.run: orientation size mismatch";
+  let sets = match rumors with Some r -> r | None -> Rumor.initial base in
+  let usable =
+    Array.map (fun l -> Array.of_list (List.filter (fun (_, lat) -> lat <= k) (Array.to_list l))) out_edges
+  in
+  let delta_out = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 usable in
+  let iterations =
+    match iterations with Some i -> i | None -> (k * delta_out) + k
+  in
+  let handlers u =
+    let cursor = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round ->
+          if round >= iterations || Array.length usable.(u) = 0 then None
+          else begin
+            let peer, _ = usable.(u).(!cursor mod Array.length usable.(u)) in
+            incr cursor;
+            Some (peer, Bitset.copy sets.(u))
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> Bitset.copy sets.(u));
+      on_push =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+      on_response =
+        (fun ~peer:_ ~round:_ payload ->
+          let (_ : bool) = Bitset.union_into ~into:sets.(u) payload in
+          ());
+    }
+  in
+  let engine = Engine.create ~payload_size:Bitset.cardinal base ~handlers in
+  (* Initiation window plus a drain period for in-flight exchanges. *)
+  for _ = 1 to iterations + k do
+    Engine.step engine
+  done;
+  { rounds = Engine.current_round engine; metrics = Engine.metrics engine; sets }
+
+let run_on_spanner (s : Spanner.t) ~k ?rumors ?iterations () =
+  run ~base:s.Spanner.base ~out_edges:s.Spanner.out_edges ~k ?rumors ?iterations ()

@@ -1,0 +1,42 @@
+(** RR Broadcast (Algorithm 2; Lemma 15).
+
+    Deterministic round-robin dissemination over an {e oriented} edge
+    set: with parameter [k], every node cycles through its out-edges of
+    latency [<= k], exchanging its entire rumor set over one edge per
+    round, for [k·Δ_out + k] initiation rounds.  Lemma 15: after the
+    run, any two nodes at weighted distance [<= k] {e in the graph the
+    orientation spans} have exchanged rumors.
+
+    Exchanges are bidirectional, so rumors flow against the orientation
+    too; orientation only bounds how many edges each node must serve. *)
+
+type result = {
+  rounds : int;  (** engine rounds executed (initiations + drain) *)
+  metrics : Gossip_sim.Engine.metrics;
+  sets : Rumor.t array;
+}
+
+(** [run ~base ~out_edges ~k ?rumors ?iterations ()] runs RR broadcast
+    on [base] along [out_edges].  [iterations] defaults to the lemma's
+    [k·Δ_out + k] (with [Δ_out] counting only latency-[<= k]
+    out-edges); after the last initiation the engine drains in-flight
+    exchanges for [k] more rounds.  [rumors] (default singletons) is
+    updated in place. *)
+val run :
+  base:Gossip_graph.Graph.t ->
+  out_edges:(Gossip_graph.Graph.node * int) array array ->
+  k:int ->
+  ?rumors:Rumor.t array ->
+  ?iterations:int ->
+  unit ->
+  result
+
+(** [run_on_spanner spanner ~k ?rumors ?iterations ()] is [run] with
+    the spanner's base graph and orientation. *)
+val run_on_spanner :
+  Spanner.t ->
+  k:int ->
+  ?rumors:Rumor.t array ->
+  ?iterations:int ->
+  unit ->
+  result

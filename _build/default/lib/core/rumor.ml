@@ -1,0 +1,22 @@
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+
+type t = Bitset.t
+
+let initial g = Array.init (Graph.n g) (fun v -> Bitset.singleton (Graph.n g) v)
+
+let broadcast_done ~source sets = Array.for_all (fun s -> Bitset.mem s source) sets
+
+let all_to_all_done sets = Array.for_all Bitset.is_full sets
+
+let local_broadcast_done g ?ell sets =
+  let ell = match ell with Some l -> l | None -> Graph.max_latency g in
+  let ok = ref true in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      if latency <= ell && not (Bitset.mem sets.(u) v && Bitset.mem sets.(v) u) then ok := false)
+    g;
+  !ok
+
+let count_knowing ~source sets =
+  Array.fold_left (fun acc s -> if Bitset.mem s source then acc + 1 else acc) 0 sets

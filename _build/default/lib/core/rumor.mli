@@ -1,0 +1,33 @@
+(** Rumor sets and dissemination goals.
+
+    A rumor is identified with the node that originated it, so a rumor
+    set is a set of node identifiers (a {!Gossip_util.Bitset.t}).  In
+    protocols where a rumor carries content (e.g. a node's adjacency in
+    EID's neighborhood discovery), knowing an identifier stands for
+    knowing that node's content — the content is a deterministic
+    function of the originator, so the bitset is the whole state.
+
+    The three completion predicates below are the paper's three
+    problems: one-to-all broadcast, all-to-all dissemination, and local
+    broadcast. *)
+
+type t = Gossip_util.Bitset.t
+
+(** [initial g] gives every node the singleton rumor set [{v}]. *)
+val initial : Gossip_graph.Graph.t -> t array
+
+(** [broadcast_done ~source sets] — every node knows [source]'s
+    rumor. *)
+val broadcast_done : source:Gossip_graph.Graph.node -> t array -> bool
+
+(** [all_to_all_done sets] — every node knows every rumor. *)
+val all_to_all_done : t array -> bool
+
+(** [local_broadcast_done g ?ell sets] — for every edge [(u, v)] of
+    latency [<= ell] (default: every edge), [u] knows [v]'s rumor and
+    vice versa.  This is the [ℓ]-local broadcast goal of Section 5.1. *)
+val local_broadcast_done : Gossip_graph.Graph.t -> ?ell:int -> t array -> bool
+
+(** [count_knowing ~source sets] — how many nodes know [source]'s
+    rumor (the informed-set size of Theorem 12's Markov process). *)
+val count_knowing : source:Gossip_graph.Graph.node -> t array -> int

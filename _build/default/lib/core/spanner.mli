@@ -1,0 +1,39 @@
+(** Baswana–Sen spanner construction with edge orientation
+    (Appendix D; Lemma 13).
+
+    For a parameter [k], the algorithm computes a [(2k-1)]-spanner in
+    [k] iterations of randomized cluster sampling.  Following the
+    paper's modification, every spanner edge is {e oriented}: it is an
+    out-edge of the vertex whose rule added it, and with
+    [k = Θ(log n)] each vertex's out-degree is [O(log n)] w.h.p. —
+    the property RR Broadcast's running time rests on (Lemma 15).
+
+    Edge weights are the latencies; ties are broken by endpoint ids so
+    weights are effectively distinct, as [7] requires.  Cluster
+    sampling uses the estimate [n̂] of [n] ([n <= n̂ <= n^c]); Lemma 13
+    shows the out-degree only degrades to [O(n̂^(1/k) log n)]. *)
+
+type t = {
+  base : Gossip_graph.Graph.t;  (** the spanned graph *)
+  spanner : Gossip_graph.Graph.t;  (** spanner as an undirected graph *)
+  out_edges : (Gossip_graph.Graph.node * int) array array;
+      (** [out_edges.(v)] are the oriented [(peer, latency)] edges
+          added by [v] *)
+  k : int;
+}
+
+(** [build rng g ~k ?n_hat ()] runs the construction.  [n_hat]
+    defaults to [n].  Requires [k >= 1]; [k = 1] yields the graph
+    itself. *)
+val build :
+  Gossip_util.Rng.t -> Gossip_graph.Graph.t -> k:int -> ?n_hat:int -> unit -> t
+
+(** [max_out_degree t] is [Δ_out] over the orientation. *)
+val max_out_degree : t -> int
+
+(** [edge_count t] is the number of spanner edges. *)
+val edge_count : t -> int
+
+(** [stretch t] is the multiplicative stretch of the spanner w.r.t.
+    its base graph (should be [<= 2k - 1]). *)
+val stretch : t -> float

@@ -1,0 +1,72 @@
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+type result = { failed : bool array; rounds : int; unanimous : bool }
+
+type gather = { frozen : Bitset.t; flag : bool; mismatch : bool }
+
+let rr_rounds ~usable ~k =
+  let delta_out = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 usable in
+  (k * delta_out) + k
+
+(* One round-robin flood with payload ['p]: each node cycles over its
+   latency-<= k out-edges; [absorb u p] folds a received payload into
+   node [u]'s state and [emit u] builds the next payload. *)
+let flood ~base ~usable ~iterations ~k ~absorb ~emit =
+  let handlers u =
+    let cursor = ref 0 in
+    {
+      Engine.on_round =
+        (fun ~round ->
+          if round >= iterations || Array.length usable.(u) = 0 then None
+          else begin
+            let peer, _ = usable.(u).(!cursor mod Array.length usable.(u)) in
+            incr cursor;
+            Some (peer, emit u)
+          end);
+      on_request = (fun ~peer:_ ~round:_ _payload -> emit u);
+      on_push = (fun ~peer:_ ~round:_ payload -> absorb u payload);
+      on_response = (fun ~peer:_ ~round:_ payload -> absorb u payload);
+    }
+  in
+  let engine = Engine.create base ~handlers in
+  for _ = 1 to iterations + k do
+    Engine.step engine
+  done;
+  Engine.current_round engine
+
+let run ~base ~out_edges ~k ~sets =
+  let n = Graph.n base in
+  if Array.length sets <> n then invalid_arg "Termination_check.run: sets size mismatch";
+  let usable =
+    Array.map
+      (fun l -> Array.of_list (List.filter (fun (_, lat) -> lat <= k) (Array.to_list l)))
+      out_edges
+  in
+  let iterations = rr_rounds ~usable ~k in
+  (* Local flags: a neighbor missing from the rumor set. *)
+  let frozen = Array.map Bitset.copy sets in
+  let flag = Array.init n (fun u ->
+      Array.exists (fun (v, _) -> not (Bitset.mem frozen.(u) v)) (Graph.neighbors base u))
+  in
+  let mismatch = Array.make n false in
+  (* Pass 1: gather rumor-set fingerprints and flags. *)
+  let rounds1 =
+    flood ~base ~usable ~iterations ~k
+      ~absorb:(fun u p ->
+        if p.flag then flag.(u) <- true;
+        if p.mismatch || not (Bitset.equal frozen.(u) p.frozen) then mismatch.(u) <- true)
+      ~emit:(fun u -> { frozen = frozen.(u); flag = flag.(u); mismatch = mismatch.(u) })
+  in
+  (* Pass 2: flood the failed verdict. *)
+  let failed = Array.init n (fun u -> flag.(u) || mismatch.(u)) in
+  let rounds2 =
+    flood ~base ~usable ~iterations ~k
+      ~absorb:(fun u p -> if p then failed.(u) <- true)
+      ~emit:(fun u -> failed.(u))
+  in
+  let unanimous =
+    Array.for_all (fun f -> f = failed.(0)) failed
+  in
+  { failed; rounds = rounds1 + rounds2; unanimous }

@@ -1,0 +1,37 @@
+(** Termination Check (Algorithm 1; Section 5.3; Lemma 18).
+
+    After one execution of all-to-all dissemination with diameter
+    estimate [k], every node [v] checks whether the estimate sufficed:
+
+    + [v]'s {e flag} is set when some neighbor is missing from its
+      rumor set;
+    + [v] broadcasts its (frozen) rumor set and flag through its
+      [k]-distance neighborhood and fails when it sees a different
+      rumor set or a set flag;
+    + a second broadcast floods the "failed" verdict so that everyone
+      reaches the same decision (Lemma 18: either all nodes terminate,
+      or none do, in the same round).
+
+    The broadcasts run as round-robin exchanges over a supplied edge
+    orientation (the spanner inside EID, the full adjacency inside Path
+    Discovery) — any Lemma 15-style [k]-distance broadcast works here,
+    as the paper notes.
+
+    Rumor sets are compared {e frozen} (as of check start): exchanges
+    during the check compare fingerprints rather than merging, so a
+    genuine disagreement cannot be masked by the check itself. *)
+
+type result = {
+  failed : bool array;  (** per-node verdict after both passes *)
+  rounds : int;  (** engine rounds consumed by the check *)
+  unanimous : bool;  (** Lemma 18: all verdicts equal *)
+}
+
+(** [run ~base ~out_edges ~k ~sets] performs the check.  [sets] is read
+    (frozen copies are taken), never modified. *)
+val run :
+  base:Gossip_graph.Graph.t ->
+  out_edges:(Gossip_graph.Graph.node * int) array array ->
+  k:int ->
+  sets:Rumor.t array ->
+  result

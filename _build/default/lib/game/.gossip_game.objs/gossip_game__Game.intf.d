@@ -1,0 +1,1 @@
+lib/game/game.mli:

@@ -1,0 +1,1 @@
+lib/game/strategies.ml: Array Game Gossip_util List

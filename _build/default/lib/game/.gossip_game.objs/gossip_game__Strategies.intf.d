@@ -1,0 +1,1 @@
+lib/game/strategies.mli: Game Gossip_util

@@ -1,0 +1,51 @@
+type pair = int * int
+
+module Pair_set = Set.Make (struct
+  type t = pair
+
+  let compare = compare
+end)
+
+type t = {
+  m : int;
+  mutable target : Pair_set.t;
+  initial_b : int list;
+  mutable rounds : int;
+  mutable guesses : int;
+}
+
+let check_pair m (a, b) =
+  if a < 0 || a >= m || b < 0 || b >= m then invalid_arg "Game: pair index out of range"
+
+let create ~m ~target =
+  if m < 1 then invalid_arg "Game.create: need m >= 1";
+  List.iter (check_pair m) target;
+  let set = Pair_set.of_list target in
+  let bs =
+    Pair_set.fold (fun (_, b) acc -> if List.mem b acc then acc else b :: acc) set []
+  in
+  { m; target = set; initial_b = List.sort compare bs; rounds = 0; guesses = 0 }
+
+let m t = t.m
+
+let rounds_played t = t.rounds
+
+let total_guesses t = t.guesses
+
+let target_size t = Pair_set.cardinal t.target
+
+let initial_target_b t = t.initial_b
+
+let is_solved t = Pair_set.is_empty t.target
+
+let guess t pairs =
+  if is_solved t then invalid_arg "Game.guess: game already solved";
+  if List.length pairs > 2 * t.m then invalid_arg "Game.guess: more than 2m guesses";
+  List.iter (check_pair t.m) pairs;
+  let hits = List.filter (fun p -> Pair_set.mem p t.target) pairs in
+  (* Eq. 2: drop every target pair whose B-component was hit. *)
+  let hit_bs = List.fold_left (fun acc (_, b) -> b :: acc) [] hits in
+  t.target <- Pair_set.filter (fun (_, b) -> not (List.mem b hit_bs)) t.target;
+  t.rounds <- t.rounds + 1;
+  t.guesses <- t.guesses + List.length pairs;
+  hits

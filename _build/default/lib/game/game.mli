@@ -1,0 +1,46 @@
+(** The combinatorial guessing game of Section 3.1.
+
+    [Guessing(2m, P)]: Alice faces an oracle holding a hidden target
+    set [T_1 ⊆ A × B] drawn by predicate [P], with [|A| = |B| = m].
+    Each round she submits at most [2m] guesses [X_r ⊆ A × B]; the
+    oracle reveals the hits [X_r ∩ T_r] and then removes every target
+    pair whose [B]-component was hit (Eq. 2):
+
+    [T_{r+1} = T_r \ (T_r^A × ((X_r ∩ T_r)^B))]
+
+    The game ends in the first round after which the target is empty.
+
+    Pairs are [(a, b)] with [a, b ∈ [0, m)] indexing [A] and [B]. *)
+
+type pair = int * int
+
+type t
+
+(** [create ~m ~target] starts a game.  Pair indices must lie in
+    [\[0, m)]. *)
+val create : m:int -> target:pair list -> t
+
+(** [m t] is the side size. *)
+val m : t -> int
+
+(** [rounds_played t] counts completed [guess] calls. *)
+val rounds_played : t -> int
+
+(** [total_guesses t] counts all submitted pairs so far. *)
+val total_guesses : t -> int
+
+(** [target_size t] is [|T_r|] (0 once solved). *)
+val target_size : t -> int
+
+(** [initial_target_b t] is [T_1^B] — the set of B-elements Alice must
+    eventually hit. *)
+val initial_target_b : t -> int list
+
+(** [is_solved t] holds when the target set is empty. *)
+val is_solved : t -> bool
+
+(** [guess t pairs] plays one round and returns the hits
+    [X_r ∩ T_r].
+    @raise Invalid_argument if more than [2m] guesses are submitted,
+    an index is out of range, or the game is already solved. *)
+val guess : t -> pair list -> pair list

@@ -1,0 +1,29 @@
+(** Alice strategies for the guessing game (Lemmas 4–5).
+
+    Each strategy plays a game to completion (or to a round cap) and
+    returns the number of rounds used, [None] when the cap was hit.
+
+    - [random_guessing] is the oblivious strategy of Lemma 5's second
+      part — for each [a ∈ A] a uniform [b], for each [b ∈ B] a uniform
+      [a], [2m] guesses per round.  This is exactly what push-pull does
+      on the gadget, and it needs [Ω(log m / p)] rounds in expectation.
+    - [fresh_pairs] is the adaptive strategy achieving the general
+      [Θ(1/p)] bound: never repeat a guess, never guess a [B]-element
+      already hit, spread guesses evenly over the still-unhit
+      [B]-elements.
+    - [sequential_scan] enumerates [A × B] in fixed order, [2m] pairs a
+      round — the natural deterministic strategy; on a singleton target
+      it exhibits the [Ω(m)] bound of Lemma 4. *)
+
+type outcome = { rounds : int; guesses : int }
+
+type strategy = Gossip_util.Rng.t -> Game.t -> max_rounds:int -> outcome option
+
+val random_guessing : strategy
+
+val fresh_pairs : strategy
+
+val sequential_scan : strategy
+
+(** [name_of s] for table output. *)
+val all : (string * strategy) list

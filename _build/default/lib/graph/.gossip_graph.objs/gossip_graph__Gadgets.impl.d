@@ -1,0 +1,1 @@
+lib/graph/gadgets.ml: Array Buffer Float Gossip_util Graph Hashtbl List Paths Printf

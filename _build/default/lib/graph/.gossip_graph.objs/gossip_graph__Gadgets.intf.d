@@ -1,0 +1,1 @@
+lib/graph/gadgets.mli: Gossip_util Graph

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Gossip_util Graph Hashtbl Queue

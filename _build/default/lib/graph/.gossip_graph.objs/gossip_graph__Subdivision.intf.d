@@ -1,0 +1,1 @@
+lib/graph/subdivision.mli: Graph

@@ -1,0 +1,42 @@
+let to_dot ?(name = "G") ?(fast_threshold = 1) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      let style =
+        if latency <= fast_threshold then "style=bold"
+        else Printf.sprintf "style=dashed, label=\"%d\"" latency
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d [%s];\n" u v style))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let oriented_to_dot ?(name = "G") ~out_edges g =
+  if Array.length out_edges <> Graph.n g then
+    invalid_arg "Dot.oriented_to_dot: orientation size mismatch";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Array.iteri
+    (fun u edges ->
+      Array.iter
+        (fun (v, latency) ->
+          Buffer.add_string buf (Printf.sprintf "  %d -> %d [label=\"%d\"];\n" u v latency))
+        edges)
+    out_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write path dot =
+  let oc = open_out path in
+  (try output_string oc dot
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

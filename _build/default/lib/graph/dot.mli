@@ -1,0 +1,20 @@
+(** Graphviz DOT export.
+
+    Renders latency-weighted graphs for inspection — in particular the
+    paper's gadget constructions (Figure 1's fast/slow edge styling is
+    reproduced: fast edges bold, slow edges dashed, labels carry
+    latencies). *)
+
+(** [to_dot ?name ?fast_threshold g] renders an undirected graph.
+    Edges with latency [<= fast_threshold] (default 1) are drawn bold;
+    others dashed with their latency as label. *)
+val to_dot : ?name:string -> ?fast_threshold:int -> Graph.t -> string
+
+(** [oriented_to_dot ?name ~out_edges g] renders a directed view of an
+    edge orientation (e.g. a spanner's out-edges) over the node set of
+    [g]. *)
+val oriented_to_dot :
+  ?name:string -> out_edges:(Graph.node * int) array array -> Graph.t -> string
+
+(** [write path dot] writes a rendered string to a file. *)
+val write : string -> string -> unit

@@ -1,0 +1,181 @@
+module Rng = Gossip_util.Rng
+
+type target = (int * int) list
+
+let singleton_target rng ~m = [ (Rng.int rng m, Rng.int rng m) ]
+
+let random_p_target rng ~m ~p =
+  let acc = ref [] in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if Rng.bernoulli rng p then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let check_target ~m target =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= m || j < 0 || j >= m then
+        invalid_arg "Gadgets: target pair out of range")
+    target
+
+let bipartite_edges ~m ~target ~fast_latency ~slow_latency ~with_right_clique =
+  if m < 2 then invalid_arg "Gadgets: need m >= 2";
+  if fast_latency < 1 || slow_latency < 1 then invalid_arg "Gadgets: latencies must be >= 1";
+  check_target ~m target;
+  let fast = Hashtbl.create (List.length target) in
+  List.iter (fun ij -> Hashtbl.replace fast ij ()) target;
+  let acc = ref [] in
+  (* Clique on L at latency 1. *)
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      acc := (i, j, 1) :: !acc
+    done
+  done;
+  if with_right_clique then
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        acc := (m + i, m + j, 1) :: !acc
+      done
+    done;
+  (* Complete bipartite cross edges. *)
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      let latency = if Hashtbl.mem fast (i, j) then fast_latency else slow_latency in
+      acc := (i, m + j, latency) :: !acc
+    done
+  done;
+  !acc
+
+let g_p ~m ~target ~fast_latency ~slow_latency =
+  Graph.of_edges ~n:(2 * m)
+    (bipartite_edges ~m ~target ~fast_latency ~slow_latency ~with_right_clique:false)
+
+let g_sym_p ~m ~target ~fast_latency ~slow_latency =
+  Graph.of_edges ~n:(2 * m)
+    (bipartite_edges ~m ~target ~fast_latency ~slow_latency ~with_right_clique:true)
+
+type theorem6_info = { h_graph : Graph.t; h_target : target; h_delta : int }
+
+let theorem6 rng ~n ~delta =
+  if delta < 2 then invalid_arg "Gadgets.theorem6: need delta >= 2";
+  if n < 2 * delta then invalid_arg "Gadgets.theorem6: need n >= 2*delta";
+  let target = singleton_target rng ~m:delta in
+  let gadget_edges =
+    bipartite_edges ~m:delta ~target ~fast_latency:1 ~slow_latency:n ~with_right_clique:false
+  in
+  let clique_size = n - (2 * delta) in
+  let base = 2 * delta in
+  let acc = ref gadget_edges in
+  for i = 0 to clique_size - 1 do
+    for j = i + 1 to clique_size - 1 do
+      acc := (base + i, base + j, 1) :: !acc
+    done
+  done;
+  (* Attach the clique (when present) to gadget vertex 0. *)
+  if clique_size > 0 then acc := (base, 0, 1) :: !acc;
+  { h_graph = Graph.of_edges ~n !acc; h_target = target; h_delta = delta }
+
+type theorem7_info = {
+  t7_graph : Graph.t;
+  t7_target : target;
+  t7_ell : int;
+  t7_phi : float;
+}
+
+let theorem7 rng ~n ~ell ~phi =
+  if n < 2 then invalid_arg "Gadgets.theorem7: need n >= 2";
+  if ell < 1 then invalid_arg "Gadgets.theorem7: need ell >= 1";
+  if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Gadgets.theorem7: phi out of (0,1]";
+  let target = random_p_target rng ~m:n ~p:phi in
+  let slow = max (2 * n) (ell + 1) in
+  let t7_graph = g_p ~m:n ~target ~fast_latency:ell ~slow_latency:slow in
+  { t7_graph; t7_target = target; t7_ell = ell; t7_phi = phi }
+
+type theorem8_params = { c : float; layers : int; layer_size : int }
+
+let theorem8_params ~n ~alpha =
+  if n < 4 then invalid_arg "Gadgets.theorem8_params: need n >= 4";
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Gadgets.theorem8_params: alpha out of (0,1]";
+  let nf = float_of_int n in
+  let disc = 9.0 -. (8.0 /. (nf *. alpha)) in
+  if disc < 0.0 then invalid_arg "Gadgets.theorem8_params: alpha below 8/(9n)";
+  let c = 0.75 +. (0.25 *. sqrt disc) in
+  let layers = max 4 (2 * int_of_float (Float.round (1.0 /. (c *. alpha)))) in
+  let layer_size = max 2 (int_of_float (Float.round (c *. nf *. alpha))) in
+  { c; layers; layer_size }
+
+type theorem8_info = {
+  t8_graph : Graph.t;
+  t8_params : theorem8_params;
+  t8_fast_edges : (Graph.node * Graph.node) array;
+  t8_ell : int;
+  t8_phi_analytic : float;
+  t8_diameter_bound : int;
+}
+
+let theorem8_node ~layer_size ~layer ~index = (layer * layer_size) + index
+
+let theorem8 rng ~layers ~layer_size ~ell =
+  if layers < 3 then invalid_arg "Gadgets.theorem8: need layers >= 3";
+  if layer_size < 2 then invalid_arg "Gadgets.theorem8: need layer_size >= 2";
+  if ell < 1 then invalid_arg "Gadgets.theorem8: need ell >= 1";
+  let node = theorem8_node ~layer_size in
+  let acc = ref [] in
+  for layer = 0 to layers - 1 do
+    for i = 0 to layer_size - 1 do
+      for j = i + 1 to layer_size - 1 do
+        acc := (node ~layer ~index:i, node ~layer ~index:j, 1) :: !acc
+      done
+    done
+  done;
+  let fast_edges =
+    Array.init layers (fun layer ->
+        let next = (layer + 1) mod layers in
+        let fi = Rng.int rng layer_size and fj = Rng.int rng layer_size in
+        for i = 0 to layer_size - 1 do
+          for j = 0 to layer_size - 1 do
+            let latency = if i = fi && j = fj then 1 else ell in
+            acc := (node ~layer ~index:i, node ~layer:next ~index:j, latency) :: !acc
+          done
+        done;
+        (node ~layer ~index:fi, node ~layer:next ~index:fj))
+  in
+  let s = float_of_int layer_size in
+  let half_nodes = float_of_int (layers / 2 * layer_size) in
+  let volume_half = half_nodes *. ((3.0 *. s) -. 1.0) in
+  let t8_phi_analytic = 2.0 *. s *. s /. volume_half in
+  {
+    t8_graph = Graph.of_edges ~n:(layers * layer_size) !acc;
+    t8_params = { c = Float.nan; layers; layer_size };
+    t8_fast_edges = fast_edges;
+    t8_ell = ell;
+    t8_phi_analytic;
+    t8_diameter_bound = layers / 2;
+  }
+
+let describe_gadget ?(fast_latency = 1) g ~m =
+  let buf = Buffer.create 256 in
+  let fast = ref 0 and slow = ref 0 and slow_latency = ref 0 in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      let cross = (u < m && v >= m) || (v < m && u >= m) in
+      if cross then
+        if latency > fast_latency then begin
+          incr slow;
+          if latency > !slow_latency then slow_latency := latency
+        end
+        else incr fast)
+    g;
+  Buffer.add_string buf
+    (Printf.sprintf "bipartite gadget: |L| = |R| = %d, n = %d, m = %d edges\n" m (Graph.n g)
+       (Graph.m g));
+  Buffer.add_string buf
+    (Printf.sprintf "  cross edges: %d fast (thick/red in Fig. 1), %d slow at latency %d\n" !fast
+       !slow !slow_latency);
+  Buffer.add_string buf
+    (Printf.sprintf "  max degree %d, weighted diameter %d\n" (Graph.max_degree g)
+       (Paths.weighted_diameter g));
+  Buffer.contents buf

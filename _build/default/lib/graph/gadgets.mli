@@ -1,0 +1,110 @@
+(** The paper's lower-bound gadget constructions.
+
+    Section 3.2 builds networks from a bipartite "guessing game gadget":
+    vertex sets [L] and [R] of [m] nodes each, a complete bipartite
+    graph of [m²] cross edges, and a latency-1 clique on [L] (and on [R]
+    for the symmetric variant).  Cross edges in the hidden target set
+    are fast; all others are slow.  Figure 1 shows [G(P)] and
+    [G_sym(P)]; Figure 2 wires symmetric gadgets into a ring
+    (Theorem 8).
+
+    Node numbering: [L = 0 .. m-1] and [R = m .. 2m-1] for the bipartite
+    gadgets; layer-major for the ring. *)
+
+(** A target set: pairs [(i, j)] of [L]-index and [R]-index, each in
+    [\[0, m)]. *)
+type target = (int * int) list
+
+(** [singleton_target rng ~m] is one uniform pair of [L×R]
+    (Lemma 4's predicate [|T| = 1]). *)
+val singleton_target : Gossip_util.Rng.t -> m:int -> target
+
+(** [random_p_target rng ~m ~p] includes each pair of [L×R]
+    independently with probability [p] (the [Random_p] predicate). *)
+val random_p_target : Gossip_util.Rng.t -> m:int -> p:float -> target
+
+(** {1 Bipartite gadgets (Figure 1)} *)
+
+(** [g_p ~m ~target ~fast_latency ~slow_latency] is the gadget [G(P)]:
+    clique on [L] (latency 1), complete bipartite [L×R] with cross edge
+    [(i, j)] at latency [fast_latency] when [(i, j) ∈ target] and
+    [slow_latency] otherwise. *)
+val g_p : m:int -> target:target -> fast_latency:int -> slow_latency:int -> Graph.t
+
+(** [g_sym_p] is [G_sym(P)]: [g_p] plus a latency-1 clique on [R]. *)
+val g_sym_p : m:int -> target:target -> fast_latency:int -> slow_latency:int -> Graph.t
+
+(** {1 Theorem 6: the Ω(Δ) network H} *)
+
+type theorem6_info = {
+  h_graph : Graph.t;
+  h_target : target;  (** the singleton fast pair *)
+  h_delta : int;  (** gadget half-size; max degree is Θ(h_delta) *)
+}
+
+(** [theorem6 rng ~n ~delta] is the [n]-node network [H]: gadget
+    [G(2·delta, |T|=1)] (fast edge latency 1, slow latency [n]) plus a
+    latency-1 clique on the remaining [n - 2·delta] vertices, one of
+    which attaches to gadget vertex 0.  Requires [n >= 2 * delta] and
+    [delta >= 2]. *)
+val theorem6 : Gossip_util.Rng.t -> n:int -> delta:int -> theorem6_info
+
+(** {1 Theorem 7: the conductance gadget} *)
+
+type theorem7_info = {
+  t7_graph : Graph.t;
+  t7_target : target;  (** pairs whose cross edge got latency [ell] *)
+  t7_ell : int;
+  t7_phi : float;  (** the requested φ_ℓ *)
+}
+
+(** [theorem7 rng ~n ~ell ~phi] is the [2n]-node gadget
+    [G(Random_φ)]: clique on [L] at latency 1; every cross edge fast
+    (latency [ell]) independently with probability [phi], slow
+    (latency [2n]) otherwise.  W.h.p. the weighted diameter is [O(ell)]
+    and the weighted conductance [Θ(phi)] for
+    [phi >= Ω(log n / n)]. *)
+val theorem7 : Gossip_util.Rng.t -> n:int -> ell:int -> phi:float -> theorem7_info
+
+(** {1 Theorem 8: the layered ring (Figure 2)} *)
+
+type theorem8_params = {
+  c : float;  (** the constant [c ∈ \[1, 3/2)] of the proof *)
+  layers : int;  (** [k], forced even and [>= 4] *)
+  layer_size : int;  (** [s = c·n·α], forced [>= 2] *)
+}
+
+(** [theorem8_params ~n ~alpha] computes the proof's [c], [k = 2/(cα)]
+    and [s = cnα], rounded to usable integers. *)
+val theorem8_params : n:int -> alpha:float -> theorem8_params
+
+type theorem8_info = {
+  t8_graph : Graph.t;
+  t8_params : theorem8_params;
+  t8_fast_edges : (Graph.node * Graph.node) array;
+      (** the one latency-1 cross edge per adjacent layer pair *)
+  t8_ell : int;
+  t8_phi_analytic : float;
+      (** φ_ℓ of the half-ring cut (Lemma 9): [2s² / (Vol(C))] *)
+  t8_diameter_bound : int;  (** Θ(k/2): layer count over two *)
+}
+
+(** [theorem8 rng ~layers ~layer_size ~ell] wires [layers] cliques of
+    [layer_size] nodes into a ring: latency-1 cliques inside layers,
+    complete bipartite graphs between adjacent layers with every cross
+    edge at latency [ell] except one uniformly random latency-1 edge
+    per pair.  Requires [layers >= 3] even or odd, [layer_size >= 2],
+    [ell >= 1]. *)
+val theorem8 : Gossip_util.Rng.t -> layers:int -> layer_size:int -> ell:int -> theorem8_info
+
+(** [theorem8_node ~layer_size ~layer ~index] is the node id of the
+    [index]-th vertex of layer [layer]. *)
+val theorem8_node : layer_size:int -> layer:int -> index:int -> Graph.node
+
+(** {1 Structure rendering (Figures 1–2)} *)
+
+(** [describe_gadget ?fast_latency g ~m] is a short multi-line
+    structural summary of a bipartite gadget (degrees, fast/slow edge
+    counts) used by the figure-reproduction bench.  Cross edges of
+    latency [<= fast_latency] (default 1) count as fast. *)
+val describe_gadget : ?fast_latency:int -> Graph.t -> m:int -> string

@@ -1,0 +1,93 @@
+(** Graph generators and latency assignment strategies.
+
+    Standard topologies for tests, examples and benchmarks.  Each
+    generator builds unit-latency edges; compose with [with_latencies]
+    to install a latency distribution. *)
+
+(** How to draw edge latencies. *)
+type latency_spec =
+  | Unit  (** every edge has latency 1 (the classical unweighted case) *)
+  | Fixed of int  (** every edge has the given latency *)
+  | Uniform of int * int  (** uniform integer in [\[lo, hi\]] *)
+  | Bimodal of { fast : int; slow : int; p_fast : float }
+      (** latency [fast] with probability [p_fast], else [slow] — the
+          fast/slow dichotomy of the paper's gadgets *)
+  | Power_law of { min_latency : int; max_latency : int; exponent : float }
+      (** heavy-tailed latencies: P(ℓ) ∝ ℓ^-exponent over the range *)
+
+(** [draw_latency rng spec] samples one latency. *)
+val draw_latency : Gossip_util.Rng.t -> latency_spec -> int
+
+(** [with_latencies rng spec g] redraws every edge latency from
+    [spec]. *)
+val with_latencies : Gossip_util.Rng.t -> latency_spec -> Graph.t -> Graph.t
+
+(** {1 Deterministic topologies} (unit latencies) *)
+
+(** [clique n] is the complete graph [K_n]. *)
+val clique : int -> Graph.t
+
+(** [star n] has node 0 as hub and [n-1] leaves. *)
+val star : int -> Graph.t
+
+(** [path n] is the path [0 - 1 - ... - n-1]. *)
+val path : int -> Graph.t
+
+(** [cycle n] is the [n]-cycle; requires [n >= 3]. *)
+val cycle : int -> Graph.t
+
+(** [grid rows cols] is the 2-D mesh. *)
+val grid : int -> int -> Graph.t
+
+(** [torus rows cols] is the 2-D mesh with wraparound; requires both
+    dimensions [>= 3]. *)
+val torus : int -> int -> Graph.t
+
+(** [hypercube d] is the [d]-dimensional hypercube on [2^d] nodes. *)
+val hypercube : int -> Graph.t
+
+(** [binary_tree n] is the complete binary-heap-shaped tree on [n]
+    nodes. *)
+val binary_tree : int -> Graph.t
+
+(** {1 Random topologies} *)
+
+(** [erdos_renyi rng ~n ~p] is G(n, p) conditioned on nothing; callers
+    needing connectivity should retry or take [p >= 2 ln n / n]. *)
+val erdos_renyi : Gossip_util.Rng.t -> n:int -> p:float -> Graph.t
+
+(** [erdos_renyi_connected rng ~n ~p] retries G(n,p) until connected
+    (at most 1000 attempts).  @raise Failure when unlucky. *)
+val erdos_renyi_connected : Gossip_util.Rng.t -> n:int -> p:float -> Graph.t
+
+(** [random_regular rng ~n ~d] is a simple [d]-regular graph via the
+    configuration model with restarts; requires [n * d] even and
+    [d < n]. *)
+val random_regular : Gossip_util.Rng.t -> n:int -> d:int -> Graph.t
+
+(** {1 Composite topologies} *)
+
+(** [ring_of_cliques ~cliques ~size ~bridge_latency] joins [cliques]
+    cliques of [size] nodes into a ring; intra-clique edges have
+    latency 1, consecutive cliques are bridged by one edge of latency
+    [bridge_latency].  A classic low-conductance family. *)
+val ring_of_cliques : cliques:int -> size:int -> bridge_latency:int -> Graph.t
+
+(** [dumbbell ~size ~bridge_latency] is two cliques of [size] nodes
+    joined by a single bridge edge — the minimal bottleneck graph. *)
+val dumbbell : size:int -> bridge_latency:int -> Graph.t
+
+(** [barabasi_albert rng ~n ~attach] grows a preferential-attachment
+    graph: starting from a clique on [attach + 1] nodes, each new node
+    attaches to [attach] distinct existing nodes chosen proportionally
+    to degree — the social-network model for which rumor spreading is
+    known to take Theta(log n) (Doerr et al., cited in the paper's
+    related work).  Requires [n > attach >= 1]. *)
+val barabasi_albert : Gossip_util.Rng.t -> n:int -> attach:int -> Graph.t
+
+(** [watts_strogatz rng ~n ~k ~beta] is the small-world model: a ring
+    lattice where each node connects to its [k] nearest neighbors on
+    each side, with every edge rewired to a uniform endpoint with
+    probability [beta].  Requires [n > 2 * k >= 2].  Rewiring keeps the
+    graph simple; the result may in rare cases be disconnected. *)
+val watts_strogatz : Gossip_util.Rng.t -> n:int -> k:int -> beta:float -> Graph.t

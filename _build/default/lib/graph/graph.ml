@@ -1,0 +1,126 @@
+type node = int
+
+type edge = { u : node; v : node; latency : int }
+
+type t = {
+  n : int;
+  adj : (node * int) array array; (* adj.(u) sorted by neighbor id *)
+  m : int;
+}
+
+let of_edges ~n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let buckets = Array.make n [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create (List.length edge_list) in
+  List.iter
+    (fun (u, v, latency) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      if latency < 1 then invalid_arg "Graph.of_edges: latency must be >= 1";
+      let key = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: parallel edge";
+      Hashtbl.add seen key ();
+      buckets.(u) <- (v, latency) :: buckets.(u);
+      buckets.(v) <- (u, latency) :: buckets.(v);
+      incr count)
+    edge_list;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort (fun (x, _) (y, _) -> compare x y) a;
+        a)
+      buckets
+  in
+  { n; adj; m = !count }
+
+let n g = g.n
+
+let m g = g.m
+
+let neighbors g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.neighbors: node out of range";
+  g.adj.(u)
+
+let degree g u = Array.length (neighbors g u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let latency g u v =
+  let a = neighbors g u in
+  (* Binary search on the sorted neighbor array. *)
+  let rec go lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let w, lat = a.(mid) in
+      if w = v then Some lat else if w < v then go (mid + 1) hi else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length a - 1)
+
+let mem_edge g u v = latency g u v <> None
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun (v, latency) -> if u < v then f { u; v; latency }) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun e -> acc := e :: !acc) g;
+  List.rev !acc
+
+let max_latency g =
+  let best = ref 1 in
+  iter_edges (fun e -> if e.latency > !best then best := e.latency) g;
+  !best
+
+let distinct_latencies g =
+  let tbl = Hashtbl.create 16 in
+  iter_edges (fun e -> Hashtbl.replace tbl e.latency ()) g;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let map_latencies f g =
+  let acc = ref [] in
+  iter_edges (fun e -> acc := (e.u, e.v, f e.u e.v e.latency) :: !acc) g;
+  of_edges ~n:g.n !acc
+
+let subgraph_le g l =
+  let acc = ref [] in
+  iter_edges (fun e -> if e.latency <= l then acc := (e.u, e.v, e.latency) :: !acc) g;
+  of_edges ~n:g.n !acc
+
+let is_connected g =
+  if g.n <= 1 then true
+  else begin
+    let seen = Array.make g.n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let visited = ref 1 in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          Array.iter
+            (fun (v, _) ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                incr visited;
+                stack := v :: !stack
+              end)
+            g.adj.(u);
+          loop ()
+    in
+    loop ();
+    !visited = g.n
+  end
+
+let volume g nodes = List.fold_left (fun acc u -> acc + degree g u) 0 nodes
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d, Δ=%d, ℓmax=%d)" g.n g.m (max_degree g) (max_latency g)

@@ -1,0 +1,112 @@
+let unreachable = max_int
+
+let dijkstra g src =
+  let dist = Array.make (Graph.n g) unreachable in
+  let heap = Gossip_util.Heap.create () in
+  dist.(src) <- 0;
+  Gossip_util.Heap.push heap 0 src;
+  while not (Gossip_util.Heap.is_empty heap) do
+    let d, u = Gossip_util.Heap.pop_min heap in
+    if d = dist.(u) then
+      Array.iter
+        (fun (v, latency) ->
+          let nd = d + latency in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            Gossip_util.Heap.push heap nd v
+          end)
+        (Graph.neighbors g u)
+  done;
+  dist
+
+let distance g u v = (dijkstra g u).(v)
+
+let max_of_dist dist =
+  Array.fold_left
+    (fun acc d -> if d = unreachable || acc = unreachable then unreachable else max acc d)
+    0 dist
+
+let eccentricity g u = max_of_dist (dijkstra g u)
+
+let weighted_diameter g =
+  let best = ref 0 in
+  let rec go u =
+    if u >= Graph.n g then !best
+    else begin
+      let e = eccentricity g u in
+      if e = unreachable then unreachable
+      else begin
+        if e > !best then best := e;
+        go (u + 1)
+      end
+    end
+  in
+  if Graph.n g = 0 then 0 else go 0
+
+let weighted_radius g =
+  let best = ref unreachable in
+  for u = 0 to Graph.n g - 1 do
+    let e = eccentricity g u in
+    if e < !best then best := e
+  done;
+  if Graph.n g = 0 then 0 else !best
+
+let bfs_hops g src =
+  let dist = Array.make (Graph.n g) unreachable in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (v, _) ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let hop_diameter g =
+  let best = ref 0 in
+  let rec go u =
+    if u >= Graph.n g then !best
+    else begin
+      let e = max_of_dist (bfs_hops g u) in
+      if e = unreachable then unreachable
+      else begin
+        if e > !best then best := e;
+        go (u + 1)
+      end
+    end
+  in
+  if Graph.n g = 0 then 0 else go 0
+
+let stretch ~of_:s ~wrt:g =
+  if Graph.n s <> Graph.n g then invalid_arg "Paths.stretch: node count mismatch";
+  let worst = ref 1.0 in
+  (* Cache Dijkstra-in-s runs per source to avoid recomputing for each
+     incident edge. *)
+  let cache = Hashtbl.create 64 in
+  let dist_s u =
+    match Hashtbl.find_opt cache u with
+    | Some d -> d
+    | None ->
+        let d = dijkstra s u in
+        Hashtbl.add cache u d;
+        d
+  in
+  (try
+     Graph.iter_edges
+       (fun { Graph.u; v; latency } ->
+         let d = (dist_s u).(v) in
+         if d = unreachable then begin
+           worst := infinity;
+           raise Exit
+         end;
+         let ratio = float_of_int d /. float_of_int latency in
+         if ratio > !worst then worst := ratio)
+       g
+   with Exit -> ());
+  !worst

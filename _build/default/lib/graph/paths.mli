@@ -1,0 +1,40 @@
+(** Shortest paths and diameters over latency-weighted graphs.
+
+    The (weighted) diameter [D] — with latencies as weights — and the
+    hop diameter [D_hop] are the distance parameters every bound in the
+    paper is stated in. *)
+
+(** [unreachable] is the distance reported for disconnected pairs. *)
+val unreachable : int
+
+(** [dijkstra g src] is the array of latency-weighted distances from
+    [src]; [unreachable] marks unreachable nodes. *)
+val dijkstra : Graph.t -> Graph.node -> int array
+
+(** [distance g u v] is the weighted distance between [u] and [v]. *)
+val distance : Graph.t -> Graph.node -> Graph.node -> int
+
+(** [eccentricity g u] is the largest weighted distance from [u];
+    [unreachable] when the graph is disconnected. *)
+val eccentricity : Graph.t -> Graph.node -> int
+
+(** [weighted_diameter g] is [D = max_u ecc(u)], by [n] Dijkstra runs.
+    [unreachable] when disconnected. *)
+val weighted_diameter : Graph.t -> int
+
+(** [bfs_hops g src] is hop distances (every edge counting 1). *)
+val bfs_hops : Graph.t -> Graph.node -> int array
+
+(** [hop_diameter g] is the unweighted diameter [D_hop]. *)
+val hop_diameter : Graph.t -> int
+
+(** [weighted_radius g] is [min_u ecc(u)]. *)
+val weighted_radius : Graph.t -> int
+
+(** [stretch ~of_:s ~wrt:g] is the spanner stretch of subgraph [s] with
+    respect to [g]: the maximum over edges [(u,v)] of [g] of
+    [dist_s(u,v) / latency_g(u,v)].  It suffices to check edges of [g]
+    because shortest paths are concatenations of edges.  Returns
+    [infinity] when some edge's endpoints are disconnected in [s].
+    Both graphs must have the same node count. *)
+val stretch : of_:Graph.t -> wrt:Graph.t -> float

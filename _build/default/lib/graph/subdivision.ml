@@ -1,0 +1,23 @@
+type t = { subdivided : Graph.t; original_nodes : int }
+
+let subdivide g =
+  let n = Graph.n g in
+  let next = ref n in
+  let acc = ref [] in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      if latency = 1 then acc := (u, v, 1) :: !acc
+      else begin
+        (* A chain u - a1 - ... - a(latency-1) - v of unit edges. *)
+        let first = !next in
+        next := !next + latency - 1;
+        acc := (u, first, 1) :: !acc;
+        for i = 0 to latency - 3 do
+          acc := (first + i, first + i + 1, 1) :: !acc
+        done;
+        acc := (first + latency - 2, v, 1) :: !acc
+      end)
+    g;
+  { subdivided = Graph.of_edges ~n:!next !acc; original_nodes = n }
+
+let is_original t v = v < t.original_nodes

@@ -1,0 +1,29 @@
+(** Edge subdivision — the strawman of footnote 3.
+
+    One might model an edge of latency [w] as a path of [w] unit
+    edges.  Footnote 3 of the paper explains why the classical
+    conductance of the subdivided graph does {e not} characterise the
+    original network: the imaginary intermediate nodes can relay (pull
+    from both endpoints), the volume is inflated by the path nodes, and
+    the resulting conductance value answers a question about a
+    different network.  This module builds the subdivision so the
+    mismatch can be measured (see the [ablation-subdivision] bench).
+
+    Subdivided node numbering: original nodes keep their ids; the
+    auxiliary nodes of each edge occupy a contiguous fresh range. *)
+
+type t = {
+  subdivided : Graph.t;
+  original_nodes : int;  (** ids [< original_nodes] are real nodes *)
+}
+
+(** [subdivide g] replaces every edge of latency [w >= 2] by a path of
+    [w] unit-latency edges through [w - 1] fresh nodes. *)
+val subdivide : Graph.t -> t
+
+(** [is_original t v] holds for the real (non-auxiliary) nodes. *)
+val is_original : t -> Graph.node -> bool
+
+(* The classical conductance of [subdivided] — the quantity footnote 3
+   warns against — is [Gossip_conductance.Spectral.phi_ell sub 1]; it
+   lives in the conductance library to keep dependencies acyclic. *)

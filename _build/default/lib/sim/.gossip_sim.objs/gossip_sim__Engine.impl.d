@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Gossip_graph Gossip_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sim/proc.ml: Array Effect Engine Gossip_graph

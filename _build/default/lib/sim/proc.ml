@@ -1,0 +1,104 @@
+module Graph = Gossip_graph.Graph
+
+module Make (P : sig
+  type payload
+end) =
+struct
+  type fiber =
+    | Unstarted
+    | Running  (** transient: the fiber is executing right now *)
+    | Sleeping of { wake : int; k : (unit, unit) Effect.Deep.continuation }
+    | Awaiting_response of (P.payload, unit) Effect.Deep.continuation
+    | Response_ready of { k : (P.payload, unit) Effect.Deep.continuation; payload : P.payload }
+    | Finished
+
+  type ctx = {
+    node_id : Engine.node;
+    g : Graph.t;
+    mutable now : int;
+    mutable fiber : fiber;
+    mutable pending : (Engine.node * P.payload) option;
+  }
+
+  type _ Effect.t += Exchange : Engine.node * P.payload -> P.payload Effect.t
+  type _ Effect.t += Wait : int -> unit Effect.t
+
+  let id ctx = ctx.node_id
+
+  let graph ctx = ctx.g
+
+  let neighbors ctx = Graph.neighbors ctx.g ctx.node_id
+
+  let round ctx = ctx.now
+
+  let exchange _ctx ~peer payload = Effect.perform (Exchange (peer, payload))
+
+  let wait _ctx d = if d > 0 then Effect.perform (Wait d)
+
+  let is_done ctx = match ctx.fiber with Finished -> true | _ -> false
+
+  (* Run or resume the fiber under a deep handler; the handler stores
+     the suspension reason in [ctx.fiber]. *)
+  let effc : type a. ctx -> a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+   fun ctx eff ->
+    match eff with
+    | Exchange (peer, payload) ->
+        Some
+          (fun k ->
+            ctx.pending <- Some (peer, payload);
+            ctx.fiber <- Awaiting_response k)
+    | Wait d -> Some (fun k -> ctx.fiber <- Sleeping { wake = ctx.now + d; k })
+    | _ -> None
+
+  let handler ctx =
+    {
+      Effect.Deep.retc = (fun () -> ctx.fiber <- Finished);
+      exnc = raise;
+      effc = (fun eff -> effc ctx eff);
+    }
+
+  let start ctx program = Effect.Deep.match_with program ctx (handler ctx)
+
+  (* The fiber advances during the initiation phase of each round: wake
+     sleepers whose time has come, resume fibers whose response arrived
+     in this round's delivery phase, and start fresh fibers. *)
+  let on_round ctx program ~round =
+    ctx.now <- round;
+    (match ctx.fiber with
+    | Unstarted ->
+        ctx.fiber <- Running;
+        start ctx program
+    | Sleeping { wake; k } when wake <= round ->
+        ctx.fiber <- Running;
+        Effect.Deep.continue k ()
+    | Response_ready { k; payload } ->
+        ctx.fiber <- Running;
+        Effect.Deep.continue k payload
+    | Running -> invalid_arg "Proc: fiber re-entered"
+    | Sleeping _ | Awaiting_response _ | Finished -> ());
+    match ctx.pending with
+    | Some initiation ->
+        ctx.pending <- None;
+        Some initiation
+    | None -> None
+
+  let on_response ctx ~peer:_ ~round:_ payload =
+    match ctx.fiber with
+    | Awaiting_response k -> ctx.fiber <- Response_ready { k; payload }
+    | Unstarted | Running | Sleeping _ | Response_ready _ | Finished ->
+        invalid_arg "Proc: response without an awaiting exchange"
+
+  let make g u ~program ~on_request ~on_push =
+    let ctx = { node_id = u; g; now = 0; fiber = Unstarted; pending = None } in
+    let handlers =
+      {
+        Engine.on_round = (fun ~round -> on_round ctx program ~round);
+        on_request;
+        on_push;
+        on_response = (fun ~peer ~round payload -> on_response ctx ~peer ~round payload);
+      }
+    in
+    (ctx, handlers)
+
+  let all_done ctxs = Array.for_all is_done ctxs
+end

@@ -1,0 +1,72 @@
+(** Direct-style sequential node programs on top of {!Engine}.
+
+    The paper's spanner-side algorithms (ℓ-DTG, RR broadcast, EID, path
+    discovery) are naturally written as per-node sequential programs:
+    "send rumors to [u_j]; wait [ℓ] time; add received rumors" (e.g.
+    Algorithm 5).  This module runs such programs as cooperative fibers
+    using OCaml effect handlers: [exchange] suspends the fiber until the
+    response returns — exactly [ℓ] rounds later — and [wait] suspends
+    for a number of rounds.
+
+    One fiber per node; at most one outstanding blocking exchange per
+    fiber, which respects the model's one-initiation-per-round rule.
+    Responses to requests from {e other} nodes are handled by the
+    protocol's [on_request] callback, independent of the fiber — the
+    model's "automatic" responses.
+
+    The module is a functor over the payload type because OCaml effect
+    constructors are monomorphic. *)
+
+module Make (P : sig
+  type payload
+end) : sig
+  (** Per-node execution context, shared between the fiber and the
+      engine callbacks. *)
+  type ctx
+
+  (** {1 Operations available inside a node program} *)
+
+  (** [id ctx] is this node's identifier. *)
+  val id : ctx -> Engine.node
+
+  (** [graph ctx] is the (global) network; programs respecting the
+      LOCAL model should only look at their own row. *)
+  val graph : ctx -> Gossip_graph.Graph.t
+
+  (** [neighbors ctx] is this node's incident [(peer, latency)] list. *)
+  val neighbors : ctx -> (Engine.node * int) array
+
+  (** [round ctx] is the current round. *)
+  val round : ctx -> int
+
+  (** [exchange ctx ~peer payload] initiates an exchange and blocks the
+      fiber until the response arrives, [latency(id, peer)] rounds
+      later; returns the peer's response payload.  Must only be called
+      from inside the node program. *)
+  val exchange : ctx -> peer:Engine.node -> P.payload -> P.payload
+
+  (** [wait ctx d] suspends the fiber for [d] rounds (no-op when
+      [d <= 0]). *)
+  val wait : ctx -> int -> unit
+
+  (** {1 Wiring into the engine} *)
+
+  (** [is_done ctx] holds once the node program has returned. *)
+  val is_done : ctx -> bool
+
+  (** [make g u ~program ~on_request ~on_push] builds the engine
+      handlers for node [u]: the fiber starts on the first round;
+      [on_request] answers incoming requests at any time (read-only —
+      see {!Engine.handlers}) and [on_push] merges the pushed
+      payload. *)
+  val make :
+    Gossip_graph.Graph.t ->
+    Engine.node ->
+    program:(ctx -> unit) ->
+    on_request:(peer:Engine.node -> round:int -> P.payload -> P.payload) ->
+    on_push:(peer:Engine.node -> round:int -> P.payload -> unit) ->
+    ctx * P.payload Engine.handlers
+
+  (** [all_done ctxs] holds when every fiber has returned. *)
+  val all_done : ctx array -> bool
+end

@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  mutable rev_samples : (int * float) list;
+}
+
+let create ~name = { name; rev_samples = [] }
+
+let name t = t.name
+
+let record t ~round value =
+  match t.rev_samples with
+  | (last_round, _) :: _ when round < last_round ->
+      invalid_arg "Trace.record: rounds must be non-decreasing"
+  | (_, last_value) :: _ when last_value = value -> ()
+  | _ -> t.rev_samples <- (round, value) :: t.rev_samples
+
+let samples t = List.rev t.rev_samples
+
+let length t = List.length t.rev_samples
+
+let last t = match t.rev_samples with [] -> None | s :: _ -> Some s
+
+let to_csv traces =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "round";
+  List.iter
+    (fun t ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf t.name)
+    traces;
+  Buffer.add_char buf '\n';
+  (* Union of rounds, sorted. *)
+  let rounds =
+    List.sort_uniq compare
+      (List.concat_map (fun t -> List.map fst (samples t)) traces)
+  in
+  (* Walk each trace with a cursor carrying the last value forward. *)
+  let cursors = List.map (fun t -> ref (samples t)) traces in
+  let current = List.map (fun _ -> ref nan) traces in
+  List.iter
+    (fun round ->
+      List.iter2
+        (fun cursor value ->
+          let rec advance () =
+            match !cursor with
+            | (r, v) :: rest when r <= round ->
+                value := v;
+                cursor := rest;
+                advance ()
+            | _ -> ()
+          in
+          advance ())
+        cursors current;
+      Buffer.add_string buf (string_of_int round);
+      List.iter
+        (fun value ->
+          Buffer.add_char buf ',';
+          if Float.is_nan !value then Buffer.add_string buf ""
+          else Buffer.add_string buf (Printf.sprintf "%g" !value))
+        current;
+      Buffer.add_char buf '\n')
+    rounds;
+  Buffer.contents buf
+
+let write_csv path traces =
+  let oc = open_out path in
+  (try output_string oc (to_csv traces)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,35 @@
+(** Time-series traces of protocol runs, exportable as CSV.
+
+    Downstream users typically want the informed-set trajectory (the
+    Markov process of Theorem 12's proof) or any per-round scalar for
+    plotting.  A trace is a named sequence of (round, value) samples;
+    [record] appends only when the value changed, keeping traces
+    compact over long quiet periods. *)
+
+type t
+
+(** [create ~name] starts an empty trace. *)
+val create : name:string -> t
+
+val name : t -> string
+
+(** [record t ~round value] appends a sample when [value] differs from
+    the last recorded one (the first sample is always kept).  Rounds
+    must be non-decreasing. *)
+val record : t -> round:int -> float -> unit
+
+(** [samples t] in chronological order. *)
+val samples : t -> (int * float) list
+
+val length : t -> int
+
+(** [last t] is the most recent sample, if any. *)
+val last : t -> (int * float) option
+
+(** [to_csv traces] renders one or more traces as CSV with a header
+    row [round,<name1>,<name2>,...]; traces are aligned on the union
+    of their sample rounds, carrying the last value forward. *)
+val to_csv : t list -> string
+
+(** [write_csv path traces] writes [to_csv] to a file. *)
+val write_csv : string -> t list -> unit

@@ -1,0 +1,119 @@
+type t = { n : int; words : Bytes.t }
+
+(* One byte per 8 elements; Bytes gives cheap copies and blits. *)
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Bytes.make (bytes_for n) '\000' }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let add t i =
+  check t i;
+  let b = Bytes.get_uint8 t.words (i lsr 3) in
+  Bytes.set_uint8 t.words (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let remove t i =
+  check t i;
+  let b = Bytes.get_uint8 t.words (i lsr 3) in
+  Bytes.set_uint8 t.words (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+let mem t i =
+  check t i;
+  Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let singleton n i =
+  let t = create n in
+  add t i;
+  t
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    add t i
+  done;
+  t
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun b -> tbl.(b)
+
+let cardinal t =
+  let acc = ref 0 in
+  for w = 0 to Bytes.length t.words - 1 do
+    acc := !acc + popcount_byte (Bytes.get_uint8 t.words w)
+  done;
+  !acc
+
+let is_empty t =
+  let rec go w = w >= Bytes.length t.words || (Bytes.get_uint8 t.words w = 0 && go (w + 1)) in
+  go 0
+
+let is_full t = cardinal t = t.n
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~into src =
+  check_same into src;
+  let changed = ref false in
+  for w = 0 to Bytes.length into.words - 1 do
+    let a = Bytes.get_uint8 into.words w in
+    let b = Bytes.get_uint8 src.words w in
+    let u = a lor b in
+    if u <> a then begin
+      changed := true;
+      Bytes.set_uint8 into.words w u
+    end
+  done;
+  !changed
+
+let subset a b =
+  check_same a b;
+  let rec go w =
+    w >= Bytes.length a.words
+    ||
+    let x = Bytes.get_uint8 a.words w and y = Bytes.get_uint8 b.words w in
+    x land lnot y = 0 && go (w + 1)
+  in
+  go 0
+
+let equal a b =
+  check_same a b;
+  Bytes.equal a.words b.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let choose_missing t =
+  let rec go i = if i >= t.n then None else if mem t i then go (i + 1) else Some i in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    (to_list t)

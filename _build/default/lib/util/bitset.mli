@@ -1,0 +1,61 @@
+(** Fixed-capacity mutable bitsets.
+
+    Rumor sets in the dissemination algorithms are sets of node
+    identifiers in [\[0, n)]; a packed bitset makes the per-round merge
+    (set union) cheap and keeps simulations of large networks
+    affordable. *)
+
+type t
+
+(** [create n] is the empty set over universe [\[0, n)]. *)
+val create : int -> t
+
+(** [capacity t] is the universe size [n]. *)
+val capacity : t -> int
+
+(** [singleton n i] is [{i}] over universe [\[0, n)]. *)
+val singleton : int -> int -> t
+
+(** [full n] is the complete set [\[0, n)]. *)
+val full : int -> t
+
+val copy : t -> t
+
+(** [add t i] inserts [i]; bounds-checked. *)
+val add : t -> int -> unit
+
+(** [remove t i] deletes [i]; bounds-checked. *)
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+(** [cardinal t] is the number of members (O(words)). *)
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+(** [is_full t] tests whether every element of the universe is present. *)
+val is_full : t -> bool
+
+(** [union_into ~into src] adds every member of [src] to [into];
+    returns [true] iff [into] changed.  Capacities must match. *)
+val union_into : into:t -> t -> bool
+
+(** [subset a b] tests [a ⊆ b].  Capacities must match. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+
+val of_list : int -> int list -> t
+
+(** [choose_missing t] is the smallest element of the universe not in
+    [t], if any. *)
+val choose_missing : t -> int option
+
+val pp : Format.formatter -> t -> unit

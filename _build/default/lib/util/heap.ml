@@ -1,0 +1,70 @@
+type 'a t = { mutable keys : int array; mutable vals : 'a array; mutable size : int }
+
+let create () = { keys = Array.make 16 0; vals = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.keys in
+  if h.size >= cap then begin
+    let keys' = Array.make (2 * cap) 0 in
+    Array.blit h.keys 0 keys' 0 h.size;
+    h.keys <- keys';
+    let vals' = Array.make (2 * cap) x in
+    Array.blit h.vals 0 vals' 0 h.size;
+    h.vals <- vals'
+  end
+  else if Array.length h.vals = 0 then h.vals <- Array.make cap x
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h prio x =
+  grow h x;
+  h.keys.(h.size) <- prio;
+  h.vals.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek_min h =
+  if h.size = 0 then raise Not_found;
+  (h.keys.(0), h.vals.(0))
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let k = h.keys.(0) and v = h.vals.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    sift_down h 0
+  end;
+  (k, v)
+
+let clear h = h.size <- 0

@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by integer priority.
+
+    Used by Dijkstra and by the simulator's event queue.  Duplicate
+    priorities are permitted; ties pop in unspecified order. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h prio x] inserts [x] with priority [prio]. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum-priority binding.
+    @raise Not_found on an empty heap. *)
+val pop_min : 'a t -> int * 'a
+
+(** [peek_min h] returns the minimum-priority binding without removing
+    it.  @raise Not_found on an empty heap. *)
+val peek_min : 'a t -> int * 'a
+
+val clear : 'a t -> unit

@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is splitmix64 (Steele, Lea, Flood 2014): a tiny,
+    high-quality 64-bit mixer with a jumpable stream.  Every source of
+    randomness in the repository flows from one of these states, so a
+    fixed seed reproduces an experiment bit-for-bit.  [split] derives an
+    independent stream, which lets concurrent simulated nodes draw
+    randomness without order-dependence. *)
+
+type t
+
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on the sign-extended integer. *)
+val of_int : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a statistically independent
+    generator; the two may be used in any interleaving. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive;
+    requires [lo <= hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [geometric t p] is the number of Bernoulli([p]) trials up to and
+    including the first success (support 1, 2, ...).  Requires
+    [0 < p <= 1]. *)
+val geometric : t -> float -> int
+
+(** [shuffle t a] permutes [a] in place uniformly (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t a] is a uniform element of the non-empty array [a]. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] is a uniform element of the non-empty list [l]. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [\[0, n)], in uniformly random order.  Requires [0 <= k <= n]. *)
+val sample_without_replacement : t -> int -> int -> int array

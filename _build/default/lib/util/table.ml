@@ -1,0 +1,59 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) array;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_integer x && Float.abs x < 1e15 && decimals = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" decimals x
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.init ncols (fun c -> String.length (fst t.columns.(c))) in
+  List.iter
+    (fun row ->
+      List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad align width s =
+    let missing = width - String.length s in
+    if missing <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make missing ' '
+      | Right -> String.make missing ' ' ^ s
+  in
+  let emit_row cells =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (snd t.columns.(c)) widths.(c) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (Array.to_list (Array.map fst t.columns));
+  let rule_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

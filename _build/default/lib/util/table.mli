@@ -1,0 +1,30 @@
+(** Aligned plain-text tables for experiment output.
+
+    The bench harness prints one table per reproduced claim; this module
+    renders headers, separators and right-aligned numeric columns so the
+    output reads like the rows a paper would report. *)
+
+type align = Left | Right
+
+(** A table under construction. *)
+type t
+
+(** [create ~title ~columns] starts a table.  Each column is a header
+    string with an alignment. *)
+val create : title:string -> columns:(string * align) list -> t
+
+(** [add_row t cells] appends one row; the number of cells must match
+    the number of columns. *)
+val add_row : t -> string list -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+(** [render t] is the full table as a string, including the title and a
+    rule under the header. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+val print : t -> unit

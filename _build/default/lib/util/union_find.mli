@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for connectivity checks and spanner validation. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+val create : int -> t
+
+(** [find t i] is the canonical representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the sets of [i] and [j]; returns [false] when
+    they were already joined. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int

@@ -1,0 +1,8 @@
+  $ gossip-cli analyze --family dumbbell --size 4 --bridge 6
+  $ gossip-cli run --algorithm push-pull --family clique --nodes 16 --seed 5
+  $ gossip-cli run --algorithm path-discovery --family cycle --nodes 9
+  $ gossip-cli run --algorithm push-pull --family star --nodes 16 --capacity 1
+  $ gossip-cli game --side 16 --strategy sequential-scan --seed 2
+  $ gossip-cli reduce --side 12 --prob 0.2 --seed 3
+  $ gossip-cli gadget --which g-p --side 4 --phi 0.3 --seed 4
+  $ gossip-cli spanner --family clique --nodes 24 --stretch-k 3 --seed 6

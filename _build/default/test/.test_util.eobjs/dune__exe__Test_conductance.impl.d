@@ -1,0 +1,1 @@
+test/test_conductance.ml: Alcotest Float Gossip_conductance Gossip_graph Gossip_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Gossip_core Gossip_graph Gossip_sim Gossip_util QCheck QCheck_alcotest

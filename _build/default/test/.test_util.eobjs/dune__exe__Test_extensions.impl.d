@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Gossip_core Gossip_graph Gossip_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flooding.ml: Alcotest Gossip_core Gossip_graph Gossip_util

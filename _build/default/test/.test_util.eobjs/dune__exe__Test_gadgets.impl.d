@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Alcotest Array Gossip_conductance Gossip_graph Gossip_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Gossip_game Gossip_graph Gossip_util List QCheck QCheck_alcotest

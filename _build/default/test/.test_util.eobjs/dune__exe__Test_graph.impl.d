@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Gossip_graph Gossip_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Array Gossip_graph Gossip_sim Option

@@ -1,0 +1,1 @@
+test/test_pushpull.ml: Alcotest Gossip_conductance Gossip_core Gossip_graph Gossip_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Gossip_core Gossip_graph Gossip_util QCheck QCheck_alcotest

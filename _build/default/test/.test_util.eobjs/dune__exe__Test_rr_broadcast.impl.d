@@ -1,0 +1,1 @@
+test/test_rr_broadcast.ml: Alcotest Array Gossip_core Gossip_graph Gossip_util QCheck QCheck_alcotest

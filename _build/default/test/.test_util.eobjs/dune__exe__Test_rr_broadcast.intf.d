@@ -1,0 +1,1 @@
+test/test_rr_broadcast.mli:

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Gossip_core Gossip_graph Gossip_sim Gossip_util List QCheck QCheck_alcotest Sys

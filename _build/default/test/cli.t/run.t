@@ -1,0 +1,57 @@
+The CLI is deterministic given a seed, so its output can be locked down
+exactly.  These scenarios cover every subcommand.
+
+Graph analysis (Definitions 1-2):
+
+  $ gossip-cli analyze --family dumbbell --size 4 --bridge 6
+  graph(n=8, m=13, Δ=4, ℓmax=6)
+  connected: true
+  weighted diameter D = 8, hop diameter = 3, radius = 7
+  weighted conductance phi* = 0.07692 at critical latency ell* = 6
+  latency profile (Definition 1):
+    phi_1     = 0.00000   phi/ell = 0.000000
+    phi_6     = 0.07692   phi/ell = 0.012821
+  Theorem 12 push-pull bound: 162 rounds
+
+Running an algorithm:
+
+  $ gossip-cli run --algorithm push-pull --family clique --nodes 16 --seed 5
+  push-pull broadcast: 5 rounds
+
+  $ gossip-cli run --algorithm path-discovery --family cycle --nodes 9
+  Path Discovery: 88 rounds, k_final = 2, success = true
+
+Bounded in-degree (Section 7):
+
+  $ gossip-cli run --algorithm push-pull --family star --nodes 16 --capacity 1
+  push-pull broadcast (bounded in-degree): 16 rounds
+  rejected requests: 210
+
+The guessing game (Lemmas 4-5):
+
+  $ gossip-cli game --side 16 --strategy sequential-scan --seed 2
+  Guessing(2m = 32, |T| = 1), strategy sequential-scan
+  solved in 2 rounds with 64 guesses
+
+The Lemma 3 reduction:
+
+  $ gossip-cli reduce --side 12 --prob 0.2 --seed 3
+  Lemma 3 simulation on G(P) (m = 12, |T| = 25):
+    game solved at round 12, local broadcast at round 17
+    guesses submitted: 224; Lemma 3 holds: true
+
+Gadget construction (Figure 1):
+
+  $ gossip-cli gadget --which g-p --side 4 --phi 0.3 --seed 4
+  bipartite gadget: |L| = |R| = 4, n = 8, m = 22 edges
+    cross edges: 1 fast (thick/red in Fig. 1), 15 slow at latency 8
+    max degree 7, weighted diameter 16
+  G(P)
+    graph(n=8, m=22, Δ=7, ℓmax=8)
+    weighted diameter 16, max degree 7
+    phi* = 0.5455 at ell* = 8
+
+Spanner construction (Appendix D):
+
+  $ gossip-cli spanner --family clique --nodes 24 --stretch-k 3 --seed 6
+  Baswana-Sen spanner: 128/276 edges, max out-degree 8, stretch 2.00 (bound 5)

@@ -1,0 +1,75 @@
+(* Tests for latency discovery (Section 4.2). *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Discovery = Gossip_core.Discovery
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_probe_discovers_all () =
+  let rng = Rng.of_int 1 in
+  let g = Gen.with_latencies rng (Gen.Uniform (1, 6)) (Gen.cycle 10) in
+  let r = Discovery.probe g ~d_bound:(Graph.max_latency g) in
+  checkb "complete" true r.Discovery.complete
+
+let test_probe_latencies_correct () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 3); (1, 2, 5) ] in
+  let r = Discovery.probe g ~d_bound:10 in
+  checki "lat(0,1)" 3 (List.assoc 1 r.Discovery.known.(0));
+  checki "lat(1,0)" 3 (List.assoc 0 r.Discovery.known.(1));
+  checki "lat(1,2)" 5 (List.assoc 2 r.Discovery.known.(1))
+
+let test_probe_bound_filters () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 2); (1, 2, 9) ] in
+  let r = Discovery.probe g ~d_bound:3 in
+  checkb "fast edge known" true (List.mem_assoc 1 r.Discovery.known.(0));
+  checkb "slow edge unknown" false (List.mem_assoc 2 r.Discovery.known.(1));
+  checkb "incomplete for max latency" true r.Discovery.complete
+  (* complete refers to edges of latency <= d_bound only *)
+
+let test_probe_rounds_formula () =
+  (* Rounds = Delta + d_bound exactly. *)
+  let g = Gen.star 8 in
+  let r = Discovery.probe g ~d_bound:4 in
+  checki "Delta + d" (Graph.max_degree g + 4) r.Discovery.rounds
+
+let test_probe_doubling_reaches_target () =
+  let rng = Rng.of_int 2 in
+  let g = Gen.with_latencies rng (Gen.Uniform (1, 7)) (Gen.cycle 8) in
+  let r = Discovery.probe_doubling g ~target:(Graph.max_latency g) in
+  checkb "complete" true r.Discovery.complete;
+  (* Accumulated rounds exceed a single probe's. *)
+  let single = Discovery.probe g ~d_bound:(Graph.max_latency g) in
+  checkb "doubling costs more" true (r.Discovery.rounds >= single.Discovery.rounds)
+
+let test_probe_invalid () =
+  Alcotest.check_raises "bad bound" (Invalid_argument "Discovery.probe: need d_bound >= 1")
+    (fun () -> ignore (Discovery.probe (Gen.path 3) ~d_bound:0))
+
+let prop_probe_complete_on_random =
+  QCheck.Test.make ~name:"probe with d=lmax discovers everything" ~count:20
+    QCheck.(pair (int_range 4 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 9)) (Gen.erdos_renyi_connected rng ~n ~p:0.4)
+      in
+      (Discovery.probe g ~d_bound:(Graph.max_latency g)).Discovery.complete)
+
+let () =
+  Alcotest.run "gossip_discovery"
+    [
+      ( "discovery",
+        [
+          Alcotest.test_case "discovers all" `Quick test_probe_discovers_all;
+          Alcotest.test_case "latencies correct" `Quick test_probe_latencies_correct;
+          Alcotest.test_case "bound filters" `Quick test_probe_bound_filters;
+          Alcotest.test_case "rounds formula" `Quick test_probe_rounds_formula;
+          Alcotest.test_case "doubling" `Quick test_probe_doubling_reaches_target;
+          Alcotest.test_case "invalid" `Quick test_probe_invalid;
+          qtest prop_probe_complete_on_random;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+(* Tests for the unified algorithm (Theorem 20). *)
+
+module Rng = Gossip_util.Rng
+module Gen = Gossip_graph.Gen
+module Dis = Gossip_core.Dissemination
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_known_latencies_succeeds () =
+  let g = Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:4 in
+  let r = Dis.all_to_all (Rng.of_int 1) g ~knowledge:Dis.Known_latencies ~max_rounds:1_000_000 in
+  checkb "success" true r.Dis.success;
+  checki "no discovery cost" 0 r.Dis.discovery_rounds
+
+let test_unknown_latencies_pays_discovery () =
+  let g = Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:4 in
+  let r =
+    Dis.all_to_all (Rng.of_int 2) g ~knowledge:Dis.Unknown_latencies ~max_rounds:1_000_000
+  in
+  checkb "success" true r.Dis.success;
+  checkb "discovery charged" true (r.Dis.discovery_rounds > 0)
+
+let test_winner_is_minimum () =
+  let g = Gen.dumbbell ~size:6 ~bridge_latency:3 in
+  let r = Dis.all_to_all (Rng.of_int 3) g ~knowledge:Dis.Known_latencies ~max_rounds:1_000_000 in
+  (match (r.Dis.winner, r.Dis.pushpull_rounds) with
+  | Dis.Push_pull_won, Some pp ->
+      checki "rounds = push-pull" pp r.Dis.rounds;
+      checkb "pp <= spanner" true (pp <= r.Dis.spanner_rounds)
+  | Dis.Spanner_route_won, Some pp ->
+      checki "rounds = spanner" r.Dis.spanner_rounds r.Dis.rounds;
+      checkb "spanner < pp" true (r.Dis.spanner_rounds < pp)
+  | Dis.Spanner_route_won, None -> checki "rounds = spanner" r.Dis.spanner_rounds r.Dis.rounds
+  | Dis.Push_pull_won, None -> Alcotest.fail "push-pull cannot win while capped");
+  checkb "success" true r.Dis.success
+
+let test_pushpull_wins_on_expander () =
+  (* A clique is the best case for push-pull (l*/phi* small) and the
+     worst case for the spanner route's polylog overhead. *)
+  let g = Gen.clique 32 in
+  let r = Dis.all_to_all (Rng.of_int 4) g ~knowledge:Dis.Known_latencies ~max_rounds:1_000_000 in
+  checkb "push-pull wins" true (r.Dis.winner = Dis.Push_pull_won)
+
+let test_capped_pushpull_leaves_spanner () =
+  let g = Gen.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:8 in
+  let r = Dis.all_to_all (Rng.of_int 5) g ~knowledge:Dis.Known_latencies ~max_rounds:1 in
+  checkb "spanner wins when pp capped" true (r.Dis.winner = Dis.Spanner_route_won);
+  checkb "still succeeds" true r.Dis.success
+
+let () =
+  Alcotest.run "gossip_dissemination"
+    [
+      ( "unified",
+        [
+          Alcotest.test_case "known latencies" `Quick test_known_latencies_succeeds;
+          Alcotest.test_case "unknown pays discovery" `Quick
+            test_unknown_latencies_pays_discovery;
+          Alcotest.test_case "winner is minimum" `Quick test_winner_is_minimum;
+          Alcotest.test_case "push-pull wins on expander" `Quick test_pushpull_wins_on_expander;
+          Alcotest.test_case "capped push-pull" `Quick test_capped_pushpull_leaves_spanner;
+        ] );
+    ]

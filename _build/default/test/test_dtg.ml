@@ -1,0 +1,171 @@
+(* Tests for l-DTG local broadcast (Appendix C / Algorithm 5). *)
+
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Dtg = Gossip_core.Dtg
+module Rumor = Gossip_core.Rumor
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_local_broadcast_clique () =
+  let _, ok = Dtg.local_broadcast (Gen.clique 16) ~max_rounds:100_000 in
+  checkb "goal reached" true ok
+
+let test_local_broadcast_grid () =
+  let _, ok = Dtg.local_broadcast (Gen.grid 5 5) ~max_rounds:100_000 in
+  checkb "goal reached" true ok
+
+let test_local_broadcast_star () =
+  let _, ok = Dtg.local_broadcast (Gen.star 20) ~max_rounds:100_000 in
+  checkb "goal reached" true ok
+
+let test_local_broadcast_weighted () =
+  let rng = Rng.of_int 1 in
+  let g = Gen.with_latencies rng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected rng ~n:24 ~p:0.3) in
+  let _, ok = Dtg.local_broadcast g ~max_rounds:1_000_000 in
+  checkb "goal reached" true ok
+
+let test_phase_respects_ell () =
+  (* Bridge latency 10 must not be crossed by a phase with ell = 1. *)
+  let g = Gen.dumbbell ~size:4 ~bridge_latency:10 in
+  let r = Dtg.phase g ~ell:1 ~max_rounds:100_000 () in
+  checkb "finished" true (r.Dtg.rounds <> None);
+  (* Node 3 (bridge endpoint) must not know node 4's rumor. *)
+  checkb "bridge not crossed" false (Bitset.mem r.Dtg.sets.(3) 4);
+  (* But within the clique everything is known. *)
+  checkb "clique known" true (Bitset.mem r.Dtg.sets.(0) 3)
+
+let test_phase_ell_latency_scaling () =
+  (* Same topology; ell = 4 phases pad every step to 4 rounds, so the
+     run takes ~4x the unit-latency run. *)
+  let g = Gen.cycle 12 in
+  let r1 = Dtg.phase g ~ell:1 ~max_rounds:100_000 () in
+  let g4 = Gen.with_latencies (Rng.of_int 2) (Gen.Fixed 4) (Gen.cycle 12) in
+  let r4 = Dtg.phase g4 ~ell:4 ~max_rounds:100_000 () in
+  match (r1.Dtg.rounds, r4.Dtg.rounds) with
+  | Some a, Some b ->
+      checkb "roughly 4x" true (b >= 3 * a && b <= 6 * a)
+  | _ -> Alcotest.fail "capped"
+
+let test_phase_chaining_extends_knowledge () =
+  (* On a path, one phase gives 1-hop knowledge; t phases give t hops
+     (the EID discovery property). *)
+  let n = 10 in
+  let g = Gen.path n in
+  let sets = Rumor.initial g in
+  let run_phase () = ignore (Dtg.phase g ~ell:1 ~max_rounds:100_000 ~rumors:sets ()) in
+  (* DTG also spreads rumors transitively, so t phases guarantee AT
+     LEAST the t-hop neighborhood (possibly more). *)
+  let knows_hops t =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if abs (u - v) <= t && not (Bitset.mem sets.(u) v) then ok := false
+      done
+    done;
+    !ok
+  in
+  run_phase ();
+  checkb "1 hop known" true (knows_hops 1);
+  run_phase ();
+  checkb "2 hops known after 2 phases" true (knows_hops 2);
+  run_phase ();
+  checkb "3 hops known after 3 phases" true (knows_hops 3)
+
+let test_phase_rumor_array_validated () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Dtg.phase: rumor array size mismatch")
+    (fun () -> ignore (Dtg.phase g ~ell:1 ~max_rounds:10 ~rumors:(Rumor.initial (Gen.path 4)) ()))
+
+let test_phase_cap () =
+  let g = Gen.clique 12 in
+  let r = Dtg.phase g ~ell:1 ~max_rounds:1 () in
+  checkb "capped" true (r.Dtg.rounds = None)
+
+let test_dtg_polylog_shape () =
+  (* DTG on a clique should take O(log^2 n) rounds, far below n. *)
+  let n = 64 in
+  let r, ok = Dtg.local_broadcast (Gen.clique n) ~max_rounds:1_000_000 in
+  checkb "ok" true ok;
+  match r.Dtg.rounds with
+  | Some rounds ->
+      let log2n = log (float_of_int n) /. log 2.0 in
+      checkb "O(log^2 n) shape" true (float_of_int rounds <= 8.0 *. log2n *. log2n)
+  | None -> Alcotest.fail "capped"
+
+let test_isolated_in_gl_terminates () =
+  (* With ell below every latency, every node is isolated in G_l and
+     the phase ends immediately. *)
+  let g = Gen.with_latencies (Rng.of_int 3) (Gen.Fixed 9) (Gen.cycle 8) in
+  let r = Dtg.phase g ~ell:1 ~max_rounds:100 () in
+  match r.Dtg.rounds with
+  | Some rounds ->
+      (* Fibers start and finish during the first step. *)
+      checki "immediate" 1 rounds
+  | None -> Alcotest.fail "capped"
+
+let test_iteration_bound_itrees () =
+  (* Appendix C: a node active in iteration i roots a vertex-disjoint
+     binomial tree of 2^i nodes, so no node runs more than ~log2 n
+     iterations.  Check the measured link counts. *)
+  List.iter
+    (fun n ->
+      let r = Dtg.phase (Gen.clique n) ~ell:1 ~max_rounds:1_000_000 () in
+      let log2n =
+        let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+        go 0 1
+      in
+      let worst = Array.fold_left max 0 r.Dtg.link_counts in
+      if worst > (2 * log2n) + 2 then
+        Alcotest.failf "clique-%d: %d iterations > 2 log n + 2" n worst)
+    [ 16; 32; 64; 128 ]
+
+let test_iteration_bound_random () =
+  let rng = Rng.of_int 9 in
+  let g = Gen.erdos_renyi_connected rng ~n:48 ~p:0.3 in
+  let r = Dtg.phase g ~ell:1 ~max_rounds:1_000_000 () in
+  let worst = Array.fold_left max 0 r.Dtg.link_counts in
+  checkb "O(log n) iterations" true (worst <= 14)
+
+let prop_local_broadcast_on_random_graphs =
+  QCheck.Test.make ~name:"dtg local broadcast on random graphs" ~count:15
+    QCheck.(pair (int_range 5 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 4)) (Gen.erdos_renyi_connected rng ~n ~p:0.35)
+      in
+      let _, ok = Dtg.local_broadcast g ~max_rounds:1_000_000 in
+      ok)
+
+let () =
+  Alcotest.run "gossip_dtg"
+    [
+      ( "local-broadcast",
+        [
+          Alcotest.test_case "clique" `Quick test_local_broadcast_clique;
+          Alcotest.test_case "grid" `Quick test_local_broadcast_grid;
+          Alcotest.test_case "star" `Quick test_local_broadcast_star;
+          Alcotest.test_case "weighted random" `Quick test_local_broadcast_weighted;
+          Alcotest.test_case "polylog shape" `Quick test_dtg_polylog_shape;
+          Alcotest.test_case "i-tree iteration bound (clique)" `Quick
+            test_iteration_bound_itrees;
+          Alcotest.test_case "i-tree iteration bound (random)" `Quick
+            test_iteration_bound_random;
+          qtest prop_local_broadcast_on_random_graphs;
+        ] );
+      ( "phase",
+        [
+          Alcotest.test_case "respects ell" `Quick test_phase_respects_ell;
+          Alcotest.test_case "ell scales time" `Quick test_phase_ell_latency_scaling;
+          Alcotest.test_case "chaining extends knowledge" `Quick
+            test_phase_chaining_extends_knowledge;
+          Alcotest.test_case "rumor validation" `Quick test_phase_rumor_array_validated;
+          Alcotest.test_case "cap" `Quick test_phase_cap;
+          Alcotest.test_case "isolated terminates" `Quick test_isolated_in_gl_terminates;
+        ] );
+    ]

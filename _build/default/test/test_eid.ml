@@ -1,0 +1,192 @@
+(* Tests for EID / General EID and the Termination Check (Section 5,
+   Theorems 14 & 19, Lemma 18). *)
+
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Eid = Gossip_core.Eid
+module Tc = Gossip_core.Termination_check
+module Rumor = Gossip_core.Rumor
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let full_out g = Array.init (Graph.n g) (fun u -> Graph.neighbors g u)
+
+(* ------------------------------------------------------------------ *)
+(* Termination check *)
+
+let test_check_passes_when_complete () =
+  let g = Gen.cycle 8 in
+  let sets = Array.init 8 (fun _ -> Bitset.full 8) in
+  let r = Tc.run ~base:g ~out_edges:(full_out g) ~k:(Paths.weighted_diameter g) ~sets in
+  checkb "no failure" false (Array.exists (fun f -> f) r.Tc.failed);
+  checkb "unanimous" true r.Tc.unanimous
+
+let test_check_fails_on_missing_neighbor () =
+  let g = Gen.cycle 8 in
+  let sets = Rumor.initial g in
+  (* Singletons: every node is missing both neighbors. *)
+  let r = Tc.run ~base:g ~out_edges:(full_out g) ~k:(Paths.weighted_diameter g) ~sets in
+  checkb "fails" true (Array.for_all (fun f -> f) r.Tc.failed);
+  checkb "unanimous" true r.Tc.unanimous
+
+let test_check_fails_on_unequal_sets () =
+  (* Every node knows its neighbors (no flags) but node 0 knows more:
+     fingerprint mismatch must flood. *)
+  let g = Gen.cycle 6 in
+  let sets =
+    Array.init 6 (fun u -> Bitset.of_list 6 [ (u + 5) mod 6; u; (u + 1) mod 6 ])
+  in
+  Bitset.add sets.(0) 3;
+  let r = Tc.run ~base:g ~out_edges:(full_out g) ~k:(Paths.weighted_diameter g) ~sets in
+  checkb "fails" true (Array.exists (fun f -> f) r.Tc.failed);
+  checkb "unanimous (Lemma 18)" true r.Tc.unanimous
+
+let test_check_does_not_modify_sets () =
+  let g = Gen.cycle 6 in
+  let sets = Rumor.initial g in
+  let before = Array.map Bitset.copy sets in
+  ignore (Tc.run ~base:g ~out_edges:(full_out g) ~k:3 ~sets);
+  Array.iteri (fun i s -> checkb "unchanged" true (Bitset.equal s before.(i))) sets
+
+(* ------------------------------------------------------------------ *)
+(* EID with known diameter *)
+
+let known_d_families =
+  [
+    ("cycle", Gen.cycle 10);
+    ("grid", Gen.grid 4 4);
+    ("ring-of-cliques", Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:4);
+    ("dumbbell", Gen.dumbbell ~size:5 ~bridge_latency:3);
+  ]
+
+let test_eid_known_diameter_succeeds () =
+  List.iter
+    (fun (name, g) ->
+      let d = Paths.weighted_diameter g in
+      let r = Eid.run_known_diameter (Rng.of_int 11) g ~d () in
+      if not r.Eid.success then Alcotest.failf "%s: EID(D) failed" name)
+    known_d_families
+
+let test_eid_attempt_breakdown () =
+  let g = Gen.cycle 10 in
+  let d = Paths.weighted_diameter g in
+  let r = Eid.run_known_diameter (Rng.of_int 12) g ~d () in
+  checki "one attempt" 1 (List.length r.Eid.attempts);
+  let a = List.hd r.Eid.attempts in
+  checkb "discovery counted" true (a.Eid.discovery_rounds > 0);
+  checkb "rr counted" true (a.Eid.rr_rounds > 0);
+  checki "total is the sum" (a.Eid.discovery_rounds + a.Eid.rr_rounds) r.Eid.rounds
+
+let test_eid_small_d_fails_cleanly () =
+  (* d = 1 on a latency-5 cycle: G_1 is edgeless; dissemination cannot
+     complete. *)
+  let g = Gen.with_latencies (Rng.of_int 13) (Gen.Fixed 5) (Gen.cycle 8) in
+  let r = Eid.run_known_diameter (Rng.of_int 13) g ~d:1 () in
+  checkb "no success" false r.Eid.success
+
+(* ------------------------------------------------------------------ *)
+(* General EID (unknown diameter) *)
+
+let test_general_eid_succeeds () =
+  List.iter
+    (fun (name, g) ->
+      let r = Eid.run (Rng.of_int 14) g () in
+      if not r.Eid.success then Alcotest.failf "%s: General EID failed" name;
+      if not r.Eid.unanimous then Alcotest.failf "%s: verdicts not unanimous" name)
+    known_d_families
+
+let test_general_eid_k_final_bounded () =
+  (* Guess-and-double never overshoots 2D (with the next-power slack). *)
+  let g = Gen.ring_of_cliques ~cliques:4 ~size:3 ~bridge_latency:5 in
+  let d = Paths.weighted_diameter g in
+  let r = Eid.run (Rng.of_int 15) g () in
+  checkb "k_final <= 2 * next_pow2(D)" true (r.Eid.k_final <= 4 * d);
+  checkb "success" true r.Eid.success
+
+let test_general_eid_attempts_double () =
+  let g = Gen.dumbbell ~size:4 ~bridge_latency:6 in
+  let r = Eid.run (Rng.of_int 16) g () in
+  let ks = List.map (fun a -> a.Eid.k) r.Eid.attempts in
+  let rec doubling = function
+    | a :: (b :: _ as rest) -> b = 2 * a && doubling rest
+    | _ -> true
+  in
+  checkb "estimates double" true (doubling ks);
+  checki "starts at 1" 1 (List.hd ks)
+
+let test_general_eid_weighted_random () =
+  let rng = Rng.of_int 17 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n:20 ~p:0.3)
+  in
+  let r = Eid.run (Rng.of_int 18) g () in
+  checkb "success" true r.Eid.success;
+  checkb "all-to-all" true (Rumor.all_to_all_done r.Eid.sets)
+
+let test_general_eid_charges_checks () =
+  (* Every general-EID attempt pays for its termination check. *)
+  let g = Gen.dumbbell ~size:4 ~bridge_latency:6 in
+  let r = Eid.run (Rng.of_int 19) g () in
+  List.iter
+    (fun a -> checkb "check rounds charged" true (a.Eid.check_rounds > 0))
+    r.Eid.attempts;
+  (* The total is the sum of the per-attempt parts. *)
+  let total =
+    List.fold_left
+      (fun acc a -> acc + a.Eid.discovery_rounds + a.Eid.rr_rounds + a.Eid.check_rounds)
+      0 r.Eid.attempts
+  in
+  checki "total is the sum of attempts" total r.Eid.rounds
+
+let test_eid_n_hat_overestimate () =
+  (* Lemma 13: a polynomial overestimate still succeeds, just slower. *)
+  let g = Gen.cycle 12 in
+  let exactish = Eid.run (Rng.of_int 20) g () in
+  let over = Eid.run (Rng.of_int 20) g ~n_hat:(12 * 12) () in
+  checkb "both succeed" true (exactish.Eid.success && over.Eid.success);
+  checkb "overestimate costs more rounds" true (over.Eid.rounds >= exactish.Eid.rounds)
+
+let prop_general_eid_on_random_graphs =
+  QCheck.Test.make ~name:"General EID succeeds on random weighted graphs" ~count:8
+    QCheck.(pair (int_range 6 16) (int_range 0 100))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 4)) (Gen.erdos_renyi_connected rng ~n ~p:0.4)
+      in
+      let r = Eid.run (Rng.of_int (seed + 500)) g () in
+      r.Eid.success && r.Eid.unanimous)
+
+let () =
+  Alcotest.run "gossip_eid"
+    [
+      ( "termination-check",
+        [
+          Alcotest.test_case "passes when complete" `Quick test_check_passes_when_complete;
+          Alcotest.test_case "fails on missing neighbor" `Quick
+            test_check_fails_on_missing_neighbor;
+          Alcotest.test_case "fails on unequal sets" `Quick test_check_fails_on_unequal_sets;
+          Alcotest.test_case "does not modify sets" `Quick test_check_does_not_modify_sets;
+        ] );
+      ( "eid-known-d",
+        [
+          Alcotest.test_case "succeeds" `Quick test_eid_known_diameter_succeeds;
+          Alcotest.test_case "attempt breakdown" `Quick test_eid_attempt_breakdown;
+          Alcotest.test_case "small d fails cleanly" `Quick test_eid_small_d_fails_cleanly;
+        ] );
+      ( "general-eid",
+        [
+          Alcotest.test_case "succeeds" `Quick test_general_eid_succeeds;
+          Alcotest.test_case "k_final bounded" `Quick test_general_eid_k_final_bounded;
+          Alcotest.test_case "attempts double" `Quick test_general_eid_attempts_double;
+          Alcotest.test_case "weighted random" `Quick test_general_eid_weighted_random;
+          Alcotest.test_case "charges checks" `Quick test_general_eid_charges_checks;
+          Alcotest.test_case "n_hat overestimate" `Quick test_eid_n_hat_overestimate;
+          qtest prop_general_eid_on_random_graphs;
+        ] );
+    ]

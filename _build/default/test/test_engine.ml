@@ -1,0 +1,237 @@
+(* Tests for the synchronous latency engine: exchange timing semantics,
+   non-blocking initiations, metrics, determinism. *)
+
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Build a two-node graph with one edge of the given latency, where node
+   0 initiates exactly once (at round [when_]) and both sides log event
+   rounds. *)
+let timing_run ~latency ~when_ ~rounds =
+  let g = Graph.of_edges ~n:2 [ (0, 1, latency) ] in
+  let request_at = ref (-1) and response_at = ref (-1) in
+  let handlers u =
+    {
+      Engine.on_round =
+        (fun ~round -> if u = 0 && round = when_ then Some (1, "ping") else None);
+      on_request =
+        (fun ~peer:_ ~round payload ->
+          request_at := round;
+          payload ^ "-pong");
+      on_push = (fun ~peer:_ ~round:_ _payload -> ());
+      on_response = (fun ~peer:_ ~round _payload -> response_at := round);
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  for _ = 1 to rounds do
+    Engine.step engine
+  done;
+  (!request_at, !response_at, Engine.metrics engine)
+
+let test_latency1_roundtrip () =
+  let req, resp, _ = timing_run ~latency:1 ~when_:0 ~rounds:5 in
+  checki "request arrives at 1" 1 req;
+  checki "response arrives at 1" 1 resp
+
+let test_latency2_roundtrip () =
+  let req, resp, _ = timing_run ~latency:2 ~when_:0 ~rounds:5 in
+  checki "request at ceil(2/2)=1" 1 req;
+  checki "response at 2" 2 resp
+
+let test_latency5_roundtrip () =
+  let req, resp, _ = timing_run ~latency:5 ~when_:0 ~rounds:10 in
+  checki "request at ceil(5/2)=3" 3 req;
+  checki "response at 5 (round trip = latency)" 5 resp
+
+let test_latency_offset_start () =
+  let req, resp, _ = timing_run ~latency:4 ~when_:3 ~rounds:10 in
+  checki "request at 3+2" 5 req;
+  checki "response at 3+4" 7 resp
+
+let test_metrics_counts () =
+  let _, _, m = timing_run ~latency:3 ~when_:0 ~rounds:6 in
+  checki "one initiation" 1 m.Engine.initiations;
+  checki "two deliveries" 2 m.Engine.deliveries;
+  checki "rounds counted" 6 m.Engine.rounds
+
+let test_non_neighbor_rejected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1) ] in
+  let handlers u =
+    {
+      Engine.on_round = (fun ~round:_ -> if u = 0 then Some (2, ()) else None);
+      on_request = (fun ~peer:_ ~round:_ () -> ());
+      on_push = (fun ~peer:_ ~round:_ () -> ());
+      on_response = (fun ~peer:_ ~round:_ () -> ());
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  Alcotest.check_raises "non-neighbor"
+    (Invalid_argument "Engine.step: initiation toward a non-neighbor") (fun () ->
+      Engine.step engine)
+
+let test_non_blocking_initiations () =
+  (* Node 0 initiates every round over a latency-10 edge; all exchanges
+     must be accepted and eventually delivered. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 10) ] in
+  let responses = ref 0 in
+  let handlers u =
+    {
+      Engine.on_round = (fun ~round -> if u = 0 && round < 5 then Some (1, round) else None);
+      on_request = (fun ~peer:_ ~round:_ payload -> payload);
+      on_push = (fun ~peer:_ ~round:_ _payload -> ());
+      on_response = (fun ~peer:_ ~round:_ _ -> incr responses);
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  for _ = 1 to 20 do
+    Engine.step engine
+  done;
+  checki "five overlapping exchanges all completed" 5 !responses;
+  checki "initiations" 5 (Engine.metrics engine).Engine.initiations
+
+let test_response_reflects_responder_state () =
+  (* The responder's reply is computed when the request arrives, not
+     when the exchange was initiated: over a latency-6 edge, a counter
+     incremented at round 2 must be visible in a reply generated at
+     round 3. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 6) ] in
+  let counter = ref 0 in
+  let got = ref (-1) in
+  let handlers u =
+    {
+      Engine.on_round =
+        (fun ~round ->
+          if u = 1 && round = 2 then counter := 42;
+          if u = 0 && round = 0 then Some (1, 0) else None);
+      on_request = (fun ~peer:_ ~round:_ _ -> !counter);
+      on_push = (fun ~peer:_ ~round:_ _payload -> ());
+      on_response = (fun ~peer:_ ~round:_ payload -> got := payload);
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  for _ = 1 to 8 do
+    Engine.step engine
+  done;
+  checki "reply sees state at arrival time" 42 !got
+
+let test_run_until () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 4) ] in
+  let done_flag = ref false in
+  let handlers u =
+    {
+      Engine.on_round = (fun ~round -> if u = 0 && round = 0 then Some (1, ()) else None);
+      on_request = (fun ~peer:_ ~round:_ () -> ());
+      on_push = (fun ~peer:_ ~round:_ () -> ());
+      on_response = (fun ~peer:_ ~round:_ () -> done_flag := true);
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  (match Engine.run_until engine ~max_rounds:100 (fun () -> !done_flag) with
+  | Some r -> checki "completed at latency+1 steps" 5 r
+  | None -> Alcotest.fail "should complete");
+  (* A predicate that never holds exhausts the budget. *)
+  let engine2 = Engine.create g ~handlers in
+  checkb "cap returns None" true (Engine.run_until engine2 ~max_rounds:3 (fun () -> false) = None)
+
+let test_deterministic_replay () =
+  (* Same protocol run twice gives identical metrics. *)
+  let run () =
+    let rng = Gossip_util.Rng.of_int 99 in
+    let g = Gossip_graph.Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:3 in
+    let r = Gossip_core.Push_pull.broadcast rng g ~source:0 ~max_rounds:10_000 in
+    (r.Gossip_core.Push_pull.rounds, r.Gossip_core.Push_pull.metrics.Engine.initiations)
+  in
+  let a = run () and b = run () in
+  checkb "identical replay" true (a = b)
+
+let test_current_round_advances () =
+  let g = Graph.of_edges ~n:1 [] in
+  let handlers _ =
+    {
+      Engine.on_round = (fun ~round:_ -> None);
+      on_request = (fun ~peer:_ ~round:_ () -> ());
+      on_push = (fun ~peer:_ ~round:_ () -> ());
+      on_response = (fun ~peer:_ ~round:_ () -> ());
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  checki "starts at 0" 0 (Engine.current_round engine);
+  Engine.step engine;
+  Engine.step engine;
+  checki "advances" 2 (Engine.current_round engine)
+
+let test_no_same_round_chaining () =
+  (* Regression for the synchronous discipline: on a unit path
+     0-1-2 where 1 and 2 pull simultaneously, node 2's pull at round t
+     must see node 1's state from the start of the round — information
+     must NOT hop two edges in one round. *)
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 1) ] in
+  let informed = [| true; false; false |] in
+  let informed_at = [| 0; -1; -1 |] in
+  let handlers u =
+    {
+      Engine.on_round =
+        (fun ~round:_ ->
+          (* 1 pulls from 0 and 2 pulls from 1, every round. *)
+          if u = 1 then Some (0, false) else if u = 2 then Some (1, false) else None);
+      on_request = (fun ~peer:_ ~round:_ _ -> informed.(u));
+      on_push = (fun ~peer:_ ~round:_ _ -> ());
+      on_response =
+        (fun ~peer:_ ~round payload ->
+          if payload && not informed.(u) then begin
+            informed.(u) <- true;
+            informed_at.(u) <- round
+          end);
+    }
+  in
+  let engine = Engine.create g ~handlers in
+  for _ = 1 to 6 do
+    Engine.step engine
+  done;
+  checki "node 1 informed at round 1" 1 informed_at.(1);
+  (* Node 2's round-1 pull was answered from node 1's start-of-round-1
+     state (uninformed); only the round-2 pull succeeds. *)
+  checki "node 2 informed one round later" 2 informed_at.(2)
+
+let prop_roundtrip_equals_latency =
+  QCheck.Test.make ~name:"round trip always equals the edge latency" ~count:100
+    QCheck.(pair (int_range 1 50) (int_range 0 20))
+    (fun (latency, when_) ->
+      let _, resp, _ = timing_run ~latency ~when_ ~rounds:(when_ + latency + 2) in
+      resp = when_ + latency)
+
+let prop_request_at_half =
+  QCheck.Test.make ~name:"request leg is ceil(latency/2)" ~count:100
+    QCheck.(int_range 1 50)
+    (fun latency ->
+      let req, _, _ = timing_run ~latency ~when_:0 ~rounds:(latency + 2) in
+      req = (latency + 1) / 2)
+
+let () =
+  Alcotest.run "gossip_engine"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "latency 1" `Quick test_latency1_roundtrip;
+          Alcotest.test_case "latency 2" `Quick test_latency2_roundtrip;
+          Alcotest.test_case "latency 5" `Quick test_latency5_roundtrip;
+          Alcotest.test_case "offset start" `Quick test_latency_offset_start;
+          Alcotest.test_case "responder state at arrival" `Quick
+            test_response_reflects_responder_state;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics_counts;
+          Alcotest.test_case "non-neighbor rejected" `Quick test_non_neighbor_rejected;
+          Alcotest.test_case "non-blocking initiations" `Quick test_non_blocking_initiations;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "round counter" `Quick test_current_round_advances;
+          Alcotest.test_case "no same-round chaining" `Quick test_no_same_round_chaining;
+          QCheck_alcotest.to_alcotest prop_roundtrip_equals_latency;
+          QCheck_alcotest.to_alcotest prop_request_at_half;
+        ] );
+    ]

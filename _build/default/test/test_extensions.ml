@@ -1,0 +1,256 @@
+(* Tests for the extension substrates: edge subdivision (footnote 3),
+   the greedy spanner baseline, randomized DTG linking, and the
+   social-network generators. *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Subdivision = Gossip_graph.Subdivision
+module Greedy = Gossip_core.Greedy_spanner
+module Dtg = Gossip_core.Dtg
+module Rumor = Gossip_core.Rumor
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Subdivision *)
+
+let test_subdivide_unit_graph_identity () =
+  let g = Gen.clique 6 in
+  let sub = Subdivision.subdivide g in
+  checki "same nodes" 6 (Graph.n sub.Subdivision.subdivided);
+  checki "same edges" (Graph.m g) (Graph.m sub.Subdivision.subdivided)
+
+let test_subdivide_counts () =
+  (* One latency-5 edge becomes 5 unit edges through 4 new nodes. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 5) ] in
+  let sub = Subdivision.subdivide g in
+  checki "nodes" 6 (Graph.n sub.Subdivision.subdivided);
+  checki "edges" 5 (Graph.m sub.Subdivision.subdivided);
+  checki "original marker" 2 sub.Subdivision.original_nodes;
+  checkb "original" true (Subdivision.is_original sub 1);
+  checkb "auxiliary" false (Subdivision.is_original sub 2)
+
+let test_subdivide_latency2 () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 2) ] in
+  let sub = Subdivision.subdivide g in
+  checki "nodes" 3 (Graph.n sub.Subdivision.subdivided);
+  checki "edges" 2 (Graph.m sub.Subdivision.subdivided)
+
+let test_subdivide_preserves_distances () =
+  let rng = Rng.of_int 1 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected rng ~n:12 ~p:0.4)
+  in
+  let sub = Subdivision.subdivide g in
+  let s = sub.Subdivision.subdivided in
+  for u = 0 to Graph.n g - 1 do
+    let dg = Paths.dijkstra g u and ds = Paths.dijkstra s u in
+    for v = 0 to Graph.n g - 1 do
+      checki "distance preserved" dg.(v) ds.(v)
+    done
+  done
+
+let test_subdivide_all_unit_latencies () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 3); (1, 2, 4) ] in
+  let sub = Subdivision.subdivide g in
+  Graph.iter_edges
+    (fun e -> checki "unit" 1 e.Graph.latency)
+    sub.Subdivision.subdivided
+
+let prop_subdivision_size =
+  QCheck.Test.make ~name:"subdivision node/edge counts" ~count:30
+    QCheck.(pair (int_range 4 15) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 8)) (Gen.erdos_renyi_connected rng ~n ~p:0.4)
+      in
+      let total_latency =
+        List.fold_left (fun acc e -> acc + e.Graph.latency) 0 (Graph.edges g)
+      in
+      let sub = Subdivision.subdivide g in
+      Graph.m sub.Subdivision.subdivided = total_latency
+      && Graph.n sub.Subdivision.subdivided = n + total_latency - Graph.m g)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy spanner *)
+
+let test_greedy_r1_keeps_everything () =
+  (* r = 1: an edge is kept unless an equal-or-shorter path exists;
+     on a clique with distinct weights nothing shortcuts exactly, so
+     most edges stay — specifically all edges on a unit clique form
+     triangles of length 2 > 1, so all are kept. *)
+  let g = Gen.clique 5 in
+  let t = Greedy.build g ~r:1 in
+  checki "keeps all" (Graph.m g) (Greedy.edge_count t)
+
+let test_greedy_r3_on_clique () =
+  (* r = 3 on a unit clique: after a spanning structure exists, every
+     remaining edge has a 2-hop detour (length 2 <= 3), so the result
+     is sparse. *)
+  let g = Gen.clique 12 in
+  let t = Greedy.build g ~r:3 in
+  checkb "sparse" true (Greedy.edge_count t < Graph.m g / 2);
+  checkb "stretch honored" true (Greedy.stretch t <= 3.0 +. 1e-9)
+
+let test_greedy_stretch_guarantee_weighted () =
+  let rng = Rng.of_int 2 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 9)) (Gen.erdos_renyi_connected rng ~n:30 ~p:0.4)
+  in
+  List.iter
+    (fun r ->
+      let t = Greedy.build g ~r in
+      if Greedy.stretch t > float_of_int r +. 1e-9 then
+        Alcotest.failf "stretch %f exceeds r=%d" (Greedy.stretch t) r)
+    [ 1; 3; 5; 7 ]
+
+let test_greedy_connectivity () =
+  let rng = Rng.of_int 3 in
+  let g = Gen.erdos_renyi_connected rng ~n:25 ~p:0.3 in
+  let t = Greedy.build g ~r:5 in
+  checkb "connected" true (Graph.is_connected t.Greedy.spanner)
+
+let test_greedy_invalid () =
+  Alcotest.check_raises "r=0" (Invalid_argument "Greedy_spanner.build: need r >= 1") (fun () ->
+      ignore (Greedy.build (Gen.path 3) ~r:0))
+
+let prop_greedy_never_larger_than_base =
+  QCheck.Test.make ~name:"greedy spanner subset of base" ~count:20
+    QCheck.(pair (int_range 5 20) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n ~p:0.4)
+      in
+      let t = Greedy.build g ~r:3 in
+      Greedy.edge_count t <= Graph.m g
+      && List.for_all
+           (fun { Graph.u; v; latency } -> Graph.latency g u v = Some latency)
+           (Graph.edges t.Greedy.spanner))
+
+(* ------------------------------------------------------------------ *)
+(* Randomized DTG linking *)
+
+let test_dtg_random_linking_completes () =
+  List.iter
+    (fun (name, g) ->
+      let r =
+        Dtg.phase g ~ell:(Graph.max_latency g) ~max_rounds:1_000_000
+          ~link_rng:(Rng.of_int 7) ()
+      in
+      (match r.Dtg.rounds with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s capped" name);
+      if not (Rumor.local_broadcast_done g r.Dtg.sets) then
+        Alcotest.failf "%s incomplete" name)
+    [
+      ("clique", Gen.clique 12);
+      ("grid", Gen.grid 4 4);
+      ("star", Gen.star 15);
+      ("weighted cycle", Gen.with_latencies (Rng.of_int 4) (Gen.Uniform (1, 3)) (Gen.cycle 10));
+    ]
+
+let test_dtg_random_linking_deterministic_given_seed () =
+  let g = Gen.grid 4 4 in
+  let run () =
+    let r = Dtg.phase g ~ell:1 ~max_rounds:100_000 ~link_rng:(Rng.of_int 11) () in
+    r.Dtg.rounds
+  in
+  Alcotest.check (Alcotest.option Alcotest.int) "replayable" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Social-network generators *)
+
+let test_ba_basic () =
+  let g = Gen.barabasi_albert (Rng.of_int 5) ~n:100 ~attach:3 in
+  checki "n" 100 (Graph.n g);
+  checkb "connected" true (Graph.is_connected g);
+  (* Seed clique C(4,2) = 6 edges plus 3 per new node. *)
+  checki "edges" (6 + (3 * 96)) (Graph.m g)
+
+let test_ba_degree_skew () =
+  (* Preferential attachment produces hubs: the max degree should far
+     exceed the minimum (which is >= attach). *)
+  let g = Gen.barabasi_albert (Rng.of_int 6) ~n:300 ~attach:2 in
+  let min_deg = ref max_int in
+  for v = 0 to 299 do
+    min_deg := min !min_deg (Graph.degree g v)
+  done;
+  checkb "min degree >= attach" true (!min_deg >= 2);
+  checkb "hub exists" true (Graph.max_degree g >= 5 * !min_deg)
+
+let test_ba_validation () =
+  Alcotest.check_raises "attach >= n"
+    (Invalid_argument "Gen.barabasi_albert: need n > attach >= 1") (fun () ->
+      ignore (Gen.barabasi_albert (Rng.of_int 7) ~n:3 ~attach:3))
+
+let test_ws_basic () =
+  let g = Gen.watts_strogatz (Rng.of_int 8) ~n:40 ~k:3 ~beta:0.0 in
+  checki "n" 40 (Graph.n g);
+  (* beta = 0: the pristine ring lattice, n*k edges, 2k-regular. *)
+  checki "edges" (40 * 3) (Graph.m g);
+  for v = 0 to 39 do
+    checki "2k-regular" 6 (Graph.degree g v)
+  done
+
+let test_ws_rewiring_changes_structure () =
+  let lattice = Gen.watts_strogatz (Rng.of_int 9) ~n:60 ~k:2 ~beta:0.0 in
+  let rewired = Gen.watts_strogatz (Rng.of_int 9) ~n:60 ~k:2 ~beta:0.5 in
+  checki "edge count preserved" (Graph.m lattice) (Graph.m rewired);
+  (* Shortcuts shrink the diameter. *)
+  checkb "small world" true
+    (Graph.is_connected rewired
+    && Paths.hop_diameter rewired < Paths.hop_diameter lattice)
+
+let test_ws_validation () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Gen.watts_strogatz: need n > 2k >= 2")
+    (fun () -> ignore (Gen.watts_strogatz (Rng.of_int 10) ~n:6 ~k:3 ~beta:0.1))
+
+let prop_ba_connected =
+  QCheck.Test.make ~name:"BA graphs always connected" ~count:20
+    QCheck.(pair (int_range 10 100) (int_range 0 1000))
+    (fun (n, seed) ->
+      Graph.is_connected (Gen.barabasi_albert (Rng.of_int seed) ~n ~attach:2))
+
+let () =
+  Alcotest.run "gossip_extensions"
+    [
+      ( "subdivision",
+        [
+          Alcotest.test_case "unit identity" `Quick test_subdivide_unit_graph_identity;
+          Alcotest.test_case "counts" `Quick test_subdivide_counts;
+          Alcotest.test_case "latency 2" `Quick test_subdivide_latency2;
+          Alcotest.test_case "preserves distances" `Quick test_subdivide_preserves_distances;
+          Alcotest.test_case "unit latencies" `Quick test_subdivide_all_unit_latencies;
+          qtest prop_subdivision_size;
+        ] );
+      ( "greedy-spanner",
+        [
+          Alcotest.test_case "r=1" `Quick test_greedy_r1_keeps_everything;
+          Alcotest.test_case "r=3 clique" `Quick test_greedy_r3_on_clique;
+          Alcotest.test_case "stretch guarantee" `Quick test_greedy_stretch_guarantee_weighted;
+          Alcotest.test_case "connectivity" `Quick test_greedy_connectivity;
+          Alcotest.test_case "invalid" `Quick test_greedy_invalid;
+          qtest prop_greedy_never_larger_than_base;
+        ] );
+      ( "dtg-linking",
+        [
+          Alcotest.test_case "random completes" `Quick test_dtg_random_linking_completes;
+          Alcotest.test_case "replayable" `Quick test_dtg_random_linking_deterministic_given_seed;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "BA basic" `Quick test_ba_basic;
+          Alcotest.test_case "BA degree skew" `Quick test_ba_degree_skew;
+          Alcotest.test_case "BA validation" `Quick test_ba_validation;
+          Alcotest.test_case "WS basic" `Quick test_ws_basic;
+          Alcotest.test_case "WS rewiring" `Quick test_ws_rewiring_changes_structure;
+          Alcotest.test_case "WS validation" `Quick test_ws_validation;
+          qtest prop_ba_connected;
+        ] );
+    ]

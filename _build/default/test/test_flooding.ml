@@ -1,0 +1,79 @@
+(* Tests for flooding baselines, including the footnote-2 star
+   separation (push-only vs push-pull). *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Flooding = Gossip_core.Flooding
+module Push_pull = Gossip_core.Push_pull
+
+let checkb = Alcotest.check Alcotest.bool
+
+let rounds_of r =
+  match r.Flooding.rounds with Some x -> x | None -> Alcotest.fail "capped"
+
+let test_push_only_star_linear () =
+  (* The hub must serve each leaf; blocking push takes ~(n-1) * D. *)
+  let n = 20 and d = 5 in
+  let g = Gen.with_latencies (Rng.of_int 1) (Gen.Fixed d) (Gen.star n) in
+  let r = Flooding.push_round_robin g ~source:0 ~blocking:true ~max_rounds:100_000 in
+  checkb "Omega(n*D) on star" true (rounds_of r >= (n - 2) * d)
+
+let test_push_only_nonblocking_faster () =
+  let n = 20 and d = 5 in
+  let g = Gen.with_latencies (Rng.of_int 2) (Gen.Fixed d) (Gen.star n) in
+  let blocking = Flooding.push_round_robin g ~source:0 ~blocking:true ~max_rounds:100_000 in
+  let pipelined = Flooding.push_round_robin g ~source:0 ~blocking:false ~max_rounds:100_000 in
+  checkb "pipelining helps" true (rounds_of pipelined < rounds_of blocking);
+  checkb "nonblocking ~ n + D" true (rounds_of pipelined <= n + d + 2)
+
+let test_push_pull_beats_push_only_on_star () =
+  (* Footnote 2: with pull, the star broadcast is O(D); push-only is
+     Omega(n). *)
+  let n = 40 and d = 3 in
+  let g = Gen.with_latencies (Rng.of_int 3) (Gen.Fixed d) (Gen.star n) in
+  let push_only = Flooding.push_round_robin g ~source:0 ~blocking:true ~max_rounds:1_000_000 in
+  let pp = Push_pull.broadcast (Rng.of_int 3) g ~source:0 ~max_rounds:1_000_000 in
+  let pp_rounds = match pp.Push_pull.rounds with Some x -> x | None -> max_int in
+  checkb "push-pull much faster" true (10 * pp_rounds < rounds_of push_only)
+
+let test_push_only_leaf_source () =
+  (* A leaf source must first inform the hub, then the hub serves. *)
+  let g = Gen.star 10 in
+  let r = Flooding.push_round_robin g ~source:3 ~blocking:true ~max_rounds:10_000 in
+  checkb "completes" true (r.Flooding.rounds <> None)
+
+let test_flood_all_path () =
+  let g = Gen.path 12 in
+  let r = Flooding.flood_all g ~max_rounds:10_000 in
+  checkb "completes" true (r.Flooding.rounds <> None)
+
+let test_flood_all_respects_latency () =
+  let fast = Gen.cycle 10 in
+  let slow = Gen.with_latencies (Rng.of_int 4) (Gen.Fixed 7) (Gen.cycle 10) in
+  let rf = Flooding.flood_all fast ~max_rounds:100_000 in
+  let rs = Flooding.flood_all slow ~max_rounds:100_000 in
+  checkb "slower with latency" true (rounds_of rs > rounds_of rf)
+
+let test_flood_all_cap () =
+  let r = Flooding.flood_all (Gen.path 30) ~max_rounds:2 in
+  checkb "capped" true (r.Flooding.rounds = None)
+
+let () =
+  Alcotest.run "gossip_flooding"
+    [
+      ( "push-only",
+        [
+          Alcotest.test_case "star Omega(nD) blocking" `Quick test_push_only_star_linear;
+          Alcotest.test_case "nonblocking pipelining" `Quick test_push_only_nonblocking_faster;
+          Alcotest.test_case "push-pull beats push-only" `Quick
+            test_push_pull_beats_push_only_on_star;
+          Alcotest.test_case "leaf source" `Quick test_push_only_leaf_source;
+        ] );
+      ( "flood-all",
+        [
+          Alcotest.test_case "path" `Quick test_flood_all_path;
+          Alcotest.test_case "latency slows" `Quick test_flood_all_respects_latency;
+          Alcotest.test_case "cap" `Quick test_flood_all_cap;
+        ] );
+    ]

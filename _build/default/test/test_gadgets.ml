@@ -1,0 +1,226 @@
+(* Tests for the lower-bound gadget constructions (Section 3.2,
+   Theorems 6-8, Figures 1-2). *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gadgets = Gossip_graph.Gadgets
+module Paths = Gossip_graph.Paths
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_singleton_target () =
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 100 do
+    match Gadgets.singleton_target rng ~m:10 with
+    | [ (a, b) ] -> checkb "in range" true (a >= 0 && a < 10 && b >= 0 && b < 10)
+    | _ -> Alcotest.fail "not a singleton"
+  done
+
+let test_random_p_target_density () =
+  let rng = Rng.of_int 2 in
+  let t = Gadgets.random_p_target rng ~m:40 ~p:0.25 in
+  let count = List.length t in
+  (* Expected 400; allow generous slack. *)
+  checkb "density near p*m^2" true (count > 280 && count < 520)
+
+let test_random_p_target_extremes () =
+  let rng = Rng.of_int 3 in
+  checki "p tiny is near-empty" 0
+    (List.length (Gadgets.random_p_target rng ~m:5 ~p:1e-12));
+  checki "p=1 full" 25 (List.length (Gadgets.random_p_target rng ~m:5 ~p:1.0))
+
+let test_g_p_structure () =
+  let m = 6 in
+  let target = [ (0, 0); (2, 3) ] in
+  let g = Gadgets.g_p ~m ~target ~fast_latency:1 ~slow_latency:12 in
+  checki "2m nodes" 12 (Graph.n g);
+  (* L-clique + m^2 cross edges. *)
+  checki "edges" ((m * (m - 1) / 2) + (m * m)) (Graph.m g);
+  (* L degrees: m-1 clique + m cross; R degrees: m cross. *)
+  checki "L degree" ((m - 1) + m) (Graph.degree g 0);
+  checki "R degree" m (Graph.degree g (m + 1));
+  Alcotest.check (Alcotest.option Alcotest.int) "fast edge" (Some 1) (Graph.latency g 0 m);
+  Alcotest.check (Alcotest.option Alcotest.int) "fast edge 2" (Some 1)
+    (Graph.latency g 2 (m + 3));
+  Alcotest.check (Alcotest.option Alcotest.int) "slow edge" (Some 12)
+    (Graph.latency g 1 m)
+
+let test_g_sym_p_structure () =
+  let m = 5 in
+  let g = Gadgets.g_sym_p ~m ~target:[ (1, 1) ] ~fast_latency:1 ~slow_latency:10 in
+  checki "edges" ((2 * (m * (m - 1) / 2)) + (m * m)) (Graph.m g);
+  (* Both sides now have degree (m-1) + m. *)
+  checki "R degree" ((m - 1) + m) (Graph.degree g (m + 2))
+
+let test_g_p_target_validation () =
+  Alcotest.check_raises "target out of range"
+    (Invalid_argument "Gadgets: target pair out of range") (fun () ->
+      ignore (Gadgets.g_p ~m:4 ~target:[ (4, 0) ] ~fast_latency:1 ~slow_latency:8))
+
+let test_theorem6_structure () =
+  let rng = Rng.of_int 4 in
+  let n = 64 and delta = 12 in
+  let { Gadgets.h_graph = g; h_target; h_delta } = Gadgets.theorem6 rng ~n ~delta in
+  checki "n nodes" n (Graph.n g);
+  checki "delta recorded" delta h_delta;
+  checki "singleton target" 1 (List.length h_target);
+  checkb "connected" true (Graph.is_connected g);
+  (* Max degree dominated by the big clique or the gadget: clique nodes
+     have degree n - 2*delta - 1 (+1 for the attachment). *)
+  checkb "max degree Theta" true (Graph.max_degree g >= (2 * delta) - 1);
+  (* Weighted diameter is O(1)-ish: cliques of latency 1 plus one fast
+     cross edge; slow edges cap it at n but the fast paths keep it small
+     only through the target edge. *)
+  checkb "diameter bounded by slow latency" true (Paths.weighted_diameter g <= (2 * n) + 4)
+
+let test_theorem6_validation () =
+  let rng = Rng.of_int 5 in
+  Alcotest.check_raises "n too small" (Invalid_argument "Gadgets.theorem6: need n >= 2*delta")
+    (fun () -> ignore (Gadgets.theorem6 rng ~n:10 ~delta:6))
+
+let test_theorem7_structure () =
+  let rng = Rng.of_int 6 in
+  let n = 48 and ell = 4 in
+  let info = Gadgets.theorem7 rng ~n ~ell ~phi:0.25 in
+  let g = info.Gadgets.t7_graph in
+  checki "2n nodes" (2 * n) (Graph.n g);
+  checkb "connected" true (Graph.is_connected g);
+  (* W.h.p. every R node has a fast edge: weighted diameter O(ell). *)
+  checkb "diameter O(ell)" true (Paths.weighted_diameter g <= (3 * ell) + 2);
+  (* Fast cross-edge count matches the target list. *)
+  let fast = ref 0 in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      let cross = (u < n) <> (v < n) in
+      if cross && latency = ell then incr fast)
+    g;
+  checki "fast edges = target" (List.length info.Gadgets.t7_target) !fast
+
+let test_theorem8_params () =
+  let p = Gadgets.theorem8_params ~n:100 ~alpha:0.2 in
+  checkb "c in [1, 1.5)" true (p.Gadgets.c >= 1.0 && p.Gadgets.c < 1.5);
+  checkb "even layers" true (p.Gadgets.layers mod 2 = 0);
+  checkb "layer size sane" true (p.Gadgets.layer_size >= 2)
+
+let test_theorem8_regularity () =
+  (* Observation 23: the ring network is (3s-1)-regular. *)
+  let rng = Rng.of_int 7 in
+  let layers = 6 and layer_size = 5 in
+  let info = Gadgets.theorem8 rng ~layers ~layer_size ~ell:9 in
+  let g = info.Gadgets.t8_graph in
+  checki "k*s nodes" (layers * layer_size) (Graph.n g);
+  for v = 0 to Graph.n g - 1 do
+    checki "(3s-1)-regular" ((3 * layer_size) - 1) (Graph.degree g v)
+  done
+
+let test_theorem8_fast_edges () =
+  let rng = Rng.of_int 8 in
+  let layers = 4 and layer_size = 4 in
+  let info = Gadgets.theorem8 rng ~layers ~layer_size ~ell:7 in
+  let g = info.Gadgets.t8_graph in
+  checki "one fast edge per layer pair" layers (Array.length info.Gadgets.t8_fast_edges);
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.check (Alcotest.option Alcotest.int) "fast edge latency 1" (Some 1)
+        (Graph.latency g u v))
+    info.Gadgets.t8_fast_edges;
+  (* All other cross edges have latency ell: count them. *)
+  let fast = ref 0 and slow = ref 0 and intra = ref 0 in
+  Graph.iter_edges
+    (fun { Graph.u; v; latency } ->
+      let lu = u / layer_size and lv = v / layer_size in
+      if lu = lv then incr intra
+      else if latency = 1 then incr fast
+      else incr slow)
+    g;
+  checki "fast count" layers !fast;
+  checki "slow count" ((layers * layer_size * layer_size) - layers) !slow;
+  checki "intra count" (layers * (layer_size * (layer_size - 1) / 2)) !intra
+
+let test_theorem8_diameter () =
+  let rng = Rng.of_int 9 in
+  let info = Gadgets.theorem8 rng ~layers:8 ~layer_size:4 ~ell:50 in
+  let g = info.Gadgets.t8_graph in
+  (* Adjacent layers joined by a latency-1 edge and layer cliques are
+     latency 1, so D = Theta(k/2): each layer hop costs at most 3. *)
+  let d = Paths.weighted_diameter g in
+  checkb "D >= k/2" true (d >= info.Gadgets.t8_diameter_bound);
+  checkb "D <= 3(k/2)+3" true (d <= (3 * info.Gadgets.t8_diameter_bound) + 3)
+
+let test_theorem8_node_numbering () =
+  checki "layer-major" 13 (Gadgets.theorem8_node ~layer_size:5 ~layer:2 ~index:3)
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_describe_gadget () =
+  let rng = Rng.of_int 10 in
+  let target = Gadgets.singleton_target rng ~m:4 in
+  let g = Gadgets.g_p ~m:4 ~target ~fast_latency:1 ~slow_latency:8 in
+  let s = Gadgets.describe_gadget g ~m:4 in
+  checkb "mentions fast count" true (contains_substring s "1 fast")
+
+let test_lemma9_half_ring_cut () =
+  (* Lemma 9: the half-ring cut C has phi_ell(C) exactly equal to the
+     analytic value 2 s^2 / Vol(C).  Evaluate the cut explicitly. *)
+  let rng = Rng.of_int 11 in
+  let layers = 6 and layer_size = 4 in
+  let info = Gadgets.theorem8 rng ~layers ~layer_size ~ell:9 in
+  let g = info.Gadgets.t8_graph in
+  (* First half of the layers. *)
+  let members =
+    List.concat_map
+      (fun layer -> List.init layer_size (fun index -> Gadgets.theorem8_node ~layer_size ~layer ~index))
+      (List.init (layers / 2) (fun i -> i))
+  in
+  let side = Gossip_conductance.Cut.of_list g members in
+  let phi = Gossip_conductance.Cut.phi_ell g side 9 in
+  Alcotest.check (Alcotest.float 1e-9) "cut matches Lemma 9" info.Gadgets.t8_phi_analytic phi
+
+let prop_theorem8_analytic_phi_positive =
+  QCheck.Test.make ~name:"theorem8 analytic phi in (0,1)" ~count:30
+    QCheck.(pair (int_range 4 10) (int_range 2 8))
+    (fun (layers, layer_size) ->
+      let layers = 2 * (layers / 2) in
+      let layers = max 4 layers in
+      let rng = Rng.of_int (layers + (100 * layer_size)) in
+      let info = Gadgets.theorem8 rng ~layers ~layer_size ~ell:5 in
+      info.Gadgets.t8_phi_analytic > 0.0 && info.Gadgets.t8_phi_analytic < 1.0)
+
+let () =
+  Alcotest.run "gossip_gadgets"
+    [
+      ( "targets",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton_target;
+          Alcotest.test_case "random_p density" `Quick test_random_p_target_density;
+          Alcotest.test_case "random_p extremes" `Quick test_random_p_target_extremes;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "G(P) structure" `Quick test_g_p_structure;
+          Alcotest.test_case "Gsym(P) structure" `Quick test_g_sym_p_structure;
+          Alcotest.test_case "target validation" `Quick test_g_p_target_validation;
+          Alcotest.test_case "describe (Fig. 1)" `Quick test_describe_gadget;
+        ] );
+      ( "theorem6",
+        [
+          Alcotest.test_case "structure" `Quick test_theorem6_structure;
+          Alcotest.test_case "validation" `Quick test_theorem6_validation;
+        ] );
+      ("theorem7", [ Alcotest.test_case "structure" `Quick test_theorem7_structure ]);
+      ( "theorem8",
+        [
+          Alcotest.test_case "params" `Quick test_theorem8_params;
+          Alcotest.test_case "regularity (Obs. 23)" `Quick test_theorem8_regularity;
+          Alcotest.test_case "fast edges" `Quick test_theorem8_fast_edges;
+          Alcotest.test_case "diameter" `Quick test_theorem8_diameter;
+          Alcotest.test_case "node numbering" `Quick test_theorem8_node_numbering;
+          Alcotest.test_case "Lemma 9 half-ring cut" `Quick test_lemma9_half_ring_cut;
+          qtest prop_theorem8_analytic_phi_positive;
+        ] );
+    ]

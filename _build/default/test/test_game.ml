@@ -1,0 +1,200 @@
+(* Tests for the guessing game (Section 3.1) and Alice strategies
+   (Lemmas 4-5). *)
+
+module Rng = Gossip_util.Rng
+module Game = Gossip_game.Game
+module Strategies = Gossip_game.Strategies
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_create_and_accessors () =
+  let g = Game.create ~m:5 ~target:[ (1, 2); (3, 2); (0, 4) ] in
+  checki "m" 5 (Game.m g);
+  checki "size" 3 (Game.target_size g);
+  Alcotest.check (Alcotest.list Alcotest.int) "T1^B" [ 2; 4 ] (Game.initial_target_b g);
+  checkb "not solved" false (Game.is_solved g)
+
+let test_empty_target_solved () =
+  let g = Game.create ~m:4 ~target:[] in
+  checkb "solved at start" true (Game.is_solved g)
+
+let test_pair_validation () =
+  Alcotest.check_raises "range" (Invalid_argument "Game: pair index out of range") (fun () ->
+      ignore (Game.create ~m:3 ~target:[ (3, 0) ]))
+
+let test_guess_hit_and_miss () =
+  let g = Game.create ~m:4 ~target:[ (1, 1) ] in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "miss" [] (Game.guess g [ (0, 0); (2, 2) ]);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "hit" [ (1, 1) ]
+    (Game.guess g [ (1, 1) ]);
+  checkb "solved" true (Game.is_solved g)
+
+let test_eq2_b_component_removal () =
+  (* Hitting (0, 1) must also remove (2, 1) and (3, 1) (same B side),
+     but not (0, 0). *)
+  let g = Game.create ~m:4 ~target:[ (0, 1); (2, 1); (3, 1); (0, 0) ] in
+  let hits = Game.guess g [ (0, 1) ] in
+  checki "one hit" 1 (List.length hits);
+  checki "only (0,0) remains" 1 (Game.target_size g);
+  let hits2 = Game.guess g [ (2, 1) ] in
+  checki "removed pair no longer hits" 0 (List.length hits2);
+  ignore (Game.guess g [ (0, 0) ]);
+  checkb "solved" true (Game.is_solved g)
+
+let test_counters () =
+  let g = Game.create ~m:3 ~target:[ (0, 0) ] in
+  ignore (Game.guess g [ (1, 1); (2, 2) ]);
+  ignore (Game.guess g [ (0, 0) ]);
+  checki "rounds" 2 (Game.rounds_played g);
+  checki "guesses" 3 (Game.total_guesses g)
+
+let test_guess_budget () =
+  let g = Game.create ~m:2 ~target:[ (0, 0) ] in
+  Alcotest.check_raises "over 2m" (Invalid_argument "Game.guess: more than 2m guesses")
+    (fun () -> ignore (Game.guess g [ (0, 0); (0, 1); (1, 0); (1, 1); (0, 0) ]))
+
+let test_guess_after_solved () =
+  let g = Game.create ~m:2 ~target:[ (0, 0) ] in
+  ignore (Game.guess g [ (0, 0) ]);
+  Alcotest.check_raises "solved" (Invalid_argument "Game.guess: game already solved")
+    (fun () -> ignore (Game.guess g [ (1, 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Strategies *)
+
+let solve strategy ~m ~target ~seed =
+  let rng = Rng.of_int seed in
+  let game = Game.create ~m ~target in
+  strategy rng game ~max_rounds:100_000
+
+let test_all_strategies_solve_singleton () =
+  List.iter
+    (fun (name, strategy) ->
+      match solve strategy ~m:16 ~target:[ (7, 9) ] ~seed:3 with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s failed on singleton" name)
+    Strategies.all
+
+let test_sequential_scan_exact_rounds () =
+  (* Pair (a, b) sits at index a*m + b of the scan; 2m guesses per
+     round. *)
+  let m = 10 in
+  match solve Strategies.sequential_scan ~m ~target:[ (7, 3) ] ~seed:0 with
+  | Some o -> checki "rounds = ceil((a*m+b+1)/2m)" (((7 * m) + 3) / (2 * m) + 1) o.Strategies.rounds
+  | None -> Alcotest.fail "no solve"
+
+let test_sequential_scan_worst_case_omega_m () =
+  (* Lemma 4 shape: the worst-case singleton costs ~m/2 rounds. *)
+  let m = 20 in
+  match solve Strategies.sequential_scan ~m ~target:[ (m - 1, m - 1) ] ~seed:0 with
+  | Some o -> checkb "Omega(m) rounds" true (o.Strategies.rounds >= m / 2)
+  | None -> Alcotest.fail "no solve"
+
+let test_fresh_pairs_never_repeats () =
+  (* On a dense target the adaptive strategy needs very few rounds. *)
+  let rng = Rng.of_int 5 in
+  let target = Gossip_graph.Gadgets.random_p_target rng ~m:16 ~p:0.5 in
+  match solve Strategies.fresh_pairs ~m:16 ~target ~seed:6 with
+  | Some o -> checkb "few rounds on dense target" true (o.Strategies.rounds <= 8)
+  | None -> Alcotest.fail "no solve"
+
+let test_cap_returns_none () =
+  let rng = Rng.of_int 7 in
+  let game = Game.create ~m:8 ~target:[ (0, 0) ] in
+  checkb "capped" true (Strategies.random_guessing rng game ~max_rounds:0 = None)
+
+let mean_rounds strategy ~m ~p ~trials =
+  let total = ref 0 in
+  for seed = 1 to trials do
+    let rng = Rng.of_int (seed * 1237) in
+    let target = Gossip_graph.Gadgets.random_p_target rng ~m ~p in
+    let game = Game.create ~m ~target in
+    match strategy (Rng.of_int seed) game ~max_rounds:1_000_000 with
+    | Some o -> total := !total + o.Strategies.rounds
+    | None -> Alcotest.fail "strategy capped"
+  done;
+  float_of_int !total /. float_of_int trials
+
+let test_lemma5_random_needs_log_factor_more () =
+  (* Lemma 5: general (fresh-pairs) ~ 1/p rounds; oblivious random
+     guessing ~ log m / p.  With m = 64, log m ~ 4: random guessing
+     should cost at least twice as many rounds. *)
+  let m = 64 and p = 0.1 in
+  let fresh = mean_rounds Strategies.fresh_pairs ~m ~p ~trials:10 in
+  let rand = mean_rounds Strategies.random_guessing ~m ~p ~trials:10 in
+  checkb "random >= 2x fresh" true (rand >= 2.0 *. fresh)
+
+let test_lemma5_scaling_in_p () =
+  (* Halving p should roughly double fresh-pairs rounds (Theta(1/p)). *)
+  let m = 64 in
+  let r1 = mean_rounds Strategies.fresh_pairs ~m ~p:0.2 ~trials:10 in
+  let r2 = mean_rounds Strategies.fresh_pairs ~m ~p:0.05 ~trials:10 in
+  checkb "rounds grow with 1/p" true (r2 >= 2.0 *. r1)
+
+let prop_strategies_always_solve =
+  QCheck.Test.make ~name:"strategies solve random targets" ~count:30
+    QCheck.(pair (int_range 4 20) (int_range 0 1000))
+    (fun (m, seed) ->
+      let rng = Rng.of_int seed in
+      let target = Gossip_graph.Gadgets.random_p_target rng ~m ~p:0.3 in
+      List.for_all
+        (fun (_, strategy) ->
+          let game = Game.create ~m ~target in
+          match strategy (Rng.of_int (seed + 1)) game ~max_rounds:1_000_000 with
+          | Some _ -> true
+          | None -> target = [])
+        Strategies.all)
+
+let prop_target_monotone_nonincreasing =
+  QCheck.Test.make ~name:"target size never grows" ~count:50
+    QCheck.(pair (int_range 3 12) (int_range 0 1000))
+    (fun (m, seed) ->
+      let rng = Rng.of_int seed in
+      let target = Gossip_graph.Gadgets.random_p_target rng ~m ~p:0.4 in
+      let game = Game.create ~m ~target in
+      let ok = ref true in
+      let rounds = ref 0 in
+      while (not (Game.is_solved game)) && !rounds < 1000 do
+        let before = Game.target_size game in
+        let guesses = List.init (2 * m) (fun _ -> (Rng.int rng m, Rng.int rng m)) in
+        let (_ : Game.pair list) = Game.guess game guesses in
+        if Game.target_size game > before then ok := false;
+        incr rounds
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "gossip_game"
+    [
+      ( "game",
+        [
+          Alcotest.test_case "create/accessors" `Quick test_create_and_accessors;
+          Alcotest.test_case "empty target" `Quick test_empty_target_solved;
+          Alcotest.test_case "pair validation" `Quick test_pair_validation;
+          Alcotest.test_case "hit/miss" `Quick test_guess_hit_and_miss;
+          Alcotest.test_case "Eq. 2 removal" `Quick test_eq2_b_component_removal;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "guess budget" `Quick test_guess_budget;
+          Alcotest.test_case "guess after solved" `Quick test_guess_after_solved;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "all solve singleton" `Quick test_all_strategies_solve_singleton;
+          Alcotest.test_case "sequential exact rounds" `Quick test_sequential_scan_exact_rounds;
+          Alcotest.test_case "sequential Omega(m) (Lemma 4)" `Quick
+            test_sequential_scan_worst_case_omega_m;
+          Alcotest.test_case "fresh pairs dense" `Quick test_fresh_pairs_never_repeats;
+          Alcotest.test_case "cap returns None" `Quick test_cap_returns_none;
+          Alcotest.test_case "Lemma 5: random vs fresh" `Slow
+            test_lemma5_random_needs_log_factor_more;
+          Alcotest.test_case "Lemma 5: 1/p scaling" `Slow test_lemma5_scaling_in_p;
+          qtest prop_strategies_always_solve;
+          qtest prop_target_monotone_nonincreasing;
+        ] );
+    ]

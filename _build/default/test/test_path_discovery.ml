@@ -1,0 +1,131 @@
+(* Tests for T(k) and Path Discovery (Appendix E, Lemmas 24-26). *)
+
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Pd = Gossip_core.Path_discovery
+module Rumor = Gossip_core.Rumor
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_t_sequence_values () =
+  Alcotest.check (Alcotest.list Alcotest.int) "T(1)" [ 1 ] (Pd.t_sequence 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "T(2)" [ 1; 2; 1 ] (Pd.t_sequence 2);
+  Alcotest.check (Alcotest.list Alcotest.int) "T(4)" [ 1; 2; 1; 4; 1; 2; 1 ] (Pd.t_sequence 4);
+  Alcotest.check (Alcotest.list Alcotest.int) "T(8)"
+    [ 1; 2; 1; 4; 1; 2; 1; 8; 1; 2; 1; 4; 1; 2; 1 ]
+    (Pd.t_sequence 8)
+
+let test_t_sequence_rounds_up () =
+  Alcotest.check (Alcotest.list Alcotest.int) "T(3) ~ T(4)" (Pd.t_sequence 4) (Pd.t_sequence 3)
+
+let test_t_sequence_length () =
+  (* |T(k)| = 2k - 1 for k a power of two. *)
+  List.iter
+    (fun k -> checki "length 2k-1" ((2 * k) - 1) (List.length (Pd.t_sequence k)))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_t_sequence_max_is_k () =
+  checki "max element" 16 (List.fold_left max 0 (Pd.t_sequence 16))
+
+let test_t_sequence_total_cost () =
+  (* S(1) = 1, S(2k) = 2 S(k) + 2k gives S(k) = k (log2 k + 1): the
+     schedule spends only a log factor more than k itself, which is
+     where Lemma 25's k log D term comes from. *)
+  List.iter
+    (fun k ->
+      let total = List.fold_left ( + ) 0 (Pd.t_sequence k) in
+      let log2k =
+        let rec go acc v = if v >= k then acc else go (acc + 1) (2 * v) in
+        go 0 1
+      in
+      checki "S(k) = k(log2 k + 1)" (k * (log2k + 1)) total)
+    [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let test_lemma24_distance_k_exchange () =
+  (* Weighted path 0 -2- 1 -1- 2 -4- 3 -1- 4: after T(8) every pair at
+     distance <= 8 must have exchanged; pair (0,4) at distance 8. *)
+  let g = Graph.of_edges ~n:5 [ (0, 1, 2); (1, 2, 1); (2, 3, 4); (3, 4, 1) ] in
+  let r = Pd.run_known_diameter g ~d:8 in
+  checkb "success" true r.Pd.success;
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let dist = Paths.dijkstra g u in
+    for v = 0 to n - 1 do
+      if dist.(v) <= 8 && not (Bitset.mem r.Pd.sets.(u) v) then
+        Alcotest.failf "pair (%d,%d) at distance %d missing" u v dist.(v)
+    done
+  done
+
+let test_known_diameter_families () =
+  List.iter
+    (fun (name, g) ->
+      let d = Paths.weighted_diameter g in
+      let r = Pd.run_known_diameter g ~d in
+      if not r.Pd.success then Alcotest.failf "%s failed" name)
+    [
+      ("cycle", Gen.cycle 9);
+      ("grid", Gen.grid 3 4);
+      ("ring-of-cliques", Gen.ring_of_cliques ~cliques:3 ~size:4 ~bridge_latency:4);
+      ("dumbbell", Gen.dumbbell ~size:4 ~bridge_latency:6);
+    ]
+
+let test_known_diameter_too_small_fails () =
+  let g = Gen.with_latencies (Rng.of_int 1) (Gen.Fixed 6) (Gen.path 6) in
+  let r = Pd.run_known_diameter g ~d:2 in
+  checkb "insufficient d" false r.Pd.success
+
+let test_unknown_diameter_run () =
+  let g = Gen.ring_of_cliques ~cliques:4 ~size:3 ~bridge_latency:5 in
+  let r = Pd.run g in
+  checkb "success" true r.Pd.success;
+  checkb "unanimous" true r.Pd.unanimous;
+  let d = Paths.weighted_diameter g in
+  checkb "k_final sane" true (r.Pd.k_final <= 4 * d);
+  checkb "attempts >= 1" true (r.Pd.attempts >= 1)
+
+let test_blocking_friendly () =
+  (* Appendix E notes the schedule works even with blocking
+     communication; our DTG steps are blocking exchanges already, so a
+     high-latency graph still completes. *)
+  let g = Gen.with_latencies (Rng.of_int 2) (Gen.Uniform (1, 8)) (Gen.cycle 8) in
+  let r = Pd.run g in
+  checkb "success" true r.Pd.success
+
+let prop_path_discovery_random =
+  QCheck.Test.make ~name:"path discovery on random weighted graphs" ~count:6
+    QCheck.(pair (int_range 5 14) (int_range 0 100))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 4)) (Gen.erdos_renyi_connected rng ~n ~p:0.4)
+      in
+      let r = Pd.run g in
+      r.Pd.success && Rumor.all_to_all_done r.Pd.sets)
+
+let () =
+  Alcotest.run "gossip_path_discovery"
+    [
+      ( "t-sequence",
+        [
+          Alcotest.test_case "values" `Quick test_t_sequence_values;
+          Alcotest.test_case "rounds up" `Quick test_t_sequence_rounds_up;
+          Alcotest.test_case "length" `Quick test_t_sequence_length;
+          Alcotest.test_case "max element" `Quick test_t_sequence_max_is_k;
+          Alcotest.test_case "total cost identity" `Quick test_t_sequence_total_cost;
+        ] );
+      ( "path-discovery",
+        [
+          Alcotest.test_case "Lemma 24 exchange property" `Quick
+            test_lemma24_distance_k_exchange;
+          Alcotest.test_case "known diameter families" `Quick test_known_diameter_families;
+          Alcotest.test_case "too-small d fails" `Quick test_known_diameter_too_small_fails;
+          Alcotest.test_case "unknown diameter" `Quick test_unknown_diameter_run;
+          Alcotest.test_case "blocking friendly" `Quick test_blocking_friendly;
+          qtest prop_path_discovery_random;
+        ] );
+    ]

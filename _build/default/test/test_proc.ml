@@ -1,0 +1,194 @@
+(* Tests for the effects-based sequential process layer (Proc): blocking
+   exchange timing, waits, completion, concurrent responders. *)
+
+module Graph = Gossip_graph.Graph
+module Engine = Gossip_sim.Engine
+
+module P = Gossip_sim.Proc.Make (struct
+  type payload = int
+end)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let echo _u ~peer:_ ~round:_ payload = payload * 2
+
+let absorb _u ~peer:_ ~round:_ _payload = ()
+
+(* Run programs on a graph; [programs.(u)] is node u's body.  Returns
+   rounds until all fibers finished. *)
+let run_programs g programs ~on_request ~max_rounds =
+  let ctxs = Array.make (Graph.n g) None in
+  let handlers u =
+    let ctx, handlers = P.make g u ~program:programs.(u) ~on_request:(on_request u) ~on_push:(absorb u) in
+    ctxs.(u) <- Some ctx;
+    handlers
+  in
+  let engine = Engine.create g ~handlers in
+  let all_done () =
+    Array.for_all (function Some c -> P.is_done c | None -> false) ctxs
+  in
+  Engine.run_until engine ~max_rounds all_done
+
+let test_exchange_takes_latency_rounds () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 7) ] in
+  let elapsed = ref (-1) in
+  let reply = ref (-1) in
+  let programs =
+    [|
+      (fun ctx ->
+        let start = P.round ctx in
+        reply := P.exchange ctx ~peer:1 21;
+        elapsed := P.round ctx - start);
+      (fun _ -> ());
+    |]
+  in
+  (match run_programs g programs ~on_request:echo ~max_rounds:100 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not finish");
+  checki "exchange took exactly the latency" 7 !elapsed;
+  checki "reply payload doubled" 42 !reply
+
+let test_wait () =
+  let g = Graph.of_edges ~n:1 [] in
+  let elapsed = ref (-1) in
+  let programs =
+    [|
+      (fun ctx ->
+        let start = P.round ctx in
+        P.wait ctx 5;
+        elapsed := P.round ctx - start);
+    |]
+  in
+  ignore (run_programs g programs ~on_request:echo ~max_rounds:100);
+  checki "waited 5" 5 !elapsed
+
+let test_wait_nonpositive_is_noop () =
+  let g = Graph.of_edges ~n:1 [] in
+  let elapsed = ref (-1) in
+  let programs =
+    [|
+      (fun ctx ->
+        let start = P.round ctx in
+        P.wait ctx 0;
+        P.wait ctx (-3);
+        elapsed := P.round ctx - start);
+    |]
+  in
+  ignore (run_programs g programs ~on_request:echo ~max_rounds:100);
+  checki "no time passed" 0 !elapsed
+
+let test_sequential_exchanges_accumulate () =
+  (* Two exchanges over latencies 3 and 4 back to back: 7 rounds. *)
+  let g = Graph.of_edges ~n:3 [ (0, 1, 3); (0, 2, 4) ] in
+  let elapsed = ref (-1) in
+  let programs =
+    [|
+      (fun ctx ->
+        let start = P.round ctx in
+        ignore (P.exchange ctx ~peer:1 1);
+        ignore (P.exchange ctx ~peer:2 1);
+        elapsed := P.round ctx - start);
+      (fun _ -> ());
+      (fun _ -> ());
+    |]
+  in
+  ignore (run_programs g programs ~on_request:echo ~max_rounds:100);
+  checki "3 + 4 rounds" 7 !elapsed
+
+let test_responder_serves_while_running () =
+  (* Node 1's fiber sleeps forever-ish but its on_request callback still
+     answers node 0's exchange: the model's automatic responses. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 2) ] in
+  let reply = ref (-1) in
+  let programs =
+    [|
+      (fun ctx -> reply := P.exchange ctx ~peer:1 5);
+      (fun ctx -> P.wait ctx 50);
+    |]
+  in
+  (* Node 1's program takes 50 rounds, so all_done needs > 50. *)
+  (match run_programs g programs ~on_request:echo ~max_rounds:200 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not finish");
+  checki "served during sleep" 10 !reply
+
+let test_ping_pong () =
+  (* Fibers exchange in both directions; each gets the other's answer. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let got = Array.make 2 (-1) in
+  let programs =
+    [|
+      (fun ctx -> got.(0) <- P.exchange ctx ~peer:1 100);
+      (fun ctx -> got.(1) <- P.exchange ctx ~peer:0 200);
+    |]
+  in
+  ignore (run_programs g programs ~on_request:echo ~max_rounds:100);
+  checki "node0 got" 200 got.(0);
+  checki "node1 got" 400 got.(1)
+
+let test_all_done_and_is_done () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let ctxs = Array.make 2 None in
+  let programs = [| (fun _ -> ()); (fun ctx -> P.wait ctx 3) |] in
+  let handlers u =
+    let ctx, handlers = P.make g u ~program:programs.(u) ~on_request:(echo u) ~on_push:(absorb u) in
+    ctxs.(u) <- Some ctx;
+    handlers
+  in
+  let engine = Engine.create g ~handlers in
+  let get u = match ctxs.(u) with Some c -> c | None -> assert false in
+  Engine.step engine;
+  checkb "fast fiber done" true (P.is_done (get 0));
+  checkb "slow fiber not done" false (P.is_done (get 1));
+  for _ = 1 to 5 do
+    Engine.step engine
+  done;
+  checkb "all done" true (P.all_done (Array.map (fun c -> Option.get c) ctxs))
+
+let test_exchange_counts_one_initiation_per_round () =
+  (* A blocking fiber initiates at most once per latency period. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 4) ] in
+  let programs =
+    [|
+      (fun ctx ->
+        for _ = 1 to 3 do
+          ignore (P.exchange ctx ~peer:1 0)
+        done);
+      (fun _ -> ());
+    |]
+  in
+  let ctxs = Array.make 2 None in
+  let handlers u =
+    let ctx, handlers = P.make g u ~program:programs.(u) ~on_request:(echo u) ~on_push:(absorb u) in
+    ctxs.(u) <- Some ctx;
+    handlers
+  in
+  let engine = Engine.create g ~handlers in
+  let all_done () =
+    Array.for_all (function Some c -> P.is_done c | None -> false) ctxs
+  in
+  (match Engine.run_until engine ~max_rounds:100 all_done with
+  | Some r ->
+      (* 3 exchanges x latency 4 = 12 rounds of work; the final resume
+         is observed after stepping round 12, i.e. 13 steps. *)
+      checki "3 exchanges x latency 4" 13 r
+  | None -> Alcotest.fail "did not finish");
+  checki "three initiations" 3 (Engine.metrics engine).Engine.initiations
+
+let () =
+  Alcotest.run "gossip_proc"
+    [
+      ( "proc",
+        [
+          Alcotest.test_case "exchange timing" `Quick test_exchange_takes_latency_rounds;
+          Alcotest.test_case "wait" `Quick test_wait;
+          Alcotest.test_case "wait <= 0 noop" `Quick test_wait_nonpositive_is_noop;
+          Alcotest.test_case "sequential exchanges" `Quick test_sequential_exchanges_accumulate;
+          Alcotest.test_case "responder during sleep" `Quick test_responder_serves_while_running;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "is_done/all_done" `Quick test_all_done_and_is_done;
+          Alcotest.test_case "blocking initiation rate" `Quick
+            test_exchange_counts_one_initiation_per_round;
+        ] );
+    ]

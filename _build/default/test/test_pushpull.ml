@@ -1,0 +1,150 @@
+(* Tests for push-pull (Theorem 12). *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Push_pull = Gossip_core.Push_pull
+module Weighted = Gossip_conductance.Weighted
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let rounds_of r =
+  match r.Push_pull.rounds with Some x -> x | None -> Alcotest.fail "capped"
+
+let test_broadcast_clique_logarithmic () =
+  let rng = Rng.of_int 1 in
+  let n = 128 in
+  let r = Push_pull.broadcast rng (Gen.clique n) ~source:0 ~max_rounds:10_000 in
+  let rounds = rounds_of r in
+  (* O(log n): generous constant. *)
+  checkb "completes fast" true (rounds <= 8 * int_of_float (log (float_of_int n)))
+
+let test_broadcast_star_constant () =
+  (* Leaves pull from the hub in one exchange: O(1). *)
+  let rng = Rng.of_int 2 in
+  let r = Push_pull.broadcast rng (Gen.star 100) ~source:0 ~max_rounds:100 in
+  checkb "O(1) on star" true (rounds_of r <= 4)
+
+let test_broadcast_path_needs_diameter () =
+  let rng = Rng.of_int 3 in
+  let n = 30 in
+  let r = Push_pull.broadcast rng (Gen.path n) ~source:0 ~max_rounds:10_000 in
+  checkb "at least diameter" true (rounds_of r >= n - 1)
+
+let test_broadcast_latency_scales_rounds () =
+  (* Same topology, all latencies x5: completion should take ~5x. *)
+  let run latency seed =
+    let rng = Rng.of_int seed in
+    let g = Gen.with_latencies rng (Gen.Fixed latency) (Gen.cycle 16) in
+    rounds_of (Push_pull.broadcast (Rng.of_int seed) g ~source:0 ~max_rounds:100_000)
+  in
+  let r1 = run 1 4 and r5 = run 5 4 in
+  (* A one-way information hop over a latency-5 edge takes at least
+     floor(5/2) rounds (the response leg), so expect >= 2x. *)
+  checkb "5x latency >= 2x rounds" true (r5 >= 2 * r1)
+
+let test_broadcast_cap () =
+  let rng = Rng.of_int 5 in
+  let r = Push_pull.broadcast rng (Gen.path 50) ~source:0 ~max_rounds:3 in
+  checkb "capped" true (r.Push_pull.rounds = None)
+
+let test_history_monotone_and_complete () =
+  let rng = Rng.of_int 6 in
+  let n = 64 in
+  let r = Push_pull.broadcast rng (Gen.clique n) ~source:0 ~max_rounds:1_000 in
+  let counts = List.map snd r.Push_pull.history in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  checkb "history monotone" true (monotone counts);
+  checki "starts at 1" 1 (List.hd counts);
+  checki "ends informed" n (List.nth counts (List.length counts - 1))
+
+let test_all_to_all_clique () =
+  let rng = Rng.of_int 7 in
+  let r = Push_pull.all_to_all rng (Gen.clique 32) ~max_rounds:10_000 in
+  checkb "completes" true (r.Push_pull.rounds <> None)
+
+let test_all_to_all_ring_of_cliques () =
+  let rng = Rng.of_int 8 in
+  let g = Gen.ring_of_cliques ~cliques:4 ~size:4 ~bridge_latency:6 in
+  let r = Push_pull.all_to_all rng g ~max_rounds:100_000 in
+  checkb "completes" true (r.Push_pull.rounds <> None)
+
+let test_local_broadcast_le_all_to_all () =
+  let g = Gen.ring_of_cliques ~cliques:4 ~size:4 ~bridge_latency:6 in
+  let lb = Push_pull.local_broadcast (Rng.of_int 9) g ~max_rounds:100_000 in
+  let a2a = Push_pull.all_to_all (Rng.of_int 9) g ~max_rounds:100_000 in
+  checkb "local broadcast no slower than all-to-all" true
+    (rounds_of lb <= rounds_of a2a)
+
+let test_theorem12_bound_holds_with_slack () =
+  (* Measured rounds at most c * (ell_star/phi_star) * log n for a
+     modest c across a few families (Theorem 12 upper bound shape). *)
+  let families =
+    [
+      ("clique", Gen.clique 64);
+      ("ring-of-cliques", Gen.ring_of_cliques ~cliques:4 ~size:8 ~bridge_latency:4);
+      ("dumbbell", Gen.dumbbell ~size:10 ~bridge_latency:8);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let bound = Weighted.pushpull_round_bound ~backend:Weighted.Sweep g in
+      let r = Push_pull.broadcast (Rng.of_int 10) g ~source:0 ~max_rounds:1_000_000 in
+      let rounds = float_of_int (rounds_of r) in
+      if rounds > 12.0 *. bound then
+        Alcotest.failf "%s: %.0f rounds vs bound %.0f" name rounds bound)
+    families
+
+let prop_broadcast_always_succeeds_on_connected =
+  QCheck.Test.make ~name:"push-pull completes on connected graphs" ~count:20
+    QCheck.(pair (int_range 4 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n ~p:0.3)
+      in
+      let r = Push_pull.broadcast (Rng.of_int (seed + 1)) g ~source:0 ~max_rounds:1_000_000 in
+      r.Push_pull.rounds <> None)
+
+let prop_broadcast_at_least_eccentricity =
+  QCheck.Test.make ~name:"rounds >= source eccentricity" ~count:20
+    QCheck.(int_range 4 30)
+    (fun n ->
+      let rng = Rng.of_int (n * 13) in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected rng ~n ~p:0.3)
+      in
+      let ecc = Paths.eccentricity g 0 in
+      (* Information travels one-way legs of >= floor(l/2) per edge, so
+         half the eccentricity lower-bounds the rounds. *)
+      let r = Push_pull.broadcast (Rng.of_int n) g ~source:0 ~max_rounds:1_000_000 in
+      match r.Push_pull.rounds with Some rounds -> rounds >= ecc / 2 | None -> false)
+
+let () =
+  Alcotest.run "gossip_pushpull"
+    [
+      ( "broadcast",
+        [
+          Alcotest.test_case "clique O(log n)" `Quick test_broadcast_clique_logarithmic;
+          Alcotest.test_case "star O(1)" `Quick test_broadcast_star_constant;
+          Alcotest.test_case "path needs diameter" `Quick test_broadcast_path_needs_diameter;
+          Alcotest.test_case "latency scales rounds" `Quick test_broadcast_latency_scales_rounds;
+          Alcotest.test_case "cap" `Quick test_broadcast_cap;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone_and_complete;
+          Alcotest.test_case "Theorem 12 bound shape" `Slow test_theorem12_bound_holds_with_slack;
+          qtest prop_broadcast_always_succeeds_on_connected;
+          qtest prop_broadcast_at_least_eccentricity;
+        ] );
+      ( "all-to-all",
+        [
+          Alcotest.test_case "clique" `Quick test_all_to_all_clique;
+          Alcotest.test_case "ring of cliques" `Quick test_all_to_all_ring_of_cliques;
+          Alcotest.test_case "local <= all-to-all" `Quick test_local_broadcast_le_all_to_all;
+        ] );
+    ]

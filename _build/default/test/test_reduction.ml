@@ -1,0 +1,85 @@
+(* Tests for the gossip-to-game reduction (Lemma 3). *)
+
+module Rng = Gossip_util.Rng
+module Gadgets = Gossip_graph.Gadgets
+module Reduction = Gossip_core.Reduction
+
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_game_solved_before_broadcast_singleton () =
+  let rng = Rng.of_int 1 in
+  let target = Gadgets.singleton_target rng ~m:12 in
+  let o =
+    Reduction.simulate_push_pull rng ~m:12 ~target ~fast_latency:1 ~symmetric:false
+      ~max_rounds:10_000
+  in
+  checkb "lemma 3 holds" true o.Reduction.lemma3_holds;
+  checkb "broadcast finished" true (o.Reduction.broadcast_rounds <> None)
+
+let test_game_solved_before_broadcast_random_p () =
+  let rng = Rng.of_int 2 in
+  let target = Gadgets.random_p_target rng ~m:16 ~p:0.2 in
+  let o =
+    Reduction.simulate_push_pull rng ~m:16 ~target ~fast_latency:1 ~symmetric:false
+      ~max_rounds:10_000
+  in
+  checkb "lemma 3 holds" true o.Reduction.lemma3_holds
+
+let test_symmetric_gadget () =
+  let rng = Rng.of_int 3 in
+  let target = Gadgets.random_p_target rng ~m:10 ~p:0.3 in
+  let o =
+    Reduction.simulate_push_pull rng ~m:10 ~target ~fast_latency:1 ~symmetric:true
+      ~max_rounds:10_000
+  in
+  checkb "lemma 3 holds on Gsym" true o.Reduction.lemma3_holds
+
+let test_guess_budget_respected () =
+  (* Push-pull submits at most 2m guesses per round: total guesses are
+     bounded by 2m * game rounds. *)
+  let rng = Rng.of_int 4 in
+  let m = 10 in
+  let target = Gadgets.random_p_target rng ~m ~p:0.3 in
+  let o =
+    Reduction.simulate_push_pull rng ~m ~target ~fast_latency:1 ~symmetric:false
+      ~max_rounds:10_000
+  in
+  match o.Reduction.game_rounds with
+  | Some gr -> checkb "2m budget" true (o.Reduction.guesses_submitted <= 2 * m * max 1 gr)
+  | None -> Alcotest.fail "game unsolved"
+
+let test_empty_target_trivial () =
+  let rng = Rng.of_int 5 in
+  let o =
+    Reduction.simulate_push_pull rng ~m:8 ~target:[] ~fast_latency:1 ~symmetric:false
+      ~max_rounds:5_000
+  in
+  Alcotest.check (Alcotest.option Alcotest.int) "solved at 0" (Some 0) o.Reduction.game_rounds
+
+let prop_lemma3_many_seeds =
+  QCheck.Test.make ~name:"lemma 3 across seeds" ~count:10
+    QCheck.(pair (int_range 6 16) (int_range 0 1000))
+    (fun (m, seed) ->
+      let rng = Rng.of_int seed in
+      let target = Gadgets.random_p_target rng ~m ~p:0.25 in
+      let o =
+        Reduction.simulate_push_pull rng ~m ~target ~fast_latency:1 ~symmetric:false
+          ~max_rounds:50_000
+      in
+      o.Reduction.lemma3_holds)
+
+let () =
+  Alcotest.run "gossip_reduction"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "singleton target" `Quick
+            test_game_solved_before_broadcast_singleton;
+          Alcotest.test_case "random_p target" `Quick test_game_solved_before_broadcast_random_p;
+          Alcotest.test_case "symmetric gadget" `Quick test_symmetric_gadget;
+          Alcotest.test_case "guess budget" `Quick test_guess_budget_respected;
+          Alcotest.test_case "empty target" `Quick test_empty_target_trivial;
+          qtest prop_lemma3_many_seeds;
+        ] );
+    ]

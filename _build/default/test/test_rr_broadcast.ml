@@ -1,0 +1,106 @@
+(* Tests for RR Broadcast (Algorithm 2, Lemma 15, Corollary 16). *)
+
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Spanner = Gossip_core.Spanner
+module Rr = Gossip_core.Rr_broadcast
+module Rumor = Gossip_core.Rumor
+
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+let full_out g = Array.init (Graph.n g) (fun u -> Graph.neighbors g u)
+
+let test_full_adjacency_all_to_all () =
+  (* With k >= diameter and every edge oriented both ways, RR broadcast
+     solves all-to-all. *)
+  let g = Gen.grid 4 4 in
+  let k = Paths.weighted_diameter g in
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k () in
+  checkb "all-to-all" true (Rumor.all_to_all_done r.Rr.sets)
+
+let test_lemma15_distance_k_pairs_exchanged () =
+  (* After RR(k), any pair at distance <= k exchanged rumors — checked
+     exhaustively on a weighted path. *)
+  let g = Graph.of_edges ~n:6 [ (0, 1, 2); (1, 2, 1); (2, 3, 3); (3, 4, 1); (4, 5, 2) ] in
+  let k = 4 in
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k () in
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let dist = Paths.dijkstra g u in
+    for v = 0 to n - 1 do
+      if dist.(v) <= k then begin
+        if not (Bitset.mem r.Rr.sets.(u) v && Bitset.mem r.Rr.sets.(v) u) then
+          Alcotest.failf "pair (%d,%d) at distance %d not exchanged" u v dist.(v)
+      end
+    done
+  done
+
+let test_ignores_edges_above_k () =
+  (* A latency-9 bridge is not usable by RR(2). *)
+  let g = Gen.dumbbell ~size:3 ~bridge_latency:9 in
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k:2 () in
+  checkb "bridge rumor absent" false (Bitset.mem r.Rr.sets.(0) 5)
+
+let test_runs_on_spanner_orientation () =
+  let rng = Rng.of_int 1 in
+  let g = Gen.erdos_renyi_connected rng ~n:30 ~p:0.3 in
+  let s = Spanner.build rng g ~k:3 () in
+  let d = Paths.weighted_diameter g in
+  (* Spanner stretch <= 5, so parameter 5D covers every pair. *)
+  let r = Rr.run_on_spanner s ~k:(5 * d) () in
+  checkb "all-to-all over spanner" true (Rumor.all_to_all_done r.Rr.sets)
+
+let test_rounds_formula () =
+  (* Default iterations = k * delta_out + k plus the k-round drain. *)
+  let g = Gen.cycle 8 in
+  let k = 3 in
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k () in
+  (* delta_out = 2 on a cycle. *)
+  Alcotest.check Alcotest.int "rounds" ((k * 2) + k + k) r.Rr.rounds
+
+let test_explicit_iterations () =
+  let g = Gen.cycle 8 in
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k:1 ~iterations:2 () in
+  Alcotest.check Alcotest.int "rounds" 3 r.Rr.rounds
+
+let test_accumulates_into_given_rumors () =
+  let g = Gen.path 4 in
+  let rumors = Rumor.initial g in
+  Bitset.add rumors.(0) 3;
+  (* pre-seeded knowledge *)
+  let r = Rr.run ~base:g ~out_edges:(full_out g) ~k:3 ~rumors () in
+  checkb "alias kept" true (r.Rr.sets == rumors);
+  checkb "preseed propagated" true (Bitset.mem rumors.(1) 3)
+
+let prop_rr_with_full_adjacency_solves =
+  QCheck.Test.make ~name:"RR(diameter) solves all-to-all" ~count:15
+    QCheck.(pair (int_range 5 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n ~p:0.35)
+      in
+      let k = Paths.weighted_diameter g in
+      let r = Rr.run ~base:g ~out_edges:(full_out g) ~k () in
+      Rumor.all_to_all_done r.Rr.sets)
+
+let () =
+  Alcotest.run "gossip_rr_broadcast"
+    [
+      ( "rr",
+        [
+          Alcotest.test_case "full adjacency all-to-all" `Quick test_full_adjacency_all_to_all;
+          Alcotest.test_case "Lemma 15 distance-k pairs" `Quick
+            test_lemma15_distance_k_pairs_exchanged;
+          Alcotest.test_case "ignores edges above k" `Quick test_ignores_edges_above_k;
+          Alcotest.test_case "spanner orientation" `Quick test_runs_on_spanner_orientation;
+          Alcotest.test_case "rounds formula" `Quick test_rounds_formula;
+          Alcotest.test_case "explicit iterations" `Quick test_explicit_iterations;
+          Alcotest.test_case "accumulates rumors" `Quick test_accumulates_into_given_rumors;
+          qtest prop_rr_with_full_adjacency_solves;
+        ] );
+    ]

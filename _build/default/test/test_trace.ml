@@ -1,0 +1,148 @@
+(* Tests for the Trace time-series module and the random-contact local
+   broadcast baseline. *)
+
+module Trace = Gossip_sim.Trace
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Random_local = Gossip_core.Random_local
+module Rumor = Gossip_core.Rumor
+module Bitset = Gossip_util.Bitset
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_record_dedup () =
+  let t = Trace.create ~name:"x" in
+  Trace.record t ~round:0 1.0;
+  Trace.record t ~round:1 1.0;
+  (* unchanged: skipped *)
+  Trace.record t ~round:2 2.0;
+  Trace.record t ~round:5 2.0;
+  Trace.record t ~round:7 3.0;
+  checki "compact" 3 (Trace.length t);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+    "samples" [ (0, 1.0); (2, 2.0); (7, 3.0) ] (Trace.samples t)
+
+let test_trace_monotone_rounds () =
+  let t = Trace.create ~name:"x" in
+  Trace.record t ~round:5 1.0;
+  Alcotest.check_raises "backwards" (Invalid_argument "Trace.record: rounds must be non-decreasing")
+    (fun () -> Trace.record t ~round:4 2.0)
+
+let test_trace_last () =
+  let t = Trace.create ~name:"x" in
+  Alcotest.check
+    (Alcotest.option (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+    "empty" None (Trace.last t);
+  Trace.record t ~round:3 9.0;
+  Alcotest.check
+    (Alcotest.option (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+    "last" (Some (3, 9.0)) (Trace.last t)
+
+let test_trace_csv_single () =
+  let t = Trace.create ~name:"informed" in
+  Trace.record t ~round:0 1.0;
+  Trace.record t ~round:2 5.0;
+  let csv = Trace.to_csv [ t ] in
+  Alcotest.check Alcotest.string "csv" "round,informed\n0,1\n2,5\n" csv
+
+let test_trace_csv_aligned () =
+  let a = Trace.create ~name:"a" and b = Trace.create ~name:"b" in
+  Trace.record a ~round:0 1.0;
+  Trace.record a ~round:4 2.0;
+  Trace.record b ~round:2 10.0;
+  let csv = Trace.to_csv [ a; b ] in
+  (* Round 2: a carries 1 forward; round 0: b has no value yet. *)
+  Alcotest.check Alcotest.string "csv" "round,a,b\n0,1,\n2,1,10\n4,2,10\n" csv
+
+let test_trace_write_csv () =
+  let t = Trace.create ~name:"v" in
+  Trace.record t ~round:1 3.5;
+  let path = Filename.temp_file "trace" ".csv" in
+  Trace.write_csv path [ t ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.check Alcotest.string "header" "round,v" line1
+
+(* ------------------------------------------------------------------ *)
+(* Random-contact local broadcast *)
+
+let test_random_local_completes () =
+  List.iter
+    (fun (name, g) ->
+      let r, ok = Random_local.local_broadcast (Rng.of_int 3) g ~max_rounds:1_000_000 in
+      (match r.Random_local.rounds with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s capped" name);
+      if not ok then Alcotest.failf "%s incomplete" name)
+    [
+      ("clique", Gen.clique 16);
+      ("star", Gen.star 20);
+      ("grid", Gen.grid 4 5);
+      ("weighted er", Gen.with_latencies (Rng.of_int 1) (Gen.Uniform (1, 4))
+                        (Gen.erdos_renyi_connected (Rng.of_int 1) ~n:20 ~p:0.3));
+    ]
+
+let test_random_local_respects_ell () =
+  let g = Gen.dumbbell ~size:4 ~bridge_latency:9 in
+  let r = Random_local.phase (Rng.of_int 5) g ~ell:1 ~max_rounds:100_000 () in
+  checkb "finished" true (r.Random_local.rounds <> None);
+  checkb "bridge not crossed" false (Bitset.mem r.Random_local.sets.(3) 4)
+
+let test_random_local_accumulates () =
+  let g = Gen.path 6 in
+  let sets = Rumor.initial g in
+  let r1 = Random_local.phase (Rng.of_int 6) g ~ell:1 ~max_rounds:100_000 ~rumors:sets () in
+  checkb "phase 1 done" true (r1.Random_local.rounds <> None);
+  checkb "1 hop" true (Bitset.mem sets.(0) 1);
+  let r2 = Random_local.phase (Rng.of_int 7) g ~ell:1 ~max_rounds:100_000 ~rumors:sets () in
+  checkb "phase 2 done" true (r2.Random_local.rounds <> None);
+  checkb "2 hops after chaining" true (Bitset.mem sets.(0) 2)
+
+let test_random_local_size_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Random_local.phase: rumor array size mismatch") (fun () ->
+      ignore
+        (Random_local.phase (Rng.of_int 8) (Gen.path 3) ~ell:1 ~max_rounds:10
+           ~rumors:(Rumor.initial (Gen.path 4)) ()))
+
+let prop_random_local_on_random_graphs =
+  QCheck.Test.make ~name:"random-contact local broadcast completes" ~count:15
+    QCheck.(pair (int_range 5 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 4)) (Gen.erdos_renyi_connected rng ~n ~p:0.35)
+      in
+      let _, ok = Random_local.local_broadcast (Rng.of_int (seed + 1)) g ~max_rounds:1_000_000 in
+      ok)
+
+let () =
+  Alcotest.run "gossip_trace_and_baselines"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "record dedup" `Quick test_trace_record_dedup;
+          Alcotest.test_case "monotone rounds" `Quick test_trace_monotone_rounds;
+          Alcotest.test_case "last" `Quick test_trace_last;
+          Alcotest.test_case "csv single" `Quick test_trace_csv_single;
+          Alcotest.test_case "csv aligned" `Quick test_trace_csv_aligned;
+          Alcotest.test_case "write file" `Quick test_trace_write_csv;
+        ] );
+      ( "random-local",
+        [
+          Alcotest.test_case "completes" `Quick test_random_local_completes;
+          Alcotest.test_case "respects ell" `Quick test_random_local_respects_ell;
+          Alcotest.test_case "accumulates" `Quick test_random_local_accumulates;
+          Alcotest.test_case "size mismatch" `Quick test_random_local_size_mismatch;
+          qtest prop_random_local_on_random_graphs;
+        ] );
+    ]
