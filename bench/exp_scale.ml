@@ -1,0 +1,126 @@
+(* E12 — the flat-array scale runtime (lib/scale) vs the reference
+   engine (lib/sim).
+
+   Part 1: rounds/sec of a full push-pull broadcast on the same graph
+   with the same seed.  The two runtimes are trajectory-identical
+   (test_scale locks this with a 120-case qcheck property), so the
+   comparison is rounds-for-rounds fair and we assert the round counts
+   agree here too.
+
+   Part 2: Theorem 12 sanity on large ring-of-cliques graphs that only
+   the wheel engine can sweep comfortably: measured completion rounds
+   stay within a small constant of (ell_star / phi_star) ln n. *)
+
+open Common
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Weighted = Gossip_conductance.Weighted
+module Push_pull = Gossip_core.Push_pull
+module Csr = Gossip_scale.Csr
+module Wheel = Gossip_scale.Wheel_engine
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+let e12 () =
+  section "E12  scale runtime: timing wheel vs reference engine"
+    "Full push-pull broadcast on Barabasi-Albert graphs (attach 3, uniform\n\
+     1-8 latencies), identical seeds: the wheel engine must reproduce the\n\
+     reference round count and deliver >= 5x the rounds/sec at n = 10^5.";
+  let t =
+    Table.create ~title:"E12a: rounds/sec, reference engine vs timing wheel"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("edges", Table.Right);
+          ("rounds", Table.Right);
+          ("engine s", Table.Right);
+          ("wheel s", Table.Right);
+          ("engine r/s", Table.Right);
+          ("wheel r/s", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let speedup_at = ref [] in
+  List.iter
+    (fun n ->
+      let seed = 1009 in
+      let csr =
+        Csr.with_latencies (Rng.of_int (seed + 7)) (Gossip_graph.Gen.Uniform (1, 8))
+          (Csr.barabasi_albert (Rng.of_int seed) ~n ~attach:3)
+      in
+      let g = Csr.to_graph csr in
+      let run_engine () =
+        Push_pull.broadcast (Rng.of_int (seed + 17)) g ~source:0 ~max_rounds:10_000
+      in
+      let run_wheel () =
+        Wheel.broadcast (Rng.of_int (seed + 17)) csr ~protocol:Wheel.Push_pull ~source:0
+          ~max_rounds:10_000
+      in
+      let er, engine_s = time run_engine in
+      let wr, wheel_s = time run_wheel in
+      let rounds = rounds_exn er.Push_pull.rounds in
+      if Some rounds <> wr.Wheel.rounds then
+        failwith "E12: wheel engine diverged from the reference engine";
+      let per t = float_of_int rounds /. t in
+      let speedup = engine_s /. wheel_s in
+      speedup_at := (n, speedup) :: !speedup_at;
+      Table.add_row t
+        [
+          fmt_i n;
+          fmt_i (Csr.m csr);
+          fmt_i rounds;
+          fmt_f ~d:3 engine_s;
+          fmt_f ~d:3 wheel_s;
+          fmt_f ~d:0 (per engine_s);
+          fmt_f ~d:0 (per wheel_s);
+          fmt_f ~d:1 speedup;
+        ])
+    [ 10_000; 100_000 ];
+  Table.print t;
+  (match List.assoc_opt 100_000 !speedup_at with
+  | Some s -> Printf.printf "speedup at n = 100000: %.1fx (target >= 5x: %b)\n" s (s >= 5.0)
+  | None -> ());
+  let t2 =
+    Table.create
+      ~title:"E12b: Theorem 12 on wheel-engine-scale ring-of-cliques"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("ell*", Table.Right);
+          ("phi*", Table.Right);
+          ("bound", Table.Right);
+          ("measured", Table.Right);
+          ("ratio", Table.Right);
+        ]
+  in
+  List.iter
+    (fun cliques ->
+      let csr = Csr.ring_of_cliques ~cliques ~size:8 ~bridge_latency:6 in
+      let g = Csr.to_graph csr in
+      let wc = Weighted.weighted_conductance ~backend:Weighted.Sweep g in
+      let bound =
+        float_of_int wc.Weighted.ell_star /. wc.Weighted.phi_star
+        *. log (float_of_int (Csr.n csr))
+      in
+      let measured =
+        mean_of ~trials:3 ~base_seed:31 (fun seed ->
+            let r =
+              Wheel.broadcast (Rng.of_int seed) csr ~protocol:Wheel.Push_pull ~source:0
+                ~max_rounds:5_000_000
+            in
+            float_of_int (rounds_exn r.Wheel.rounds))
+      in
+      Table.add_row t2
+        [
+          fmt_i (Csr.n csr);
+          fmt_i wc.Weighted.ell_star;
+          fmt_f ~d:4 wc.Weighted.phi_star;
+          fmt_f bound;
+          fmt_f measured;
+          fmt_f ~d:2 (measured /. bound);
+        ])
+    [ 60; 240; 960 ];
+  Table.print t2

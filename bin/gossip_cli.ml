@@ -437,6 +437,125 @@ let spanner_cmd =
   Cmd.v (Cmd.info "spanner" ~doc) Term.(const run $ family_term $ k $ algorithm $ dot)
 
 (* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let module Sweep = Gossip_sweep.Sweep in
+  let module Pool = Gossip_sweep.Pool in
+  let module Wheel = Gossip_scale.Wheel_engine in
+  let module Json = Gossip_util.Json in
+  let family =
+    let doc = "Scale family: ring-of-cliques, barabasi-albert, watts-strogatz." in
+    Arg.(value & opt string "ring-of-cliques" & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.")
+  in
+  let protocol =
+    let doc = "Protocol: push-pull, flood, random-contact." in
+    Arg.(value & opt string "push-pull" & info [ "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"T" ~doc:"Independent seeded trials.")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"J" ~doc:"Worker domains (default: cores - 1).")
+  in
+  let size =
+    Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Clique size (ring-of-cliques).")
+  in
+  let bridge =
+    Arg.(
+      value & opt int 8
+      & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques).")
+  in
+  let attach =
+    Arg.(
+      value & opt int 3
+      & info [ "attach" ] ~docv:"M" ~doc:"Edges per new node (barabasi-albert).")
+  in
+  let ws_k =
+    Arg.(
+      value & opt int 6
+      & info [ "ws-k" ] ~docv:"K" ~doc:"Even base degree (watts-strogatz).")
+  in
+  let beta =
+    Arg.(
+      value & opt float 0.1
+      & info [ "beta" ] ~docv:"B" ~doc:"Rewiring probability (watts-strogatz).")
+  in
+  let latency =
+    Arg.(
+      value & opt (some latency_spec_conv) None
+      & info [ "latency" ] ~docv:"SPEC"
+          ~doc:"Redraw edge latencies: unit, fixed:K, uniform:LO-HI, bimodal:F,S,P, \
+                powerlaw:MIN,MAX,EXP.")
+  in
+  let max_rounds =
+    Arg.(value & opt int 1_000_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round cap.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write raw results and summaries as JSON.")
+  in
+  let run family n protocol trials jobs size bridge attach ws_k beta latency max_rounds
+      out seed =
+    let family =
+      match family with
+      | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
+      | "barabasi-albert" -> Sweep.Barabasi_albert { attach }
+      | "watts-strogatz" -> Sweep.Watts_strogatz { k = ws_k; beta }
+      | other -> failwith (Printf.sprintf "unknown sweep family %S" other)
+    in
+    let protocol =
+      match protocol with
+      | "push-pull" -> Wheel.Push_pull
+      | "flood" -> Wheel.Flood
+      | "random-contact" -> Wheel.Random_contact
+      | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+    in
+    let jobs_list =
+      Sweep.make_jobs ~family ~n ~protocol ~trials ~base_seed:seed ~max_rounds ?latency ()
+    in
+    let workers =
+      match jobs with Some j -> max 1 j | None -> Pool.default_workers ()
+    in
+    let outcomes = Sweep.run ~workers jobs_list in
+    List.iter
+      (fun s ->
+        Printf.printf "%s n=%d %s: %d/%d trials completed\n" s.Sweep.family s.Sweep.n
+          s.Sweep.protocol s.Sweep.completed s.Sweep.trials;
+        match s.Sweep.rounds with
+        | None -> ()
+        | Some st ->
+            Printf.printf
+              "  rounds: mean %.1f, median %.1f, min %.0f, max %.0f over %d runs\n"
+              st.Gossip_util.Stats.mean st.Gossip_util.Stats.median
+              st.Gossip_util.Stats.min st.Gossip_util.Stats.max st.Gossip_util.Stats.n)
+      (Sweep.summarize outcomes);
+    match out with
+    | None -> ()
+    | Some path ->
+        Sweep.write_json path
+          ~meta:
+            [
+              ("tool", Json.String "gossip-cli sweep");
+              ("seed", Json.Int seed);
+              ("workers", Json.Int workers);
+            ]
+          outcomes;
+        Printf.printf "results written to %s\n" path
+  in
+  let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ family $ n $ protocol $ trials $ jobs $ size $ bridge $ attach $ ws_k
+      $ beta $ latency $ max_rounds $ out $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gadget *)
 
 let gadget_cmd =
@@ -511,4 +630,7 @@ let gadget_cmd =
 let () =
   let doc = "Gossiping with latencies: algorithms, gadgets, and analyses." in
   let info = Cmd.info "gossip-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_cmd; game_cmd; gadget_cmd; spanner_cmd; reduce_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; run_cmd; game_cmd; gadget_cmd; spanner_cmd; reduce_cmd; sweep_cmd ]))

@@ -1,0 +1,290 @@
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+
+type t = { n : int; row_ptr : int array; col : int array; lat : int array }
+
+let n t = t.n
+
+let m t = Array.length t.col / 2
+
+let degree t u = t.row_ptr.(u + 1) - t.row_ptr.(u)
+
+let max_degree t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    if degree t u > !best then best := degree t u
+  done;
+  !best
+
+let max_latency t =
+  let best = ref 1 in
+  Array.iter (fun l -> if l > !best then best := l) t.lat;
+  !best
+
+let latency t u v =
+  if u < 0 || u >= t.n then invalid_arg "Csr.latency: node out of range";
+  let rec go lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let w = t.col.(mid) in
+      if w = v then Some t.lat.(mid) else if w < v then go (mid + 1) hi else go lo (mid - 1)
+    end
+  in
+  go t.row_ptr.(u) (t.row_ptr.(u + 1) - 1)
+
+let iter_neighbors t u f =
+  if u < 0 || u >= t.n then invalid_arg "Csr.iter_neighbors: node out of range";
+  for i = t.row_ptr.(u) to t.row_ptr.(u + 1) - 1 do
+    f t.col.(i) t.lat.(i)
+  done
+
+let is_connected t =
+  if t.n <= 1 then true
+  else begin
+    let seen = Bytes.make t.n '\000' in
+    let queue = Array.make t.n 0 in
+    Bytes.set seen 0 '\001';
+    queue.(0) <- 0;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      for i = t.row_ptr.(u) to t.row_ptr.(u + 1) - 1 do
+        let v = t.col.(i) in
+        if Bytes.get seen v = '\000' then begin
+          Bytes.set seen v '\001';
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done;
+    !tail = t.n
+  end
+
+let equal a b =
+  a.n = b.n && a.row_ptr = b.row_ptr && a.col = b.col && a.lat = b.lat
+
+let memory_words t =
+  4 + (Array.length t.row_ptr + Array.length t.col + Array.length t.lat + 3)
+
+let of_graph g =
+  let n = Graph.n g in
+  let row_ptr = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row_ptr.(u + 1) <- row_ptr.(u) + Graph.degree g u
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  for u = 0 to n - 1 do
+    let base = row_ptr.(u) in
+    Array.iteri
+      (fun i (v, l) ->
+        col.(base + i) <- v;
+        lat.(base + i) <- l)
+      (Graph.neighbors g u)
+  done;
+  { n; row_ptr; col; lat }
+
+let to_graph t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for i = t.row_ptr.(u + 1) - 1 downto t.row_ptr.(u) do
+      let v = t.col.(i) in
+      if u < v then acc := (u, v, t.lat.(i)) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:t.n !acc
+
+(* Insertion sort of one CSR row segment [lo, hi) by neighbor id.  The
+   generators below emit rows that are sorted except for a couple of
+   trailing entries (bridges, rewired edges), so this is effectively
+   linear. *)
+let sort_row col lat lo hi =
+  for i = lo + 1 to hi - 1 do
+    let c = col.(i) and l = lat.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && col.(!j) > c do
+      col.(!j + 1) <- col.(!j);
+      lat.(!j + 1) <- lat.(!j);
+      decr j
+    done;
+    col.(!j + 1) <- c;
+    lat.(!j + 1) <- l
+  done
+
+(* Pack [count] undirected edges held in parallel arrays into CSR:
+   count degrees, prefix-sum, scatter both directions, sort rows. *)
+let of_undirected_arrays ~n eu ev el ~count =
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to count - 1 do
+    row_ptr.(eu.(i) + 1) <- row_ptr.(eu.(i) + 1) + 1;
+    row_ptr.(ev.(i) + 1) <- row_ptr.(ev.(i) + 1) + 1
+  done;
+  for u = 0 to n - 1 do
+    row_ptr.(u + 1) <- row_ptr.(u + 1) + row_ptr.(u)
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  let cursor = Array.copy row_ptr in
+  for i = 0 to count - 1 do
+    let u = eu.(i) and v = ev.(i) and l = el.(i) in
+    col.(cursor.(u)) <- v;
+    lat.(cursor.(u)) <- l;
+    cursor.(u) <- cursor.(u) + 1;
+    col.(cursor.(v)) <- u;
+    lat.(cursor.(v)) <- l;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  for u = 0 to n - 1 do
+    sort_row col lat row_ptr.(u) row_ptr.(u + 1)
+  done;
+  { n; row_ptr; col; lat }
+
+let ring_of_cliques ~cliques ~size ~bridge_latency =
+  if cliques < 3 then invalid_arg "Csr.ring_of_cliques: need >= 3 cliques";
+  if size < 1 then invalid_arg "Csr.ring_of_cliques: need size >= 1";
+  if bridge_latency < 1 then invalid_arg "Csr.ring_of_cliques: bad bridge latency";
+  let n = cliques * size in
+  let id c i = (c * size) + i in
+  let deg i = size - 1 + (if i = 0 then 1 else 0) + if i = size - 1 then 1 else 0 in
+  let row_ptr = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row_ptr.(u + 1) <- row_ptr.(u) + deg (u mod size)
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  for c = 0 to cliques - 1 do
+    for i = 0 to size - 1 do
+      let u = id c i in
+      let p = ref row_ptr.(u) in
+      let push v l =
+        col.(!p) <- v;
+        lat.(!p) <- l;
+        incr p
+      in
+      for j = 0 to size - 1 do
+        if j <> i then push (id c j) 1
+      done;
+      if i = 0 then push (id ((c - 1 + cliques) mod cliques) (size - 1)) bridge_latency;
+      if i = size - 1 then push (id ((c + 1) mod cliques) 0) bridge_latency;
+      sort_row col lat row_ptr.(u) row_ptr.(u + 1)
+    done
+  done;
+  { n; row_ptr; col; lat }
+
+let barabasi_albert rng ~n ~attach =
+  if attach < 1 || n <= attach then invalid_arg "Csr.barabasi_albert: need n > attach >= 1";
+  let seed_size = attach + 1 in
+  let count = (attach * seed_size / 2) + ((n - seed_size) * attach) in
+  let eu = Array.make count 0 and ev = Array.make count 0 in
+  let el = Array.make count 1 in
+  (* Degree-proportional sampling via the repeated-endpoints array:
+     every edge contributes both endpoints, so a uniform index draw is
+     a degree-weighted node draw. *)
+  let endpoints = Array.make (2 * count) 0 in
+  let ecount = ref 0 and ne = ref 0 in
+  let add_edge u v =
+    eu.(!ecount) <- u;
+    ev.(!ecount) <- v;
+    incr ecount;
+    endpoints.(!ne) <- u;
+    endpoints.(!ne + 1) <- v;
+    ne := !ne + 2
+  in
+  for u = 0 to seed_size - 1 do
+    for v = u + 1 to seed_size - 1 do
+      add_edge u v
+    done
+  done;
+  let chosen = Array.make attach (-1) in
+  for u = seed_size to n - 1 do
+    let picked = ref 0 in
+    while !picked < attach do
+      let v = endpoints.(Rng.int rng !ne) in
+      let dup = ref (v = u) in
+      for i = 0 to !picked - 1 do
+        if chosen.(i) = v then dup := true
+      done;
+      if not !dup then begin
+        chosen.(!picked) <- v;
+        incr picked
+      end
+    done;
+    for i = 0 to attach - 1 do
+      add_edge u chosen.(i)
+    done
+  done;
+  assert (!ecount = count);
+  of_undirected_arrays ~n eu ev el ~count
+
+let watts_strogatz rng ~n ~k ~beta =
+  if k < 1 || n <= 2 * k then invalid_arg "Csr.watts_strogatz: need n > 2k >= 2";
+  if not (beta >= 0.0 && beta <= 1.0) then invalid_arg "Csr.watts_strogatz: beta out of [0,1]";
+  (* Same rewiring process as [Gen.watts_strogatz], with edges dedup'd
+     in a hash table keyed by the packed int [u * n + v], u < v. *)
+  let key u v = if u < v then (u * n) + v else (v * n) + u in
+  let have = Hashtbl.create (n * k) in
+  for u = 0 to n - 1 do
+    for j = 1 to k do
+      Hashtbl.replace have (key u ((u + j) mod n)) ()
+    done
+  done;
+  for u = 0 to n - 1 do
+    for j = 1 to k do
+      if Rng.bernoulli rng beta then begin
+        let v = (u + j) mod n in
+        let rec rewire tries =
+          if tries > 0 then begin
+            let w = Rng.int rng n in
+            if w <> u && w <> v && not (Hashtbl.mem have (key u w)) then begin
+              Hashtbl.remove have (key u v);
+              Hashtbl.replace have (key u w) ()
+            end
+            else rewire (tries - 1)
+          end
+        in
+        if Hashtbl.mem have (key u v) then rewire 32
+      end
+    done
+  done;
+  let count = Hashtbl.length have in
+  let eu = Array.make count 0 and ev = Array.make count 0 in
+  let el = Array.make count 1 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun packed () ->
+      eu.(!i) <- packed / n;
+      ev.(!i) <- packed mod n;
+      incr i)
+    have;
+  of_undirected_arrays ~n eu ev el ~count
+
+let with_latencies rng spec t =
+  let col = Array.copy t.col and lat = Array.copy t.lat in
+  let result = { n = t.n; row_ptr = Array.copy t.row_ptr; col; lat } in
+  for u = 0 to t.n - 1 do
+    for i = t.row_ptr.(u) to t.row_ptr.(u + 1) - 1 do
+      let v = t.col.(i) in
+      if u < v then begin
+        let l = Gen.draw_latency rng spec in
+        lat.(i) <- l;
+        (* Mirror into the (v, u) entry, found by binary search. *)
+        let rec go lo hi =
+          if lo > hi then invalid_arg "Csr.with_latencies: asymmetric adjacency"
+          else begin
+            let mid = (lo + hi) / 2 in
+            if col.(mid) = u then lat.(mid) <- l
+            else if col.(mid) < u then go (mid + 1) hi
+            else go lo (mid - 1)
+          end
+        in
+        go t.row_ptr.(v) (t.row_ptr.(v + 1) - 1)
+      end
+    done
+  done;
+  result
+
+let pp ppf t =
+  Format.fprintf ppf "csr(n=%d, m=%d, Δ=%d, ℓmax=%d)" t.n (m t) (max_degree t) (max_latency t)

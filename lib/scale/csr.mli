@@ -1,0 +1,111 @@
+(** Compressed-sparse-row graphs for million-node simulations.
+
+    {!Gossip_graph.Graph} stores one boxed [(neighbor, latency)] pair
+    per directed edge — convenient for the paper's gadget graphs,
+    hopeless at 10^6 nodes where pointer chasing dominates.  [Csr.t]
+    packs the same undirected latency-weighted graph into three flat
+    integer arrays (the classical CSR layout), so a neighbor scan is a
+    contiguous walk and the whole structure costs 2 machine words per
+    directed edge.
+
+    The representation is exposed (read-only by convention) so hot
+    loops — {!Wheel_engine} in particular — can index the arrays
+    directly.  Invariants, checked by [of_graph] and the generators:
+
+    - [Array.length row_ptr = n + 1], [row_ptr.(0) = 0], non-decreasing;
+    - the directed entries of node [u] live at indices
+      [row_ptr.(u) .. row_ptr.(u+1) - 1] of [col] / [lat];
+    - each row is sorted by ascending neighbor id (same order as
+      [Graph.neighbors]), with no self-loops or duplicates;
+    - latencies are [>= 1] and symmetric: the entry [(u, v)] and its
+      mirror [(v, u)] carry the same latency. *)
+
+type t = private {
+  n : int;  (** node count *)
+  row_ptr : int array;  (** length [n + 1]; row boundaries *)
+  col : int array;  (** neighbor ids, one entry per directed edge *)
+  lat : int array;  (** latencies, parallel to [col] *)
+}
+
+(** {1 Accessors} *)
+
+val n : t -> int
+
+(** [m t] is the number of undirected edges. *)
+val m : t -> int
+
+val degree : t -> int -> int
+
+(** [max_degree t] is [Δ]; 0 on an edgeless graph. *)
+val max_degree : t -> int
+
+(** [max_latency t] is [ℓ_max]; 1 on an edgeless graph (matching
+    [Graph.max_latency]). *)
+val max_latency : t -> int
+
+(** [latency t u v] is the latency of edge [(u, v)], when present
+    (binary search over the sorted row of [u]). *)
+val latency : t -> int -> int -> int option
+
+(** [iter_neighbors t u f] applies [f v latency] over the row of [u]
+    in ascending neighbor order. *)
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+
+(** [is_connected t] tests connectivity with an array-based BFS
+    (vacuously true for [n <= 1]). *)
+val is_connected : t -> bool
+
+(** [equal a b] is structural equality of the packed arrays. *)
+val equal : t -> t -> bool
+
+(** [memory_words t] is the approximate heap footprint in machine
+    words — the honest denominator for rounds/sec comparisons. *)
+val memory_words : t -> int
+
+(** {1 Conversions} *)
+
+(** [of_graph g] packs a {!Gossip_graph.Graph.t}; rows inherit the
+    graph's ascending-neighbor order, so protocols that index neighbors
+    by position behave identically on either representation. *)
+val of_graph : Gossip_graph.Graph.t -> t
+
+(** [to_graph t] unpacks into the boxed representation (validating via
+    [Graph.of_edges]); intended for tests and for reusing the analysis
+    code (conductance, diameters) on CSR-built graphs. *)
+val to_graph : t -> Gossip_graph.Graph.t
+
+(** {1 Direct generators}
+
+    These rebuild the three large-graph families of {!Gossip_graph.Gen}
+    straight into CSR form: degrees are counted (or bounded) first,
+    [row_ptr] is a prefix sum, and edges are scattered into place — no
+    intermediate OCaml lists of tuples, which at 10^6 nodes would cost
+    more than the final structure. *)
+
+(** [ring_of_cliques ~cliques ~size ~bridge_latency] is byte-for-byte
+    the graph of [Gen.ring_of_cliques] (same ids, same orientation of
+    the bridges), packed directly.  Requires [cliques >= 3],
+    [size >= 1], [bridge_latency >= 1]. *)
+val ring_of_cliques : cliques:int -> size:int -> bridge_latency:int -> t
+
+(** [barabasi_albert rng ~n ~attach] grows a preferential-attachment
+    graph (unit latencies) with the repeated-endpoints method of
+    [Gen.barabasi_albert], accumulating edges into flat growable
+    arrays.  The sample differs from [Gen]'s for the same seed (the
+    two consume randomness in different orders) but follows the same
+    distribution.  Requires [n > attach >= 1]. *)
+val barabasi_albert : Gossip_util.Rng.t -> n:int -> attach:int -> t
+
+(** [watts_strogatz rng ~n ~k ~beta] is the small-world model (unit
+    latencies), dedup'd through an int-keyed hash table rather than an
+    edge list.  Same caveats as [Gen.watts_strogatz]: the result is
+    simple but may rarely be disconnected.  Requires [n > 2k >= 2] and
+    [beta] in [\[0,1\]]. *)
+val watts_strogatz : Gossip_util.Rng.t -> n:int -> k:int -> beta:float -> t
+
+(** [with_latencies rng spec t] redraws every undirected edge latency
+    from [spec], keeping the two directed mirrors equal.  Edges are
+    visited in ascending [(u, v)] order. *)
+val with_latencies : Gossip_util.Rng.t -> Gossip_graph.Gen.latency_spec -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,261 @@
+module Rng = Gossip_util.Rng
+module Engine = Gossip_sim.Engine
+
+type protocol = Push_pull | Flood | Random_contact
+
+let protocol_name = function
+  | Push_pull -> "push-pull"
+  | Flood -> "flood"
+  | Random_contact -> "random-contact"
+
+type faults = Engine.faults
+
+let no_faults = Engine.no_faults
+
+type metrics = Engine.metrics
+
+(* In-flight exchanges are pooled in parallel int arrays and threaded
+   into singly-linked lists by [ex_next]: one arrival list and one
+   response list per wheel slot, plus a free list.  An exchange id is
+   an index into the pool; [-1] terminates a list. *)
+type t = {
+  csr : Csr.t;
+  protocol : protocol;
+  faults : faults;
+  wheel : int;  (* slot count = wheel latency bound + 1 *)
+  informed : Bytes.t;
+  mutable count : int;
+  rngs : Rng.t array;  (* per-node streams; empty for Flood *)
+  cursor : int array;  (* round-robin position; empty unless Flood *)
+  arrival_head : int array;  (* wheel slot -> exchange list *)
+  response_head : int array;
+  mutable ex_initiator : int array;
+  mutable ex_responder : int array;
+  mutable ex_req_pay : int array;  (* rumor bit carried by the request *)
+  mutable ex_resp_pay : int array;  (* rumor bit carried by the response *)
+  mutable ex_due : int array;  (* absolute response-due round *)
+  mutable ex_next : int array;
+  mutable free_head : int;
+  mutable pool_used : int;  (* high-water mark of allocated slots *)
+  metrics : metrics;
+  mutable now : int;
+}
+
+let create ?(faults = no_faults) ?wheel_latency rng csr ~protocol ~source =
+  let n = Csr.n csr in
+  if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
+  let bound =
+    match wheel_latency with
+    | None -> Csr.max_latency csr
+    | Some b ->
+        if b < Csr.max_latency csr then
+          invalid_arg "Wheel_engine.create: wheel_latency below the graph's ℓ_max";
+        b
+  in
+  let informed = Bytes.make n '\000' in
+  Bytes.set informed source '\001';
+  let rngs =
+    match protocol with
+    | Flood -> [||]
+    | Push_pull | Random_contact -> Array.init n (fun _ -> Rng.split rng)
+  in
+  let cap = min (max 1024 n) Sys.max_array_length in
+  {
+    csr;
+    protocol;
+    faults;
+    wheel = bound + 1;
+    informed;
+    count = 1;
+    rngs;
+    cursor = (match protocol with Flood -> Array.make n 0 | _ -> [||]);
+    arrival_head = Array.make (bound + 1) (-1);
+    response_head = Array.make (bound + 1) (-1);
+    ex_initiator = Array.make cap 0;
+    ex_responder = Array.make cap 0;
+    ex_req_pay = Array.make cap 0;
+    ex_resp_pay = Array.make cap 0;
+    ex_due = Array.make cap 0;
+    ex_next = Array.make cap (-1);
+    free_head = -1;
+    pool_used = 0;
+    metrics =
+      { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 };
+    now = 0;
+  }
+
+let graph t = t.csr
+
+let current_round t = t.now
+
+let metrics t = t.metrics
+
+let informed t u = Bytes.get t.informed u <> '\000'
+
+let informed_count t = t.count
+
+let mark t v =
+  if Bytes.get t.informed v = '\000' then begin
+    Bytes.set t.informed v '\001';
+    t.count <- t.count + 1
+  end
+
+let grow t =
+  let old = Array.length t.ex_next in
+  let cap = min (2 * old) Sys.max_array_length in
+  if cap = old then failwith "Wheel_engine: exchange pool exhausted";
+  let extend a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  t.ex_initiator <- extend t.ex_initiator;
+  t.ex_responder <- extend t.ex_responder;
+  t.ex_req_pay <- extend t.ex_req_pay;
+  t.ex_resp_pay <- extend t.ex_resp_pay;
+  t.ex_due <- extend t.ex_due;
+  t.ex_next <- extend t.ex_next
+
+let alloc t =
+  if t.free_head >= 0 then begin
+    let e = t.free_head in
+    t.free_head <- t.ex_next.(e);
+    e
+  end
+  else begin
+    if t.pool_used >= Array.length t.ex_next then grow t;
+    let e = t.pool_used in
+    t.pool_used <- t.pool_used + 1;
+    e
+  end
+
+let free t e =
+  t.ex_next.(e) <- t.free_head;
+  t.free_head <- e
+
+let step t =
+  let round = t.now in
+  let slot = round mod t.wheel in
+  let alive node = t.faults.Engine.alive ~node ~round in
+  (* Phase 1a: every response due to be generated this round reads the
+     informed set as of the start of the round — before any of this
+     round's push merges — matching Engine.step's sub-phase ordering.
+     Requests whose responder is crashed are lost here, answer and
+     all. *)
+  let e = ref t.arrival_head.(slot) in
+  while !e >= 0 do
+    let ex = !e in
+    if alive t.ex_responder.(ex) then
+      t.ex_resp_pay.(ex) <- (if informed t t.ex_responder.(ex) then 1 else 0);
+    e := t.ex_next.(ex)
+  done;
+  (* Phase 1b: merge the pushed rumor bits and park each surviving
+     exchange on the response list of its due slot (for latency-1
+     edges that is this very slot, delivered below in 1c). *)
+  let e = ref t.arrival_head.(slot) in
+  t.arrival_head.(slot) <- -1;
+  while !e >= 0 do
+    let ex = !e in
+    let next = t.ex_next.(ex) in
+    if alive t.ex_responder.(ex) then begin
+      t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
+      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
+      if t.ex_req_pay.(ex) = 1 then mark t t.ex_responder.(ex);
+      let due_slot = t.ex_due.(ex) mod t.wheel in
+      t.ex_next.(ex) <- t.response_head.(due_slot);
+      t.response_head.(due_slot) <- ex
+    end
+    else begin
+      t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
+      free t ex
+    end;
+    e := next
+  done;
+  (* Phase 1c: deliver responses due this round; a crashed initiator
+     cannot receive. *)
+  let e = ref t.response_head.(slot) in
+  t.response_head.(slot) <- -1;
+  while !e >= 0 do
+    let ex = !e in
+    let next = t.ex_next.(ex) in
+    if alive t.ex_initiator.(ex) then begin
+      t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
+      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
+      if t.ex_resp_pay.(ex) = 1 then mark t t.ex_initiator.(ex)
+    end
+    else t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
+    free t ex;
+    e := next
+  done;
+  (* Phase 2: initiations in ascending node order.  Neighbor indexing
+     and RNG consumption mirror the handler-based protocols exactly:
+     push-pull draws one uniform neighbor index per node per round
+     (whether informed or not), flooding advances a deterministic
+     cursor, random-contact draws only when informed. *)
+  let row_ptr = t.csr.Csr.row_ptr and col = t.csr.Csr.col and lat = t.csr.Csr.lat in
+  let n = Csr.n t.csr in
+  for u = 0 to n - 1 do
+    if alive u then begin
+      let base = row_ptr.(u) in
+      let deg = row_ptr.(u + 1) - base in
+      let idx =
+        match t.protocol with
+        | Push_pull -> if deg = 0 then -1 else Rng.int t.rngs.(u) deg
+        | Flood ->
+            if deg = 0 || not (informed t u) then -1
+            else begin
+              let i = t.cursor.(u) mod deg in
+              t.cursor.(u) <- t.cursor.(u) + 1;
+              i
+            end
+        | Random_contact ->
+            if deg = 0 || not (informed t u) then -1 else Rng.int t.rngs.(u) deg
+      in
+      if idx >= 0 then begin
+        let peer = col.(base + idx) in
+        t.metrics.Engine.initiations <- t.metrics.Engine.initiations + 1;
+        if t.faults.Engine.drop ~initiator:u ~responder:peer ~round then
+          t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1
+        else begin
+          let latency = max 1 (t.faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
+          if latency >= t.wheel then
+            invalid_arg "Wheel_engine.step: jittered latency exceeds the wheel bound";
+          let req_pay =
+            match t.protocol with
+            | Push_pull -> if informed t u then 1 else 0
+            | Flood | Random_contact -> 1
+          in
+          let ex = alloc t in
+          t.ex_initiator.(ex) <- u;
+          t.ex_responder.(ex) <- peer;
+          t.ex_req_pay.(ex) <- req_pay;
+          t.ex_resp_pay.(ex) <- 0;
+          t.ex_due.(ex) <- round + latency;
+          let arrival_slot = (round + ((latency + 1) / 2)) mod t.wheel in
+          t.ex_next.(ex) <- t.arrival_head.(arrival_slot);
+          t.arrival_head.(arrival_slot) <- ex
+        end
+      end
+    end
+  done;
+  t.now <- round + 1;
+  t.metrics.Engine.rounds <- t.metrics.Engine.rounds + 1
+
+type result = { rounds : int option; metrics : metrics; history : (int * int) list }
+
+let broadcast ?faults ?wheel_latency rng csr ~protocol ~source ~max_rounds =
+  let t = create ?faults ?wheel_latency rng csr ~protocol ~source in
+  let n = Csr.n csr in
+  let history = ref [ (0, t.count) ] in
+  let rec go () =
+    if t.count = n then Some t.now
+    else if t.now >= max_rounds then None
+    else begin
+      step t;
+      let _, last = List.hd !history in
+      if t.count <> last then history := (t.now, t.count) :: !history;
+      go ()
+    end
+  in
+  let rounds = go () in
+  { rounds; metrics = t.metrics; history = List.rev !history }

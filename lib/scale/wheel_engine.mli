@@ -1,0 +1,113 @@
+(** Flat-array gossip simulator for million-node graphs.
+
+    {!Gossip_sim.Engine} is polymorphic in the payload and dispatches
+    through per-node handler closures and a binary heap of boxed
+    events — the right tool for the paper's gadgets, but at 10^6 nodes
+    the allocation and pointer traffic dominate.  [Wheel_engine]
+    specializes the three hot single-rumor broadcast protocols and
+    keeps {e all} state flat:
+
+    - the informed set is a byte array;
+    - in-flight exchanges live in a pooled structure of parallel int
+      arrays, threaded into singly-linked lists;
+    - the event queue is a timing wheel of [ℓ_max + 1] slots indexed by
+      [round mod (ℓ_max + 1)] — legal because every event is due at
+      most [ℓ_max] rounds ahead, so insertion and extraction are O(1)
+      with no comparisons;
+    - per-node randomness comes from [Rng] streams split from the
+      caller's seed in node order — the exact discipline of the
+      handler-based protocols, which is what makes trajectory parity
+      with [Gossip_core.Push_pull.broadcast] possible.
+
+    The round semantics are identical to [Engine.step]: all deliveries
+    due this round happen first (responses are generated before any
+    push merge, from state as of the start of the round, so information
+    never chains through several same-round deliveries), then every
+    node may initiate, in ascending node order.  A latency-[ℓ] exchange
+    initiated at round [r] arrives at [r + ⌈ℓ/2⌉] and its response
+    returns at [r + ℓ]. *)
+
+(** The specialized protocols.  All three spread one rumor from a
+    source; they differ in who initiates and toward whom. *)
+type protocol =
+  | Push_pull
+      (** every node contacts a uniformly random neighbor each round;
+          the exchange pushes the rumor out and pulls it back —
+          trajectory-identical to [Gossip_core.Push_pull.broadcast]
+          for the same seed *)
+  | Flood
+      (** informed nodes cycle deterministically through their
+          neighbors (round-robin push, responses carry nothing) —
+          trajectory-identical to
+          [Gossip_core.Flooding.push_round_robin ~blocking:false] *)
+  | Random_contact
+      (** informed nodes push to a uniformly random neighbor each
+          round — the classical random-phone-call push half *)
+
+val protocol_name : protocol -> string
+
+(** Fault injection is shared with the reference engine so experiment
+    plans ({!Gossip_core.Robustness}-style crash/drop/jitter closures)
+    run unchanged on either. *)
+type faults = Gossip_sim.Engine.faults
+
+val no_faults : faults
+
+(** Counters are the reference engine's record, so downstream
+    aggregation code needs no conversion. *)
+type metrics = Gossip_sim.Engine.metrics
+
+type t
+
+(** [create ?faults ?wheel_latency rng csr ~protocol ~source] builds a
+    simulator with the source already informed.  [wheel_latency] sizes
+    the timing wheel (default: [Csr.max_latency csr]); it must be an
+    upper bound on every jittered latency the run will see.
+    @raise Invalid_argument on a bad source or undersized wheel. *)
+val create :
+  ?faults:faults ->
+  ?wheel_latency:int ->
+  Gossip_util.Rng.t ->
+  Csr.t ->
+  protocol:protocol ->
+  source:int ->
+  t
+
+val graph : t -> Csr.t
+
+(** [current_round t] is the index of the next round to execute. *)
+val current_round : t -> int
+
+val metrics : t -> metrics
+
+val informed : t -> int -> bool
+
+val informed_count : t -> int
+
+(** [step t] executes one round (deliveries, then initiations).
+    @raise Invalid_argument when a jittered latency exceeds the wheel
+    bound. *)
+val step : t -> unit
+
+(** Result of a full broadcast run, shaped like
+    [Gossip_core.Push_pull.result]. *)
+type result = {
+  rounds : int option;  (** rounds until all informed, [None] if capped *)
+  metrics : metrics;
+  history : (int * int) list;
+      (** (round, informed-count) at every change — the informed-set
+          trajectory of Theorem 12's proof *)
+}
+
+(** [broadcast ?faults ?wheel_latency rng csr ~protocol ~source
+    ~max_rounds] runs until every node is informed or the budget is
+    spent. *)
+val broadcast :
+  ?faults:faults ->
+  ?wheel_latency:int ->
+  Gossip_util.Rng.t ->
+  Csr.t ->
+  protocol:protocol ->
+  source:int ->
+  max_rounds:int ->
+  result

@@ -1,0 +1,46 @@
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run ?workers f inputs =
+  let n = Array.length inputs in
+  let workers =
+    let requested = match workers with Some w -> w | None -> default_workers () in
+    max 1 (min requested n)
+  in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let next = ref 0 in
+    let mu = Mutex.create () in
+    let take () =
+      Mutex.protect mu (fun () ->
+          if !next < n then begin
+            let i = !next in
+            incr next;
+            i
+          end
+          else -1)
+    in
+    let worker () =
+      let rec loop () =
+        let i = take () in
+        if i >= 0 then begin
+          (results.(i) <- Some (try Ok (f inputs.(i)) with e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if workers = 1 then worker ()
+    else begin
+      let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+      Array.iter Domain.join domains
+    end;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_list ?workers f jobs = Array.to_list (run ?workers f (Array.of_list jobs))

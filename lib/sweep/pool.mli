@@ -1,0 +1,23 @@
+(** A fixed-size domain pool with a mutex-protected job queue.
+
+    OCaml 5 multicore, stdlib only: jobs are drawn from a shared
+    counter under a [Mutex], each worker runs in its own [Domain], and
+    results land in a pre-sized slot array, so output order matches
+    input order regardless of scheduling.  Simulation jobs own all
+    their mutable state (graph, wheel engine, RNG streams), so workers
+    share nothing but the queue itself. *)
+
+(** [default_workers ()] is [Domain.recommended_domain_count () - 1],
+    clamped to at least 1 — one domain is left for the orchestrator. *)
+val default_workers : unit -> int
+
+(** [run ?workers f inputs] applies [f] to every element of [inputs]
+    on a pool of [workers] domains (default {!default_workers};
+    clamped to [1 <= workers <= Array.length inputs]) and returns the
+    results in input order.  If any job raised, the exception of the
+    lowest-indexed failing job is re-raised after all workers have
+    drained the queue. *)
+val run : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ?workers f jobs] is {!run} over a list. *)
+val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,204 @@
+module Csr = Gossip_scale.Csr
+module Wheel_engine = Gossip_scale.Wheel_engine
+module Rng = Gossip_util.Rng
+module Stats = Gossip_util.Stats
+module Json = Gossip_util.Json
+module Gen = Gossip_graph.Gen
+module Engine = Gossip_sim.Engine
+
+type family =
+  | Ring_of_cliques of { size : int; bridge_latency : int }
+  | Barabasi_albert of { attach : int }
+  | Watts_strogatz of { k : int; beta : float }
+
+let family_name = function
+  | Ring_of_cliques _ -> "ring-of-cliques"
+  | Barabasi_albert _ -> "barabasi-albert"
+  | Watts_strogatz _ -> "watts-strogatz"
+
+let build family ~n ~seed =
+  let rng = Rng.of_int seed in
+  match family with
+  | Ring_of_cliques { size; bridge_latency } ->
+      let cliques = max 3 (n / size) in
+      Csr.ring_of_cliques ~cliques ~size ~bridge_latency
+  | Barabasi_albert { attach } -> Csr.barabasi_albert rng ~n ~attach
+  | Watts_strogatz { k; beta } -> Csr.watts_strogatz rng ~n ~k ~beta
+
+type job = {
+  family : family;
+  n : int;
+  seed : int;
+  protocol : Wheel_engine.protocol;
+  latency : Gen.latency_spec option;
+  max_rounds : int;
+}
+
+let make_jobs ~family ~n ~protocol ~trials ~base_seed ~max_rounds ?latency () =
+  if trials < 1 then invalid_arg "Sweep.make_jobs: need trials >= 1";
+  List.init trials (fun i ->
+      { family; n; seed = base_seed + (i * 7919); protocol; latency; max_rounds })
+
+type outcome = {
+  job : job;
+  n_actual : int;
+  edges : int;
+  rounds : int option;
+  metrics : Wheel_engine.metrics;
+  elapsed_s : float;
+}
+
+let run_job job =
+  let started = Unix.gettimeofday () in
+  let csr = build job.family ~n:job.n ~seed:job.seed in
+  let csr =
+    match job.latency with
+    | None -> csr
+    | Some spec -> Csr.with_latencies (Rng.of_int (job.seed + 7)) spec csr
+  in
+  let n_actual = Csr.n csr in
+  let source = job.seed mod n_actual in
+  let source = if source < 0 then source + n_actual else source in
+  let result =
+    Wheel_engine.broadcast
+      (Rng.of_int (job.seed + 17))
+      csr ~protocol:job.protocol ~source ~max_rounds:job.max_rounds
+  in
+  {
+    job;
+    n_actual;
+    edges = Csr.m csr;
+    rounds = result.Wheel_engine.rounds;
+    metrics = result.Wheel_engine.metrics;
+    elapsed_s = Unix.gettimeofday () -. started;
+  }
+
+let run ?workers jobs = Pool.map_list ?workers run_job jobs
+
+type summary = {
+  family : string;
+  n : int;
+  protocol : string;
+  trials : int;
+  completed : int;
+  rounds : Stats.summary option;
+  total_initiations : int;
+  total_deliveries : int;
+  total_dropped : int;
+  mean_elapsed_s : float;
+}
+
+let summarize outcomes =
+  let key o =
+    (family_name o.job.family, o.job.n, Wheel_engine.protocol_name o.job.protocol)
+  in
+  let order = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let k = key o in
+      if not (Hashtbl.mem groups k) then begin
+        order := k :: !order;
+        Hashtbl.add groups k []
+      end;
+      Hashtbl.replace groups k (o :: Hashtbl.find groups k))
+    outcomes;
+  List.rev_map
+    (fun ((family, n, protocol) as k) ->
+      let members = List.rev (Hashtbl.find groups k) in
+      let finished = List.filter_map (fun (o : outcome) -> o.rounds) members in
+      let sum f = List.fold_left (fun acc o -> acc + f o) 0 members in
+      {
+        family;
+        n;
+        protocol;
+        trials = List.length members;
+        completed = List.length finished;
+        rounds =
+          (match finished with
+          | [] -> None
+          | _ ->
+              Some
+                (Stats.summarize (Array.of_list (List.map float_of_int finished))));
+        total_initiations = sum (fun o -> o.metrics.Engine.initiations);
+        total_deliveries = sum (fun o -> o.metrics.Engine.deliveries);
+        total_dropped = sum (fun o -> o.metrics.Engine.dropped);
+        mean_elapsed_s =
+          (match members with
+          | [] -> 0.0
+          | _ ->
+              List.fold_left (fun acc o -> acc +. o.elapsed_s) 0.0 members
+              /. float_of_int (List.length members));
+      })
+    !order
+
+let family_json = function
+  | Ring_of_cliques { size; bridge_latency } ->
+      Json.Obj
+        [
+          ("kind", Json.String "ring-of-cliques");
+          ("size", Json.Int size);
+          ("bridge_latency", Json.Int bridge_latency);
+        ]
+  | Barabasi_albert { attach } ->
+      Json.Obj [ ("kind", Json.String "barabasi-albert"); ("attach", Json.Int attach) ]
+  | Watts_strogatz { k; beta } ->
+      Json.Obj
+        [ ("kind", Json.String "watts-strogatz"); ("k", Json.Int k); ("beta", Json.Float beta) ]
+
+let outcome_json o =
+  Json.Obj
+    [
+      ("family", family_json o.job.family);
+      ("n_requested", Json.Int o.job.n);
+      ("n", Json.Int o.n_actual);
+      ("edges", Json.Int o.edges);
+      ("seed", Json.Int o.job.seed);
+      ("protocol", Json.String (Wheel_engine.protocol_name o.job.protocol));
+      ("max_rounds", Json.Int o.job.max_rounds);
+      ("rounds", match o.rounds with Some r -> Json.Int r | None -> Json.Null);
+      ("initiations", Json.Int o.metrics.Engine.initiations);
+      ("deliveries", Json.Int o.metrics.Engine.deliveries);
+      ("payload_words", Json.Int o.metrics.Engine.payload_words);
+      ("dropped", Json.Int o.metrics.Engine.dropped);
+      ("elapsed_s", Json.Float o.elapsed_s);
+    ]
+
+let stats_json (s : Stats.summary) =
+  Json.Obj
+    [
+      ("n", Json.Int s.Stats.n);
+      ("mean", Json.Float s.Stats.mean);
+      ("stddev", Json.Float s.Stats.stddev);
+      ("min", Json.Float s.Stats.min);
+      ("p25", Json.Float s.Stats.p25);
+      ("median", Json.Float s.Stats.median);
+      ("p75", Json.Float s.Stats.p75);
+      ("p95", Json.Float s.Stats.p95);
+      ("max", Json.Float s.Stats.max);
+    ]
+
+let summary_json s =
+  Json.Obj
+    [
+      ("family", Json.String s.family);
+      ("n", Json.Int s.n);
+      ("protocol", Json.String s.protocol);
+      ("trials", Json.Int s.trials);
+      ("completed", Json.Int s.completed);
+      ("rounds", match s.rounds with Some st -> stats_json st | None -> Json.Null);
+      ("total_initiations", Json.Int s.total_initiations);
+      ("total_deliveries", Json.Int s.total_deliveries);
+      ("total_dropped", Json.Int s.total_dropped);
+      ("mean_elapsed_s", Json.Float s.mean_elapsed_s);
+    ]
+
+let to_json ?(meta = []) outcomes =
+  Json.Obj
+    [
+      ("meta", Json.Obj meta);
+      ("results", Json.List (List.map outcome_json outcomes));
+      ("summaries", Json.List (List.map summary_json (summarize outcomes)));
+    ]
+
+let write_json path ?meta outcomes = Json.write path (to_json ?meta outcomes)

@@ -1,0 +1,89 @@
+(** Multicore experiment orchestrator over the flat-array runtime.
+
+    A sweep is a list of [(family, n, seed, protocol)] jobs, fanned
+    across a {!Pool} of domains; every job builds its own {!Csr} graph
+    and {!Wheel_engine} run, so nothing mutable crosses domains.
+    Per-group round counts are condensed into {!Gossip_util.Stats}
+    summaries, and the whole record — raw results plus summaries — can
+    be serialized as JSON for external plotting. *)
+
+(** Large-graph families, built directly in CSR form. *)
+type family =
+  | Ring_of_cliques of { size : int; bridge_latency : int }
+      (** [n / size] cliques of [size] nodes (at least 3 cliques; the
+          realized node count is rounded to a multiple of [size]) *)
+  | Barabasi_albert of { attach : int }
+  | Watts_strogatz of { k : int; beta : float }
+
+val family_name : family -> string
+
+(** [build family ~n ~seed] materializes the graph; the realized node
+    count may be rounded down (ring-of-cliques) and is reported in the
+    job outcome. *)
+val build : family -> n:int -> seed:int -> Gossip_scale.Csr.t
+
+type job = {
+  family : family;
+  n : int;  (** requested node count *)
+  seed : int;  (** drives both graph sampling and the protocol run *)
+  protocol : Gossip_scale.Wheel_engine.protocol;
+  latency : Gossip_graph.Gen.latency_spec option;
+      (** optional redraw of edge latencies after construction *)
+  max_rounds : int;
+}
+
+(** [make_jobs ~family ~n ~protocol ~trials ~base_seed ~max_rounds ()]
+    builds [trials] jobs with well-spread seeds
+    ([base_seed + i * 7919], the convention of the bench harness). *)
+val make_jobs :
+  family:family ->
+  n:int ->
+  protocol:Gossip_scale.Wheel_engine.protocol ->
+  trials:int ->
+  base_seed:int ->
+  max_rounds:int ->
+  ?latency:Gossip_graph.Gen.latency_spec ->
+  unit ->
+  job list
+
+type outcome = {
+  job : job;
+  n_actual : int;  (** realized node count *)
+  edges : int;  (** realized undirected edge count *)
+  rounds : int option;  (** completion rounds, [None] when capped *)
+  metrics : Gossip_scale.Wheel_engine.metrics;
+  elapsed_s : float;  (** wall-clock build + run time of this job *)
+}
+
+(** [run_job job] executes one job in the calling domain. *)
+val run_job : job -> outcome
+
+(** [run ?workers jobs] fans the jobs across a domain pool (default
+    {!Pool.default_workers}); results come back in job order and are
+    deterministic per job regardless of [workers]. *)
+val run : ?workers:int -> job list -> outcome list
+
+(** Aggregate statistics for one [(family, n, protocol)] group, in
+    first-appearance order. *)
+type summary = {
+  family : string;
+  n : int;
+  protocol : string;
+  trials : int;
+  completed : int;  (** jobs that finished under the round cap *)
+  rounds : Gossip_util.Stats.summary option;
+      (** distribution of completion rounds over completed trials *)
+  total_initiations : int;
+  total_deliveries : int;
+  total_dropped : int;
+  mean_elapsed_s : float;
+}
+
+val summarize : outcome list -> summary list
+
+(** [to_json ?meta outcomes] is an object with ["meta"], ["results"]
+    (one object per job) and ["summaries"] fields. *)
+val to_json : ?meta:(string * Gossip_util.Json.t) list -> outcome list -> Gossip_util.Json.t
+
+(** [write_json path ?meta outcomes] serializes to a file. *)
+val write_json : string -> ?meta:(string * Gossip_util.Json.t) list -> outcome list -> unit

@@ -1,0 +1,26 @@
+(** Minimal JSON tree and emitter.
+
+    The sweep orchestrator serializes experiment results for external
+    plotting; a hand-rolled emitter keeps the repository dependency-free
+    (no yojson).  Output is compact RFC 8259 JSON: strings are escaped,
+    and non-finite floats — which JSON cannot represent — are emitted
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string j] renders [j] compactly (no insignificant
+    whitespace). *)
+val to_string : t -> string
+
+(** [to_buffer buf j] appends the rendering to [buf]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [write path j] writes [to_string j] followed by a newline. *)
+val write : string -> t -> unit

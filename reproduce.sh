@@ -1,8 +1,14 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate the full reproduction record: build, run every test suite,
-# and regenerate every experiment table (EXPERIMENTS.md's source data).
-set -e
+# regenerate every experiment table (EXPERIMENTS.md's source data), and
+# run a multicore sweep over the flat-array runtime.
+#
+# bash, not sh: the test and bench stages pipe through tee, and without
+# pipefail a failing left-hand command would be masked by tee's exit 0.
+set -euo pipefail
 dune build @all
 dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 dune exec bench/main.exe 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt and bench_output.txt"
+dune exec bin/gossip_cli.exe -- sweep --family barabasi-albert -n 100000 \
+  --attach 3 --latency uniform:1-8 --trials 8 --seed 1 --out sweep.json
+echo "done: see test_output.txt, bench_output.txt, and sweep.json"

@@ -51,6 +51,13 @@ Gadget construction (Figure 1):
     weighted diameter 16, max degree 7
     phi* = 0.5455 at ell* = 8
 
+Multicore sweep over the flat-array runtime (deterministic per job
+regardless of the worker count):
+
+  $ gossip-cli sweep --family ring-of-cliques -n 96 --size 6 --bridge 4 --trials 3 --jobs 2 --seed 7
+  ring-of-cliques n=96 push-pull: 3/3 trials completed
+    rounds: mean 56.3, median 56.0, min 54, max 59 over 3 runs
+
 Spanner construction (Appendix D):
 
   $ gossip-cli spanner --family clique --nodes 24 --stretch-k 3 --seed 6

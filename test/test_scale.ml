@@ -1,0 +1,305 @@
+(* Tests for lib/scale: the CSR graph representation and the flat-array
+   timing-wheel engine, including the old-vs-new push-pull trajectory
+   parity property. *)
+
+module Rng = Gossip_util.Rng
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Engine = Gossip_sim.Engine
+module Csr = Gossip_scale.Csr
+module Wheel = Gossip_scale.Wheel_engine
+module Push_pull = Gossip_core.Push_pull
+module Flooding = Gossip_core.Flooding
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* CSR structure *)
+
+(* Structural sanity of a CSR graph: monotone row_ptr, sorted simple
+   rows, symmetric latencies. *)
+let assert_valid_csr name (t : Csr.t) =
+  checki (name ^ ": row_ptr length") (Csr.n t + 1) (Array.length t.Csr.row_ptr);
+  checki (name ^ ": row_ptr start") 0 t.Csr.row_ptr.(0);
+  checki (name ^ ": row_ptr end") (Array.length t.Csr.col) t.Csr.row_ptr.(Csr.n t);
+  for u = 0 to Csr.n t - 1 do
+    let lo = t.Csr.row_ptr.(u) and hi = t.Csr.row_ptr.(u + 1) in
+    if lo > hi then Alcotest.failf "%s: row_ptr decreases at %d" name u;
+    for i = lo to hi - 1 do
+      let v = t.Csr.col.(i) in
+      if v = u then Alcotest.failf "%s: self loop at %d" name u;
+      if i > lo && t.Csr.col.(i - 1) >= v then
+        Alcotest.failf "%s: row %d not strictly sorted" name u;
+      if Csr.latency t v u <> Some t.Csr.lat.(i) then
+        Alcotest.failf "%s: edge (%d,%d) not symmetric" name u v
+    done
+  done
+
+let test_of_graph_roundtrip () =
+  let rng = Rng.of_int 42 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 9)) (Gen.erdos_renyi_connected rng ~n:40 ~p:0.2)
+  in
+  let c = Csr.of_graph g in
+  assert_valid_csr "er40" c;
+  checki "n" (Graph.n g) (Csr.n c);
+  checki "m" (Graph.m g) (Csr.m c);
+  checki "max latency" (Graph.max_latency g) (Csr.max_latency c);
+  checki "max degree" (Graph.max_degree g) (Csr.max_degree c);
+  let g' = Csr.to_graph c in
+  checki "roundtrip m" (Graph.m g) (Graph.m g');
+  Graph.iter_edges
+    (fun e ->
+      if Graph.latency g' e.Graph.u e.Graph.v <> Some e.Graph.latency then
+        Alcotest.failf "edge (%d,%d) lost in roundtrip" e.Graph.u e.Graph.v)
+    g
+
+let test_ring_of_cliques_matches_gen () =
+  List.iter
+    (fun (cliques, size, bridge) ->
+      let direct = Csr.ring_of_cliques ~cliques ~size ~bridge_latency:bridge in
+      let packed = Csr.of_graph (Gen.ring_of_cliques ~cliques ~size ~bridge_latency:bridge) in
+      assert_valid_csr "ring direct" direct;
+      checkb
+        (Printf.sprintf "ring %dx%d bridge %d identical" cliques size bridge)
+        true (Csr.equal direct packed))
+    [ (3, 1, 1); (3, 4, 7); (5, 8, 12); (12, 3, 2) ]
+
+let test_barabasi_albert_csr () =
+  let c = Csr.barabasi_albert (Rng.of_int 7) ~n:300 ~attach:3 in
+  assert_valid_csr "ba300" c;
+  checki "n" 300 (Csr.n c);
+  (* attach * (attach+1)/2 seed edges + attach per later node *)
+  checki "m" (6 + (296 * 3)) (Csr.m c);
+  checkb "connected" true (Csr.is_connected c)
+
+let test_watts_strogatz_csr () =
+  let c = Csr.watts_strogatz (Rng.of_int 11) ~n:200 ~k:3 ~beta:0.2 in
+  assert_valid_csr "ws200" c;
+  checki "n" 200 (Csr.n c);
+  checki "m" 600 (Csr.m c)
+
+let test_with_latencies () =
+  let c =
+    Csr.with_latencies (Rng.of_int 5) (Gen.Uniform (2, 6))
+      (Csr.ring_of_cliques ~cliques:4 ~size:5 ~bridge_latency:9)
+  in
+  assert_valid_csr "relat" c;
+  Array.iter
+    (fun l -> if l < 2 || l > 6 then Alcotest.failf "latency %d out of range" l)
+    c.Csr.lat
+
+let test_is_connected () =
+  checkb "ring connected" true
+    (Csr.is_connected (Csr.ring_of_cliques ~cliques:3 ~size:2 ~bridge_latency:1));
+  let disconnected = Csr.of_graph (Graph.of_edges ~n:4 [ (0, 1, 1); (2, 3, 1) ]) in
+  checkb "two components" false (Csr.is_connected disconnected)
+
+let prop_csr_roundtrip =
+  QCheck.Test.make ~name:"csr of_graph/to_graph roundtrip" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let g =
+        Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n ~p:0.3)
+      in
+      let c = Csr.of_graph g in
+      Csr.equal c (Csr.of_graph (Csr.to_graph c)))
+
+(* ------------------------------------------------------------------ *)
+(* Wheel engine: basic behavior *)
+
+let test_wheel_pushpull_completes () =
+  let c = Csr.ring_of_cliques ~cliques:4 ~size:8 ~bridge_latency:6 in
+  let r =
+    Wheel.broadcast (Rng.of_int 3) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:100_000
+  in
+  checkb "completes" true (r.Wheel.rounds <> None);
+  (match r.Wheel.history with
+  | (0, 1) :: _ -> ()
+  | _ -> Alcotest.fail "history must start at (0, 1)");
+  let final_round, final_count = List.nth r.Wheel.history (List.length r.Wheel.history - 1) in
+  checki "final count" 32 final_count;
+  checki "rounds is last change" (Option.get r.Wheel.rounds) final_round
+
+let test_wheel_flood_and_random_contact_complete () =
+  let c = Csr.of_graph (Gen.with_latencies (Rng.of_int 2) (Gen.Uniform (1, 4)) (Gen.clique 20)) in
+  List.iter
+    (fun protocol ->
+      let r = Wheel.broadcast (Rng.of_int 9) c ~protocol ~source:3 ~max_rounds:10_000 in
+      checkb (Wheel.protocol_name protocol ^ " completes") true (r.Wheel.rounds <> None))
+    [ Wheel.Flood; Wheel.Random_contact ]
+
+let test_wheel_single_node () =
+  let c = Csr.of_graph (Graph.of_edges ~n:1 []) in
+  let r = Wheel.broadcast (Rng.of_int 1) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:10 in
+  Alcotest.check (Alcotest.option Alcotest.int) "zero rounds" (Some 0) r.Wheel.rounds
+
+let test_wheel_drop_everything () =
+  let c = Csr.of_graph (Gen.path 2) in
+  let faults =
+    { Wheel.no_faults with Engine.drop = (fun ~initiator:_ ~responder:_ ~round:_ -> true) }
+  in
+  let r =
+    Wheel.broadcast ~faults (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:50
+  in
+  checkb "never completes" true (r.Wheel.rounds = None);
+  checki "everything dropped" r.Wheel.metrics.Engine.initiations
+    r.Wheel.metrics.Engine.dropped;
+  checki "nothing delivered" 0 r.Wheel.metrics.Engine.deliveries
+
+let test_wheel_crash_isolates () =
+  (* Path 0-1-2: node 1 crashed from the start, so the rumor can never
+     cross and node 2 stays uninformed. *)
+  let c = Csr.of_graph (Gen.path 3) in
+  let faults =
+    { Wheel.no_faults with Engine.alive = (fun ~node ~round:_ -> node <> 1) }
+  in
+  let t = Wheel.create ~faults (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0 in
+  for _ = 1 to 60 do
+    Wheel.step t
+  done;
+  checkb "source informed" true (Wheel.informed t 0);
+  checkb "crashed node dark" false (Wheel.informed t 1);
+  checkb "far side dark" false (Wheel.informed t 2);
+  checkb "losses counted" true ((Wheel.metrics t).Engine.dropped > 0)
+
+let test_wheel_jitter_bound () =
+  let c = Csr.of_graph (Gen.path 2) in
+  let faults =
+    { Wheel.no_faults with Engine.jitter = (fun ~latency ~round:_ -> latency + 50) }
+  in
+  let t = Wheel.create ~faults (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0 in
+  Alcotest.check_raises "oversized jitter rejected"
+    (Invalid_argument "Wheel_engine.step: jittered latency exceeds the wheel bound") (fun () ->
+      Wheel.step t);
+  (* A wheel sized for the jitter accepts it. *)
+  let t =
+    Wheel.create ~faults ~wheel_latency:64 (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0
+  in
+  let rec go n = if Wheel.informed_count t < 2 && n > 0 then (Wheel.step t; go (n - 1)) in
+  go 200;
+  checki "spread despite jitter" 2 (Wheel.informed_count t)
+
+let test_wheel_metrics_match_engine () =
+  (* Not just the trajectory: on a fault-free run the counters line up
+     with the reference engine too. *)
+  let g = Gen.ring_of_cliques ~cliques:3 ~size:5 ~bridge_latency:4 in
+  let old_r = Push_pull.broadcast (Rng.of_int 21) g ~source:2 ~max_rounds:10_000 in
+  let new_r =
+    Wheel.broadcast (Rng.of_int 21) (Csr.of_graph g) ~protocol:Wheel.Push_pull ~source:2
+      ~max_rounds:10_000
+  in
+  checki "initiations" old_r.Push_pull.metrics.Engine.initiations
+    new_r.Wheel.metrics.Engine.initiations;
+  checki "deliveries" old_r.Push_pull.metrics.Engine.deliveries
+    new_r.Wheel.metrics.Engine.deliveries;
+  checki "rounds" old_r.Push_pull.metrics.Engine.rounds new_r.Wheel.metrics.Engine.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Old-vs-new engine parity *)
+
+let trajectory_testable =
+  Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let test_parity_fixed_cases () =
+  List.iter
+    (fun (label, g, seed, source) ->
+      let old_r = Push_pull.broadcast (Rng.of_int seed) g ~source ~max_rounds:1_000_000 in
+      let new_r =
+        Wheel.broadcast (Rng.of_int seed) (Csr.of_graph g) ~protocol:Wheel.Push_pull ~source
+          ~max_rounds:1_000_000
+      in
+      Alcotest.check (Alcotest.option Alcotest.int) (label ^ " rounds") old_r.Push_pull.rounds
+        new_r.Wheel.rounds;
+      Alcotest.check trajectory_testable (label ^ " trajectory") old_r.Push_pull.history
+        new_r.Wheel.history)
+    [
+      ("clique", Gen.clique 64, 1, 0);
+      ("star", Gen.star 50, 2, 7);
+      ("dumbbell", Gen.dumbbell ~size:10 ~bridge_latency:13, 3, 0);
+      ( "ring-of-cliques-2000",
+        Gen.ring_of_cliques ~cliques:200 ~size:10 ~bridge_latency:5,
+        4,
+        17 );
+      ( "weighted er",
+        Gen.with_latencies (Rng.of_int 5) (Gen.Uniform (1, 8))
+          (Gen.erdos_renyi_connected (Rng.of_int 5) ~n:120 ~p:0.08),
+        6,
+        11 );
+    ]
+
+(* The acceptance property: on random connected graphs with mixed
+   latencies, the wheel engine's push-pull is round-for-round identical
+   to the handler-based engine for the same seed. *)
+let prop_pushpull_parity =
+  QCheck.Test.make ~name:"wheel push-pull = engine push-pull (trajectories)" ~count:120
+    QCheck.(triple (int_range 4 160) (int_range 0 100_000) (int_range 1 8))
+    (fun (n, seed, lmax) ->
+      let grng = Rng.of_int seed in
+      let g =
+        (* Stay above the G(n, p) connectivity threshold ln n / n. *)
+        let p = min 1.0 ((log (float_of_int n) +. 3.0) /. float_of_int n) in
+        Gen.with_latencies grng (Gen.Uniform (1, lmax)) (Gen.erdos_renyi_connected grng ~n ~p)
+      in
+      let source = seed mod n in
+      let old_r = Push_pull.broadcast (Rng.of_int (seed + 1)) g ~source ~max_rounds:100_000 in
+      let new_r =
+        Wheel.broadcast
+          (Rng.of_int (seed + 1))
+          (Csr.of_graph g) ~protocol:Wheel.Push_pull ~source ~max_rounds:100_000
+      in
+      old_r.Push_pull.rounds = new_r.Wheel.rounds
+      && old_r.Push_pull.history = new_r.Wheel.history)
+
+let prop_flood_parity =
+  QCheck.Test.make ~name:"wheel flood = engine round-robin push (rounds)" ~count:60
+    QCheck.(pair (int_range 4 100) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let grng = Rng.of_int seed in
+      let g =
+        let p = min 1.0 ((log (float_of_int n) +. 3.0) /. float_of_int n) in
+        Gen.with_latencies grng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected grng ~n ~p)
+      in
+      let source = seed mod n in
+      let old_r = Flooding.push_round_robin g ~source ~blocking:false ~max_rounds:100_000 in
+      let new_r =
+        Wheel.broadcast (Rng.of_int 0) (Csr.of_graph g) ~protocol:Wheel.Flood ~source
+          ~max_rounds:100_000
+      in
+      old_r.Flooding.rounds = new_r.Wheel.rounds)
+
+let () =
+  Alcotest.run "gossip_scale"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "of_graph roundtrip" `Quick test_of_graph_roundtrip;
+          Alcotest.test_case "ring-of-cliques direct = Gen" `Quick
+            test_ring_of_cliques_matches_gen;
+          Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert_csr;
+          Alcotest.test_case "watts-strogatz" `Quick test_watts_strogatz_csr;
+          Alcotest.test_case "with_latencies" `Quick test_with_latencies;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+          qtest prop_csr_roundtrip;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "push-pull completes" `Quick test_wheel_pushpull_completes;
+          Alcotest.test_case "flood + random-contact" `Quick
+            test_wheel_flood_and_random_contact_complete;
+          Alcotest.test_case "single node" `Quick test_wheel_single_node;
+          Alcotest.test_case "drop everything" `Quick test_wheel_drop_everything;
+          Alcotest.test_case "crash isolates" `Quick test_wheel_crash_isolates;
+          Alcotest.test_case "jitter bound" `Quick test_wheel_jitter_bound;
+          Alcotest.test_case "metrics match engine" `Quick test_wheel_metrics_match_engine;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "fixed cases" `Quick test_parity_fixed_cases;
+          qtest prop_pushpull_parity;
+          qtest prop_flood_parity;
+        ] );
+    ]

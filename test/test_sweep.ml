@@ -1,0 +1,198 @@
+(* Tests for lib/sweep (domain pool, orchestrator) and the lib/util
+   JSON emitter it serializes through. *)
+
+module Json = Gossip_util.Json
+module Pool = Gossip_sweep.Pool
+module Sweep = Gossip_sweep.Sweep
+module Wheel = Gossip_scale.Wheel_engine
+module Engine = Gossip_sim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_scalars () =
+  checks "null" "null" (Json.to_string Json.Null);
+  checks "bool" "true" (Json.to_string (Json.Bool true));
+  checks "int" "-42" (Json.to_string (Json.Int (-42)));
+  checks "float int" "3" (Json.to_string (Json.Float 3.0));
+  checks "float frac" "0.5" (Json.to_string (Json.Float 0.5));
+  checks "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  checks "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_string_escaping () =
+  checks "plain" {|"abc"|} (Json.to_string (Json.String "abc"));
+  checks "quotes" {|"a\"b"|} (Json.to_string (Json.String {|a"b|}));
+  checks "backslash" {|"a\\b"|} (Json.to_string (Json.String {|a\b|}));
+  checks "newline" {|"a\nb"|} (Json.to_string (Json.String "a\nb"));
+  checks "control" {|"a\u0001b"|} (Json.to_string (Json.String "a\001b"))
+
+let test_json_nesting () =
+  let j =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+        ("o", Json.Obj [ ("k", Json.Null) ]);
+        ("empty", Json.List []);
+      ]
+  in
+  checks "nested" {|{"xs":[1,2],"o":{"k":null},"empty":[]}|} (Json.to_string j)
+
+let test_json_write () =
+  let path = Filename.temp_file "sweep" ".json" in
+  Json.write path (Json.Obj [ ("ok", Json.Bool true) ]);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  checks "file contents" {|{"ok":true}|} line
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_order_preserved () =
+  List.iter
+    (fun workers ->
+      let inputs = Array.init 37 (fun i -> i) in
+      let out = Pool.run ~workers (fun x -> (2 * x) + 1) inputs in
+      Array.iteri
+        (fun i r -> checki (Printf.sprintf "w%d slot %d" workers i) ((2 * i) + 1) r)
+        out)
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_clamp () =
+  checki "empty" 0 (Array.length (Pool.run ~workers:4 (fun x -> x) [||]));
+  (* More workers than jobs must still complete every job once. *)
+  let out = Pool.run ~workers:8 (fun x -> x * x) [| 1; 2; 3 |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "clamped" [| 1; 4; 9 |] out
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "first failing job wins" (Failure "job 3") (fun () ->
+      ignore
+        (Pool.run ~workers:2
+           (fun i -> if i >= 3 then failwith (Printf.sprintf "job %d" i) else i)
+           [| 0; 1; 2; 3; 4; 5 |]))
+
+let test_pool_default_workers () =
+  checkb "at least one worker" true (Pool.default_workers () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep *)
+
+let small_jobs protocol =
+  Sweep.make_jobs
+    ~family:(Sweep.Ring_of_cliques { size = 6; bridge_latency = 4 })
+    ~n:48 ~protocol ~trials:4 ~base_seed:1 ~max_rounds:100_000 ()
+
+let test_sweep_runs_and_completes () =
+  let outcomes = Sweep.run ~workers:2 (small_jobs Wheel.Push_pull) in
+  checki "all trials" 4 (List.length outcomes);
+  List.iter
+    (fun o ->
+      checki "actual n" 48 o.Sweep.n_actual;
+      checkb "completed" true (o.Sweep.rounds <> None);
+      checkb "timed" true (o.Sweep.elapsed_s >= 0.0))
+    outcomes
+
+let test_sweep_deterministic_across_workers () =
+  let rounds outcomes = List.map (fun (o : Sweep.outcome) -> o.Sweep.rounds) outcomes in
+  let sequential = Sweep.run ~workers:1 (small_jobs Wheel.Push_pull) in
+  let parallel = Sweep.run ~workers:3 (small_jobs Wheel.Push_pull) in
+  Alcotest.check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "same rounds regardless of pool size" (rounds sequential) (rounds parallel)
+
+let test_sweep_summarize () =
+  let outcomes =
+    Sweep.run ~workers:2
+      (small_jobs Wheel.Push_pull @ small_jobs Wheel.Flood)
+  in
+  match Sweep.summarize outcomes with
+  | [ pp; flood ] ->
+      checks "group 1 protocol" "push-pull" pp.Sweep.protocol;
+      checks "group 2 protocol" "flood" flood.Sweep.protocol;
+      checki "group trials" 4 pp.Sweep.trials;
+      checki "group completed" 4 pp.Sweep.completed;
+      (match pp.Sweep.rounds with
+      | Some s -> checki "stats over 4 trials" 4 s.Gossip_util.Stats.n
+      | None -> Alcotest.fail "missing stats");
+      checkb "initiations accumulated" true (pp.Sweep.total_initiations > 0)
+  | groups -> Alcotest.failf "expected 2 summary groups, got %d" (List.length groups)
+
+let test_sweep_capped_run () =
+  (* A one-round cap cannot finish a 48-node broadcast: the summary
+     must report zero completions and no stats. *)
+  let jobs =
+    List.map (fun j -> { j with Sweep.max_rounds = 1 }) (small_jobs Wheel.Push_pull)
+  in
+  let outcomes = Sweep.run ~workers:2 jobs in
+  List.iter (fun (o : Sweep.outcome) -> checkb "capped" true (o.Sweep.rounds = None)) outcomes;
+  match Sweep.summarize outcomes with
+  | [ s ] ->
+      checki "none completed" 0 s.Sweep.completed;
+      checkb "no stats" true (s.Sweep.rounds = None)
+  | _ -> Alcotest.fail "expected one summary group"
+
+let test_sweep_latency_override () =
+  let jobs =
+    Sweep.make_jobs
+      ~family:(Sweep.Barabasi_albert { attach = 2 })
+      ~n:64 ~protocol:Wheel.Push_pull ~trials:2 ~base_seed:5 ~max_rounds:100_000
+      ~latency:(Gossip_graph.Gen.Uniform (2, 5))
+      ()
+  in
+  List.iter
+    (fun (o : Sweep.outcome) -> checkb "completes with latencies" true (o.Sweep.rounds <> None))
+    (Sweep.run ~workers:2 jobs)
+
+let test_sweep_json_shape () =
+  let outcomes = Sweep.run ~workers:2 (small_jobs Wheel.Push_pull) in
+  let s = Json.to_string (Sweep.to_json ~meta:[ ("tool", Json.String "test") ] outcomes) in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "json contains %s" needle) true (contains needle))
+    [
+      {|"meta":{"tool":"test"}|};
+      {|"results":[|};
+      {|"summaries":[|};
+      {|"family":{"kind":"ring-of-cliques","size":6,"bridge_latency":4}|};
+      {|"protocol":"push-pull"|};
+      {|"completed":4|};
+    ]
+
+let () =
+  Alcotest.run "gossip_sweep"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
+          Alcotest.test_case "nesting" `Quick test_json_nesting;
+          Alcotest.test_case "write file" `Quick test_json_write;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "empty and clamp" `Quick test_pool_empty_and_clamp;
+          Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "default workers" `Quick test_pool_default_workers;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "runs and completes" `Quick test_sweep_runs_and_completes;
+          Alcotest.test_case "deterministic across workers" `Quick
+            test_sweep_deterministic_across_workers;
+          Alcotest.test_case "summarize" `Quick test_sweep_summarize;
+          Alcotest.test_case "capped run" `Quick test_sweep_capped_run;
+          Alcotest.test_case "latency override" `Quick test_sweep_latency_override;
+          Alcotest.test_case "json shape" `Quick test_sweep_json_shape;
+        ] );
+    ]

@@ -61,6 +61,55 @@ let test_trace_csv_aligned () =
   (* Round 2: a carries 1 forward; round 0: b has no value yet. *)
   Alcotest.check Alcotest.string "csv" "round,a,b\n0,1,\n2,1,10\n4,2,10\n" csv
 
+let test_trace_csv_union_of_rounds () =
+  (* Three traces with pairwise-disjoint round sets: the output has one
+     row per round in the union, in ascending order. *)
+  let a = Trace.create ~name:"a"
+  and b = Trace.create ~name:"b"
+  and c = Trace.create ~name:"c" in
+  Trace.record a ~round:1 1.0;
+  Trace.record a ~round:7 2.0;
+  Trace.record b ~round:3 10.0;
+  Trace.record c ~round:0 100.0;
+  Trace.record c ~round:5 200.0;
+  Alcotest.check Alcotest.string "union rows"
+    "round,a,b,c\n0,,,100\n1,1,,100\n3,1,10,100\n5,1,10,200\n7,2,10,200\n"
+    (Trace.to_csv [ a; b; c ])
+
+let test_trace_csv_single_sample () =
+  (* A single-sample trace is blank before its round and carried
+     forward through every later round of the union. *)
+  let spike = Trace.create ~name:"spike" and base = Trace.create ~name:"base" in
+  Trace.record spike ~round:4 9.0;
+  Trace.record base ~round:0 1.0;
+  Trace.record base ~round:2 2.0;
+  Trace.record base ~round:8 3.0;
+  Alcotest.check Alcotest.string "single sample"
+    "round,spike,base\n0,,1\n2,,2\n4,9,2\n8,9,3\n"
+    (Trace.to_csv [ spike; base ])
+
+let test_trace_csv_empty_traces () =
+  (* An empty trace contributes no rounds and an always-blank column;
+     all-empty input yields just the header. *)
+  let e = Trace.create ~name:"e" and a = Trace.create ~name:"a" in
+  Trace.record a ~round:2 5.0;
+  Alcotest.check Alcotest.string "empty column" "round,e,a\n2,,5\n"
+    (Trace.to_csv [ e; a ]);
+  Alcotest.check Alcotest.string "header only" "round,e\n"
+    (Trace.to_csv [ Trace.create ~name:"e" ])
+
+let test_trace_csv_dedup_carry () =
+  (* record's dedup drops repeated values, so a re-recorded constant
+     does not create a row; carry-forward reconstructs it at rounds
+     introduced by other traces. *)
+  let a = Trace.create ~name:"a" and b = Trace.create ~name:"b" in
+  Trace.record a ~round:0 1.0;
+  Trace.record a ~round:6 1.0;
+  (* dropped: same value *)
+  Trace.record b ~round:6 7.0;
+  Alcotest.check Alcotest.string "dedup + carry" "round,a,b\n0,1,\n6,1,7\n"
+    (Trace.to_csv [ a; b ])
+
 let test_trace_write_csv () =
   let t = Trace.create ~name:"v" in
   Trace.record t ~round:1 3.5;
@@ -135,6 +184,10 @@ let () =
           Alcotest.test_case "last" `Quick test_trace_last;
           Alcotest.test_case "csv single" `Quick test_trace_csv_single;
           Alcotest.test_case "csv aligned" `Quick test_trace_csv_aligned;
+          Alcotest.test_case "csv union of rounds" `Quick test_trace_csv_union_of_rounds;
+          Alcotest.test_case "csv single sample" `Quick test_trace_csv_single_sample;
+          Alcotest.test_case "csv empty traces" `Quick test_trace_csv_empty_traces;
+          Alcotest.test_case "csv dedup carry" `Quick test_trace_csv_dedup_carry;
           Alcotest.test_case "write file" `Quick test_trace_write_csv;
         ] );
       ( "random-local",
