@@ -29,3 +29,17 @@ let report_exponent ~label ~claimed xs ys =
 let rounds_exn = function
   | Some r -> r
   | None -> failwith "experiment run hit its round cap; enlarge max_rounds"
+
+(* Write one BENCH_<exp>.json file of ["bench"] events (JSON-lines via
+   the telemetry sink) so CI can archive machine-readable results next
+   to the human-readable tables. *)
+let bench_rows ~exp rows =
+  let module Json = Gossip_util.Json in
+  let path = Printf.sprintf "BENCH_%s.json" exp in
+  Gossip_obs.Sink.with_jsonl path (fun sink ->
+      List.iter
+        (fun fields ->
+          Gossip_obs.Sink.event sink
+            (("ev", Json.String "bench") :: ("exp", Json.String exp) :: fields))
+        rows);
+  Printf.printf "bench rows written to %s\n" path

@@ -44,6 +44,7 @@ let e12 () =
         ]
   in
   let speedup_at = ref [] in
+  let rows = ref [] in
   List.iter
     (fun n ->
       let seed = 1009 in
@@ -67,6 +68,19 @@ let e12 () =
       let per t = float_of_int rounds /. t in
       let speedup = engine_s /. wheel_s in
       speedup_at := (n, speedup) :: !speedup_at;
+      (let module Json = Gossip_util.Json in
+       rows :=
+         [
+           ("n", Json.Int n);
+           ("edges", Json.Int (Csr.m csr));
+           ("rounds", Json.Int rounds);
+           ("engine_s", Json.Float engine_s);
+           ("wheel_s", Json.Float wheel_s);
+           ("engine_rps", Json.Float (per engine_s));
+           ("wheel_rps", Json.Float (per wheel_s));
+           ("speedup", Json.Float speedup);
+         ]
+         :: !rows);
       Table.add_row t
         [
           fmt_i n;
@@ -80,6 +94,7 @@ let e12 () =
         ])
     [ 10_000; 100_000 ];
   Table.print t;
+  bench_rows ~exp:"e12" (List.rev !rows);
   (match List.assoc_opt 100_000 !speedup_at with
   | Some s -> Printf.printf "speedup at n = 100000: %.1fx (target >= 5x: %b)\n" s (s >= 5.0)
   | None -> ());
@@ -124,3 +139,104 @@ let e12 () =
         ])
     [ 60; 240; 960 ];
   Table.print t2
+
+(* E13 — cost of the telemetry subsystem on the wheel engine's hot
+   loop.  Same workload as E12's wheel run (Barabasi-Albert, attach 3,
+   uniform 1-8 latencies, n = 10^5, seed 1009), telemetry detached vs
+   attached (registry + 65536-slot ring sampling 1/16).  Handles are
+   resolved at create, so the detached run must match the bare e12
+   throughput to measurement noise and the attached run must stay
+   within 15%. *)
+let e13 () =
+  let module Obs = Gossip_obs in
+  section "E13  telemetry overhead: instrumented vs bare wheel engine"
+    "Push-pull broadcast on a Barabasi-Albert graph (attach 3, uniform 1-8\n\
+     latencies, n = 10^5), wheel engine with telemetry detached vs attached\n\
+     (registry + ring, 1/16 sampling).  Detached must sit within 3% of the\n\
+     best bare run; attached within 15%.";
+  let n = 100_000 in
+  let seed = 1009 in
+  let csr =
+    Csr.with_latencies (Rng.of_int (seed + 7)) (Gossip_graph.Gen.Uniform (1, 8))
+      (Csr.barabasi_albert (Rng.of_int seed) ~n ~attach:3)
+  in
+  let run ?telemetry () =
+    Wheel.broadcast ?telemetry (Rng.of_int (seed + 17)) csr ~protocol:Wheel.Push_pull
+      ~source:0 ~max_rounds:10_000
+  in
+  (* warm up allocator and page cache before timing anything *)
+  ignore (run ());
+  let trials = 3 in
+  let best f =
+    let rounds = ref 0 in
+    let best_s = ref infinity in
+    for _ = 1 to trials do
+      let r, s = time f in
+      rounds := rounds_exn r.Wheel.rounds;
+      if s < !best_s then best_s := s
+    done;
+    (!rounds, !best_s)
+  in
+  let off_rounds, off_s = best (fun () -> run ()) in
+  let bare_rounds, bare_s = best (fun () -> run ()) in
+  let on_registry = ref None in
+  let on_rounds, on_s =
+    best (fun () ->
+        let ring = Obs.Ring.create ~sample:16 ~capacity:65536 () in
+        let reg = Obs.Registry.create ~ring () in
+        on_registry := Some reg;
+        run ~telemetry:reg ())
+  in
+  if off_rounds <> on_rounds || off_rounds <> bare_rounds then
+    failwith "E13: telemetry changed the trajectory";
+  let rps s = float_of_int off_rounds /. s in
+  let t =
+    Table.create ~title:"E13: wheel-engine throughput with telemetry off/on"
+      ~columns:
+        [
+          ("config", Table.Left);
+          ("rounds", Table.Right);
+          ("best s", Table.Right);
+          ("rounds/s", Table.Right);
+          ("vs bare", Table.Right);
+        ]
+  in
+  let rel s = (rps s -. rps bare_s) /. rps bare_s *. 100.0 in
+  List.iter
+    (fun (label, s) ->
+      Table.add_row t
+        [ label; fmt_i off_rounds; fmt_f ~d:3 s; fmt_f ~d:0 (rps s); fmt_f ~d:1 (rel s) ])
+    [ ("bare", bare_s); ("telemetry off", off_s); ("telemetry on", on_s) ];
+  Table.print t;
+  let off_overhead = 1.0 -. (rps off_s /. rps bare_s) in
+  let on_overhead = 1.0 -. (rps on_s /. rps bare_s) in
+  Printf.printf "telemetry-off overhead: %.1f%% (within 3%%: %b)\n" (off_overhead *. 100.0)
+    (off_overhead <= 0.03);
+  Printf.printf "telemetry-on overhead: %.1f%% (within 15%%: %b)\n" (on_overhead *. 100.0)
+    (on_overhead <= 0.15);
+  (match !on_registry with
+  | Some reg ->
+      let h = Obs.Registry.histogram reg "wheel.round.deliveries" in
+      Printf.printf
+        "attached registry saw %d rounds, %d deliveries (p95 deliveries/round ~ %.0f)\n"
+        (Obs.Registry.hist_count h) (Obs.Registry.hist_sum h)
+        (Obs.Registry.hist_percentile h 95.0);
+      (match Obs.Registry.ring reg with
+      | Some ring ->
+          Printf.printf "ring kept %d of %d trace events (1/16 sampling)\n"
+            (Obs.Ring.kept ring) (Obs.Ring.seen ring)
+      | None -> ())
+  | None -> ());
+  let module Json = Gossip_util.Json in
+  bench_rows ~exp:"e13"
+    [
+      [
+        ("n", Json.Int n);
+        ("rounds", Json.Int off_rounds);
+        ("bare_s", Json.Float bare_s);
+        ("off_s", Json.Float off_s);
+        ("on_s", Json.Float on_s);
+        ("off_overhead", Json.Float off_overhead);
+        ("on_overhead", Json.Float on_overhead);
+      ];
+    ]

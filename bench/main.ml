@@ -20,6 +20,7 @@ let experiments =
     ("e10", "Theorem 20: unified dissemination", Exp_upper_bounds.e10);
     ("e11", "Footnote 2: push-only star Omega(nD)", Exp_upper_bounds.e11);
     ("e12", "Scale runtime: timing wheel vs reference engine", Exp_scale.e12);
+    ("e13", "Telemetry overhead: instrumented vs bare wheel engine", Exp_scale.e13);
     ("fig", "Figures 1-2: gadget structure", Exp_lower_bounds.figures);
     ("a1", "Ablation: robustness under faults (Section 7)", Ablations.robustness);
     ("a2", "Ablation: bounded in-degree (Daum et al.)", Ablations.indegree);

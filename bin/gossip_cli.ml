@@ -211,13 +211,28 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write the informed-set trajectory as CSV (push-pull only).")
   in
-  let run args algorithm source max_rounds crash drop capacity trace =
+  let telemetry =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Write engine telemetry (per-round counters, histograms, trace ring) as \
+             JSONL (plain push-pull only); inspect with $(b,gossip-cli report).")
+  in
+  let run args algorithm source max_rounds crash drop capacity trace telemetry =
     let g = build_graph args in
     let rng = Rng.of_int (args.seed + 17) in
     let show label = function
       | Some rounds -> Printf.printf "%s: %d rounds\n" label rounds
       | None -> Printf.printf "%s: hit the %d-round cap\n" label max_rounds
     in
+    let plain_push_pull =
+      algorithm = "push-pull" && crash = 0.0 && drop = 0.0 && capacity = None
+    in
+    (match telemetry with
+    | Some _ when not plain_push_pull ->
+        print_endline "note: --telemetry applies to plain push-pull only; ignored"
+    | _ -> ());
     match algorithm with
     | "push-pull" when crash > 0.0 || drop > 0.0 ->
         let module R = Gossip_core.Robustness in
@@ -241,7 +256,15 @@ let run_cmd =
             show "push-pull broadcast (bounded in-degree)" r.R.rounds;
             Printf.printf "rejected requests: %d\n" r.R.metrics.Gossip_sim.Engine.rejected
         | None ->
-            let r = Gossip_core.Push_pull.broadcast rng g ~source ~max_rounds in
+            let module Obs = Gossip_obs in
+            let reg =
+              match telemetry with
+              | None -> None
+              | Some _ ->
+                  let ring = Obs.Ring.create ~capacity:65536 () in
+                  Some (Obs.Registry.create ~ring ())
+            in
+            let r = Gossip_core.Push_pull.broadcast ?telemetry:reg rng g ~source ~max_rounds in
             show "push-pull broadcast" r.Gossip_core.Push_pull.rounds;
             (match trace with
             | None -> ()
@@ -252,7 +275,26 @@ let run_cmd =
                     Gossip_sim.Trace.record t ~round (float_of_int informed))
                   r.Gossip_core.Push_pull.history;
                 Gossip_sim.Trace.write_csv path [ t ];
-                Printf.printf "trace written to %s\n" path))
+                Printf.printf "trace written to %s\n" path);
+            (match (telemetry, reg) with
+            | Some path, Some reg ->
+                let module Json = Gossip_util.Json in
+                Obs.Sink.with_jsonl path (fun sink ->
+                    Obs.Sink.event sink
+                      [
+                        ("ev", Json.String "meta");
+                        ("tool", Json.String "gossip-cli run");
+                        ("algorithm", Json.String "push-pull");
+                        ("family", Json.String args.family);
+                        ("n", Json.Int (Graph.n g));
+                        ("seed", Json.Int args.seed);
+                      ];
+                    Obs.Sink.registry sink reg;
+                    match Obs.Registry.ring reg with
+                    | None -> ()
+                    | Some ring -> Obs.Sink.ring sink ring);
+                Printf.printf "telemetry written to %s\n" path
+            | _ -> ()))
     | "push-pull-all" ->
         let r = Gossip_core.Push_pull.all_to_all rng g ~max_rounds in
         show "push-pull all-to-all" r.Gossip_core.Push_pull.rounds
@@ -302,7 +344,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ family_term $ algorithm $ source $ max_rounds $ crash $ drop $ capacity
-      $ trace)
+      $ trace $ telemetry)
 
 (* ------------------------------------------------------------------ *)
 (* game *)
@@ -501,8 +543,16 @@ let sweep_cmd =
       value & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Write raw results and summaries as JSON.")
   in
+  let telemetry =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Write per-job outcomes and pool metrics (worker busy time, job-latency \
+             histogram, queue depth) as JSONL; inspect with $(b,gossip-cli report).")
+  in
   let run family n protocol trials jobs size bridge attach ws_k beta latency max_rounds
-      out seed =
+      out telemetry seed =
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
@@ -523,7 +573,12 @@ let sweep_cmd =
     let workers =
       match jobs with Some j -> max 1 j | None -> Pool.default_workers ()
     in
-    let outcomes = Sweep.run ~workers jobs_list in
+    let registry =
+      match telemetry with
+      | None -> None
+      | Some _ -> Some (Gossip_obs.Registry.create ())
+    in
+    let outcomes = Sweep.run ~workers ?telemetry:registry jobs_list in
     List.iter
       (fun s ->
         Printf.printf "%s n=%d %s: %d/%d trials completed\n" s.Sweep.family s.Sweep.n
@@ -536,7 +591,7 @@ let sweep_cmd =
               st.Gossip_util.Stats.mean st.Gossip_util.Stats.median
               st.Gossip_util.Stats.min st.Gossip_util.Stats.max st.Gossip_util.Stats.n)
       (Sweep.summarize outcomes);
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         Sweep.write_json path
@@ -547,13 +602,43 @@ let sweep_cmd =
               ("workers", Json.Int workers);
             ]
           outcomes;
-        Printf.printf "results written to %s\n" path
+        Printf.printf "results written to %s\n" path);
+    match (telemetry, registry) with
+    | Some path, Some reg ->
+        Sweep.write_telemetry path
+          ~meta:
+            [
+              ("tool", Json.String "gossip-cli sweep");
+              ("seed", Json.Int seed);
+              ("workers", Json.Int workers);
+            ]
+          ~registry:reg outcomes;
+        Printf.printf "telemetry written to %s\n" path
+    | _ -> ()
   in
   let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ family $ n $ protocol $ trials $ jobs $ size $ bridge $ attach $ ws_k
-      $ beta $ latency $ max_rounds $ out $ seed_arg)
+      $ beta $ latency $ max_rounds $ out $ telemetry $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Telemetry JSONL file to summarize.")
+  in
+  let run file =
+    if not (Sys.file_exists file) then
+      failwith (Printf.sprintf "no such file %S" file);
+    Format.printf "%a@?" Gossip_obs.Report.pp (Gossip_obs.Report.of_file file)
+  in
+  let doc = "Summarize a telemetry JSONL file (event counts, job latency, metrics)." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
 (* gadget *)
@@ -633,4 +718,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; run_cmd; game_cmd; gadget_cmd; spanner_cmd; reduce_cmd; sweep_cmd ]))
+          [
+            analyze_cmd;
+            run_cmd;
+            game_cmd;
+            gadget_cmd;
+            spanner_cmd;
+            reduce_cmd;
+            sweep_cmd;
+            report_cmd;
+          ]))

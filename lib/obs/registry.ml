@@ -1,0 +1,192 @@
+module Json = Gossip_util.Json
+
+type counter = { mutable c : int }
+
+type gauge = { mutable g : int }
+
+(* Log-bucketed histogram: bucket 0 holds v <= 0, buckets 1..3 hold
+   v = 1..3 exactly, and from v >= 4 each power of two is split into
+   four sub-buckets, so bucket width is at most 25% of its lower
+   bound.  62 octaves cover the whole int range in 248 buckets. *)
+let nbuckets = 248
+
+type histogram = { buckets : int array; mutable count : int; mutable sum : int }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { metrics : (string, metric) Hashtbl.t; ring : Ring.t option }
+
+let create ?ring () = { metrics = Hashtbl.create 16; ring }
+
+let ring t = t.ring
+
+let kind_label = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register t name make wrap unwrap =
+  match Hashtbl.find_opt t.metrics name with
+  | None ->
+      let m = make () in
+      Hashtbl.add t.metrics name (wrap m);
+      m
+  | Some existing -> (
+      match unwrap existing with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Registry: %S is already a %s" name (kind_label existing)))
+
+let counter t name =
+  register t name
+    (fun () -> { c = 0 })
+    (fun c -> Counter c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () -> { g = 0 })
+    (fun g -> Gauge g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () -> { buckets = Array.make nbuckets 0; count = 0; sum = 0 })
+    (fun h -> Histogram h)
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.c <- c.c + 1
+
+let add c v = c.c <- c.c + v
+
+let counter_value c = c.c
+
+let set g v = g.g <- v
+
+let record_max g v = if v > g.g then g.g <- v
+
+let gauge_value g = g.g
+
+(* Position of the most significant set bit of v > 0. *)
+let msb v =
+  let rec go v k = if v <= 1 then k else go (v lsr 1) (k + 1) in
+  go v 0
+
+let bucket_index v =
+  if v <= 0 then 0
+  else if v < 4 then v
+  else begin
+    let k = msb v in
+    (4 * (k - 1)) + ((v lsr (k - 2)) land 3)
+  end
+
+(* Inclusive [lo, hi] range of bucket [i]; the inverse of
+   [bucket_index]. *)
+let bucket_bounds i =
+  if i = 0 then (min_int, 0)
+  else if i < 4 then (i, i)
+  else begin
+    let k = (i / 4) + 1 and q = i mod 4 in
+    let lo = (4 + q) lsl (k - 2) in
+    (lo, lo + (1 lsl (k - 2)) - 1)
+  end
+
+let observe h v =
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v
+
+let hist_count h = h.count
+
+let hist_sum h = h.sum
+
+let hist_mean h = if h.count = 0 then nan else float_of_int h.sum /. float_of_int h.count
+
+let hist_percentile h p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Registry.hist_percentile: p out of [0,100]";
+  if h.count = 0 then nan
+  else begin
+    let rank = p /. 100.0 *. float_of_int (h.count - 1) in
+    let rec find i cum =
+      let cum' = cum + h.buckets.(i) in
+      if float_of_int cum' > rank || i = nbuckets - 1 then begin
+        let lo, hi = bucket_bounds i in
+        let lo = if i = 0 then 0 else lo in
+        if h.buckets.(i) <= 1 then float_of_int lo
+        else begin
+          (* Interpolate across the bucket by rank position within it. *)
+          let frac = (rank -. float_of_int cum) /. float_of_int (h.buckets.(i) - 1) in
+          let frac = Float.max 0.0 (Float.min 1.0 frac) in
+          float_of_int lo +. (frac *. float_of_int (hi - lo))
+        end
+      end
+      else find (i + 1) cum'
+    in
+    find 0 0
+  end
+
+let hist_buckets h =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      let lo = if i = 0 then 0 else lo in
+      acc := (lo, hi, h.buckets.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun name metric ->
+      match metric with
+      | Counter c -> add (counter into name) c.c
+      | Gauge g -> record_max (gauge into name) g.g
+      | Histogram h ->
+          let dst = histogram into name in
+          Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets;
+          dst.count <- dst.count + h.count;
+          dst.sum <- dst.sum + h.sum)
+    src.metrics
+
+let names t =
+  Hashtbl.fold
+    (fun name metric acc ->
+      let kind =
+        match metric with
+        | Counter _ -> `Counter
+        | Gauge _ -> `Gauge
+        | Histogram _ -> `Histogram
+      in
+      (name, kind) :: acc)
+    t.metrics []
+  |> List.sort compare
+
+let to_json t =
+  let sorted kindp f =
+    Hashtbl.fold
+      (fun name metric acc -> match kindp metric with Some m -> (name, m) :: acc | None -> acc)
+      t.metrics []
+    |> List.sort compare
+    |> List.map (fun (name, m) -> (name, f m))
+  in
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Int h.sum);
+        ("mean", Json.Float (hist_mean h));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, hi, n) -> Json.List [ Json.Int lo; Json.Int hi; Json.Int n ])
+               (hist_buckets h)) );
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (sorted (function Counter c -> Some c | _ -> None) (fun c -> Json.Int c.c)) );
+      ("gauges", Json.Obj (sorted (function Gauge g -> Some g | _ -> None) (fun g -> Json.Int g.g)));
+      ( "histograms",
+        Json.Obj (sorted (function Histogram h -> Some h | _ -> None) hist_json) );
+    ]

@@ -1,0 +1,95 @@
+(** Named counters, gauges, and log-bucketed integer histograms.
+
+    The registry is the hot-path half of the telemetry subsystem:
+    every metric is resolved to a handle once (a hash lookup at
+    registration) and then updated by plain mutable-field writes or
+    flat-int-array increments — zero allocation per update, so an
+    instrumented engine round costs a handful of stores.
+
+    Registries are {e mergeable}: each worker domain of a sweep owns a
+    private registry and the orchestrator folds them together at join
+    with {!merge}.  Merge is associative and commutative (counters and
+    histogram buckets add, gauges take the maximum), so the fold order
+    never changes the result — a property the test suite locks under
+    qcheck.
+
+    A registry can carry an optional {!Ring} so that layers which only
+    receive a [Registry.t] (the engines' [?telemetry] argument) can
+    also emit per-round trace events. *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+(** [create ?ring ()] builds an empty registry, optionally carrying an
+    event ring for round tracing. *)
+val create : ?ring:Ring.t -> unit -> t
+
+val ring : t -> Ring.t option
+
+(** [counter t name] returns the counter registered under [name],
+    creating it at zero on first use.
+    @raise Invalid_argument if [name] is registered with another
+    metric kind. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** [set g v] overwrites the gauge. *)
+val set : gauge -> int -> unit
+
+(** [record_max g v] raises the gauge to [v] if larger — high-water
+    marks (queue depth, in-flight exchanges) merge cleanly this way. *)
+val record_max : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+(** [observe h v] increments the bucket containing [v].  Buckets are
+    log-spaced with four sub-buckets per power of two (relative width
+    <= 25%); negative and zero values share bucket 0.  Exact [count]
+    and [sum] are kept alongside, so means are exact and only
+    percentiles are approximate. *)
+val observe : histogram -> int -> unit
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> int
+
+(** Mean of the observed values (exact); [nan] when empty. *)
+val hist_mean : histogram -> float
+
+(** [hist_percentile h p] for [p] in [0, 100]: linear interpolation
+    inside the bucket holding the rank-[p] observation.  Accurate to
+    the bucket width (<= 25% relative error); [nan] when empty. *)
+val hist_percentile : histogram -> float -> float
+
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+val hist_buckets : histogram -> (int * int * int) list
+
+(** [merge ~into src] folds [src] into [into]: counters and histogram
+    buckets add, gauges take the maximum.  Metrics missing from [into]
+    are created.  [src] is not modified.
+    @raise Invalid_argument on a name registered with different kinds
+    in the two registries. *)
+val merge : into:t -> t -> unit
+
+(** Registered names with their kind ([`Counter | `Gauge | `Histogram]),
+    sorted by name. *)
+val names : t -> (string * [ `Counter | `Gauge | `Histogram ]) list
+
+(** Snapshot as a JSON object with ["counters"], ["gauges"] and
+    ["histograms"] fields (names sorted; histogram entries carry
+    [count], [sum], [mean] and non-empty [buckets]). *)
+val to_json : t -> Gossip_util.Json.t

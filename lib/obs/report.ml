@@ -1,0 +1,151 @@
+module Json = Gossip_util.Json
+module Stats = Gossip_util.Stats
+
+type hist = { hist_count : int; hist_sum : int; hist_mean : float }
+
+type t = {
+  path : string;
+  events : int;
+  parse_errors : int;
+  by_ev : (string * int) list;
+  job_elapsed_s : float array;
+  job_rounds : float array;
+  job_latency : Stats.summary option;
+  rounds_summary : Stats.summary option;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist) list;
+  final_informed : (int * int) option;
+}
+
+let field name = function Json.Obj fields -> List.assoc_opt name fields | _ -> None
+
+let as_float = function
+  | Some (Json.Float x) -> Some x
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let as_int = function Some (Json.Int i) -> Some i | _ -> None
+
+let as_string = function Some (Json.String s) -> Some s | _ -> None
+
+let of_file path =
+  let ic = open_in path in
+  let events = ref 0 and parse_errors = ref 0 in
+  let ev_order = ref [] and ev_counts = Hashtbl.create 8 in
+  let job_elapsed = ref [] and job_rounds = ref [] in
+  let counters = Hashtbl.create 8 and gauges = Hashtbl.create 8 and hists = Hashtbl.create 8 in
+  let final_informed = ref None in
+  let handle line =
+    match Json.of_string line with
+    | Error _ -> incr parse_errors
+    | Ok j -> (
+        incr events;
+        let ev = Option.value ~default:"?" (as_string (field "ev" j)) in
+        if not (Hashtbl.mem ev_counts ev) then begin
+          ev_order := ev :: !ev_order;
+          Hashtbl.add ev_counts ev 0
+        end;
+        Hashtbl.replace ev_counts ev (Hashtbl.find ev_counts ev + 1);
+        match ev with
+        | "job" ->
+            (match as_float (field "elapsed_s" j) with
+            | Some x -> job_elapsed := x :: !job_elapsed
+            | None -> ());
+            (match as_int (field "rounds" j) with
+            | Some r -> job_rounds := float_of_int r :: !job_rounds
+            | None -> ())
+        | "counter" -> (
+            match (as_string (field "name" j), as_int (field "value" j)) with
+            | Some name, Some v -> Hashtbl.replace counters name v
+            | _ -> ())
+        | "gauge" -> (
+            match (as_string (field "name" j), as_int (field "value" j)) with
+            | Some name, Some v -> Hashtbl.replace gauges name v
+            | _ -> ())
+        | "hist" -> (
+            match as_string (field "name" j) with
+            | Some name ->
+                let get f = Option.value ~default:0 (as_int (field f j)) in
+                let mean = Option.value ~default:nan (as_float (field "mean" j)) in
+                Hashtbl.replace hists name
+                  { hist_count = get "count"; hist_sum = get "sum"; hist_mean = mean }
+            | None -> ())
+        | "trace" -> (
+            match (as_string (field "kind" j), as_int (field "round" j), as_int (field "value" j)) with
+            | Some "informed", Some round, Some value -> final_informed := Some (round, value)
+            | _ -> ())
+        | _ -> ())
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then handle line
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  let sorted table = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare in
+  let job_elapsed_s = Array.of_list (List.rev !job_elapsed) in
+  let job_rounds = Array.of_list (List.rev !job_rounds) in
+  let summary a = if Array.length a = 0 then None else Some (Stats.summarize a) in
+  {
+    path;
+    events = !events;
+    parse_errors = !parse_errors;
+    by_ev = List.rev_map (fun ev -> (ev, Hashtbl.find ev_counts ev)) !ev_order;
+    job_elapsed_s;
+    job_rounds;
+    job_latency = summary job_elapsed_s;
+    rounds_summary = summary job_rounds;
+    counters = sorted counters;
+    gauges = sorted gauges;
+    hists = sorted hists;
+    final_informed = !final_informed;
+  }
+
+let job_percentile t p =
+  if Array.length t.job_elapsed_s = 0 then nan else Stats.percentile t.job_elapsed_s p
+
+let pp ppf t =
+  Format.fprintf ppf "telemetry report: %s@\n" t.path;
+  Format.fprintf ppf "  events: %d (parse errors: %d)@\n" t.events t.parse_errors;
+  if t.by_ev <> [] then begin
+    Format.fprintf ppf "  event counts:@\n";
+    List.iter (fun (ev, n) -> Format.fprintf ppf "    %s: %d@\n" ev n) t.by_ev
+  end;
+  let jobs = Array.length t.job_elapsed_s in
+  if jobs > 0 then begin
+    Format.fprintf ppf "  jobs: %d total, %d completed@\n" jobs (Array.length t.job_rounds);
+    (match t.rounds_summary with
+    | Some s ->
+        Format.fprintf ppf "    rounds: mean=%.1f p50=%.1f p95=%.1f max=%.0f@\n" s.Stats.mean
+          s.Stats.median s.Stats.p95 s.Stats.max
+    | None -> ());
+    match t.job_latency with
+    | Some s ->
+        Format.fprintf ppf "    elapsed_s: mean=%.6f p50=%.6f p95=%.6f max=%.6f@\n" s.Stats.mean
+          s.Stats.median s.Stats.p95 s.Stats.max
+    | None -> ()
+  end;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "  counters:@\n";
+    List.iter (fun (name, v) -> Format.fprintf ppf "    %s = %d@\n" name v) t.counters
+  end;
+  if t.gauges <> [] then begin
+    Format.fprintf ppf "  gauges:@\n";
+    List.iter (fun (name, v) -> Format.fprintf ppf "    %s = %d@\n" name v) t.gauges
+  end;
+  if t.hists <> [] then begin
+    Format.fprintf ppf "  histograms:@\n";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "    %s: count=%d sum=%d mean=%.1f@\n" name h.hist_count h.hist_sum
+          h.hist_mean)
+      t.hists
+  end;
+  match t.final_informed with
+  | Some (round, value) -> Format.fprintf ppf "  informed: %d at round %d@\n" value round
+  | None -> ()

@@ -1,0 +1,36 @@
+(** Reader for telemetry JSONL files (the {!Sink} schema).
+
+    [of_file] parses every line, tallies event kinds, and pulls out
+    the distributions an operator asks for first: sweep-job latencies
+    and round counts (summarized through {!Gossip_util.Stats}, so the
+    printed percentiles agree exactly with offline analysis of the raw
+    file), registry scalars, histogram snapshots, and the informed-set
+    trajectory from trace events.  Unparseable lines are counted, not
+    fatal — a truncated file still reports. *)
+
+type hist = { hist_count : int; hist_sum : int; hist_mean : float }
+
+type t = {
+  path : string;
+  events : int;  (** parsed events *)
+  parse_errors : int;
+  by_ev : (string * int) list;  (** event-kind counts, first-appearance order *)
+  job_elapsed_s : float array;  (** ["job"] events, file order *)
+  job_rounds : float array;  (** completed jobs only (non-null [rounds]) *)
+  job_latency : Gossip_util.Stats.summary option;
+      (** summary of [job_elapsed_s]; [None] when there are no jobs *)
+  rounds_summary : Gossip_util.Stats.summary option;
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  hists : (string * hist) list;
+  final_informed : (int * int) option;
+      (** last ["trace"] event of kind ["informed"], as (round, value) *)
+}
+
+val of_file : string -> t
+
+(** Percentile of [job_elapsed_s] via {!Gossip_util.Stats.percentile};
+    [nan] when no jobs. *)
+val job_percentile : t -> float -> float
+
+val pp : Format.formatter -> t -> unit

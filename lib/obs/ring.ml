@@ -1,0 +1,82 @@
+type t = {
+  sample : int;
+  capacity : int;
+  rounds : int array;
+  kinds : int array;
+  nodes : int array;
+  values : int array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable seen : int;
+  mutable kept : int;
+}
+
+let kind_informed = 0
+
+let kind_deliveries = 1
+
+let kind_initiations = 2
+
+let kind_drops = 3
+
+let kind_queue = 4
+
+let kind_name = function
+  | 0 -> "informed"
+  | 1 -> "deliveries"
+  | 2 -> "initiations"
+  | 3 -> "drops"
+  | 4 -> "queue"
+  | k -> Printf.sprintf "k%d" k
+
+let create ?(sample = 1) ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  if sample < 1 then invalid_arg "Ring.create: sample must be >= 1";
+  {
+    sample;
+    capacity;
+    rounds = Array.make capacity 0;
+    kinds = Array.make capacity 0;
+    nodes = Array.make capacity 0;
+    values = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    seen = 0;
+    kept = 0;
+  }
+
+let capacity t = t.capacity
+
+let sample t = t.sample
+
+let record t ~round ~kind ~node ~value =
+  let i = t.seen in
+  t.seen <- i + 1;
+  if i mod t.sample = 0 then begin
+    let h = t.head in
+    t.rounds.(h) <- round;
+    t.kinds.(h) <- kind;
+    t.nodes.(h) <- node;
+    t.values.(h) <- value;
+    t.head <- (if h + 1 = t.capacity then 0 else h + 1);
+    if t.len < t.capacity then t.len <- t.len + 1;
+    t.kept <- t.kept + 1
+  end
+
+let length t = t.len
+
+let seen t = t.seen
+
+let kept t = t.kept
+
+let iter t f =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  for i = 0 to t.len - 1 do
+    let j = (start + i) mod t.capacity in
+    f ~round:t.rounds.(j) ~kind:t.kinds.(j) ~node:t.nodes.(j) ~value:t.values.(j)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun ~round ~kind ~node ~value -> acc := (round, kind, node, value) :: !acc);
+  List.rev !acc

@@ -1,0 +1,118 @@
+module Json = Gossip_util.Json
+
+type format = Jsonl | Csv of string list
+
+type t = { oc : out_channel; format : format; buf : Buffer.t; mutable closed : bool }
+
+let jsonl path = { oc = open_out path; format = Jsonl; buf = Buffer.create 256; closed = false }
+
+let csv_cell buf s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  end
+  else Buffer.add_string buf s
+
+let csv path ~header =
+  let t = { oc = open_out path; format = Csv header; buf = Buffer.create 256; closed = false } in
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char t.buf ',';
+      csv_cell t.buf name)
+    header;
+  Buffer.add_char t.buf '\n';
+  Buffer.output_buffer t.oc t.buf;
+  Buffer.clear t.buf;
+  t
+
+let event t fields =
+  if t.closed then invalid_arg "Sink.event: sink is closed";
+  (match t.format with
+  | Jsonl -> Json.to_buffer t.buf (Json.Obj fields)
+  | Csv header ->
+      List.iteri
+        (fun i name ->
+          if i > 0 then Buffer.add_char t.buf ',';
+          match List.assoc_opt name fields with
+          | None | Some Json.Null -> ()
+          | Some (Json.String s) -> csv_cell t.buf s
+          | Some j -> Buffer.add_string t.buf (Json.to_string j))
+        header);
+  Buffer.add_char t.buf '\n';
+  Buffer.output_buffer t.oc t.buf;
+  Buffer.clear t.buf
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end
+
+let with_jsonl path f =
+  let t = jsonl path in
+  match f t with
+  | y ->
+      close t;
+      y
+  | exception e ->
+      close t;
+      raise e
+
+let registry t ?(prefix = "") reg =
+  List.iter
+    (fun (name, kind) ->
+      let name_field = ("name", Json.String (prefix ^ name)) in
+      match kind with
+      | `Counter ->
+          event t
+            [
+              ("ev", Json.String "counter");
+              name_field;
+              ("value", Json.Int (Registry.counter_value (Registry.counter reg name)));
+            ]
+      | `Gauge ->
+          event t
+            [
+              ("ev", Json.String "gauge");
+              name_field;
+              ("value", Json.Int (Registry.gauge_value (Registry.gauge reg name)));
+            ]
+      | `Histogram ->
+          let h = Registry.histogram reg name in
+          event t
+            [
+              ("ev", Json.String "hist");
+              name_field;
+              ("count", Json.Int (Registry.hist_count h));
+              ("sum", Json.Int (Registry.hist_sum h));
+              ("mean", Json.Float (Registry.hist_mean h));
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (lo, hi, n) -> Json.List [ Json.Int lo; Json.Int hi; Json.Int n ])
+                     (Registry.hist_buckets h)) );
+            ])
+    (Registry.names reg)
+
+let ring t r =
+  event t
+    [
+      ("ev", Json.String "ring");
+      ("seen", Json.Int (Ring.seen r));
+      ("kept", Json.Int (Ring.kept r));
+      ("sample", Json.Int (Ring.sample r));
+      ("capacity", Json.Int (Ring.capacity r));
+    ];
+  Ring.iter r (fun ~round ~kind ~node ~value ->
+      event t
+        [
+          ("ev", Json.String "trace");
+          ("round", Json.Int round);
+          ("kind", Json.String (Ring.kind_name kind));
+          ("node", Json.Int node);
+          ("value", Json.Int value);
+        ])

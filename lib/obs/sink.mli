@@ -1,0 +1,50 @@
+(** Telemetry emitters: JSONL (one event object per line) and CSV.
+
+    The JSONL schema is deliberately small and stable; DESIGN.md holds
+    the authoritative table.  Every event is a flat JSON object whose
+    ["ev"] field names its kind:
+
+    - ["meta"] — free-form run metadata (tool, seed, timestamp, ...)
+    - ["job"] — one sweep job outcome (family, n, rounds, elapsed_s, ...)
+    - ["trace"] — one {!Ring} record: [round], [kind] (name), [node],
+      [value]
+    - ["ring"] — ring accounting preceding its trace events: [seen],
+      [kept], [sample], [capacity]
+    - ["counter"] / ["gauge"] — one registry scalar: [name], [value]
+    - ["hist"] — one registry histogram: [name], [count], [sum],
+      [mean], [buckets] as [[lo, hi, count], ...]
+    - ["span"] — one {!Span.report}
+    - ["bench"] — one bench-harness measurement row ([exp] names the
+      experiment, remaining fields are experiment-specific)
+
+    Files are written through [Buffer]-backed channels; [close] (or
+    [with_jsonl]) flushes. *)
+
+type t
+
+(** [jsonl path] opens (truncates) a JSONL sink. *)
+val jsonl : string -> t
+
+(** [csv path ~header] opens a CSV sink and writes the header row.
+    Events are projected onto the header columns; missing fields
+    render empty, strings are quoted only when they need it. *)
+val csv : string -> header:string list -> t
+
+(** [event t fields] writes one event.  Field order is preserved in
+    JSONL output; CSV output follows the sink's header instead. *)
+val event : t -> (string * Gossip_util.Json.t) list -> unit
+
+val close : t -> unit
+
+(** [with_jsonl path f] runs [f] over a fresh JSONL sink and closes it
+    even if [f] raises. *)
+val with_jsonl : string -> (t -> 'a) -> 'a
+
+(** [registry t ?prefix reg] dumps a registry snapshot: one
+    ["counter"]/["gauge"]/["hist"] event per metric, names sorted and
+    prefixed with [prefix] (default none). *)
+val registry : t -> ?prefix:string -> Registry.t -> unit
+
+(** [ring t r] writes one ["ring"] accounting event followed by one
+    ["trace"] event per held record, oldest first. *)
+val ring : t -> Ring.t -> unit

@@ -14,6 +14,15 @@ let no_faults = Engine.no_faults
 
 type metrics = Engine.metrics
 
+(* Telemetry handles, resolved once at creation (see Engine.tel). *)
+type tel = {
+  tel_ring : Gossip_obs.Ring.t option;
+  h_deliveries : Gossip_obs.Registry.histogram;
+  h_initiations : Gossip_obs.Registry.histogram;
+  h_inflight : Gossip_obs.Registry.histogram;
+  g_inflight : Gossip_obs.Registry.gauge;
+}
+
 (* In-flight exchanges are pooled in parallel int arrays and threaded
    into singly-linked lists by [ex_next]: one arrival list and one
    response list per wheel slot, plus a free list.  An exchange id is
@@ -37,11 +46,13 @@ type t = {
   mutable ex_next : int array;
   mutable free_head : int;
   mutable pool_used : int;  (* high-water mark of allocated slots *)
+  mutable in_flight : int;  (* live exchanges = wheel-slot occupancy *)
   metrics : metrics;
+  tel : tel option;
   mutable now : int;
 }
 
-let create ?(faults = no_faults) ?wheel_latency rng csr ~protocol ~source =
+let create ?(faults = no_faults) ?wheel_latency ?telemetry rng csr ~protocol ~source =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound =
@@ -79,8 +90,20 @@ let create ?(faults = no_faults) ?wheel_latency rng csr ~protocol ~source =
     ex_next = Array.make cap (-1);
     free_head = -1;
     pool_used = 0;
+    in_flight = 0;
     metrics =
       { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 };
+    tel =
+      Option.map
+        (fun reg ->
+          {
+            tel_ring = Gossip_obs.Registry.ring reg;
+            h_deliveries = Gossip_obs.Registry.histogram reg "wheel.round.deliveries";
+            h_initiations = Gossip_obs.Registry.histogram reg "wheel.round.initiations";
+            h_inflight = Gossip_obs.Registry.histogram reg "wheel.inflight";
+            g_inflight = Gossip_obs.Registry.gauge reg "wheel.inflight.max";
+          })
+        telemetry;
     now = 0;
   }
 
@@ -117,6 +140,7 @@ let grow t =
   t.ex_next <- extend t.ex_next
 
 let alloc t =
+  t.in_flight <- t.in_flight + 1;
   if t.free_head >= 0 then begin
     let e = t.free_head in
     t.free_head <- t.ex_next.(e);
@@ -130,11 +154,15 @@ let alloc t =
   end
 
 let free t e =
+  t.in_flight <- t.in_flight - 1;
   t.ex_next.(e) <- t.free_head;
   t.free_head <- e
 
 let step t =
   let round = t.now in
+  let d0 = t.metrics.Engine.deliveries
+  and i0 = t.metrics.Engine.initiations
+  and x0 = t.metrics.Engine.dropped in
   let slot = round mod t.wheel in
   let alive node = t.faults.Engine.alive ~node ~round in
   (* Phase 1a: every response due to be generated this round reads the
@@ -239,12 +267,28 @@ let step t =
     end
   done;
   t.now <- round + 1;
-  t.metrics.Engine.rounds <- t.metrics.Engine.rounds + 1
+  t.metrics.Engine.rounds <- t.metrics.Engine.rounds + 1;
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+      Gossip_obs.Registry.observe tel.h_deliveries (t.metrics.Engine.deliveries - d0);
+      Gossip_obs.Registry.observe tel.h_initiations (t.metrics.Engine.initiations - i0);
+      Gossip_obs.Registry.observe tel.h_inflight t.in_flight;
+      Gossip_obs.Registry.record_max tel.g_inflight t.in_flight;
+      (match tel.tel_ring with
+      | None -> ()
+      | Some ring ->
+          let ev kind value = Gossip_obs.Ring.record ring ~round ~kind ~node:(-1) ~value in
+          ev Gossip_obs.Ring.kind_informed t.count;
+          ev Gossip_obs.Ring.kind_deliveries (t.metrics.Engine.deliveries - d0);
+          ev Gossip_obs.Ring.kind_initiations (t.metrics.Engine.initiations - i0);
+          ev Gossip_obs.Ring.kind_drops (t.metrics.Engine.dropped - x0);
+          ev Gossip_obs.Ring.kind_queue t.in_flight)
 
 type result = { rounds : int option; metrics : metrics; history : (int * int) list }
 
-let broadcast ?faults ?wheel_latency rng csr ~protocol ~source ~max_rounds =
-  let t = create ?faults ?wheel_latency rng csr ~protocol ~source in
+let broadcast ?faults ?wheel_latency ?telemetry rng csr ~protocol ~source ~max_rounds =
+  let t = create ?faults ?wheel_latency ?telemetry rng csr ~protocol ~source in
   let n = Csr.n csr in
   let history = ref [ (0, t.count) ] in
   let rec go () =

@@ -59,14 +59,26 @@ type metrics = Gossip_sim.Engine.metrics
 
 type t
 
-(** [create ?faults ?wheel_latency rng csr ~protocol ~source] builds a
-    simulator with the source already informed.  [wheel_latency] sizes
-    the timing wheel (default: [Csr.max_latency csr]); it must be an
-    upper bound on every jittered latency the run will see.
+(** [create ?faults ?wheel_latency ?telemetry rng csr ~protocol
+    ~source] builds a simulator with the source already informed.
+    [wheel_latency] sizes the timing wheel (default:
+    [Csr.max_latency csr]); it must be an upper bound on every
+    jittered latency the run will see.
+
+    [telemetry] attaches an observability registry: per round the
+    engine observes delivery/initiation counts and the in-flight
+    exchange population (= wheel-slot occupancy) into the
+    ["wheel.round.deliveries"], ["wheel.round.initiations"] and
+    ["wheel.inflight"] histograms, tracks the ["wheel.inflight.max"]
+    gauge, and — when the registry carries a ring — records per-round
+    [informed]/[deliveries]/[initiations]/[drops]/[queue] trace
+    events.  All handles are resolved at creation; a telemetry-off
+    run pays one option match per round.
     @raise Invalid_argument on a bad source or undersized wheel. *)
 val create :
   ?faults:faults ->
   ?wheel_latency:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->
@@ -105,6 +117,7 @@ type result = {
 val broadcast :
   ?faults:faults ->
   ?wheel_latency:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->

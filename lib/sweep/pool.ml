@@ -1,6 +1,31 @@
+module Registry = Gossip_obs.Registry
+
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
-let run ?workers f inputs =
+(* Per-worker telemetry lives in a worker-local registry so the hot
+   path takes no lock beyond the job queue's; locals are merged into
+   the caller's registry after the join.  Metrics are pre-registered
+   eagerly so the merged set of names does not depend on which worker
+   happened to win which job. *)
+type worker_tel = {
+  local : Registry.t;
+  w_busy_us : Registry.counter;
+  w_jobs : Registry.counter;
+  h_job_us : Registry.histogram;
+  h_queue_depth : Registry.histogram;
+}
+
+let make_worker_tel w =
+  let local = Registry.create () in
+  {
+    local;
+    w_busy_us = Registry.counter local (Printf.sprintf "pool.worker%d.busy_us" w);
+    w_jobs = Registry.counter local (Printf.sprintf "pool.worker%d.jobs" w);
+    h_job_us = Registry.histogram local "pool.job_us";
+    h_queue_depth = Registry.histogram local "pool.queue_depth";
+  }
+
+let run ?workers ?telemetry f inputs =
   let n = Array.length inputs in
   let workers =
     let requested = match workers with Some w -> w | None -> default_workers () in
@@ -20,21 +45,42 @@ let run ?workers f inputs =
           end
           else -1)
     in
-    let worker () =
+    let tels =
+      match telemetry with
+      | None -> [||]
+      | Some _ -> Array.init workers make_worker_tel
+    in
+    let worker w () =
+      let tel = if Array.length tels = 0 then None else Some tels.(w) in
       let rec loop () =
         let i = take () in
         if i >= 0 then begin
-          (results.(i) <- Some (try Ok (f inputs.(i)) with e -> Error e));
+          (match tel with
+          | None ->
+              results.(i) <- Some (try Ok (f inputs.(i)) with e -> Error e)
+          | Some tel ->
+              (* depth of the queue *after* this job was taken *)
+              Registry.observe tel.h_queue_depth (n - i - 1);
+              let t0 = Unix.gettimeofday () in
+              let r = try Ok (f inputs.(i)) with e -> Error e in
+              let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+              Registry.add tel.w_busy_us us;
+              Registry.incr tel.w_jobs;
+              Registry.observe tel.h_job_us us;
+              results.(i) <- Some r);
           loop ()
         end
       in
       loop ()
     in
-    if workers = 1 then worker ()
+    if workers = 1 then worker 0 ()
     else begin
-      let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+      let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
       Array.iter Domain.join domains
     end;
+    (match telemetry with
+    | None -> ()
+    | Some reg -> Array.iter (fun tel -> Registry.merge ~into:reg tel.local) tels);
     Array.map
       (function
         | Some (Ok v) -> v
@@ -43,4 +89,5 @@ let run ?workers f inputs =
       results
   end
 
-let map_list ?workers f jobs = Array.to_list (run ?workers f (Array.of_list jobs))
+let map_list ?workers ?telemetry f jobs =
+  Array.to_list (run ?workers ?telemetry f (Array.of_list jobs))

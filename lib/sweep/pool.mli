@@ -11,13 +11,32 @@
     clamped to at least 1 — one domain is left for the orchestrator. *)
 val default_workers : unit -> int
 
-(** [run ?workers f inputs] applies [f] to every element of [inputs]
-    on a pool of [workers] domains (default {!default_workers};
-    clamped to [1 <= workers <= Array.length inputs]) and returns the
-    results in input order.  If any job raised, the exception of the
-    lowest-indexed failing job is re-raised after all workers have
-    drained the queue. *)
-val run : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [run ?workers ?telemetry f inputs] applies [f] to every element of
+    [inputs] on a pool of [workers] domains (default
+    {!default_workers}; clamped to [1 <= workers <= Array.length
+    inputs]) and returns the results in input order.  If any job
+    raised, the exception of the lowest-indexed failing job is
+    re-raised after all workers have drained the queue.
 
-(** [map_list ?workers f jobs] is {!run} over a list. *)
-val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+    When [telemetry] is given, each worker keeps a private registry
+    (no cross-domain contention) recording [pool.worker<w>.busy_us]
+    and [pool.worker<w>.jobs] counters plus shared-name [pool.job_us]
+    (per-job wall time, microseconds) and [pool.queue_depth] (jobs
+    remaining at dequeue) histograms; all worker registries are merged
+    into [telemetry] after the join.  Per-worker metrics are
+    registered eagerly, so the merged name set depends only on the
+    worker count, not on scheduling. *)
+val run :
+  ?workers:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+
+(** [map_list ?workers ?telemetry f jobs] is {!run} over a list. *)
+val map_list :
+  ?workers:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list

@@ -73,7 +73,7 @@ let run_job job =
     elapsed_s = Unix.gettimeofday () -. started;
   }
 
-let run ?workers jobs = Pool.map_list ?workers run_job jobs
+let run ?workers ?telemetry jobs = Pool.map_list ?workers ?telemetry run_job jobs
 
 type summary = {
   family : string;
@@ -202,3 +202,32 @@ let to_json ?(meta = []) outcomes =
     ]
 
 let write_json path ?meta outcomes = Json.write path (to_json ?meta outcomes)
+
+let job_event i o =
+  [
+    ("ev", Json.String "job");
+    ("id", Json.Int i);
+    ("family", Json.String (family_name o.job.family));
+    ("n", Json.Int o.n_actual);
+    ("edges", Json.Int o.edges);
+    ("seed", Json.Int o.job.seed);
+    ("protocol", Json.String (Wheel_engine.protocol_name o.job.protocol));
+    ("max_rounds", Json.Int o.job.max_rounds);
+    ("rounds", (match o.rounds with Some r -> Json.Int r | None -> Json.Null));
+    ("initiations", Json.Int o.metrics.Engine.initiations);
+    ("deliveries", Json.Int o.metrics.Engine.deliveries);
+    ("dropped", Json.Int o.metrics.Engine.dropped);
+    ("elapsed_s", Json.Float o.elapsed_s);
+  ]
+
+let write_telemetry path ?(meta = []) ?registry outcomes =
+  Gossip_obs.Sink.with_jsonl path (fun sink ->
+      Gossip_obs.Sink.event sink (("ev", Json.String "meta") :: meta);
+      List.iteri (fun i o -> Gossip_obs.Sink.event sink (job_event i o)) outcomes;
+      match registry with
+      | None -> ()
+      | Some reg ->
+          Gossip_obs.Sink.registry sink reg;
+          (match Gossip_obs.Registry.ring reg with
+          | None -> ()
+          | Some r -> Gossip_obs.Sink.ring sink r))

@@ -58,10 +58,17 @@ type outcome = {
 (** [run_job job] executes one job in the calling domain. *)
 val run_job : job -> outcome
 
-(** [run ?workers jobs] fans the jobs across a domain pool (default
-    {!Pool.default_workers}); results come back in job order and are
-    deterministic per job regardless of [workers]. *)
-val run : ?workers:int -> job list -> outcome list
+(** [run ?workers ?telemetry jobs] fans the jobs across a domain pool
+    (default {!Pool.default_workers}); results come back in job order
+    and are deterministic per job regardless of [workers].
+    [telemetry] is forwarded to {!Pool.run}: worker-local pool metrics
+    (busy time, job latency histogram, queue depth) are merged into it
+    at join. *)
+val run :
+  ?workers:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  job list ->
+  outcome list
 
 (** Aggregate statistics for one [(family, n, protocol)] group, in
     first-appearance order. *)
@@ -87,3 +94,17 @@ val to_json : ?meta:(string * Gossip_util.Json.t) list -> outcome list -> Gossip
 
 (** [write_json path ?meta outcomes] serializes to a file. *)
 val write_json : string -> ?meta:(string * Gossip_util.Json.t) list -> outcome list -> unit
+
+(** [write_telemetry path ?meta ?registry outcomes] writes the
+    sweep's telemetry as JSONL through {!Gossip_obs.Sink}: one
+    ["meta"] event carrying [meta], one ["job"] event per outcome
+    (id, family, n, edges, seed, protocol, rounds, counters,
+    elapsed_s), then — when [registry] is given — a registry snapshot
+    and, if the registry carries a ring, its trace events.  The file
+    is readable back with {!Gossip_obs.Report.of_file}. *)
+val write_telemetry :
+  string ->
+  ?meta:(string * Gossip_util.Json.t) list ->
+  ?registry:Gossip_obs.Registry.t ->
+  outcome list ->
+  unit

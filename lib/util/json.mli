@@ -22,5 +22,12 @@ val to_string : t -> string
 (** [to_buffer buf j] appends the rendering to [buf]. *)
 val to_buffer : Buffer.t -> t -> unit
 
+(** [of_string s] parses one JSON document (RFC 8259).  Numbers
+    without a fraction or exponent that fit in an OCaml [int] become
+    [Int], everything else [Float]; [\uXXXX] escapes (including
+    surrogate pairs) decode to UTF-8.  The whole input must be
+    consumed.  Errors report a byte offset. *)
+val of_string : string -> (t, string) result
+
 (** [write path j] writes [to_string j] followed by a newline. *)
 val write : string -> t -> unit

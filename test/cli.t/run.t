@@ -62,3 +62,70 @@ Spanner construction (Appendix D):
 
   $ gossip-cli spanner --family clique --nodes 24 --stretch-k 3 --seed 6
   Baswana-Sen spanner: 128/276 edges, max out-degree 8, stretch 2.00 (bound 5)
+
+Telemetry report over a golden fixture (the JSONL schema of DESIGN.md;
+the bad line is counted, not fatal):
+
+  $ gossip-cli report fixture.jsonl
+  telemetry report: fixture.jsonl
+    events: 8 (parse errors: 1)
+    event counts:
+      meta: 1
+      job: 3
+      counter: 1
+      gauge: 1
+      hist: 1
+      trace: 1
+    jobs: 3 total, 2 completed
+      rounds: mean=56.5 p50=56.5 p95=58.8 max=59
+      elapsed_s: mean=0.583333 p50=0.500000 p95=0.950000 max=1.000000
+    counters:
+      pool.worker0.jobs = 3
+    gauges:
+      wheel.inflight.max = 77
+    histograms:
+      pool.job_us: count=3 sum=1750000 mean=583333.3
+    informed: 96 at round 53
+
+Run telemetry: the engine's per-round counters and the informed-set
+trace ring land in a JSONL file, fully seeded and reproducible:
+
+  $ gossip-cli run --algorithm push-pull --family clique --nodes 16 --seed 5 --telemetry tel.jsonl
+  push-pull broadcast: 5 rounds
+  telemetry written to tel.jsonl
+
+  $ gossip-cli report tel.jsonl
+  telemetry report: tel.jsonl
+    events: 29 (parse errors: 0)
+    event counts:
+      meta: 1
+      hist: 2
+      ring: 1
+      trace: 25
+    histograms:
+      engine.round.deliveries: count=5 sum=128 mean=25.6
+      engine.round.initiations: count=5 sum=80 mean=16.0
+    informed: 16 at round 4
+
+Only the plain push-pull path is instrumented:
+
+  $ gossip-cli run --algorithm flood --family clique --nodes 8 --telemetry ignored.jsonl
+  note: --telemetry applies to plain push-pull only; ignored
+  round-robin flooding: 4 rounds
+
+Sweep telemetry carries wall-clock measurements, so only the
+deterministic report lines are locked here:
+
+  $ gossip-cli sweep --family ring-of-cliques -n 96 --size 6 --bridge 4 --trials 3 --jobs 1 --seed 7 --telemetry t.jsonl
+  ring-of-cliques n=96 push-pull: 3/3 trials completed
+    rounds: mean 56.3, median 56.0, min 54, max 59 over 3 runs
+  telemetry written to t.jsonl
+
+  $ gossip-cli report t.jsonl | grep -E "events:|meta:|job:|hist:|counter:|jobs:|rounds:"
+    events: 8 (parse errors: 0)
+      meta: 1
+      job: 3
+      hist: 2
+      counter: 2
+    jobs: 3 total, 3 completed
+      rounds: mean=56.3 p50=56.0 p95=58.7 max=59

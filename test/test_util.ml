@@ -7,6 +7,7 @@ module Bitset = Gossip_util.Bitset
 module Heap = Gossip_util.Heap
 module Union_find = Gossip_util.Union_find
 module Table = Gossip_util.Table
+module Json = Gossip_util.Json
 
 let check = Alcotest.check
 let checkb = Alcotest.check Alcotest.bool
@@ -232,6 +233,141 @@ let prop_stats_percentile_bounded =
       let mn = Array.fold_left min a.(0) a and mx = Array.fold_left max a.(0) a in
       v >= mn -. 1e-9 && v <= mx +. 1e-9)
 
+let test_stats_percentile_single () =
+  List.iter
+    (fun p -> checkf (Printf.sprintf "p%.0f of singleton" p) 7.5 (Stats.percentile [| 7.5 |] p))
+    [ 0.0; 25.0; 50.0; 75.0; 100.0 ]
+
+let test_stats_percentile_two () =
+  let a = [| 10.0; 20.0 |] in
+  checkf "p0" 10.0 (Stats.percentile a 0.0);
+  checkf "p25" 12.5 (Stats.percentile a 25.0);
+  checkf "median" 15.0 (Stats.percentile a 50.0);
+  checkf "p75" 17.5 (Stats.percentile a 75.0);
+  checkf "p100" 20.0 (Stats.percentile a 100.0)
+
+let test_stats_all_equal () =
+  let a = Array.make 9 3.25 in
+  let s = Stats.summarize a in
+  checkf "mean" 3.25 s.Stats.mean;
+  checkf "stddev" 0.0 s.Stats.stddev;
+  checkf "p25" 3.25 s.Stats.p25;
+  checkf "median" 3.25 s.Stats.median;
+  checkf "p95" 3.25 s.Stats.p95
+
+(* Independent oracle: sort, rank = p/100 * (n-1), interpolate between
+   the two bracketing order statistics. *)
+let naive_percentile a p =
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let prop_stats_percentile_oracle =
+  QCheck.Test.make ~name:"p25/median/p75 match sort-and-index oracle" ~count:300
+    QCheck.(array_of_size Gen.(int_range 1 60) (float_bound_exclusive 1000.0))
+    (fun a ->
+      QCheck.assume (Array.length a > 0);
+      List.for_all
+        (fun p -> Float.abs (Stats.percentile a p -. naive_percentile a p) < 1e-6)
+        [ 25.0; 50.0; 75.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Json parser / round-trips (the emitter itself is covered in
+   test_sweep) *)
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse of %S failed: %s" s e
+
+let check_roundtrip msg j = checkb msg true (parse_ok (Json.to_string j) = j)
+
+let test_json_parse_scalars () =
+  checkb "null" true (parse_ok "null" = Json.Null);
+  checkb "true" true (parse_ok "true" = Json.Bool true);
+  checkb "int" true (parse_ok "-42" = Json.Int (-42));
+  checkb "float" true (parse_ok "0.5" = Json.Float 0.5);
+  checkb "exponent is float" true (parse_ok "1e2" = Json.Float 100.0);
+  checkb "string" true (parse_ok {|"ab"|} = Json.String "ab")
+
+let test_json_parse_errors () =
+  let bad s = checkb (Printf.sprintf "%S rejected" s) true (Result.is_error (Json.of_string s)) in
+  List.iter bad
+    [ ""; "nul"; "[1,"; "{\"a\":}"; "\"unterminated"; "1 2"; "[1] garbage"; "{\"a\" 1}"; "+5" ]
+
+let test_json_control_chars () =
+  (* the emitter must escape every control character below 0x20 and the
+     parser must decode them back *)
+  let s = String.init 32 Char.chr in
+  let rendered = Json.to_string (Json.String s) in
+  String.iter
+    (fun c -> checkb "no raw control char" true (Char.code c >= 0x20))
+    rendered;
+  check_roundtrip "all control chars round-trip" (Json.String s);
+  check Alcotest.string "tab newline escapes" {|"\t\n"|} (Json.to_string (Json.String "\t\n"))
+
+let test_json_unicode_escapes () =
+  checkb "bmp escape" true (parse_ok {|"é"|} = Json.String "\xc3\xa9");
+  checkb "surrogate pair" true (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  checkb "lone high surrogate rejected" true (Result.is_error (Json.of_string {|"\ud83d"|}))
+
+let test_json_nonfinite_to_null () =
+  checkb "nan" true (parse_ok (Json.to_string (Json.Float Float.nan)) = Json.Null);
+  checkb "inf" true (parse_ok (Json.to_string (Json.Float Float.infinity)) = Json.Null);
+  checkb "neg inf" true
+    (parse_ok (Json.to_string (Json.Float Float.neg_infinity)) = Json.Null)
+
+let test_json_deep_nesting () =
+  let deep = ref (Json.Int 1) in
+  for _ = 1 to 300 do
+    deep := Json.List [ !deep ]
+  done;
+  check_roundtrip "300-deep list" !deep;
+  let deep_obj = ref (Json.String "x") in
+  for _ = 1 to 300 do
+    deep_obj := Json.Obj [ ("k", !deep_obj) ]
+  done;
+  check_roundtrip "300-deep object" !deep_obj
+
+let json_gen =
+  (* integral floats render as "3" and parse back as Int, so draw
+     fractional floats only; non-finite floats are covered separately *)
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun i -> Json.Float (float_of_int i +. 0.5)) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 0 6)) (tree (depth - 1)))) );
+        ]
+  in
+  tree 4
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string round-trip" ~count:500
+    (QCheck.make json_gen) (fun j -> parse_ok (Json.to_string j) = j)
+
 (* ------------------------------------------------------------------ *)
 (* Bitset *)
 
@@ -445,7 +581,21 @@ let () =
             test_stats_loglog_rejects_nonpositive;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "confidence interval" `Quick test_stats_confidence;
+          Alcotest.test_case "percentile single sample" `Quick test_stats_percentile_single;
+          Alcotest.test_case "percentile two samples" `Quick test_stats_percentile_two;
+          Alcotest.test_case "all-equal sample" `Quick test_stats_all_equal;
           qtest prop_stats_percentile_bounded;
+          qtest prop_stats_percentile_oracle;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "control chars" `Quick test_json_control_chars;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "non-finite to null" `Quick test_json_nonfinite_to_null;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          qtest prop_json_roundtrip;
         ] );
       ( "bitset",
         [
