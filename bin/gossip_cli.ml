@@ -538,6 +538,42 @@ let sweep_cmd =
   let max_rounds =
     Arg.(value & opt int 1_000_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round cap.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Re-run each failing job up to K extra times before recording a failure.")
+  in
+  let job_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "job-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-job wall-clock budget, checked cooperatively between rounds; an \
+             over-budget job is recorded as failed, not killed mid-round.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append each job's outcome to FILE (JSONL) as it finishes, so a killed \
+             sweep can restart with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Skip jobs already recorded in the $(b,--checkpoint) file and append new \
+             outcomes to it instead of truncating.")
+  in
+  let inject_crash =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-crash" ] ~docv:"SEED"
+          ~doc:"Testing hook: crash the job with this seed on every attempt.")
+  in
   let out =
     Arg.(
       value & opt (some string) None
@@ -552,7 +588,7 @@ let sweep_cmd =
              histogram, queue depth) as JSONL; inspect with $(b,gossip-cli report).")
   in
   let run family n protocol trials jobs size bridge attach ws_k beta latency max_rounds
-      out telemetry seed =
+      retries job_timeout checkpoint resume inject_crash out telemetry seed =
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
@@ -573,16 +609,34 @@ let sweep_cmd =
     let workers =
       match jobs with Some j -> max 1 j | None -> Pool.default_workers ()
     in
+    if resume && checkpoint = None then
+      failwith "--resume requires --checkpoint FILE";
     let registry =
       match telemetry with
       | None -> None
       | Some _ -> Some (Gossip_obs.Registry.create ())
     in
-    let outcomes = Sweep.run ~workers ?telemetry:registry jobs_list in
+    let inject =
+      Option.map
+        (fun crash_seed (j : Sweep.job) ->
+          if j.Sweep.seed = crash_seed then
+            failwith (Printf.sprintf "injected crash (seed %d)" crash_seed))
+        inject_crash
+    in
+    let report =
+      Sweep.run_ft ~workers ~retries ?timeout_s:job_timeout ?checkpoint ~resume ?inject
+        ?telemetry:registry jobs_list
+    in
+    let outcomes = report.Sweep.completed in
+    let failures = report.Sweep.failed in
+    if report.Sweep.skipped > 0 then
+      Printf.printf "resume: %d/%d jobs already recorded in the checkpoint\n"
+        report.Sweep.skipped (List.length jobs_list);
     List.iter
       (fun s ->
-        Printf.printf "%s n=%d %s: %d/%d trials completed\n" s.Sweep.family s.Sweep.n
-          s.Sweep.protocol s.Sweep.completed s.Sweep.trials;
+        Printf.printf "%s n=%d %s: %d/%d trials completed%s\n" s.Sweep.family s.Sweep.n
+          s.Sweep.protocol s.Sweep.completed s.Sweep.trials
+          (if s.Sweep.failed > 0 then Printf.sprintf ", %d failed" s.Sweep.failed else "");
         match s.Sweep.rounds with
         | None -> ()
         | Some st ->
@@ -590,37 +644,43 @@ let sweep_cmd =
               "  rounds: mean %.1f, median %.1f, min %.0f, max %.0f over %d runs\n"
               st.Gossip_util.Stats.mean st.Gossip_util.Stats.median
               st.Gossip_util.Stats.min st.Gossip_util.Stats.max st.Gossip_util.Stats.n)
-      (Sweep.summarize outcomes);
+      (Sweep.summarize ~failures outcomes);
+    List.iter
+      (fun (f : Sweep.failure) ->
+        Printf.printf "FAILED %s n=%d seed=%d %s after %d attempt%s: %s\n"
+          (Sweep.family_name f.Sweep.failed_job.Sweep.family)
+          f.Sweep.failed_job.Sweep.n f.Sweep.failed_job.Sweep.seed
+          (Gossip_scale.Wheel_engine.protocol_name f.Sweep.failed_job.Sweep.protocol)
+          f.Sweep.attempts
+          (if f.Sweep.attempts = 1 then "" else "s")
+          f.Sweep.message)
+      failures;
+    let meta =
+      [
+        ("tool", Json.String "gossip-cli sweep");
+        ("seed", Json.Int seed);
+        ("workers", Json.Int workers);
+      ]
+    in
     (match out with
     | None -> ()
     | Some path ->
-        Sweep.write_json path
-          ~meta:
-            [
-              ("tool", Json.String "gossip-cli sweep");
-              ("seed", Json.Int seed);
-              ("workers", Json.Int workers);
-            ]
-          outcomes;
+        Sweep.write_json path ~meta ~failures outcomes;
         Printf.printf "results written to %s\n" path);
-    match (telemetry, registry) with
+    (match (telemetry, registry) with
     | Some path, Some reg ->
-        Sweep.write_telemetry path
-          ~meta:
-            [
-              ("tool", Json.String "gossip-cli sweep");
-              ("seed", Json.Int seed);
-              ("workers", Json.Int workers);
-            ]
-          ~registry:reg outcomes;
+        Sweep.write_telemetry path ~meta ~registry:reg ~failures
+          ~retries:report.Sweep.retried outcomes;
         Printf.printf "telemetry written to %s\n" path
-    | _ -> ()
+    | _ -> ());
+    if failures <> [] then exit 1
   in
   let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ family $ n $ protocol $ trials $ jobs $ size $ bridge $ attach $ ws_k
-      $ beta $ latency $ max_rounds $ out $ telemetry $ seed_arg)
+      $ beta $ latency $ max_rounds $ retries $ job_timeout $ checkpoint $ resume
+      $ inject_crash $ out $ telemetry $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report *)

@@ -10,6 +10,7 @@ type t = {
   by_ev : (string * int) list;
   job_elapsed_s : float array;
   job_rounds : float array;
+  failed_jobs : int;
   job_latency : Stats.summary option;
   rounds_summary : Stats.summary option;
   counters : (string * int) list;
@@ -33,7 +34,7 @@ let of_file path =
   let ic = open_in path in
   let events = ref 0 and parse_errors = ref 0 in
   let ev_order = ref [] and ev_counts = Hashtbl.create 8 in
-  let job_elapsed = ref [] and job_rounds = ref [] in
+  let job_elapsed = ref [] and job_rounds = ref [] and failed_jobs = ref 0 in
   let counters = Hashtbl.create 8 and gauges = Hashtbl.create 8 and hists = Hashtbl.create 8 in
   let final_informed = ref None in
   let handle line =
@@ -55,6 +56,7 @@ let of_file path =
             (match as_int (field "rounds" j) with
             | Some r -> job_rounds := float_of_int r :: !job_rounds
             | None -> ())
+        | "job_error" -> incr failed_jobs
         | "counter" -> (
             match (as_string (field "name" j), as_int (field "value" j)) with
             | Some name, Some v -> Hashtbl.replace counters name v
@@ -98,6 +100,7 @@ let of_file path =
     by_ev = List.rev_map (fun ev -> (ev, Hashtbl.find ev_counts ev)) !ev_order;
     job_elapsed_s;
     job_rounds;
+    failed_jobs = !failed_jobs;
     job_latency = summary job_elapsed_s;
     rounds_summary = summary job_rounds;
     counters = sorted counters;
@@ -117,8 +120,10 @@ let pp ppf t =
     List.iter (fun (ev, n) -> Format.fprintf ppf "    %s: %d@\n" ev n) t.by_ev
   end;
   let jobs = Array.length t.job_elapsed_s in
-  if jobs > 0 then begin
-    Format.fprintf ppf "  jobs: %d total, %d completed@\n" jobs (Array.length t.job_rounds);
+  if jobs > 0 || t.failed_jobs > 0 then begin
+    Format.fprintf ppf "  jobs: %d total, %d completed%t@\n" (jobs + t.failed_jobs)
+      (Array.length t.job_rounds) (fun ppf ->
+        if t.failed_jobs > 0 then Format.fprintf ppf ", %d failed" t.failed_jobs);
     (match t.rounds_summary with
     | Some s ->
         Format.fprintf ppf "    rounds: mean=%.1f p50=%.1f p95=%.1f max=%.0f@\n" s.Stats.mean

@@ -17,6 +17,7 @@ type t = {
   by_ev : (string * int) list;  (** event-kind counts, first-appearance order *)
   job_elapsed_s : float array;  (** ["job"] events, file order *)
   job_rounds : float array;  (** completed jobs only (non-null [rounds]) *)
+  failed_jobs : int;  (** ["job_error"] events *)
   job_latency : Gossip_util.Stats.summary option;
       (** summary of [job_elapsed_s]; [None] when there are no jobs *)
   rounds_summary : Gossip_util.Stats.summary option;

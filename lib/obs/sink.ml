@@ -4,7 +4,12 @@ type format = Jsonl | Csv of string list
 
 type t = { oc : out_channel; format : format; buf : Buffer.t; mutable closed : bool }
 
-let jsonl path = { oc = open_out path; format = Jsonl; buf = Buffer.create 256; closed = false }
+let jsonl ?(append = false) path =
+  let oc =
+    if append then open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+    else open_out path
+  in
+  { oc; format = Jsonl; buf = Buffer.create 256; closed = false }
 
 let csv_cell buf s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
@@ -45,6 +50,8 @@ let event t fields =
   Buffer.add_char t.buf '\n';
   Buffer.output_buffer t.oc t.buf;
   Buffer.clear t.buf
+
+let flush t = if not t.closed then flush t.oc
 
 let close t =
   if not t.closed then begin

@@ -6,6 +6,12 @@
 
     - ["meta"] — free-form run metadata (tool, seed, timestamp, ...)
     - ["job"] — one sweep job outcome (family, n, rounds, elapsed_s, ...)
+    - ["job_error"] — one sweep job that ultimately failed: job key
+      fields plus [error] and [attempts]
+    - ["retry"] — one failed attempt that was retried: job key fields
+      plus [attempt] and [error]
+    - ["ckpt_job"] / ["ckpt_fail"] — checkpoint records streamed by the
+      sweep runtime as each job finishes (full outcome, resp. failure)
     - ["trace"] — one {!Ring} record: [round], [kind] (name), [node],
       [value]
     - ["ring"] — ring accounting preceding its trace events: [seen],
@@ -22,8 +28,10 @@
 
 type t
 
-(** [jsonl path] opens (truncates) a JSONL sink. *)
-val jsonl : string -> t
+(** [jsonl ?append path] opens a JSONL sink, truncating an existing
+    file unless [append] is [true] (the mode checkpoint resume uses to
+    extend a partial run's record). *)
+val jsonl : ?append:bool -> string -> t
 
 (** [csv path ~header] opens a CSV sink and writes the header row.
     Events are projected onto the header columns; missing fields
@@ -33,6 +41,11 @@ val csv : string -> header:string list -> t
 (** [event t fields] writes one event.  Field order is preserved in
     JSONL output; CSV output follows the sink's header instead. *)
 val event : t -> (string * Gossip_util.Json.t) list -> unit
+
+(** [flush t] forces buffered events to disk without closing — called
+    after every checkpoint record so a killed process loses at most
+    the event being written. *)
+val flush : t -> unit
 
 val close : t -> unit
 

@@ -14,6 +14,25 @@ let no_faults = Engine.no_faults
 
 type metrics = Engine.metrics
 
+exception Jitter_overflow of { latency : int; bound : int; round : int }
+
+exception Deadline_exceeded of { round : int; elapsed_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Jitter_overflow { latency; bound; round } ->
+        Some
+          (Printf.sprintf
+             "Wheel_engine.Jitter_overflow: jittered latency %d exceeds the wheel bound %d \
+              at round %d (declare the fault plan's maximum jitter via ?max_jitter)"
+             latency bound round)
+    | Deadline_exceeded { round; elapsed_s } ->
+        Some
+          (Printf.sprintf
+             "Wheel_engine.Deadline_exceeded: wall-clock budget spent after %.3fs at round %d"
+             elapsed_s round)
+    | _ -> None)
+
 (* Telemetry handles, resolved once at creation (see Engine.tel). *)
 type tel = {
   tel_ring : Gossip_obs.Ring.t option;
@@ -52,15 +71,24 @@ type t = {
   mutable now : int;
 }
 
-let create ?(faults = no_faults) ?wheel_latency ?telemetry rng csr ~protocol ~source =
+let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry rng csr
+    ~protocol ~source =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
+  if max_jitter < 0 then invalid_arg "Wheel_engine.create: max_jitter must be >= 0";
   let bound =
     match wheel_latency with
-    | None -> Csr.max_latency csr
+    | None -> Csr.max_latency csr + max_jitter
     | Some b ->
         if b < Csr.max_latency csr then
           invalid_arg "Wheel_engine.create: wheel_latency below the graph's ℓ_max";
+        if b < Csr.max_latency csr + max_jitter then
+          invalid_arg
+            (Printf.sprintf
+               "Wheel_engine.create: wheel_latency %d cannot hold the fault plan's maximum \
+                jitter (ℓ_max %d + max_jitter %d = %d)"
+               b (Csr.max_latency csr) max_jitter
+               (Csr.max_latency csr + max_jitter));
         b
   in
   let informed = Bytes.make n '\000' in
@@ -247,7 +275,10 @@ let step t =
         else begin
           let latency = max 1 (t.faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
           if latency >= t.wheel then
-            invalid_arg "Wheel_engine.step: jittered latency exceeds the wheel bound";
+            (* An undeclared jitter overrunning the wheel is a failed
+               run, not a harness crash: the typed exception lets a
+               sweep record this job as [Failed] and keep going. *)
+            raise (Jitter_overflow { latency; bound = t.wheel - 1; round });
           let req_pay =
             match t.protocol with
             | Push_pull -> if informed t u then 1 else 0
@@ -287,14 +318,25 @@ let step t =
 
 type result = { rounds : int option; metrics : metrics; history : (int * int) list }
 
-let broadcast ?faults ?wheel_latency ?telemetry rng csr ~protocol ~source ~max_rounds =
-  let t = create ?faults ?wheel_latency ?telemetry rng csr ~protocol ~source in
+let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry rng csr ~protocol
+    ~source ~max_rounds =
+  let t = create ?faults ?wheel_latency ?max_jitter ?telemetry rng csr ~protocol ~source in
   let n = Csr.n csr in
+  let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let history = ref [ (0, t.count) ] in
   let rec go () =
     if t.count = n then Some t.now
     else if t.now >= max_rounds then None
     else begin
+      (* The wall-clock budget is cooperative and checked only between
+         rounds: it can abort a run but never alters RNG draws or
+         delivery order, so trajectory parity is untouched. *)
+      (match deadline with
+      | Some d ->
+          let now = Unix.gettimeofday () in
+          if now > d then
+            raise (Deadline_exceeded { round = t.now; elapsed_s = now -. started })
+      | None -> ());
       step t;
       let _, last = List.hd !history in
       if t.count <> last then history := (t.now, t.count) :: !history;

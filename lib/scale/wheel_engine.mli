@@ -57,13 +57,29 @@ val no_faults : faults
     aggregation code needs no conversion. *)
 type metrics = Gossip_sim.Engine.metrics
 
+(** Raised by {!step} when a fault plan jitters a latency past the
+    wheel bound mid-run.  A typed exception (with a registered
+    printer) rather than [Invalid_argument] so a sweep runtime can
+    record the run as a failed outcome instead of crashing. *)
+exception Jitter_overflow of { latency : int; bound : int; round : int }
+
+(** Raised by {!broadcast} between rounds once the wall-clock
+    [deadline] has passed. *)
+exception Deadline_exceeded of { round : int; elapsed_s : float }
+
 type t
 
-(** [create ?faults ?wheel_latency ?telemetry rng csr ~protocol
-    ~source] builds a simulator with the source already informed.
-    [wheel_latency] sizes the timing wheel (default:
-    [Csr.max_latency csr]); it must be an upper bound on every
-    jittered latency the run will see.
+(** [create ?faults ?wheel_latency ?max_jitter ?telemetry rng csr
+    ~protocol ~source] builds a simulator with the source already
+    informed.  [wheel_latency] sizes the timing wheel (default:
+    [Csr.max_latency csr + max_jitter]); it must be an upper bound on
+    every jittered latency the run will see.
+
+    [max_jitter] (default [0]) declares the fault plan's maximum
+    additive jitter.  Declaring it sizes the wheel to
+    [ℓ_max + max_jitter] automatically and makes an undersized
+    explicit [wheel_latency] fail fast here, with a clear message,
+    instead of deep inside {!step} thousands of rounds later.
 
     [telemetry] attaches an observability registry: per round the
     engine observes delivery/initiation counts and the in-flight
@@ -74,10 +90,12 @@ type t
     [informed]/[deliveries]/[initiations]/[drops]/[queue] trace
     events.  All handles are resolved at creation; a telemetry-off
     run pays one option match per round.
-    @raise Invalid_argument on a bad source or undersized wheel. *)
+    @raise Invalid_argument on a bad source, a negative [max_jitter],
+    or a wheel too small for [ℓ_max + max_jitter]. *)
 val create :
   ?faults:faults ->
   ?wheel_latency:int ->
+  ?max_jitter:int ->
   ?telemetry:Gossip_obs.Registry.t ->
   Gossip_util.Rng.t ->
   Csr.t ->
@@ -97,7 +115,7 @@ val informed : t -> int -> bool
 val informed_count : t -> int
 
 (** [step t] executes one round (deliveries, then initiations).
-    @raise Invalid_argument when a jittered latency exceeds the wheel
+    @raise Jitter_overflow when a jittered latency exceeds the wheel
     bound. *)
 val step : t -> unit
 
@@ -111,12 +129,21 @@ type result = {
           trajectory of Theorem 12's proof *)
 }
 
-(** [broadcast ?faults ?wheel_latency rng csr ~protocol ~source
-    ~max_rounds] runs until every node is informed or the budget is
-    spent. *)
+(** [broadcast ?faults ?wheel_latency ?max_jitter ?deadline rng csr
+    ~protocol ~source ~max_rounds] runs until every node is informed
+    or the round budget is spent.  [deadline] is an absolute
+    wall-clock time ([Unix.gettimeofday] scale): it is checked
+    cooperatively {e between} rounds — so it never perturbs RNG draws,
+    delivery order, or trajectory parity — and once passed the run
+    aborts with {!Deadline_exceeded}.
+    @raise Deadline_exceeded once [deadline] has passed.
+    @raise Jitter_overflow when an undeclared jitter overruns the
+    wheel mid-run. *)
 val broadcast :
   ?faults:faults ->
   ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
   ?telemetry:Gossip_obs.Registry.t ->
   Gossip_util.Rng.t ->
   Csr.t ->

@@ -5,7 +5,15 @@
     and {!Wheel_engine} run, so nothing mutable crosses domains.
     Per-group round counts are condensed into {!Gossip_util.Stats}
     summaries, and the whole record — raw results plus summaries — can
-    be serialized as JSON for external plotting. *)
+    be serialized as JSON for external plotting.
+
+    The runtime is fault tolerant: {!run_ft} records each job's
+    outcome as it finishes to an append-only JSONL checkpoint, retries
+    failing jobs a bounded number of times, enforces a cooperative
+    per-job wall-clock budget, and returns structured failures instead
+    of aborting the campaign — so one crashing job out of thousands
+    costs one result, not the run, and a killed sweep restarts where
+    it left off via {!resume}. *)
 
 (** Large-graph families, built directly in CSR form. *)
 type family =
@@ -17,9 +25,15 @@ type family =
 
 val family_name : family -> string
 
+(** [realized_n family ~n] is the node count [build] will materialize
+    for a requested [n] — [max 3 (n / size) · size] for
+    ring-of-cliques, [n] otherwise — computable without building the
+    graph. *)
+val realized_n : family -> n:int -> int
+
 (** [build family ~n ~seed] materializes the graph; the realized node
-    count may be rounded down (ring-of-cliques) and is reported in the
-    job outcome. *)
+    count may be rounded (ring-of-cliques, see {!realized_n}) and is
+    reported in the job outcome. *)
 val build : family -> n:int -> seed:int -> Gossip_scale.Csr.t
 
 type job = {
@@ -46,6 +60,12 @@ val make_jobs :
   unit ->
   job list
 
+(** The identity a checkpoint records per job:
+    [(family name, requested n, seed, protocol name)]. *)
+type job_key = string * int * int * string
+
+val job_key : job -> job_key
+
 type outcome = {
   job : job;
   n_actual : int;  (** realized node count *)
@@ -55,12 +75,26 @@ type outcome = {
   elapsed_s : float;  (** wall-clock build + run time of this job *)
 }
 
-(** [run_job job] executes one job in the calling domain. *)
-val run_job : job -> outcome
+(** A job that ultimately failed (after every retry). *)
+type failure = {
+  failed_job : job;
+  message : string;  (** [Printexc.to_string] of the final exception *)
+  backtrace : string;  (** captured at the catch site of the final attempt *)
+  attempts : int;
+}
+
+(** [run_job ?timeout_s job] executes one job in the calling domain.
+    [timeout_s] is a cooperative wall-clock budget threaded into
+    {!Gossip_scale.Wheel_engine.broadcast} as an absolute deadline and
+    checked between rounds, so it never perturbs trajectories.
+    @raise Gossip_scale.Wheel_engine.Deadline_exceeded over budget. *)
+val run_job : ?timeout_s:float -> job -> outcome
 
 (** [run ?workers ?telemetry jobs] fans the jobs across a domain pool
     (default {!Pool.default_workers}); results come back in job order
-    and are deterministic per job regardless of [workers].
+    and are deterministic per job regardless of [workers].  Fail-fast:
+    the first job failure is re-raised after the queue drains — use
+    {!run_ft} for campaigns that must survive partial failure.
     [telemetry] is forwarded to {!Pool.run}: worker-local pool metrics
     (busy time, job latency histogram, queue depth) are merged into it
     at join. *)
@@ -70,14 +104,77 @@ val run :
   job list ->
   outcome list
 
-(** Aggregate statistics for one [(family, n, protocol)] group, in
-    first-appearance order. *)
+(** One checkpoint record: a finished job or a recorded failure. *)
+type checkpoint_entry = Ckpt_done of outcome | Ckpt_failed of failure
+
+val checkpoint_key : checkpoint_entry -> job_key
+
+(** [read_checkpoint path] parses an append-only JSONL checkpoint.
+    Torn lines (a process killed mid-write) and foreign events are
+    skipped, never fatal. *)
+val read_checkpoint : string -> checkpoint_entry list
+
+(** [resume path jobs] drops every job whose {!job_key} is already
+    recorded in the checkpoint at [path] (finished {e or} failed); a
+    missing file leaves [jobs] untouched.  The surviving jobs are
+    exactly what a restarted sweep still has to run. *)
+val resume : string -> job list -> job list
+
+(** What {!run_ft} hands back: [completed] and [failed] partition the
+    submitted jobs (both in submission order, checkpointed entries
+    included at their original positions), [skipped] counts jobs
+    satisfied from the checkpoint, and [retried] logs every failed
+    attempt that was retried as [(job, attempt, error)]. *)
+type report = {
+  completed : outcome list;
+  failed : failure list;
+  skipped : int;
+  retried : (job * int * string) list;
+}
+
+(** [run_ft ?workers ?retries ?timeout_s ?checkpoint ?resume ?inject
+    ?telemetry jobs] is the fault-tolerant {!run}: every job outcome
+    comes back structured instead of the first exception aborting the
+    campaign.
+
+    - [retries] (default 0): extra attempts per failing job, via
+      {!Pool.run_outcomes}.
+    - [timeout_s]: cooperative per-job wall-clock budget (see
+      {!run_job}); an over-budget job counts as failed.
+    - [checkpoint]: stream every outcome to this JSONL file {e as it
+      finishes} (one flush per record), as [ckpt_job] / [ckpt_fail]
+      events keyed by {!job_key}.
+    - [resume] (default false; requires [checkpoint]): load the
+      existing checkpoint, skip recorded jobs, and append new records
+      instead of truncating — re-running only unfinished jobs with
+      per-job results identical to an uninterrupted run.
+    - [inject]: test hook invoked before each attempt of each job; an
+      exception it raises is recorded as that attempt's failure
+      (failure-injection for the test-suite and CI).
+    - [telemetry]: forwarded to the pool; gains [pool.retries] and
+      [pool.failures] counters on top of the usual pool metrics.
+
+    @raise Invalid_argument if [resume] is set without [checkpoint]. *)
+val run_ft :
+  ?workers:int ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?inject:(job -> unit) ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  job list ->
+  report
+
+(** Aggregate statistics for one [(family, realized n, protocol)]
+    group, in first-appearance order. *)
 type summary = {
   family : string;
-  n : int;
+  n : int;  (** {e realized} node count (see {!realized_n}) *)
   protocol : string;
-  trials : int;
+  trials : int;  (** submitted jobs in the group, failures included *)
   completed : int;  (** jobs that finished under the round cap *)
+  failed : int;  (** jobs that ultimately failed *)
   rounds : Gossip_util.Stats.summary option;
       (** distribution of completion rounds over completed trials *)
   total_initiations : int;
@@ -86,25 +183,43 @@ type summary = {
   mean_elapsed_s : float;
 }
 
-val summarize : outcome list -> summary list
+(** [summarize ?failures outcomes] groups by [(family, realized n,
+    protocol)] — the node count that actually ran, so summary rows
+    match the graphs behind them — and folds [failures] into their
+    groups' [trials] / [failed] counts. *)
+val summarize : ?failures:failure list -> outcome list -> summary list
 
-(** [to_json ?meta outcomes] is an object with ["meta"], ["results"]
-    (one object per job) and ["summaries"] fields. *)
-val to_json : ?meta:(string * Gossip_util.Json.t) list -> outcome list -> Gossip_util.Json.t
+(** [to_json ?meta ?failures outcomes] is an object with ["meta"],
+    ["results"] (one object per job) and ["summaries"] fields, plus an
+    ["errors"] field when [failures] is non-empty. *)
+val to_json :
+  ?meta:(string * Gossip_util.Json.t) list ->
+  ?failures:failure list ->
+  outcome list ->
+  Gossip_util.Json.t
 
-(** [write_json path ?meta outcomes] serializes to a file. *)
-val write_json : string -> ?meta:(string * Gossip_util.Json.t) list -> outcome list -> unit
+(** [write_json path ?meta ?failures outcomes] serializes to a file. *)
+val write_json :
+  string ->
+  ?meta:(string * Gossip_util.Json.t) list ->
+  ?failures:failure list ->
+  outcome list ->
+  unit
 
-(** [write_telemetry path ?meta ?registry outcomes] writes the
-    sweep's telemetry as JSONL through {!Gossip_obs.Sink}: one
-    ["meta"] event carrying [meta], one ["job"] event per outcome
+(** [write_telemetry path ?meta ?registry ?failures ?retries outcomes]
+    writes the sweep's telemetry as JSONL through {!Gossip_obs.Sink}:
+    one ["meta"] event carrying [meta], one ["job"] event per outcome
     (id, family, n, edges, seed, protocol, rounds, counters,
-    elapsed_s), then — when [registry] is given — a registry snapshot
-    and, if the registry carries a ring, its trace events.  The file
-    is readable back with {!Gossip_obs.Report.of_file}. *)
+    elapsed_s), one ["retry"] event per retried attempt, one
+    ["job_error"] event per ultimate failure, then — when [registry]
+    is given — a registry snapshot and, if the registry carries a
+    ring, its trace events.  The file is readable back with
+    {!Gossip_obs.Report.of_file}. *)
 val write_telemetry :
   string ->
   ?meta:(string * Gossip_util.Json.t) list ->
   ?registry:Gossip_obs.Registry.t ->
+  ?failures:failure list ->
+  ?retries:(job * int * string) list ->
   outcome list ->
   unit

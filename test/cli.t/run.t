@@ -122,10 +122,61 @@ deterministic report lines are locked here:
   telemetry written to t.jsonl
 
   $ gossip-cli report t.jsonl | grep -E "events:|meta:|job:|hist:|counter:|jobs:|rounds:"
-    events: 8 (parse errors: 0)
+    events: 10 (parse errors: 0)
       meta: 1
       job: 3
+      counter: 4
       hist: 2
-      counter: 2
     jobs: 3 total, 3 completed
       rounds: mean=56.3 p50=56.0 p95=58.7 max=59
+
+Fault tolerance: an injected per-job crash costs one result, not the
+run.  The other jobs complete, the failure is reported with its seed
+and attempt count, and the exit code is non-zero:
+
+  $ gossip-cli sweep --family ring-of-cliques -n 96 --size 6 --bridge 4 --trials 3 --jobs 1 --seed 7 --inject-crash 7926 --retries 1 --checkpoint crash.ck --out crash.json --telemetry ft.jsonl
+  ring-of-cliques n=96 push-pull: 2/3 trials completed, 1 failed
+    rounds: mean 55.0, median 55.0, min 54, max 56 over 2 runs
+  FAILED ring-of-cliques n=96 seed=7926 push-pull after 2 attempts: Failure("injected crash (seed 7926)")
+  results written to crash.json
+  telemetry written to ft.jsonl
+  [1]
+
+The checkpoint records two finished jobs and one failure; the summary
+JSON and the telemetry JSONL carry the error too:
+
+  $ grep -c '"ev":"ckpt_job"' crash.ck
+  2
+  $ grep -c '"ev":"ckpt_fail"' crash.ck
+  1
+  $ grep -c '"ev":"job_error"' ft.jsonl
+  1
+  $ grep -c '"ev":"retry"' ft.jsonl
+  1
+  $ grep -o '"failed":[0-9]*' crash.json
+  "failed":1
+
+Checkpoint/resume: kill a sweep after two of three jobs (simulated by
+truncating the checkpoint), resume it, and the final JSON is identical
+to the uninterrupted run on every deterministic field (elapsed_s is
+wall-clock, so it is stripped before comparing):
+
+  $ gossip-cli sweep --family ring-of-cliques -n 96 --size 6 --bridge 4 --trials 3 --jobs 1 --seed 7 --checkpoint full.ck --out full.json
+  ring-of-cliques n=96 push-pull: 3/3 trials completed
+    rounds: mean 56.3, median 56.0, min 54, max 59 over 3 runs
+  results written to full.json
+  $ head -n 2 full.ck > part.ck
+  $ gossip-cli sweep --family ring-of-cliques -n 96 --size 6 --bridge 4 --trials 3 --jobs 1 --seed 7 --checkpoint part.ck --resume --out resumed.json
+  resume: 2/3 jobs already recorded in the checkpoint
+  ring-of-cliques n=96 push-pull: 3/3 trials completed
+    rounds: mean 56.3, median 56.0, min 54, max 59 over 3 runs
+  results written to resumed.json
+
+The resumed checkpoint holds all three records again:
+
+  $ grep -c '"ev":"ckpt_job"' part.ck
+  3
+  $ strip() { sed -E 's/"(mean_)?elapsed_s":[0-9.eE+-]+//g' "$1"; }
+  $ strip full.json > full.stripped; strip resumed.json > resumed.stripped
+  $ cmp full.stripped resumed.stripped && echo identical
+  identical

@@ -530,7 +530,7 @@ let test_sweep_telemetry_report () =
   check
     (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
     "event kinds"
-    [ ("meta", 1); ("job", 5); ("hist", 2); ("counter", 2) ]
+    [ ("meta", 1); ("job", 5); ("counter", 4); ("hist", 2) ]
     report.Report.by_ev;
   (* report percentiles = Stats over the outcomes' raw elapsed times *)
   let raw = Array.of_list (List.map (fun o -> o.Sweep.elapsed_s) outcomes) in

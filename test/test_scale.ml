@@ -171,10 +171,11 @@ let test_wheel_jitter_bound () =
   let faults =
     { Wheel.no_faults with Engine.jitter = (fun ~latency ~round:_ -> latency + 50) }
   in
+  (* An undeclared jitter overrunning the wheel is a typed exception
+     (a failed run for the sweep runtime), not Invalid_argument. *)
   let t = Wheel.create ~faults (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0 in
   Alcotest.check_raises "oversized jitter rejected"
-    (Invalid_argument "Wheel_engine.step: jittered latency exceeds the wheel bound") (fun () ->
-      Wheel.step t);
+    (Wheel.Jitter_overflow { latency = 51; bound = 1; round = 0 }) (fun () -> Wheel.step t);
   (* A wheel sized for the jitter accepts it. *)
   let t =
     Wheel.create ~faults ~wheel_latency:64 (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0
@@ -182,6 +183,64 @@ let test_wheel_jitter_bound () =
   let rec go n = if Wheel.informed_count t < 2 && n > 0 then (Wheel.step t; go (n - 1)) in
   go 200;
   checki "spread despite jitter" 2 (Wheel.informed_count t)
+
+let test_wheel_max_jitter_declared () =
+  let c = Csr.of_graph (Gen.path 2) in
+  let faults =
+    { Wheel.no_faults with Engine.jitter = (fun ~latency ~round:_ -> latency + 50) }
+  in
+  (* Declaring the plan's maximum jitter sizes the wheel automatically:
+     the same plan that overflowed above now runs to completion. *)
+  let t =
+    Wheel.create ~faults ~max_jitter:50 (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0
+  in
+  let rec go n = if Wheel.informed_count t < 2 && n > 0 then (Wheel.step t; go (n - 1)) in
+  go 400;
+  checki "spread with declared jitter" 2 (Wheel.informed_count t);
+  (* An explicit wheel_latency too small for the declared jitter fails
+     fast at create, not thousands of rounds into a sweep job. *)
+  (match
+     Wheel.create ~faults ~wheel_latency:10 ~max_jitter:50 (Rng.of_int 4) c
+       ~protocol:Wheel.Push_pull ~source:0
+   with
+  | _ -> Alcotest.fail "undersized wheel accepted"
+  | exception Invalid_argument msg ->
+      checkb "clear message" true
+        (String.length msg > 0
+        && String.sub msg 0 (String.length "Wheel_engine.create") = "Wheel_engine.create"));
+  match
+    Wheel.create ~max_jitter:(-1) (Rng.of_int 4) c ~protocol:Wheel.Push_pull ~source:0
+  with
+  | _ -> Alcotest.fail "negative max_jitter accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_wheel_deadline () =
+  let c = Csr.of_graph (Gen.cycle 64) in
+  (* A deadline already in the past aborts between rounds with the
+     typed exception (the sweep runtime records it as a failure). *)
+  (match
+     Wheel.broadcast ~deadline:0.0 (Rng.of_int 9) c ~protocol:Wheel.Push_pull ~source:0
+       ~max_rounds:10_000
+   with
+  | _ -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Wheel.Deadline_exceeded { round; elapsed_s } ->
+      checki "aborted before stepping" 0 round;
+      checkb "elapsed measured" true (elapsed_s >= 0.0));
+  (* A generous deadline changes nothing: same trajectory as no deadline. *)
+  let far = Unix.gettimeofday () +. 3600.0 in
+  let bare =
+    Wheel.broadcast (Rng.of_int 9) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:10_000
+  in
+  let budgeted =
+    Wheel.broadcast ~deadline:far (Rng.of_int 9) c ~protocol:Wheel.Push_pull ~source:0
+      ~max_rounds:10_000
+  in
+  Alcotest.check
+    (Alcotest.option Alcotest.int)
+    "deadline never steers the run" bare.Wheel.rounds budgeted.Wheel.rounds;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "identical history" bare.Wheel.history budgeted.Wheel.history
 
 let test_wheel_metrics_match_engine () =
   (* Not just the trajectory: on a fault-free run the counters line up
@@ -294,6 +353,8 @@ let () =
           Alcotest.test_case "drop everything" `Quick test_wheel_drop_everything;
           Alcotest.test_case "crash isolates" `Quick test_wheel_crash_isolates;
           Alcotest.test_case "jitter bound" `Quick test_wheel_jitter_bound;
+          Alcotest.test_case "declared max jitter" `Quick test_wheel_max_jitter_declared;
+          Alcotest.test_case "deadline" `Quick test_wheel_deadline;
           Alcotest.test_case "metrics match engine" `Quick test_wheel_metrics_match_engine;
         ] );
       ( "parity",

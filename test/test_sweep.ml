@@ -79,6 +79,141 @@ let test_pool_propagates_exception () =
 let test_pool_default_workers () =
   checkb "at least one worker" true (Pool.default_workers () >= 1)
 
+let test_pool_outcomes_capture () =
+  (* A failing job never aborts the run: every other job completes and
+     the failure comes back structured, with the exception and attempt
+     count, in the failing job's slot. *)
+  let out =
+    Pool.run_outcomes ~workers:2
+      (fun i -> if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i) else 10 * i)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Pool.Ok v ->
+          checkb (Printf.sprintf "slot %d ok" i) true (i mod 3 <> 0);
+          checki (Printf.sprintf "slot %d value" i) (10 * i) v
+      | Pool.Failed f ->
+          checkb (Printf.sprintf "slot %d failed" i) true (i mod 3 = 0);
+          checki (Printf.sprintf "slot %d attempts" i) 1 f.Pool.attempts;
+          checks
+            (Printf.sprintf "slot %d message" i)
+            (Printf.sprintf "Failure(\"boom %d\")" i)
+            (Pool.failure_message f))
+    out
+
+let test_pool_retry_recovers () =
+  (* A flaky job that fails on its first attempt succeeds under
+     ~retries:1; on_retry fires once per recovered job. *)
+  let n = 6 in
+  let attempts = Array.make n 0 in
+  let retried = ref [] in
+  let out =
+    Pool.run_outcomes ~workers:1 ~retries:1
+      ~on_retry:(fun i ~attempt _e -> retried := (i, attempt) :: !retried)
+      (fun i ->
+        attempts.(i) <- attempts.(i) + 1;
+        if i mod 2 = 0 && attempts.(i) = 1 then failwith "flaky" else i)
+      (Array.init n (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Pool.Ok v -> checki (Printf.sprintf "slot %d recovered" i) i v
+      | Pool.Failed _ -> Alcotest.failf "slot %d should have recovered" i)
+    out;
+  checki "one retry per flaky job" 3 (List.length !retried);
+  List.iter (fun (i, attempt) ->
+      checkb "flaky index" true (i mod 2 = 0);
+      checki "failed attempt number" 1 attempt)
+    !retried
+
+let test_pool_retries_exhausted () =
+  let retried = ref 0 in
+  let out =
+    Pool.run_outcomes ~workers:2 ~retries:2
+      ~on_retry:(fun _ ~attempt:_ _ -> incr retried)
+      (fun i -> if i = 1 then failwith "always" else i)
+      [| 0; 1; 2 |]
+  in
+  (match out.(1) with
+  | Pool.Failed f -> checki "attempts = retries + 1" 3 f.Pool.attempts
+  | Pool.Ok _ -> Alcotest.fail "job 1 cannot succeed");
+  checki "every failed attempt but the last retried" 2 !retried;
+  (match out.(0) with Pool.Ok v -> checki "job 0" 0 v | _ -> Alcotest.fail "job 0 ok");
+  match out.(2) with Pool.Ok v -> checki "job 2" 2 v | _ -> Alcotest.fail "job 2 ok"
+
+let test_pool_streams_results () =
+  (* on_result fires once per job with its final outcome — the hook
+     checkpointing is built on. *)
+  let seen = ref [] in
+  let _ =
+    Pool.run_outcomes ~workers:2
+      ~on_result:(fun i r -> seen := (i, r) :: !seen)
+      (fun i -> if i = 2 then failwith "x" else i)
+      [| 0; 1; 2; 3 |]
+  in
+  checki "one callback per job" 4 (List.length !seen);
+  List.iter
+    (fun i ->
+      match List.assoc_opt i !seen with
+      | Some (Pool.Ok v) -> checki "streamed value" i v
+      | Some (Pool.Failed _) -> checki "only job 2 fails" 2 i
+      | None -> Alcotest.failf "no callback for job %d" i)
+    [ 0; 1; 2; 3 ]
+
+let test_pool_us_rounding () =
+  (* Regression: int_of_float truncated sub-microsecond spans to 0. *)
+  checki "0.4us rounds down" 0 (Pool.us_of_seconds 0.4e-6);
+  checki "0.6us rounds up" 1 (Pool.us_of_seconds 0.6e-6);
+  checki "1.5us rounds to 2" 2 (Pool.us_of_seconds 1.5e-6);
+  checki "exact" 42 (Pool.us_of_seconds 42e-6)
+
+let test_pool_failure_counters () =
+  let reg = Gossip_obs.Registry.create () in
+  let _ =
+    Pool.run_outcomes ~workers:2 ~retries:1 ~telemetry:reg
+      (fun i -> if i >= 4 then failwith "down" else i)
+      (Array.init 6 (fun i -> i))
+  in
+  let value name =
+    Gossip_obs.Registry.counter_value (Gossip_obs.Registry.counter reg name)
+  in
+  checki "pool.failures" 2 (value "pool.failures");
+  checki "pool.retries" 2 (value "pool.retries")
+
+(* qcheck: against a random fail mask, the pool preserves every
+   successful result in order, reports each failure exactly once, and
+   is deterministic across worker counts. *)
+let pool_random_failures =
+  QCheck.Test.make ~name:"pool outcomes deterministic across workers" ~count:60
+    QCheck.(pair (list_of_size Gen.(1 -- 25) bool) (int_range 1 4))
+    (fun (mask, workers) ->
+      let mask = Array.of_list mask in
+      let n = Array.length mask in
+      let f i = if mask.(i) then failwith (Printf.sprintf "f%d" i) else i * i in
+      let shape r =
+        Array.map
+          (function
+            | Pool.Ok v -> Printf.sprintf "ok:%d" v
+            | Pool.Failed f ->
+                Printf.sprintf "fail:%s:%d" (Pool.failure_message f) f.Pool.attempts)
+          r
+      in
+      let reference = shape (Pool.run_outcomes ~workers:1 f (Array.init n (fun i -> i))) in
+      (* Every success in order, every failure reported exactly once. *)
+      Array.iteri
+        (fun i s ->
+          let expected =
+            if mask.(i) then Printf.sprintf "fail:Failure(\"f%d\"):1" i
+            else Printf.sprintf "ok:%d" (i * i)
+          in
+          if s <> expected then QCheck.Test.fail_reportf "slot %d: %s <> %s" i s expected)
+        reference;
+      let parallel = shape (Pool.run_outcomes ~workers f (Array.init n (fun i -> i))) in
+      reference = parallel)
+
 (* ------------------------------------------------------------------ *)
 (* Sweep *)
 
@@ -168,6 +303,162 @@ let test_sweep_json_shape () =
       {|"completed":4|};
     ]
 
+let test_sweep_summarize_realized_n () =
+  (* Requesting n=50 with size-6 cliques builds 48 nodes; the summary
+     must group by the realized count, not the requested one. *)
+  checki "realized_n"
+    48
+    (Sweep.realized_n (Sweep.Ring_of_cliques { size = 6; bridge_latency = 4 }) ~n:50);
+  let jobs =
+    Sweep.make_jobs
+      ~family:(Sweep.Ring_of_cliques { size = 6; bridge_latency = 4 })
+      ~n:50 ~protocol:Wheel.Push_pull ~trials:2 ~base_seed:3 ~max_rounds:100_000 ()
+  in
+  match Sweep.summarize (Sweep.run ~workers:2 jobs) with
+  | [ s ] ->
+      checki "summary keyed by realized n" 48 s.Sweep.n;
+      checki "both trials in one group" 2 s.Sweep.trials
+  | groups -> Alcotest.failf "expected one group, got %d" (List.length groups)
+
+let test_sweep_run_ft_inject () =
+  let jobs = small_jobs Wheel.Push_pull in
+  let crash_seed = (List.nth jobs 1).Sweep.seed in
+  let inject (j : Sweep.job) =
+    if j.Sweep.seed = crash_seed then failwith "injected crash"
+  in
+  let report = Sweep.run_ft ~workers:2 ~inject jobs in
+  checki "other jobs complete" 3 (List.length report.Sweep.completed);
+  checki "one failure" 1 (List.length report.Sweep.failed);
+  checki "nothing skipped" 0 report.Sweep.skipped;
+  let f = List.hd report.Sweep.failed in
+  checki "failed seed" crash_seed f.Sweep.failed_job.Sweep.seed;
+  checks "failure message" {|Failure("injected crash")|} f.Sweep.message;
+  checki "single attempt" 1 f.Sweep.attempts;
+  (* Failures fold into the summary as trials with a failed count. *)
+  match Sweep.summarize ~failures:report.Sweep.failed report.Sweep.completed with
+  | [ s ] ->
+      checki "trials include failure" 4 s.Sweep.trials;
+      checki "completed" 3 s.Sweep.completed;
+      checki "failed column" 1 s.Sweep.failed
+  | groups -> Alcotest.failf "expected one group, got %d" (List.length groups)
+
+let test_sweep_run_ft_retry_recovers () =
+  let jobs = small_jobs Wheel.Push_pull in
+  let crash_seed = (List.nth jobs 2).Sweep.seed in
+  let tries = ref 0 in
+  let inject (j : Sweep.job) =
+    if j.Sweep.seed = crash_seed then begin
+      incr tries;
+      if !tries = 1 then failwith "transient"
+    end
+  in
+  (* workers:1 so the injected counter is race-free. *)
+  let report = Sweep.run_ft ~workers:1 ~retries:1 ~inject jobs in
+  checki "all jobs complete after retry" 4 (List.length report.Sweep.completed);
+  checki "no ultimate failures" 0 (List.length report.Sweep.failed);
+  (match report.Sweep.retried with
+  | [ (j, attempt, msg) ] ->
+      checki "retried job" crash_seed j.Sweep.seed;
+      checki "attempt" 1 attempt;
+      checks "retry message" {|Failure("transient")|} msg
+  | l -> Alcotest.failf "expected one retry record, got %d" (List.length l));
+  (* The recovered run is indistinguishable from an untroubled one. *)
+  let rounds r = List.map (fun (o : Sweep.outcome) -> o.Sweep.rounds) r in
+  let clean = Sweep.run ~workers:1 jobs in
+  Alcotest.check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "retry leaves trajectories untouched" (rounds clean)
+    (rounds report.Sweep.completed)
+
+let with_temp_file f =
+  let path = Filename.temp_file "sweep_ckpt" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_sweep_checkpoint_roundtrip () =
+  with_temp_file (fun path ->
+      let jobs = small_jobs Wheel.Push_pull in
+      let report = Sweep.run_ft ~workers:1 ~checkpoint:path jobs in
+      checki "all completed" 4 (List.length report.Sweep.completed);
+      let entries = Sweep.read_checkpoint path in
+      checki "one record per job" 4 (List.length entries);
+      List.iter2
+        (fun job entry ->
+          checkb "key matches" true (Sweep.checkpoint_key entry = Sweep.job_key job);
+          match entry with
+          | Sweep.Ckpt_done o ->
+              checki "realized n persisted" 48 o.Sweep.n_actual;
+              checkb "rounds persisted" true (o.Sweep.rounds <> None)
+          | Sweep.Ckpt_failed _ -> Alcotest.fail "no failures expected")
+        jobs entries;
+      (* A fully recorded checkpoint leaves nothing to resume. *)
+      checki "resume drops everything" 0 (List.length (Sweep.resume path jobs)))
+
+let test_sweep_resume_skips_recorded () =
+  with_temp_file (fun path ->
+      let jobs = small_jobs Wheel.Push_pull in
+      let full = Sweep.run_ft ~workers:1 ~checkpoint:path jobs in
+      (* Simulate a kill after two jobs: truncate the checkpoint, with
+         a torn third line as a process killed mid-write would leave. *)
+      let ic = open_in path in
+      let l1 = input_line ic in
+      let l2 = input_line ic in
+      let l3 = input_line ic in
+      close_in ic;
+      let oc = open_out path in
+      Printf.fprintf oc "%s\n%s\n%s" l1 l2
+        (String.sub l3 0 (String.length l3 / 2));
+      close_out oc;
+      checki "torn line dropped" 2 (List.length (Sweep.read_checkpoint path));
+      checki "two jobs left to run" 2 (List.length (Sweep.resume path jobs));
+      let resumed = Sweep.run_ft ~workers:1 ~checkpoint:path ~resume:true jobs in
+      checki "skipped from checkpoint" 2 resumed.Sweep.skipped;
+      checki "all four present" 4 (List.length resumed.Sweep.completed);
+      checki "no failures" 0 (List.length resumed.Sweep.failed);
+      (* Per-job results are identical to the uninterrupted run on
+         every deterministic field (elapsed_s is wall-clock). *)
+      List.iter2
+        (fun (a : Sweep.outcome) (b : Sweep.outcome) ->
+          checkb "same key" true (Sweep.job_key a.Sweep.job = Sweep.job_key b.Sweep.job);
+          checki "same n_actual" a.Sweep.n_actual b.Sweep.n_actual;
+          checki "same edges" a.Sweep.edges b.Sweep.edges;
+          checkb "same rounds" true (a.Sweep.rounds = b.Sweep.rounds);
+          checki "same deliveries" a.Sweep.metrics.Engine.deliveries
+            b.Sweep.metrics.Engine.deliveries;
+          checki "same initiations" a.Sweep.metrics.Engine.initiations
+            b.Sweep.metrics.Engine.initiations)
+        full.Sweep.completed resumed.Sweep.completed;
+      (* The checkpoint now carries all four records again. *)
+      checki "checkpoint repopulated" 4 (List.length (Sweep.read_checkpoint path)))
+
+let test_sweep_checkpoint_records_failures () =
+  with_temp_file (fun path ->
+      let jobs = small_jobs Wheel.Push_pull in
+      let crash_seed = (List.hd jobs).Sweep.seed in
+      let inject (j : Sweep.job) =
+        if j.Sweep.seed = crash_seed then failwith "injected crash"
+      in
+      let report = Sweep.run_ft ~workers:1 ~checkpoint:path ~inject jobs in
+      checki "one failure" 1 (List.length report.Sweep.failed);
+      let failures =
+        List.filter
+          (function Sweep.Ckpt_failed _ -> true | Sweep.Ckpt_done _ -> false)
+          (Sweep.read_checkpoint path)
+      in
+      (match failures with
+      | [ Sweep.Ckpt_failed f ] ->
+          checki "failed seed persisted" crash_seed f.Sweep.failed_job.Sweep.seed;
+          checks "message persisted" {|Failure("injected crash")|} f.Sweep.message
+      | _ -> Alcotest.fail "expected exactly one ckpt_fail record");
+      (* A recorded failure is not retried on resume. *)
+      checki "failure counts as recorded" 0 (List.length (Sweep.resume path jobs)))
+
+let test_sweep_resume_requires_checkpoint () =
+  Alcotest.check_raises "resume without checkpoint"
+    (Invalid_argument "Sweep.run_ft: ~resume:true requires a checkpoint path")
+    (fun () ->
+      ignore (Sweep.run_ft ~resume:true (small_jobs Wheel.Push_pull)))
+
 let () =
   Alcotest.run "gossip_sweep"
     [
@@ -184,6 +475,13 @@ let () =
           Alcotest.test_case "empty and clamp" `Quick test_pool_empty_and_clamp;
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
           Alcotest.test_case "default workers" `Quick test_pool_default_workers;
+          Alcotest.test_case "outcomes capture failures" `Quick test_pool_outcomes_capture;
+          Alcotest.test_case "retry recovers" `Quick test_pool_retry_recovers;
+          Alcotest.test_case "retries exhausted" `Quick test_pool_retries_exhausted;
+          Alcotest.test_case "streams results" `Quick test_pool_streams_results;
+          Alcotest.test_case "microsecond rounding" `Quick test_pool_us_rounding;
+          Alcotest.test_case "failure counters" `Quick test_pool_failure_counters;
+          QCheck_alcotest.to_alcotest pool_random_failures;
         ] );
       ( "sweep",
         [
@@ -194,5 +492,18 @@ let () =
           Alcotest.test_case "capped run" `Quick test_sweep_capped_run;
           Alcotest.test_case "latency override" `Quick test_sweep_latency_override;
           Alcotest.test_case "json shape" `Quick test_sweep_json_shape;
+          Alcotest.test_case "summarize by realized n" `Quick
+            test_sweep_summarize_realized_n;
+          Alcotest.test_case "run_ft inject" `Quick test_sweep_run_ft_inject;
+          Alcotest.test_case "run_ft retry recovers" `Quick
+            test_sweep_run_ft_retry_recovers;
+          Alcotest.test_case "checkpoint roundtrip" `Quick
+            test_sweep_checkpoint_roundtrip;
+          Alcotest.test_case "resume skips recorded" `Quick
+            test_sweep_resume_skips_recorded;
+          Alcotest.test_case "checkpoint records failures" `Quick
+            test_sweep_checkpoint_records_failures;
+          Alcotest.test_case "resume requires checkpoint" `Quick
+            test_sweep_resume_requires_checkpoint;
         ] );
     ]
