@@ -240,3 +240,110 @@ let e13 () =
         ("on_overhead", Json.Float on_overhead);
       ];
     ]
+
+(* E14 — the domain-sharded wheel engine vs the sequential one.  Same
+   workload family as E12 (Barabasi-Albert, attach 3, uniform 1-8
+   latencies), one full push-pull broadcast per configuration.  The
+   two paths are bit-identical by construction (test_scale locks this
+   under qcheck for domains 1-4), so besides timing we hard-assert
+   parity of rounds, trajectory, metrics, and the final informed set —
+   a divergence fails the bench, which is what CI's e14 smoke step
+   relies on.  Speedup is hardware-dependent (it needs the cores); the
+   recorded rows carry the core count so results are interpretable.
+
+   Env knobs for CI-sized runs: E14_N (comma-separated node counts,
+   default "100000,1000000") and E14_DOMAINS (default 4). *)
+let e14 () =
+  let domains =
+    match Sys.getenv_opt "E14_DOMAINS" with Some s -> int_of_string s | None -> 4
+  in
+  let sizes =
+    match Sys.getenv_opt "E14_N" with
+    | Some s -> String.split_on_char ',' s |> List.map String.trim |> List.map int_of_string
+    | None -> [ 100_000; 1_000_000 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  section "E14  parallel wheel: domain-sharded vs sequential engine"
+    (Printf.sprintf
+       "Full push-pull broadcast on Barabasi-Albert graphs (attach 3, uniform\n\
+        1-8 latencies), sequential wheel vs the same run sharded across %d\n\
+        domains (%d cores available).  Trajectory, metrics, and informed set\n\
+        must be bit-identical; speedup is recorded in BENCH_e14.json." domains cores)
+  ;
+  let t =
+    Table.create ~title:"E14: rounds/sec, sequential vs sharded wheel"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("edges", Table.Right);
+          ("rounds", Table.Right);
+          ("seq s", Table.Right);
+          ("shard s", Table.Right);
+          ("seq r/s", Table.Right);
+          ("shard r/s", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let rows = ref [] in
+  let speedup_at = ref [] in
+  List.iter
+    (fun n ->
+      let seed = 1009 in
+      let csr =
+        Csr.with_latencies (Rng.of_int (seed + 7)) (Gossip_graph.Gen.Uniform (1, 8))
+          (Csr.barabasi_albert (Rng.of_int seed) ~n ~attach:3)
+      in
+      let run d =
+        Wheel.broadcast ~domains:d (Rng.of_int (seed + 17)) csr ~protocol:Wheel.Push_pull
+          ~source:0 ~max_rounds:10_000
+      in
+      if n <= 100_000 then ignore (run 1);
+      let sr, seq_s = time (fun () -> run 1) in
+      let pr, shard_s = time (fun () -> run domains) in
+      if
+        not
+          (sr.Wheel.rounds = pr.Wheel.rounds
+          && sr.Wheel.history = pr.Wheel.history
+          && sr.Wheel.metrics = pr.Wheel.metrics
+          && Bytes.equal sr.Wheel.informed pr.Wheel.informed)
+      then failwith "E14: sharded engine diverged from the sequential wheel";
+      let rounds = rounds_exn sr.Wheel.rounds in
+      let per s = float_of_int rounds /. s in
+      let speedup = seq_s /. shard_s in
+      speedup_at := (n, speedup) :: !speedup_at;
+      (let module Json = Gossip_util.Json in
+       rows :=
+         [
+           ("n", Json.Int n);
+           ("edges", Json.Int (Csr.m csr));
+           ("domains", Json.Int domains);
+           ("cores", Json.Int cores);
+           ("rounds", Json.Int rounds);
+           ("seq_s", Json.Float seq_s);
+           ("shard_s", Json.Float shard_s);
+           ("seq_rps", Json.Float (per seq_s));
+           ("shard_rps", Json.Float (per shard_s));
+           ("speedup", Json.Float speedup);
+           ("parity", Json.Bool true);
+         ]
+         :: !rows);
+      Table.add_row t
+        [
+          fmt_i n;
+          fmt_i (Csr.m csr);
+          fmt_i rounds;
+          fmt_f ~d:3 seq_s;
+          fmt_f ~d:3 shard_s;
+          fmt_f ~d:0 (per seq_s);
+          fmt_f ~d:0 (per shard_s);
+          fmt_f ~d:2 speedup;
+        ])
+    sizes;
+  Table.print t;
+  bench_rows ~exp:"e14" (List.rev !rows);
+  Printf.printf "parity: sharded == sequential on every configuration\n";
+  match !speedup_at with
+  | (n, s) :: _ ->
+      Printf.printf "speedup at n = %d with %d domains on %d cores: %.2fx (target >= 2x: %b)\n"
+        n domains cores s (s >= 2.0)
+  | [] -> ()

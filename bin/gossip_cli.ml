@@ -178,9 +178,18 @@ let run_cmd =
   let algorithm =
     let doc =
       "Algorithm: push-pull, push-pull-all, flood, push-only, dtg, eid, eid-known-d, \
-       path-discovery, unified."
+       path-discovery, unified, or a flat-array wheel engine run: wheel-push-pull, \
+       wheel-flood, wheel-random-contact (these honor $(b,--domains))."
     in
     Arg.(value & opt string "push-pull" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Shard a wheel-* run across D OCaml domains; the trajectory is bit-identical \
+             to --domains 1.")
   in
   let source =
     Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Broadcast source.")
@@ -219,7 +228,7 @@ let run_cmd =
             "Write engine telemetry (per-round counters, histograms, trace ring) as \
              JSONL (plain push-pull only); inspect with $(b,gossip-cli report).")
   in
-  let run args algorithm source max_rounds crash drop capacity trace telemetry =
+  let run args algorithm domains source max_rounds crash drop capacity trace telemetry =
     let g = build_graph args in
     let rng = Rng.of_int (args.seed + 17) in
     let show label = function
@@ -338,13 +347,29 @@ let run_cmd =
           | Some x -> string_of_int x
           | None -> "cap")
           r.Gossip_core.Dissemination.spanner_rounds
+    | "wheel-push-pull" | "wheel-flood" | "wheel-random-contact" ->
+        let module Wheel = Gossip_scale.Wheel_engine in
+        let protocol =
+          match algorithm with
+          | "wheel-push-pull" -> Wheel.Push_pull
+          | "wheel-flood" -> Wheel.Flood
+          | _ -> Wheel.Random_contact
+        in
+        let csr = Gossip_scale.Csr.of_graph g in
+        let r = Wheel.broadcast ~domains rng csr ~protocol ~source ~max_rounds in
+        show
+          (Printf.sprintf "wheel %s (domains=%d)" (Wheel.protocol_name protocol) domains)
+          r.Wheel.rounds;
+        Printf.printf "initiations: %d, deliveries: %d\n"
+          r.Wheel.metrics.Gossip_sim.Engine.initiations
+          r.Wheel.metrics.Gossip_sim.Engine.deliveries
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
   let doc = "Run a dissemination algorithm and report round counts." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ family_term $ algorithm $ source $ max_rounds $ crash $ drop $ capacity
-      $ trace $ telemetry)
+      const run $ family_term $ algorithm $ domains $ source $ max_rounds $ crash $ drop
+      $ capacity $ trace $ telemetry)
 
 (* ------------------------------------------------------------------ *)
 (* game *)
@@ -505,6 +530,14 @@ let sweep_cmd =
       value & opt (some int) None
       & info [ "jobs" ] ~docv:"J" ~doc:"Worker domains (default: cores - 1).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Engine domains per job (sharded wheel engine; trajectory-identical to 1). \
+             Workers are budgeted so jobs × domains never oversubscribes the machine.")
+  in
   let size =
     Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Clique size (ring-of-cliques).")
   in
@@ -587,8 +620,9 @@ let sweep_cmd =
             "Write per-job outcomes and pool metrics (worker busy time, job-latency \
              histogram, queue depth) as JSONL; inspect with $(b,gossip-cli report).")
   in
-  let run family n protocol trials jobs size bridge attach ws_k beta latency max_rounds
-      retries job_timeout checkpoint resume inject_crash out telemetry seed =
+  let run family n protocol trials jobs domains size bridge attach ws_k beta latency
+      max_rounds retries job_timeout checkpoint resume inject_crash out telemetry seed =
+    if domains < 1 then failwith "--domains must be >= 1";
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
@@ -607,7 +641,9 @@ let sweep_cmd =
       Sweep.make_jobs ~family ~n ~protocol ~trials ~base_seed:seed ~max_rounds ?latency ()
     in
     let workers =
-      match jobs with Some j -> max 1 j | None -> Pool.default_workers ()
+      let requested = match jobs with Some j -> max 1 j | None -> Pool.default_workers () in
+      if domains > 1 then Pool.budget_workers ~workers:requested ~domains_per_job:domains ()
+      else requested
     in
     if resume && checkpoint = None then
       failwith "--resume requires --checkpoint FILE";
@@ -624,8 +660,8 @@ let sweep_cmd =
         inject_crash
     in
     let report =
-      Sweep.run_ft ~workers ~retries ?timeout_s:job_timeout ?checkpoint ~resume ?inject
-        ?telemetry:registry jobs_list
+      Sweep.run_ft ~workers ~retries ?timeout_s:job_timeout ~domains ?checkpoint ~resume
+        ?inject ?telemetry:registry jobs_list
     in
     let outcomes = report.Sweep.completed in
     let failures = report.Sweep.failed in
@@ -660,6 +696,7 @@ let sweep_cmd =
         ("tool", Json.String "gossip-cli sweep");
         ("seed", Json.Int seed);
         ("workers", Json.Int workers);
+        ("domains", Json.Int domains);
       ]
     in
     (match out with
@@ -678,8 +715,8 @@ let sweep_cmd =
   let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ family $ n $ protocol $ trials $ jobs $ size $ bridge $ attach $ ws_k
-      $ beta $ latency $ max_rounds $ retries $ job_timeout $ checkpoint $ resume
+      const run $ family $ n $ protocol $ trials $ jobs $ domains $ size $ bridge $ attach
+      $ ws_k $ beta $ latency $ max_rounds $ retries $ job_timeout $ checkpoint $ resume
       $ inject_crash $ out $ telemetry $ seed_arg)
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,66 @@
+let bounds ~n ~k =
+  if k <= 0 || k > n then invalid_arg "Shard.bounds: need 0 < k <= n";
+  Array.init (k + 1) (fun i -> ((i * n) + k - 1) / k)
+
+let owner ~n ~k v = v * k / n
+
+module Buf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 64 0; len = 0 }
+
+  let length b = b.len
+
+  let get b i = b.data.(i)
+
+  let clear b = b.len <- 0
+
+  let reserve b k =
+    let need = b.len + k in
+    if need > Array.length b.data then begin
+      let cap = ref (2 * Array.length b.data) in
+      while !cap < need do cap := 2 * !cap done;
+      let data = Array.make !cap 0 in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    let base = b.len in
+    b.len <- need;
+    base
+
+  let set b i v = b.data.(i) <- v
+end
+
+module Barrier = struct
+  type t = {
+    mu : Mutex.t;
+    cv : Condition.t;
+    parties : int;
+    mutable arrived : int;
+    mutable epoch : int;
+  }
+
+  let create parties =
+    if parties <= 0 then invalid_arg "Shard.Barrier.create: parties must be > 0";
+    { mu = Mutex.create (); cv = Condition.create (); parties; arrived = 0; epoch = 0 }
+
+  let await ?(serial = fun () -> ()) t =
+    Mutex.lock t.mu;
+    let epoch = t.epoch in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      (* Last arriver: every other domain is parked on [cv], so the
+         serial action owns all shard state exclusively. *)
+      serial ();
+      t.arrived <- 0;
+      t.epoch <- epoch + 1;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu
+    end
+    else begin
+      while t.epoch = epoch do
+        Condition.wait t.cv t.mu
+      done;
+      Mutex.unlock t.mu
+    end
+end

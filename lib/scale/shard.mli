@@ -1,0 +1,66 @@
+(** Infrastructure for domain-sharded engine runs: a balanced
+    contiguous node partition, growable flat-int mailboxes, and a
+    reusable phase barrier with a serial merge hook.
+
+    The module is deliberately engine-agnostic — it knows nothing about
+    protocols or wheels — so the determinism argument of the sharded
+    {!Wheel_engine} rests on three small, separately testable pieces:
+
+    - {!bounds}/{!owner} define one fixed partition of [0..n-1] into
+      [k] contiguous ranges, so "which shard owns node [v]" is a pure
+      function of [(n, k, v)];
+    - {!Buf} mailboxes are written by exactly one shard per phase and
+      drained in fixed [(src, dst)] order after a barrier, so the
+      receiver sees a deterministic sequence regardless of domain
+      scheduling;
+    - {!Barrier} separates the writing phase from the reading phase
+      (its mutex gives the happens-before edge) and lets the last
+      arriver run a serial action — the per-round merge — while every
+      other domain is parked. *)
+
+(** [bounds ~n ~k] is the [k+1] partition boundaries: shard [i] owns
+    nodes [bounds.(i) .. bounds.(i+1) - 1].  Ranges are contiguous,
+    cover [0..n-1], and differ in size by at most one.
+    @raise Invalid_argument unless [0 < k <= n]. *)
+val bounds : n:int -> k:int -> int array
+
+(** [owner ~n ~k v] is the index of the shard owning node [v] under
+    {!bounds} — computed in O(1), no search. *)
+val owner : n:int -> k:int -> int -> int
+
+(** Growable flat int buffer: the per-[(src_shard, dst_shard)] mailbox
+    for cross-shard records.  Not thread-safe by itself — safety comes
+    from the protocol: one writer per phase, drained after a barrier. *)
+module Buf : sig
+  type t
+
+  val create : unit -> t
+
+  (** Number of ints currently stored. *)
+  val length : t -> int
+
+  val get : t -> int -> int
+
+  val clear : t -> unit
+
+  (** [reserve b k] grows the buffer by [k] slots and returns the base
+      index of the reserved run; fill it with {!set}. *)
+  val reserve : t -> int -> int
+
+  val set : t -> int -> int -> unit
+end
+
+(** Cyclic sense-reversing barrier over [Mutex]/[Condition]. *)
+module Barrier : sig
+  type t
+
+  (** [create parties] for a fixed number of participating domains. *)
+  val create : int -> t
+
+  (** [await ?serial t] blocks until all parties have arrived.  The
+      last arriver runs [serial] (under the barrier lock, before any
+      party is released), so [serial] reads every shard's phase output
+      exclusively.  All parties of one phase must pass the same
+      [serial]. *)
+  val await : ?serial:(unit -> unit) -> t -> unit
+end

@@ -18,8 +18,16 @@ exception Jitter_overflow of { latency : int; bound : int; round : int }
 
 exception Deadline_exceeded of { round : int; elapsed_s : float }
 
+exception Pool_exhausted of { used : int; round : int }
+
 let () =
   Printexc.register_printer (function
+    | Pool_exhausted { used; round } ->
+        Some
+          (Printf.sprintf
+             "Wheel_engine.Pool_exhausted: exchange pool exhausted at %d live exchanges in \
+              round %d (raise ?pool_capacity or let the pool grow unbounded)"
+             used round)
     | Jitter_overflow { latency; bound; round } ->
         Some
           (Printf.sprintf
@@ -66,39 +74,64 @@ type t = {
   mutable free_head : int;
   mutable pool_used : int;  (* high-water mark of allocated slots *)
   mutable in_flight : int;  (* live exchanges = wheel-slot occupancy *)
+  pool_limit : int;  (* hard growth ceiling of the exchange pool *)
   metrics : metrics;
   tel : tel option;
   mutable now : int;
 }
 
-let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry rng csr
-    ~protocol ~source =
+(* Validation and derived state shared by the sequential [create] and
+   the sharded broadcast path, so both size the wheel, bound the pool,
+   and split per-node RNG streams identically. *)
+let wheel_bound ?wheel_latency ~max_jitter csr =
+  if max_jitter < 0 then invalid_arg "Wheel_engine.create: max_jitter must be >= 0";
+  match wheel_latency with
+  | None -> Csr.max_latency csr + max_jitter
+  | Some b ->
+      if b < Csr.max_latency csr then
+        invalid_arg "Wheel_engine.create: wheel_latency below the graph's ℓ_max";
+      if b < Csr.max_latency csr + max_jitter then
+        invalid_arg
+          (Printf.sprintf
+             "Wheel_engine.create: wheel_latency %d cannot hold the fault plan's maximum \
+              jitter (ℓ_max %d + max_jitter %d = %d)"
+             b (Csr.max_latency csr) max_jitter
+             (Csr.max_latency csr + max_jitter));
+      b
+
+let pool_limit_of = function
+  | None -> Sys.max_array_length
+  | Some c ->
+      if c < 1 then invalid_arg "Wheel_engine.create: pool_capacity must be >= 1";
+      c
+
+let make_rngs protocol rng n =
+  match protocol with
+  | Flood -> [||]
+  | Push_pull | Random_contact -> Array.init n (fun _ -> Rng.split rng)
+
+let resolve_tel telemetry =
+  Option.map
+    (fun reg ->
+      {
+        tel_ring = Gossip_obs.Registry.ring reg;
+        h_deliveries = Gossip_obs.Registry.histogram reg "wheel.round.deliveries";
+        h_initiations = Gossip_obs.Registry.histogram reg "wheel.round.initiations";
+        h_inflight = Gossip_obs.Registry.histogram reg "wheel.inflight";
+        g_inflight = Gossip_obs.Registry.gauge reg "wheel.inflight.max";
+      })
+    telemetry
+
+let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry ?pool_capacity
+    rng csr ~protocol ~source =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
-  if max_jitter < 0 then invalid_arg "Wheel_engine.create: max_jitter must be >= 0";
-  let bound =
-    match wheel_latency with
-    | None -> Csr.max_latency csr + max_jitter
-    | Some b ->
-        if b < Csr.max_latency csr then
-          invalid_arg "Wheel_engine.create: wheel_latency below the graph's ℓ_max";
-        if b < Csr.max_latency csr + max_jitter then
-          invalid_arg
-            (Printf.sprintf
-               "Wheel_engine.create: wheel_latency %d cannot hold the fault plan's maximum \
-                jitter (ℓ_max %d + max_jitter %d = %d)"
-               b (Csr.max_latency csr) max_jitter
-               (Csr.max_latency csr + max_jitter));
-        b
-  in
+  let bound = wheel_bound ?wheel_latency ~max_jitter csr in
+  let pool_limit = pool_limit_of pool_capacity in
   let informed = Bytes.make n '\000' in
   Bytes.set informed source '\001';
-  let rngs =
-    match protocol with
-    | Flood -> [||]
-    | Push_pull | Random_contact -> Array.init n (fun _ -> Rng.split rng)
-  in
-  let cap = min (max 1024 n) Sys.max_array_length in
+  let rngs = make_rngs protocol rng n in
+  let cap = min (max 1024 n) pool_limit in
   {
     csr;
     protocol;
@@ -119,19 +152,10 @@ let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry rng
     free_head = -1;
     pool_used = 0;
     in_flight = 0;
+    pool_limit;
     metrics =
       { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 };
-    tel =
-      Option.map
-        (fun reg ->
-          {
-            tel_ring = Gossip_obs.Registry.ring reg;
-            h_deliveries = Gossip_obs.Registry.histogram reg "wheel.round.deliveries";
-            h_initiations = Gossip_obs.Registry.histogram reg "wheel.round.initiations";
-            h_inflight = Gossip_obs.Registry.histogram reg "wheel.inflight";
-            g_inflight = Gossip_obs.Registry.gauge reg "wheel.inflight.max";
-          })
-        telemetry;
+    tel = resolve_tel telemetry;
     now = 0;
   }
 
@@ -153,8 +177,11 @@ let mark t v =
 
 let grow t =
   let old = Array.length t.ex_next in
-  let cap = min (2 * old) Sys.max_array_length in
-  if cap = old then failwith "Wheel_engine: exchange pool exhausted";
+  let cap = min (2 * old) t.pool_limit in
+  (* Hitting the ceiling is a failed run, not a harness crash: the
+     typed exception (with a registered printer) lets [Sweep.run_ft]
+     checkpoint the job as [Failed] with a useful message. *)
+  if cap = old then raise (Pool_exhausted { used = t.pool_used; round = t.now });
   let extend a =
     let b = Array.make cap 0 in
     Array.blit a 0 b 0 old;
@@ -316,11 +343,19 @@ let step t =
           ev Gossip_obs.Ring.kind_drops (t.metrics.Engine.dropped - x0);
           ev Gossip_obs.Ring.kind_queue t.in_flight)
 
-type result = { rounds : int option; metrics : metrics; history : (int * int) list }
+type result = {
+  rounds : int option;
+  metrics : metrics;
+  history : (int * int) list;
+  informed : Bytes.t;
+}
 
-let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry rng csr ~protocol
-    ~source ~max_rounds =
-  let t = create ?faults ?wheel_latency ?max_jitter ?telemetry rng csr ~protocol ~source in
+let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity rng
+    csr ~protocol ~source ~max_rounds =
+  let t =
+    create ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity rng csr ~protocol
+      ~source
+  in
   let n = Csr.n csr in
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let history = ref [ (0, t.count) ] in
@@ -344,4 +379,512 @@ let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry rng csr ~p
     end
   in
   let rounds = go () in
-  { rounds; metrics = t.metrics; history = List.rev !history }
+  { rounds; metrics = t.metrics; history = List.rev !history; informed = t.informed }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded broadcast.                                          *)
+(*                                                                    *)
+(* Nodes are partitioned into [k] contiguous shards (Shard.bounds);   *)
+(* each shard owns its own exchange pool, arrival/response wheels,    *)
+(* informed-byte slice, and RNG streams, so a round splits into two   *)
+(* parallel stages separated by barriers:                             *)
+(*                                                                    *)
+(*   stage 1 (responder side): drain initiation mailboxes addressed   *)
+(*     to this shard in ascending source-shard order, then phases     *)
+(*     1a/1b of the sequential engine.  Responses whose initiator     *)
+(*     lives elsewhere go to a response mailbox.                      *)
+(*   -- barrier --                                                    *)
+(*   stage 2 (initiator side): drain response mailboxes in ascending  *)
+(*     source-shard order, then phase 1c and phase 2.  Initiations    *)
+(*     toward a foreign responder go to an initiation mailbox,        *)
+(*     drained at the next round's stage 1.                           *)
+(*   -- barrier + serial merge --                                     *)
+(*                                                                    *)
+(* Determinism: every within-phase effect is order-independent        *)
+(* (informed marks are idempotent, counters are commutative sums,     *)
+(* response payloads are fixed in 1a from round-start state), every   *)
+(* informed-byte access is own-shard-only, and each node's RNG        *)
+(* stream is private to its owner — so for a pure fault plan the      *)
+(* trajectory, metrics, and RNG consumption are bit-identical to the  *)
+(* sequential wheel for any k and any domain schedule.                *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  s_id : int;
+  s_lo : int;
+  s_hi : int;  (* owns nodes [s_lo, s_hi) *)
+  s_arrival : int array;
+  s_response : int array;
+  mutable s_initiator : int array;
+  mutable s_responder : int array;
+  mutable s_req_pay : int array;
+  mutable s_resp_pay : int array;
+  mutable s_due : int array;
+  mutable s_next : int array;
+  mutable s_free : int;
+  mutable s_pool_used : int;
+  mutable s_in_flight : int;
+  mutable s_count : int;  (* informed nodes owned by this shard *)
+  (* run-cumulative counters, summed by the merge *)
+  mutable s_deliveries : int;
+  mutable s_initiations : int;
+  mutable s_dropped : int;
+  mutable s_payload : int;
+  (* first failure this round: (stage rank, node, exn); the merge
+     picks the lexicographic minimum so the surfaced exception matches
+     the sequential engine's first-in-phase-order failure *)
+  mutable s_fail : (int * int * exn) option;
+  mutable s_at : int;  (* node the shard is currently processing *)
+  s_reg : Gossip_obs.Registry.t;  (* per-shard registry, merged at the end *)
+  s_c_remote_inits : Gossip_obs.Registry.counter;
+  s_c_remote_resps : Gossip_obs.Registry.counter;
+}
+
+type shared = {
+  sh_csr : Csr.t;
+  sh_protocol : protocol;
+  sh_faults : faults;
+  sh_wheel : int;
+  sh_informed : Bytes.t;  (* disjoint per-shard slices, no cross-shard access *)
+  sh_rngs : Rng.t array;
+  sh_cursor : int array;
+  sh_k : int;
+  sh_pool_limit : int;
+  (* per-(src shard, dst shard) mailboxes at [src * k + dst]; written
+     in one stage, drained after a barrier, so no locking is needed *)
+  sh_init_mail : Shard.Buf.t array;  (* 5 ints: initiator responder req_pay due arr_slot *)
+  sh_resp_mail : Shard.Buf.t array;  (* 3 ints: initiator resp_pay due_slot *)
+}
+
+let make_shard ctx id lo hi =
+  let n_own = hi - lo in
+  let cap = min (max 1024 n_own) ctx.sh_pool_limit in
+  let reg = Gossip_obs.Registry.create () in
+  {
+    s_id = id;
+    s_lo = lo;
+    s_hi = hi;
+    s_arrival = Array.make ctx.sh_wheel (-1);
+    s_response = Array.make ctx.sh_wheel (-1);
+    s_initiator = Array.make cap 0;
+    s_responder = Array.make cap 0;
+    s_req_pay = Array.make cap 0;
+    s_resp_pay = Array.make cap 0;
+    s_due = Array.make cap 0;
+    s_next = Array.make cap (-1);
+    s_free = -1;
+    s_pool_used = 0;
+    s_in_flight = 0;
+    s_count = 0;
+    s_deliveries = 0;
+    s_initiations = 0;
+    s_dropped = 0;
+    s_payload = 0;
+    s_fail = None;
+    s_at = lo;
+    s_reg = reg;
+    s_c_remote_inits = Gossip_obs.Registry.counter reg "wheel.shard.remote.initiations";
+    s_c_remote_resps = Gossip_obs.Registry.counter reg "wheel.shard.remote.responses";
+  }
+
+let s_grow ctx sh round =
+  let old = Array.length sh.s_next in
+  let cap = min (2 * old) ctx.sh_pool_limit in
+  if cap = old then raise (Pool_exhausted { used = sh.s_pool_used; round });
+  let extend a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  sh.s_initiator <- extend sh.s_initiator;
+  sh.s_responder <- extend sh.s_responder;
+  sh.s_req_pay <- extend sh.s_req_pay;
+  sh.s_resp_pay <- extend sh.s_resp_pay;
+  sh.s_due <- extend sh.s_due;
+  sh.s_next <- extend sh.s_next
+
+let s_alloc ctx sh round =
+  sh.s_in_flight <- sh.s_in_flight + 1;
+  if sh.s_free >= 0 then begin
+    let e = sh.s_free in
+    sh.s_free <- sh.s_next.(e);
+    e
+  end
+  else begin
+    if sh.s_pool_used >= Array.length sh.s_next then s_grow ctx sh round;
+    let e = sh.s_pool_used in
+    sh.s_pool_used <- sh.s_pool_used + 1;
+    e
+  end
+
+let s_free_ex sh e =
+  sh.s_in_flight <- sh.s_in_flight - 1;
+  sh.s_next.(e) <- sh.s_free;
+  sh.s_free <- e
+
+let s_mark ctx sh v =
+  if Bytes.get ctx.sh_informed v = '\000' then begin
+    Bytes.set ctx.sh_informed v '\001';
+    sh.s_count <- sh.s_count + 1
+  end
+
+(* Stage 1: mailbox drain + phases 1a/1b on the responder's shard. *)
+let stage1 ctx sh round =
+  sh.s_at <- sh.s_lo;
+  let k = ctx.sh_k in
+  let slot = round mod ctx.sh_wheel in
+  for src = 0 to k - 1 do
+    let b = ctx.sh_init_mail.((src * k) + sh.s_id) in
+    let len = Shard.Buf.length b in
+    let i = ref 0 in
+    while !i < len do
+      let ex = s_alloc ctx sh round in
+      sh.s_initiator.(ex) <- Shard.Buf.get b !i;
+      sh.s_responder.(ex) <- Shard.Buf.get b (!i + 1);
+      sh.s_req_pay.(ex) <- Shard.Buf.get b (!i + 2);
+      sh.s_resp_pay.(ex) <- 0;
+      sh.s_due.(ex) <- Shard.Buf.get b (!i + 3);
+      let arr_slot = Shard.Buf.get b (!i + 4) in
+      sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
+      sh.s_arrival.(arr_slot) <- ex;
+      i := !i + 5
+    done;
+    Shard.Buf.clear b
+  done;
+  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  (* 1a: responses read the informed set as of the start of the round,
+     before any of this round's push merges. *)
+  let e = ref sh.s_arrival.(slot) in
+  while !e >= 0 do
+    let ex = !e in
+    if alive sh.s_responder.(ex) then
+      sh.s_resp_pay.(ex) <-
+        (if Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000' then 1 else 0);
+    e := sh.s_next.(ex)
+  done;
+  (* 1b: merge pushed bits; park the response at its due slot, or ship
+     it to the initiator's shard. *)
+  let e = ref sh.s_arrival.(slot) in
+  sh.s_arrival.(slot) <- -1;
+  while !e >= 0 do
+    let ex = !e in
+    let next = sh.s_next.(ex) in
+    if alive sh.s_responder.(ex) then begin
+      sh.s_deliveries <- sh.s_deliveries + 1;
+      sh.s_payload <- sh.s_payload + 1;
+      if sh.s_req_pay.(ex) = 1 then s_mark ctx sh sh.s_responder.(ex);
+      let initiator = sh.s_initiator.(ex) in
+      let due_slot = sh.s_due.(ex) mod ctx.sh_wheel in
+      let dst = Shard.owner ~n:(Csr.n ctx.sh_csr) ~k initiator in
+      if dst = sh.s_id then begin
+        sh.s_next.(ex) <- sh.s_response.(due_slot);
+        sh.s_response.(due_slot) <- ex
+      end
+      else begin
+        let resp_pay = sh.s_resp_pay.(ex) in
+        s_free_ex sh ex;
+        let b = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
+        let base = Shard.Buf.reserve b 3 in
+        Shard.Buf.set b base initiator;
+        Shard.Buf.set b (base + 1) resp_pay;
+        Shard.Buf.set b (base + 2) due_slot;
+        Gossip_obs.Registry.incr sh.s_c_remote_resps
+      end
+    end
+    else begin
+      sh.s_dropped <- sh.s_dropped + 1;
+      s_free_ex sh ex
+    end;
+    e := next
+  done
+
+(* Stage 2, first half: response-mailbox drain + phase 1c on the
+   initiator's shard. *)
+let stage2_deliver ctx sh round =
+  sh.s_at <- sh.s_lo;
+  let k = ctx.sh_k in
+  let slot = round mod ctx.sh_wheel in
+  for src = 0 to k - 1 do
+    let b = ctx.sh_resp_mail.((src * k) + sh.s_id) in
+    let len = Shard.Buf.length b in
+    let i = ref 0 in
+    while !i < len do
+      let ex = s_alloc ctx sh round in
+      sh.s_initiator.(ex) <- Shard.Buf.get b !i;
+      sh.s_resp_pay.(ex) <- Shard.Buf.get b (!i + 1);
+      let due_slot = Shard.Buf.get b (!i + 2) in
+      sh.s_next.(ex) <- sh.s_response.(due_slot);
+      sh.s_response.(due_slot) <- ex;
+      i := !i + 3
+    done;
+    Shard.Buf.clear b
+  done;
+  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  let e = ref sh.s_response.(slot) in
+  sh.s_response.(slot) <- -1;
+  while !e >= 0 do
+    let ex = !e in
+    let next = sh.s_next.(ex) in
+    if alive sh.s_initiator.(ex) then begin
+      sh.s_deliveries <- sh.s_deliveries + 1;
+      sh.s_payload <- sh.s_payload + 1;
+      if sh.s_resp_pay.(ex) = 1 then s_mark ctx sh sh.s_initiator.(ex)
+    end
+    else sh.s_dropped <- sh.s_dropped + 1;
+    s_free_ex sh ex;
+    e := next
+  done
+
+(* Stage 2, second half: phase 2 initiations over the shard's own
+   nodes, in ascending node order. *)
+let stage2_initiate ctx sh round =
+  let k = ctx.sh_k in
+  let n = Csr.n ctx.sh_csr in
+  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  let row_ptr = ctx.sh_csr.Csr.row_ptr
+  and col = ctx.sh_csr.Csr.col
+  and lat = ctx.sh_csr.Csr.lat in
+  for u = sh.s_lo to sh.s_hi - 1 do
+    sh.s_at <- u;
+    if alive u then begin
+      let base = row_ptr.(u) in
+      let deg = row_ptr.(u + 1) - base in
+      let informed_u = Bytes.get ctx.sh_informed u <> '\000' in
+      let idx =
+        match ctx.sh_protocol with
+        | Push_pull -> if deg = 0 then -1 else Rng.int ctx.sh_rngs.(u) deg
+        | Flood ->
+            if deg = 0 || not informed_u then -1
+            else begin
+              let i = ctx.sh_cursor.(u) mod deg in
+              ctx.sh_cursor.(u) <- ctx.sh_cursor.(u) + 1;
+              i
+            end
+        | Random_contact ->
+            if deg = 0 || not informed_u then -1 else Rng.int ctx.sh_rngs.(u) deg
+      in
+      if idx >= 0 then begin
+        let peer = col.(base + idx) in
+        sh.s_initiations <- sh.s_initiations + 1;
+        if ctx.sh_faults.Engine.drop ~initiator:u ~responder:peer ~round then
+          sh.s_dropped <- sh.s_dropped + 1
+        else begin
+          let latency = max 1 (ctx.sh_faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
+          if latency >= ctx.sh_wheel then
+            raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
+          let req_pay =
+            match ctx.sh_protocol with
+            | Push_pull -> if informed_u then 1 else 0
+            | Flood | Random_contact -> 1
+          in
+          let due = round + latency in
+          let arr_slot = (round + ((latency + 1) / 2)) mod ctx.sh_wheel in
+          let dst = Shard.owner ~n ~k peer in
+          if dst = sh.s_id then begin
+            let ex = s_alloc ctx sh round in
+            sh.s_initiator.(ex) <- u;
+            sh.s_responder.(ex) <- peer;
+            sh.s_req_pay.(ex) <- req_pay;
+            sh.s_resp_pay.(ex) <- 0;
+            sh.s_due.(ex) <- due;
+            sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
+            sh.s_arrival.(arr_slot) <- ex
+          end
+          else begin
+            let b = ctx.sh_init_mail.((sh.s_id * k) + dst) in
+            let mb = Shard.Buf.reserve b 5 in
+            Shard.Buf.set b mb u;
+            Shard.Buf.set b (mb + 1) peer;
+            Shard.Buf.set b (mb + 2) req_pay;
+            Shard.Buf.set b (mb + 3) due;
+            Shard.Buf.set b (mb + 4) arr_slot;
+            Gossip_obs.Registry.incr sh.s_c_remote_inits
+          end
+        end
+      end
+    end
+  done
+
+type control = {
+  mutable c_round : int;  (* rounds fully executed *)
+  mutable c_count : int;
+  mutable c_stop : bool;
+  mutable c_rounds : int option;
+  mutable c_fail : exn option;
+  mutable c_history : (int * int) list;
+}
+
+let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?deadline
+    ?telemetry ?pool_capacity rng csr ~protocol ~source ~max_rounds =
+  let n = Csr.n csr in
+  if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
+  let bound = wheel_bound ?wheel_latency ~max_jitter csr in
+  let informed = Bytes.make n '\000' in
+  Bytes.set informed source '\001';
+  let ctx =
+    {
+      sh_csr = csr;
+      sh_protocol = protocol;
+      sh_faults = faults;
+      sh_wheel = bound + 1;
+      sh_informed = informed;
+      sh_rngs = make_rngs protocol rng n;
+      sh_cursor = (match protocol with Flood -> Array.make n 0 | _ -> [||]);
+      sh_k = k;
+      sh_pool_limit = pool_limit_of pool_capacity;
+      sh_init_mail = Array.init (k * k) (fun _ -> Shard.Buf.create ());
+      sh_resp_mail = Array.init (k * k) (fun _ -> Shard.Buf.create ());
+    }
+  in
+  let bounds = Shard.bounds ~n ~k in
+  let shards = Array.init k (fun i -> make_shard ctx i bounds.(i) bounds.(i + 1)) in
+  shards.(Shard.owner ~n ~k source).s_count <- 1;
+  let metrics =
+    { Engine.rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0;
+      dropped = 0 }
+  in
+  let tel = resolve_tel telemetry in
+  (match telemetry with
+  | Some reg -> Gossip_obs.Registry.set (Gossip_obs.Registry.gauge reg "wheel.shards") k
+  | None -> ());
+  let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
+  let ctl =
+    { c_round = 0; c_count = 1; c_stop = false; c_rounds = None; c_fail = None;
+      c_history = [ (0, 1) ] }
+  in
+  (* Pre-loop checks, in the sequential engine's precedence order. *)
+  if ctl.c_count = n then ctl.c_rounds <- Some 0
+  else if max_rounds <= 0 then ctl.c_rounds <- None
+  else begin
+    (match deadline with
+    | Some d ->
+        let now = Unix.gettimeofday () in
+        if now > d then raise (Deadline_exceeded { round = 0; elapsed_s = now -. started })
+    | None -> ());
+    let bar1 = Shard.Barrier.create k and bar2 = Shard.Barrier.create k in
+    (* Cumulative totals already observed into the telemetry
+       histograms, to turn run-cumulative shard counters back into
+       per-round deltas at the merge. *)
+    let prev_d = ref 0 and prev_i = ref 0 and prev_x = ref 0 in
+    let merge () =
+      let r = ctl.c_round in
+      let worst = ref None in
+      Array.iter
+        (fun sh ->
+          match (sh.s_fail, !worst) with
+          | None, _ -> ()
+          | Some f, None -> worst := Some f
+          | Some f, Some w -> if f < w then worst := Some f)
+        shards;
+      match !worst with
+      | Some (_, _, e) ->
+          ctl.c_fail <- Some e;
+          ctl.c_stop <- true
+      | None ->
+          let deliveries = ref 0
+          and initiations = ref 0
+          and dropped = ref 0
+          and payload = ref 0
+          and count = ref 0
+          and in_flight = ref 0 in
+          Array.iter
+            (fun sh ->
+              deliveries := !deliveries + sh.s_deliveries;
+              initiations := !initiations + sh.s_initiations;
+              dropped := !dropped + sh.s_dropped;
+              payload := !payload + sh.s_payload;
+              count := !count + sh.s_count;
+              in_flight := !in_flight + sh.s_in_flight)
+            shards;
+          (* Cross-shard initiations parked in mailboxes are live
+             exchanges the sequential engine would have allocated in
+             phase 2 — count them so the in-flight telemetry matches. *)
+          Array.iter
+            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 5))
+            ctx.sh_init_mail;
+          metrics.Engine.deliveries <- !deliveries;
+          metrics.Engine.initiations <- !initiations;
+          metrics.Engine.dropped <- !dropped;
+          metrics.Engine.payload_words <- !payload;
+          metrics.Engine.rounds <- r + 1;
+          ctl.c_round <- r + 1;
+          if !count <> ctl.c_count then ctl.c_history <- (r + 1, !count) :: ctl.c_history;
+          ctl.c_count <- !count;
+          (match tel with
+          | None -> ()
+          | Some tel ->
+              Gossip_obs.Registry.observe tel.h_deliveries (!deliveries - !prev_d);
+              Gossip_obs.Registry.observe tel.h_initiations (!initiations - !prev_i);
+              Gossip_obs.Registry.observe tel.h_inflight !in_flight;
+              Gossip_obs.Registry.record_max tel.g_inflight !in_flight;
+              (match tel.tel_ring with
+              | None -> ()
+              | Some ring ->
+                  let ev kind value =
+                    Gossip_obs.Ring.record ring ~round:r ~kind ~node:(-1) ~value
+                  in
+                  ev Gossip_obs.Ring.kind_informed !count;
+                  ev Gossip_obs.Ring.kind_deliveries (!deliveries - !prev_d);
+                  ev Gossip_obs.Ring.kind_initiations (!initiations - !prev_i);
+                  ev Gossip_obs.Ring.kind_drops (!dropped - !prev_x);
+                  ev Gossip_obs.Ring.kind_queue !in_flight));
+          prev_d := !deliveries;
+          prev_i := !initiations;
+          prev_x := !dropped;
+          if !count = n then begin
+            ctl.c_rounds <- Some (r + 1);
+            ctl.c_stop <- true
+          end
+          else if r + 1 >= max_rounds then begin
+            ctl.c_rounds <- None;
+            ctl.c_stop <- true
+          end
+          else
+            match deadline with
+            | Some d ->
+                let now = Unix.gettimeofday () in
+                if now > d then begin
+                  ctl.c_fail <-
+                    Some (Deadline_exceeded { round = r + 1; elapsed_s = now -. started });
+                  ctl.c_stop <- true
+                end
+            | None -> ()
+    in
+    let guard sh rank f =
+      try f ()
+      with e -> if sh.s_fail = None then sh.s_fail <- Some (rank, sh.s_at, e)
+    in
+    let worker sh =
+      while not ctl.c_stop do
+        let r = ctl.c_round in
+        guard sh 0 (fun () -> stage1 ctx sh r);
+        Shard.Barrier.await bar1;
+        guard sh 1 (fun () -> stage2_deliver ctx sh r);
+        guard sh 2 (fun () -> stage2_initiate ctx sh r);
+        Shard.Barrier.await ~serial:merge bar2
+      done
+    in
+    let domains =
+      Array.init (k - 1) (fun i -> Domain.spawn (fun () -> worker shards.(i + 1)))
+    in
+    worker shards.(0);
+    Array.iter Domain.join domains;
+    (* Merge per-shard registries (cross-shard traffic counters) into
+       the caller's registry once the run is over. *)
+    (match telemetry with
+    | Some reg -> Array.iter (fun sh -> Gossip_obs.Registry.merge ~into:reg sh.s_reg) shards
+    | None -> ())
+  end;
+  (match ctl.c_fail with Some e -> raise e | None -> ());
+  { rounds = ctl.c_rounds; metrics; history = List.rev ctl.c_history; informed }
+
+let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+    ?(domains = 1) rng csr ~protocol ~source ~max_rounds =
+  if domains < 1 then invalid_arg "Wheel_engine.broadcast: domains must be >= 1";
+  let k = min domains (Csr.n csr) in
+  if k <= 1 then
+    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity rng
+      csr ~protocol ~source ~max_rounds
+  else
+    broadcast_sharded ~k ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry
+      ?pool_capacity rng csr ~protocol ~source ~max_rounds

@@ -67,6 +67,13 @@ exception Jitter_overflow of { latency : int; bound : int; round : int }
     [deadline] has passed. *)
 exception Deadline_exceeded of { round : int; elapsed_s : float }
 
+(** Raised when the exchange pool cannot grow past [?pool_capacity]
+    (or [Sys.max_array_length]).  [used] is the number of live pool
+    slots at the failure; [round] the round being executed.  Typed
+    (with a registered printer) so {!Sweep.run_ft} checkpoints the job
+    as a structured failure instead of an opaque [Failure _]. *)
+exception Pool_exhausted of { used : int; round : int }
+
 type t
 
 (** [create ?faults ?wheel_latency ?max_jitter ?telemetry rng csr
@@ -80,6 +87,13 @@ type t
     [ℓ_max + max_jitter] automatically and makes an undersized
     explicit [wheel_latency] fail fast here, with a clear message,
     instead of deep inside {!step} thousands of rounds later.
+
+    [pool_capacity] bounds the exchange pool: it is both the initial
+    size hint and a hard growth ceiling, so a run that would hold more
+    concurrent exchanges fails fast with {!Pool_exhausted} instead of
+    doubling toward [Sys.max_array_length].  Default: unbounded
+    (ceiling [Sys.max_array_length]).  Under [?domains > 1] the
+    capacity applies to {e each} shard's pool.
 
     [telemetry] attaches an observability registry: per round the
     engine observes delivery/initiation counts and the in-flight
@@ -97,6 +111,7 @@ val create :
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?telemetry:Gossip_obs.Registry.t ->
+  ?pool_capacity:int ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->
@@ -127,24 +142,48 @@ type result = {
   history : (int * int) list;
       (** (round, informed-count) at every change — the informed-set
           trajectory of Theorem 12's proof *)
+  informed : Bytes.t;
+      (** final informed set, one byte per node ([informed.(v) <> 0]
+          iff [v] heard the rumor) — what the sharded-parity property
+          compares beyond the trajectory *)
 }
 
-(** [broadcast ?faults ?wheel_latency ?max_jitter ?deadline rng csr
-    ~protocol ~source ~max_rounds] runs until every node is informed
-    or the round budget is spent.  [deadline] is an absolute
+(** [broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?domains
+    rng csr ~protocol ~source ~max_rounds] runs until every node is
+    informed or the round budget is spent.  [deadline] is an absolute
     wall-clock time ([Unix.gettimeofday] scale): it is checked
     cooperatively {e between} rounds — so it never perturbs RNG draws,
     delivery order, or trajectory parity — and once passed the run
     aborts with {!Deadline_exceeded}.
+
+    [domains] (default 1) shards the run across that many OCaml
+    domains: nodes are partitioned into contiguous shards
+    ({!Shard.bounds}), each with its own exchange pool, wheels,
+    informed-byte slice and RNG streams; cross-shard traffic moves
+    through per-[(src, dst)] mailboxes drained in fixed shard order at
+    phase barriers.  The trajectory ([history]), [metrics], final
+    informed set, and RNG consumption are bit-identical to [domains =
+    1] for every (protocol, seed, fault plan) — {e provided the fault
+    plan's closures are pure} (deterministic functions of their
+    arguments; the engine may evaluate them from any domain).  With
+    [domains > 1] and [?telemetry], the registry additionally gains a
+    ["wheel.shards"] gauge and per-shard
+    ["wheel.shard.remote.initiations"] /
+    ["wheel.shard.remote.responses"] counters merged in at the end of
+    the run.  [domains] is clamped to the node count; 1 runs the plain
+    sequential engine.
     @raise Deadline_exceeded once [deadline] has passed.
     @raise Jitter_overflow when an undeclared jitter overruns the
-    wheel mid-run. *)
+    wheel mid-run.
+    @raise Pool_exhausted when the pool hits [pool_capacity]. *)
 val broadcast :
   ?faults:faults ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?deadline:float ->
   ?telemetry:Gossip_obs.Registry.t ->
+  ?pool_capacity:int ->
+  ?domains:int ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->

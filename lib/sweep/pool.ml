@@ -2,6 +2,12 @@ module Registry = Gossip_obs.Registry
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
+let budget_workers ?workers ~domains_per_job () =
+  if domains_per_job < 1 then invalid_arg "Pool.budget_workers: domains_per_job must be >= 1";
+  let available = max 1 (Domain.recommended_domain_count () / domains_per_job) in
+  let requested = match workers with Some w -> max 1 w | None -> default_workers () in
+  min requested available
+
 type failure = {
   exn : exn;
   backtrace : Printexc.raw_backtrace;

@@ -17,6 +17,16 @@
     clamped to at least 1 — one domain is left for the orchestrator. *)
 val default_workers : unit -> int
 
+(** [budget_workers ?workers ~domains_per_job ()] is the worker count
+    for a pool whose every job itself spawns [domains_per_job] domains
+    (a sharded {!Gossip_scale.Wheel_engine} run): the requested count
+    ([workers] or {!default_workers}) clamped so that
+    [workers * domains_per_job] never exceeds
+    [Domain.recommended_domain_count ()], and at least 1 — jobs slow
+    down gracefully rather than oversubscribe the machine.
+    @raise Invalid_argument if [domains_per_job < 1]. *)
+val budget_workers : ?workers:int -> domains_per_job:int -> unit -> int
+
 (** The error side of a job outcome.  [backtrace] is captured with
     [Printexc.get_raw_backtrace] at the catch site of the {e last}
     attempt, so it points at the failing job, not at the pool's join;

@@ -68,7 +68,7 @@ type failure = {
   attempts : int;
 }
 
-let run_job ?timeout_s job =
+let run_job ?timeout_s ?domains ?pool_capacity job =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> started +. s) timeout_s in
   let csr = build job.family ~n:job.n ~seed:job.seed in
@@ -81,7 +81,7 @@ let run_job ?timeout_s job =
   let source = job.seed mod n_actual in
   let source = if source < 0 then source + n_actual else source in
   let result =
-    Wheel_engine.broadcast ?deadline
+    Wheel_engine.broadcast ?deadline ?domains ?pool_capacity
       (Rng.of_int (job.seed + 17))
       csr ~protocol:job.protocol ~source ~max_rounds:job.max_rounds
   in
@@ -94,7 +94,18 @@ let run_job ?timeout_s job =
     elapsed_s = Unix.gettimeofday () -. started;
   }
 
-let run ?workers ?telemetry jobs = Pool.map_list ?workers ?telemetry run_job jobs
+(* When every job shards itself across [domains] engine domains, the
+   pool must shrink so workers × domains never oversubscribes the
+   machine; with [domains <= 1] the historical worker policy is kept
+   byte-for-byte. *)
+let budgeted_workers ?workers ?domains () =
+  match domains with
+  | Some d when d > 1 -> Some (Pool.budget_workers ?workers ~domains_per_job:d ())
+  | _ -> workers
+
+let run ?workers ?domains ?telemetry jobs =
+  let workers = budgeted_workers ?workers ?domains () in
+  Pool.map_list ?workers ?telemetry (fun job -> run_job ?domains job) jobs
 
 (* ------------------------------------------------------------------ *)
 (* JSON serialization *)
@@ -350,10 +361,11 @@ let failure_of_pool job (pf : Pool.failure) =
     attempts = pf.Pool.attempts;
   }
 
-let run_ft ?workers ?(retries = 0) ?timeout_s ?checkpoint ?(resume = false) ?inject
-    ?telemetry jobs =
+let run_ft ?workers ?(retries = 0) ?timeout_s ?domains ?pool_capacity ?checkpoint
+    ?(resume = false) ?inject ?telemetry jobs =
   if resume && checkpoint = None then
     invalid_arg "Sweep.run_ft: ~resume:true requires a checkpoint path";
+  let workers = budgeted_workers ?workers ?domains () in
   let prior = Hashtbl.create 64 in
   (match checkpoint with
   | Some path when resume && Sys.file_exists path ->
@@ -372,7 +384,7 @@ let run_ft ?workers ?(retries = 0) ?timeout_s ?checkpoint ?(resume = false) ?inj
   in
   let run_one job =
     (match inject with None -> () | Some hook -> hook job);
-    run_job ?timeout_s job
+    run_job ?timeout_s ?domains ?pool_capacity job
   in
   let retried = ref [] in
   let on_retry i ~attempt e =

@@ -83,23 +83,32 @@ type failure = {
   attempts : int;
 }
 
-(** [run_job ?timeout_s job] executes one job in the calling domain.
-    [timeout_s] is a cooperative wall-clock budget threaded into
-    {!Gossip_scale.Wheel_engine.broadcast} as an absolute deadline and
-    checked between rounds, so it never perturbs trajectories.
+(** [run_job ?timeout_s ?domains ?pool_capacity job] executes one job
+    in the calling domain.  [timeout_s] is a cooperative wall-clock
+    budget threaded into {!Gossip_scale.Wheel_engine.broadcast} as an
+    absolute deadline and checked between rounds, so it never perturbs
+    trajectories.  [domains] shards the engine run itself across that
+    many OCaml domains (trajectory-identical to 1, see
+    {!Gossip_scale.Wheel_engine.broadcast}); [pool_capacity] bounds
+    the engine's exchange pool so a runaway job fails fast with
+    {!Gossip_scale.Wheel_engine.Pool_exhausted}.
     @raise Gossip_scale.Wheel_engine.Deadline_exceeded over budget. *)
-val run_job : ?timeout_s:float -> job -> outcome
+val run_job : ?timeout_s:float -> ?domains:int -> ?pool_capacity:int -> job -> outcome
 
-(** [run ?workers ?telemetry jobs] fans the jobs across a domain pool
-    (default {!Pool.default_workers}); results come back in job order
-    and are deterministic per job regardless of [workers].  Fail-fast:
-    the first job failure is re-raised after the queue drains — use
-    {!run_ft} for campaigns that must survive partial failure.
-    [telemetry] is forwarded to {!Pool.run}: worker-local pool metrics
-    (busy time, job latency histogram, queue depth) are merged into it
-    at join. *)
+(** [run ?workers ?domains ?telemetry jobs] fans the jobs across a
+    domain pool (default {!Pool.default_workers}); results come back
+    in job order and are deterministic per job regardless of [workers]
+    {e and} [domains].  Fail-fast: the first job failure is re-raised
+    after the queue drains — use {!run_ft} for campaigns that must
+    survive partial failure.  With [domains > 1] each job shards its
+    engine run, and the worker count is budgeted through
+    {!Pool.budget_workers} so workers × domains never oversubscribes
+    the machine.  [telemetry] is forwarded to {!Pool.run}:
+    worker-local pool metrics (busy time, job latency histogram, queue
+    depth) are merged into it at join. *)
 val run :
   ?workers:int ->
+  ?domains:int ->
   ?telemetry:Gossip_obs.Registry.t ->
   job list ->
   outcome list
@@ -141,6 +150,12 @@ type report = {
       {!Pool.run_outcomes}.
     - [timeout_s]: cooperative per-job wall-clock budget (see
       {!run_job}); an over-budget job counts as failed.
+    - [domains]: per-job engine sharding (see {!run_job}); the worker
+      count is budgeted through {!Pool.budget_workers} so workers ×
+      domains never oversubscribes the machine.
+    - [pool_capacity]: per-job exchange-pool bound (see {!run_job});
+      an exhausted pool records the job as a structured
+      [Pool_exhausted] failure and the campaign continues.
     - [checkpoint]: stream every outcome to this JSONL file {e as it
       finishes} (one flush per record), as [ckpt_job] / [ckpt_fail]
       events keyed by {!job_key}.
@@ -159,6 +174,8 @@ val run_ft :
   ?workers:int ->
   ?retries:int ->
   ?timeout_s:float ->
+  ?domains:int ->
+  ?pool_capacity:int ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?inject:(job -> unit) ->

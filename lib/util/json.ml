@@ -169,21 +169,38 @@ let of_string s =
     Buffer.contents buf
   in
   let number () =
+    (* RFC 8259: int ["." 1*DIGIT] [("e"/"E") ["+"/"-"] 1*DIGIT] where
+       int = "0" / %x31-39 *DIGIT — no leading zeros, and both the
+       fraction and the exponent require at least one digit. *)
     let start = !pos in
+    let skip_digits () =
+      while (match peek () with '0' .. '9' -> true | _ -> false) do incr pos done
+    in
     if peek () = '-' then incr pos;
-    while (match peek () with '0' .. '9' -> true | _ -> false) do incr pos done;
+    (match peek () with
+    | '0' ->
+        incr pos;
+        (match peek () with
+        | '0' .. '9' -> fail "leading zero in number"
+        | _ -> ())
+    | '1' .. '9' -> skip_digits ()
+    | _ -> fail "expected digit in number");
     let integral = ref true in
     if peek () = '.' then begin
       integral := false;
       incr pos;
-      while (match peek () with '0' .. '9' -> true | _ -> false) do incr pos done
+      (match peek () with
+      | '0' .. '9' -> skip_digits ()
+      | _ -> fail "expected digit after '.' in number")
     end;
     (match peek () with
     | 'e' | 'E' ->
         integral := false;
         incr pos;
         (match peek () with '+' | '-' -> incr pos | _ -> ());
-        while (match peek () with '0' .. '9' -> true | _ -> false) do incr pos done
+        (match peek () with
+        | '0' .. '9' -> skip_digits ()
+        | _ -> fail "expected digit in exponent")
     | _ -> ());
     let text = String.sub s start (!pos - start) in
     if !integral then

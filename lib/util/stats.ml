@@ -25,12 +25,18 @@ let variance a =
 
 let stddev a = sqrt (variance a)
 
-let percentile a p =
-  let n = Array.length a in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+let reject_nan ctx a =
+  if Array.exists Float.is_nan a then invalid_arg (ctx ^ ": NaN in sample")
+
+let sorted_copy ctx a =
+  reject_nan ctx a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
+  sorted
+
+(* [sorted] must be NaN-free and ascending; [p] in [0, 100]. *)
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -40,21 +46,28 @@ let percentile a p =
     ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
   end
 
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  percentile_of_sorted (sorted_copy "Stats.percentile" a) p
+
 let median a = percentile a 50.0
 
 let summarize a =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sorted = sorted_copy "Stats.summarize" a in
   {
     n;
     mean = mean a;
     stddev = stddev a;
-    min = percentile a 0.0;
-    p25 = percentile a 25.0;
-    median = percentile a 50.0;
-    p75 = percentile a 75.0;
-    p95 = percentile a 95.0;
-    max = percentile a 100.0;
+    min = sorted.(0);
+    p25 = percentile_of_sorted sorted 25.0;
+    median = percentile_of_sorted sorted 50.0;
+    p75 = percentile_of_sorted sorted 75.0;
+    p95 = percentile_of_sorted sorted 95.0;
+    max = sorted.(n - 1);
   }
 
 let pp_summary ppf s =

@@ -24,11 +24,16 @@ val variance : float array -> float
 val stddev : float array -> float
 
 (** [percentile a p] for [p] in [\[0, 100\]], with linear interpolation
-    between order statistics.  Requires a non-empty array. *)
+    between order statistics.  Requires a non-empty array.  Sorts with
+    [Float.compare]; raises [Invalid_argument] if the sample contains a
+    NaN (a NaN would make the order, and hence every quantile,
+    meaningless). *)
 val percentile : float array -> float -> float
 
 val median : float array -> float
 
+(** Like the individual accessors but sorts the sample exactly once.
+    Raises [Invalid_argument] on an empty or NaN-containing sample. *)
 val summarize : float array -> summary
 
 val pp_summary : Format.formatter -> summary -> unit

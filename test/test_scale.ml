@@ -8,6 +8,8 @@ module Gen = Gossip_graph.Gen
 module Engine = Gossip_sim.Engine
 module Csr = Gossip_scale.Csr
 module Wheel = Gossip_scale.Wheel_engine
+module Shard = Gossip_scale.Shard
+module Registry = Gossip_obs.Registry
 module Push_pull = Gossip_core.Push_pull
 module Flooding = Gossip_core.Flooding
 
@@ -330,6 +332,221 @@ let prop_flood_parity =
       in
       old_r.Flooding.rounds = new_r.Wheel.rounds)
 
+(* ------------------------------------------------------------------ *)
+(* Shard infrastructure *)
+
+let test_shard_bounds_owner () =
+  List.iter
+    (fun (n, k) ->
+      let b = Shard.bounds ~n ~k in
+      checki "bounds length" (k + 1) (Array.length b);
+      checki "first bound" 0 b.(0);
+      checki "last bound" n b.(k);
+      for i = 0 to k - 1 do
+        let size = b.(i + 1) - b.(i) in
+        if size < n / k || size > ((n + k - 1) / k) then
+          Alcotest.failf "shard %d of (n=%d, k=%d) has size %d" i n k size
+      done;
+      for v = 0 to n - 1 do
+        let o = Shard.owner ~n ~k v in
+        if not (b.(o) <= v && v < b.(o + 1)) then
+          Alcotest.failf "owner(%d) = %d disagrees with bounds (n=%d, k=%d)" v o n k
+      done)
+    [ (1, 1); (4, 4); (10, 3); (40, 4); (17, 5); (1000, 7) ];
+  (match Shard.bounds ~n:4 ~k:5 with
+  | _ -> Alcotest.fail "k > n accepted"
+  | exception Invalid_argument _ -> ());
+  match Shard.bounds ~n:4 ~k:0 with
+  | _ -> Alcotest.fail "k = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_wheel_pool_exhausted () =
+  (* Clique of 20 under push-pull: round 0 initiates 20 exchanges, so a
+     2-slot hard ceiling exhausts immediately with the exact fields. *)
+  let c = Csr.of_graph (Gen.clique 20) in
+  Alcotest.check_raises "tiny pool exhausts"
+    (Wheel.Pool_exhausted { used = 2; round = 0 })
+    (fun () ->
+      ignore
+        (Wheel.broadcast ~pool_capacity:2 (Rng.of_int 5) c ~protocol:Wheel.Push_pull ~source:0
+           ~max_rounds:10));
+  (* A capacity the run fits under never steers the trajectory. *)
+  let bare =
+    Wheel.broadcast (Rng.of_int 5) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:10_000
+  in
+  let capped =
+    Wheel.broadcast ~pool_capacity:64 (Rng.of_int 5) c ~protocol:Wheel.Push_pull ~source:0
+      ~max_rounds:10_000
+  in
+  Alcotest.check trajectory_testable "capacity never steers the run" bare.Wheel.history
+    capped.Wheel.history;
+  match Wheel.create ~pool_capacity:0 (Rng.of_int 1) c ~protocol:Wheel.Push_pull ~source:0 with
+  | _ -> Alcotest.fail "pool_capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-vs-sequential engine parity *)
+
+(* CI matrixes the property over shard counts by setting
+   GOSSIP_PARITY_DOMAINS (comma-separated); the default sweeps 1-4. *)
+let parity_domains =
+  match Sys.getenv_opt "GOSSIP_PARITY_DOMAINS" with
+  | None -> [ 1; 2; 3; 4 ]
+  | Some s ->
+      let ds = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
+      if ds = [] then [ 1; 2; 3; 4 ] else ds
+
+(* Pure fault plans (deterministic functions of their arguments), as
+   the sharded engine's contract requires. *)
+let parity_fault_plans =
+  [
+    ("none", Wheel.no_faults, 0);
+    ( "drop",
+      {
+        Wheel.no_faults with
+        Engine.drop =
+          (fun ~initiator ~responder ~round -> (initiator + (3 * responder) + round) mod 5 = 0);
+      },
+      0 );
+    ( "crash",
+      { Wheel.no_faults with Engine.alive = (fun ~node ~round -> node mod 7 <> 3 || round < 2) },
+      0 );
+    ( "jitter",
+      {
+        Wheel.no_faults with
+        Engine.jitter = (fun ~latency ~round -> latency + ((latency + round) mod 3));
+      },
+      2 );
+  ]
+
+let check_sharded_parity label base (r : Wheel.result) =
+  Alcotest.check (Alcotest.option Alcotest.int) (label ^ " rounds") base.Wheel.rounds
+    r.Wheel.rounds;
+  Alcotest.check trajectory_testable (label ^ " trajectory") base.Wheel.history r.Wheel.history;
+  checkb (label ^ " metrics") true (base.Wheel.metrics = r.Wheel.metrics);
+  checkb (label ^ " informed set") true (Bytes.equal base.Wheel.informed r.Wheel.informed)
+
+let test_sharded_parity_fixed () =
+  let c = Csr.ring_of_cliques ~cliques:6 ~size:7 ~bridge_latency:9 in
+  List.iter
+    (fun protocol ->
+      let name = Wheel.protocol_name protocol in
+      let run d =
+        Wheel.broadcast ~domains:d (Rng.of_int 13) c ~protocol ~source:5 ~max_rounds:100_000
+      in
+      let base = run 1 in
+      List.iter
+        (fun d -> check_sharded_parity (Printf.sprintf "%s domains=%d" name d) base (run d))
+        parity_domains)
+    [ Wheel.Push_pull; Wheel.Flood; Wheel.Random_contact ]
+
+(* The tentpole acceptance property: for every protocol and every pure
+   fault plan, the domain-sharded engine is bit-identical to the
+   sequential wheel — rounds, trajectory, counters, and the final
+   informed set. *)
+let prop_sharded_parity =
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (protocols x faults x domains)"
+    ~count:40
+    QCheck.(triple (int_range 4 80) (int_range 0 100_000) (int_range 0 11))
+    (fun (n, seed, pick) ->
+      let grng = Rng.of_int seed in
+      let g =
+        let p = min 1.0 ((log (float_of_int n) +. 3.0) /. float_of_int n) in
+        Gen.with_latencies grng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected grng ~n ~p)
+      in
+      let csr = Csr.of_graph g in
+      let source = seed mod n in
+      let protocol =
+        match pick mod 3 with 0 -> Wheel.Push_pull | 1 -> Wheel.Flood | _ -> Wheel.Random_contact
+      in
+      let _, faults, max_jitter = List.nth parity_fault_plans (pick / 3) in
+      let run d =
+        Wheel.broadcast ~faults ~max_jitter ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~protocol ~source ~max_rounds:400
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed)
+        parity_domains)
+
+let test_sharded_dead_shard () =
+  (* n = 40, k = 4: shard 1 owns exactly nodes 10..19 (bounds 0, 10,
+     20, 30, 40).  Crash all of them from round 0, so one whole shard
+     does nothing but drop traffic addressed to it: parity must hold
+     and the dead nodes must stay dark. *)
+  let rng = Rng.of_int 31 in
+  let g =
+    Gen.with_latencies rng (Gen.Uniform (1, 5)) (Gen.erdos_renyi_connected rng ~n:40 ~p:0.25)
+  in
+  let csr = Csr.of_graph g in
+  let faults =
+    { Wheel.no_faults with Engine.alive = (fun ~node ~round:_ -> node < 10 || node >= 20) }
+  in
+  let run d =
+    Wheel.broadcast ~faults ~domains:d (Rng.of_int 8) csr ~protocol:Wheel.Push_pull ~source:0
+      ~max_rounds:300
+  in
+  let base = run 1 in
+  let sharded = run 4 in
+  check_sharded_parity "dead shard" base sharded;
+  checkb "never completes" true (sharded.Wheel.rounds = None);
+  for v = 10 to 19 do
+    checki (Printf.sprintf "node %d dark" v) 0 (Char.code (Bytes.get sharded.Wheel.informed v))
+  done;
+  checkb "rumor still spread outside the dead shard" true
+    (sharded.Wheel.metrics.Engine.deliveries > 0);
+  checkb "losses counted" true (sharded.Wheel.metrics.Engine.dropped > 0)
+
+let test_sharded_domains_validation () =
+  let c = Csr.of_graph (Gen.path 3) in
+  (match
+     Wheel.broadcast ~domains:0 (Rng.of_int 1) c ~protocol:Wheel.Push_pull ~source:0
+       ~max_rounds:10
+   with
+  | _ -> Alcotest.fail "domains = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* More domains than nodes clamps to n and still matches. *)
+  let base =
+    Wheel.broadcast (Rng.of_int 2) c ~protocol:Wheel.Push_pull ~source:0 ~max_rounds:10_000
+  in
+  let clamped =
+    Wheel.broadcast ~domains:8 (Rng.of_int 2) c ~protocol:Wheel.Push_pull ~source:0
+      ~max_rounds:10_000
+  in
+  check_sharded_parity "clamped to n" base clamped
+
+let test_sharded_telemetry () =
+  (* The sharded engine feeds the same round histograms as the
+     sequential one, plus the shard gauge and remote-traffic counters. *)
+  let c = Csr.ring_of_cliques ~cliques:5 ~size:8 ~bridge_latency:4 in
+  let run d =
+    let reg = Registry.create () in
+    let r =
+      Wheel.broadcast ~telemetry:reg ~domains:d (Rng.of_int 6) c ~protocol:Wheel.Push_pull
+        ~source:0 ~max_rounds:10_000
+    in
+    (reg, r)
+  in
+  let reg1, r1 = run 1 in
+  let reg4, r4 = run 4 in
+  check_sharded_parity "telemetry run" r1 r4;
+  List.iter
+    (fun name ->
+      let h1 = Registry.histogram reg1 name and h4 = Registry.histogram reg4 name in
+      checki (name ^ " count") (Registry.hist_count h1) (Registry.hist_count h4);
+      checki (name ^ " sum") (Registry.hist_sum h1) (Registry.hist_sum h4))
+    [ "wheel.round.deliveries"; "wheel.round.initiations"; "wheel.inflight" ];
+  checki "wheel.shards gauge" 4 (Registry.gauge_value (Registry.gauge reg4 "wheel.shards"));
+  let remote name = Registry.counter_value (Registry.counter reg4 name) in
+  checkb "cross-shard initiations observed" true (remote "wheel.shard.remote.initiations" > 0);
+  checkb "cross-shard responses observed" true (remote "wheel.shard.remote.responses" > 0)
+
 let () =
   Alcotest.run "gossip_scale"
     [
@@ -362,5 +579,19 @@ let () =
           Alcotest.test_case "fixed cases" `Quick test_parity_fixed_cases;
           qtest prop_pushpull_parity;
           qtest prop_flood_parity;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "bounds and owner" `Quick test_shard_bounds_owner;
+          Alcotest.test_case "pool exhausted" `Quick test_wheel_pool_exhausted;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "fixed cases, all protocols" `Quick test_sharded_parity_fixed;
+          qtest prop_sharded_parity;
+          Alcotest.test_case "dead shard" `Quick test_sharded_dead_shard;
+          Alcotest.test_case "domains validation + clamp" `Quick
+            test_sharded_domains_validation;
+          Alcotest.test_case "telemetry parity + shard metrics" `Quick test_sharded_telemetry;
         ] );
     ]

@@ -453,6 +453,77 @@ let test_sweep_checkpoint_records_failures () =
       (* A recorded failure is not retried on resume. *)
       checki "failure counts as recorded" 0 (List.length (Sweep.resume path jobs)))
 
+let test_pool_budget_workers () =
+  let rec_count = Domain.recommended_domain_count () in
+  (* Requested count passes through when each job uses one domain. *)
+  checki "d=1 keeps request" (min 3 (max 1 rec_count))
+    (Pool.budget_workers ~workers:3 ~domains_per_job:1 ());
+  (* A domains-per-job bigger than the machine still leaves one worker. *)
+  checki "never below one worker" 1
+    (Pool.budget_workers ~workers:8 ~domains_per_job:(rec_count + 5) ());
+  (* workers * domains_per_job never exceeds the recommended count
+     (unless that would mean zero workers). *)
+  for d = 1 to 6 do
+    let w = Pool.budget_workers ~workers:16 ~domains_per_job:d () in
+    checkb
+      (Printf.sprintf "budget d=%d" d)
+      true
+      (w >= 1 && (w * d <= rec_count || w = 1))
+  done;
+  match Pool.budget_workers ~domains_per_job:0 () with
+  | _ -> Alcotest.fail "domains_per_job 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_sweep_sharded_jobs_deterministic () =
+  (* Per-job engine sharding must not change any outcome: domains:2
+     through the sweep equals the plain sequential sweep. *)
+  let jobs = small_jobs Wheel.Push_pull in
+  let shape r =
+    List.map
+      (fun (o : Sweep.outcome) ->
+        (o.Sweep.rounds, o.Sweep.metrics.Engine.initiations, o.Sweep.metrics.Engine.deliveries))
+      r
+  in
+  let sequential = Sweep.run ~workers:2 jobs in
+  let sharded = Sweep.run ~workers:2 ~domains:2 jobs in
+  checkb "sharded jobs match sequential" true (shape sequential = shape sharded);
+  let ft = Sweep.run_ft ~workers:1 ~domains:2 jobs in
+  checki "run_ft all complete" 4 (List.length ft.Sweep.completed);
+  checkb "run_ft sharded matches too" true (shape sequential = shape ft.Sweep.completed)
+
+let test_sweep_pool_exhausted_failure_path () =
+  (* A 2-slot exchange pool cannot hold a 48-node push-pull round: every
+     job must come back as a structured Pool_exhausted failure — the
+     campaign survives — and the registered printer must make the
+     message actionable. *)
+  let contains s needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let jobs = small_jobs Wheel.Push_pull in
+  let report = Sweep.run_ft ~workers:1 ~pool_capacity:2 jobs in
+  checki "no job completes" 0 (List.length report.Sweep.completed);
+  checki "every job fails structured" 4 (List.length report.Sweep.failed);
+  List.iter
+    (fun (f : Sweep.failure) ->
+      checkb "typed exception printed" true (contains f.Sweep.message "Pool_exhausted");
+      checkb "live-slot count printed" true (contains f.Sweep.message "2 live exchanges");
+      checki "single attempt" 1 f.Sweep.attempts)
+    report.Sweep.failed;
+  (* The same cap reaches run/run_job too: fail-fast semantics. *)
+  (match Sweep.run_job ~pool_capacity:2 (List.hd jobs) with
+  | _ -> Alcotest.fail "expected Pool_exhausted"
+  | exception Wheel.Pool_exhausted { used; round } ->
+      checki "used at ceiling" 2 used;
+      checki "first round" 0 round);
+  (* An adequate capacity changes nothing. *)
+  let bare = Sweep.run_job (List.hd jobs) in
+  let capped = Sweep.run_job ~pool_capacity:4096 (List.hd jobs) in
+  checkb "capacity never steers outcomes" true
+    (bare.Sweep.rounds = capped.Sweep.rounds
+    && bare.Sweep.metrics = capped.Sweep.metrics)
+
 let test_sweep_resume_requires_checkpoint () =
   Alcotest.check_raises "resume without checkpoint"
     (Invalid_argument "Sweep.run_ft: ~resume:true requires a checkpoint path")
@@ -481,6 +552,7 @@ let () =
           Alcotest.test_case "streams results" `Quick test_pool_streams_results;
           Alcotest.test_case "microsecond rounding" `Quick test_pool_us_rounding;
           Alcotest.test_case "failure counters" `Quick test_pool_failure_counters;
+          Alcotest.test_case "budget workers" `Quick test_pool_budget_workers;
           QCheck_alcotest.to_alcotest pool_random_failures;
         ] );
       ( "sweep",
@@ -503,6 +575,10 @@ let () =
             test_sweep_resume_skips_recorded;
           Alcotest.test_case "checkpoint records failures" `Quick
             test_sweep_checkpoint_records_failures;
+          Alcotest.test_case "sharded jobs deterministic" `Quick
+            test_sweep_sharded_jobs_deterministic;
+          Alcotest.test_case "pool exhausted failure path" `Quick
+            test_sweep_pool_exhausted_failure_path;
           Alcotest.test_case "resume requires checkpoint" `Quick
             test_sweep_resume_requires_checkpoint;
         ] );

@@ -255,11 +255,36 @@ let test_stats_all_equal () =
   checkf "median" 3.25 s.Stats.median;
   checkf "p95" 3.25 s.Stats.p95
 
+let test_stats_nan_rejected () =
+  (* Regression: the old polymorphic-compare sort silently produced an
+     unspecified order (and so a garbage percentile) when a NaN slipped
+     into the sample; both entry points must reject it loudly. *)
+  Alcotest.check_raises "percentile NaN"
+    (Invalid_argument "Stats.percentile: NaN in sample") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  Alcotest.check_raises "summarize NaN"
+    (Invalid_argument "Stats.summarize: NaN in sample") (fun () ->
+      ignore (Stats.summarize [| 2.0; Float.nan |]));
+  (* Infinities are ordered fine and stay legal. *)
+  checkf "inf is max" Float.infinity (Stats.percentile [| 1.0; Float.infinity |] 100.0)
+
+let test_stats_summarize_matches_percentile () =
+  (* summarize now sorts once and reads every quantile off that one
+     sorted copy — each field must still equal the percentile API. *)
+  let a = [| 9.0; 2.0; 7.0; 4.0; 6.0; 1.0; 8.0 |] in
+  let s = Stats.summarize a in
+  checkf "min" 1.0 s.Stats.min;
+  checkf "p25" (Stats.percentile a 25.0) s.Stats.p25;
+  checkf "median" (Stats.percentile a 50.0) s.Stats.median;
+  checkf "p75" (Stats.percentile a 75.0) s.Stats.p75;
+  checkf "p95" (Stats.percentile a 95.0) s.Stats.p95;
+  checkf "max" 9.0 s.Stats.max
+
 (* Independent oracle: sort, rank = p/100 * (n-1), interpolate between
    the two bracketing order statistics. *)
 let naive_percentile a p =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   let n = Array.length b in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
@@ -299,6 +324,23 @@ let test_json_parse_errors () =
   let bad s = checkb (Printf.sprintf "%S rejected" s) true (Result.is_error (Json.of_string s)) in
   List.iter bad
     [ ""; "nul"; "[1,"; "{\"a\":}"; "\"unterminated"; "1 2"; "[1] garbage"; "{\"a\" 1}"; "+5" ]
+
+let test_json_number_grammar () =
+  (* Regression: the old lexer accepted any [0-9.eE+-]* soup and let
+     float_of_string sort it out, so non-RFC-8259 numbers like "0123"
+     or "1." parsed.  The grammar is now strict. *)
+  let bad s =
+    checkb (Printf.sprintf "%S rejected" s) true (Result.is_error (Json.of_string s))
+  in
+  List.iter bad
+    [ "0123"; "-01"; "00"; "1."; "3.e2"; ".5"; "1e"; "1e+"; "1E-"; "-"; "--1"; "1.2.3"; "1e2.5" ];
+  checkb "zero" true (parse_ok "0" = Json.Int 0);
+  checkb "negative zero" true (parse_ok "-0" = Json.Int 0);
+  checkb "zero with fraction" true (parse_ok "0.25" = Json.Float 0.25);
+  checkb "fraction" true (parse_ok "6.25e2" = Json.Float 625.0);
+  checkb "capital exponent" true (parse_ok "1E-3" = Json.Float 0.001);
+  checkb "signed exponent" true (parse_ok "2e+2" = Json.Float 200.0);
+  checkb "exponent on integer part" true (parse_ok "5e1" = Json.Float 50.0)
 
 let test_json_control_chars () =
   (* the emitter must escape every control character below 0x20 and the
@@ -584,6 +626,9 @@ let () =
           Alcotest.test_case "percentile single sample" `Quick test_stats_percentile_single;
           Alcotest.test_case "percentile two samples" `Quick test_stats_percentile_two;
           Alcotest.test_case "all-equal sample" `Quick test_stats_all_equal;
+          Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
+          Alcotest.test_case "summarize matches percentile" `Quick
+            test_stats_summarize_matches_percentile;
           qtest prop_stats_percentile_bounded;
           qtest prop_stats_percentile_oracle;
         ] );
@@ -591,6 +636,7 @@ let () =
         [
           Alcotest.test_case "parse scalars" `Quick test_json_parse_scalars;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "number grammar" `Quick test_json_number_grammar;
           Alcotest.test_case "control chars" `Quick test_json_control_chars;
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
           Alcotest.test_case "non-finite to null" `Quick test_json_nonfinite_to_null;
