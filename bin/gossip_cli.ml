@@ -94,7 +94,8 @@ let family_term =
   let family =
     let doc =
       "Graph family: clique, star, path, cycle, grid, torus, hypercube, tree, er, \
-       regular, ring-of-cliques, dumbbell."
+       regular, ring-of-cliques, dumbbell; wheel runs ($(b,--protocol)) additionally \
+       accept barabasi-albert and watts-strogatz, built directly in CSR form."
     in
     Arg.(value & opt string "clique" & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
@@ -146,6 +147,116 @@ let build_graph a =
   | Gen.Unit -> base
   | spec -> Gen.with_latencies rng spec base
 
+(* Direct CSR construction for wheel-engine runs: the three scale
+   families never pass through the boxed graph, so a 10^6-node run
+   builds only flat arrays.  ($(b,--deg) doubles as the attach count
+   for barabasi-albert and the base degree for watts-strogatz, as in
+   the sweep subcommand.) *)
+let build_csr a =
+  let module Scsr = Gossip_scale.Csr in
+  let direct =
+    match a.family with
+    | "ring-of-cliques" ->
+        Some (Scsr.ring_of_cliques ~cliques:a.cliques ~size:a.size ~bridge_latency:a.bridge)
+    | "barabasi-albert" ->
+        Some (Scsr.barabasi_albert (Rng.of_int a.seed) ~n:a.n ~attach:a.d)
+    | "watts-strogatz" ->
+        Some (Scsr.watts_strogatz (Rng.of_int a.seed) ~n:a.n ~k:a.d ~beta:a.p)
+    | _ -> None
+  in
+  match direct with
+  | Some csr -> (
+      match a.latency with
+      | Gen.Unit -> csr
+      | spec -> Scsr.with_latencies (Rng.of_int a.seed) spec csr)
+  | None -> Scsr.of_graph (build_graph a)
+
+let ceil_log2 x =
+  let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
+  max 1 (go 0 1)
+
+(* One wheel-engine run through a protocol kernel: parses the protocol
+   name, builds the contact structure (including the Baswana-Sen
+   spanner an rr-spanner kernel needs), runs, and optionally dumps the
+   telemetry registry -- kernel-tagged counters included -- as JSONL. *)
+let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
+  let module Wheel = Gossip_scale.Wheel_engine in
+  let module Scsr = Gossip_scale.Csr in
+  let module Kernel = Gossip_scale.Kernel in
+  let module Obs = Gossip_obs in
+  let module Json = Gossip_util.Json in
+  let protocol =
+    match Wheel.protocol_of_string pname with
+    | Some p -> p
+    | None ->
+        failwith
+          (Printf.sprintf "unknown protocol %S (known: %s)" pname
+             (String.concat ", " Wheel.known_protocols))
+  in
+  let csr = build_csr args in
+  let n = Scsr.n csr in
+  let rng = Rng.of_int (args.seed + 17) in
+  let reg =
+    match telemetry with
+    | None -> None
+    | Some _ ->
+        let ring = Obs.Ring.create ~capacity:65536 () in
+        Some (Obs.Registry.create ~ring ())
+  in
+  let kernel =
+    match protocol with
+    | Wheel.Rr_spanner { stretch_k } ->
+        let k_sp = if stretch_k > 0 then stretch_k else ceil_log2 n in
+        let t0 = Unix.gettimeofday () in
+        let spanner =
+          Gossip_core.Spanner.build
+            (Rng.of_int (args.seed + 29))
+            (Scsr.to_graph csr) ~k:k_sp ~n_hat:n ()
+        in
+        let oriented = Scsr.of_oriented_spanner spanner.Gossip_core.Spanner.out_edges in
+        Printf.printf
+          "spanner (k = %d): %d directed edges, max out-degree %d, built in %.1fs\n%!" k_sp
+          (Scsr.oriented_edge_count oriented)
+          (Scsr.oriented_max_out_degree oriented)
+          (Unix.gettimeofday () -. t0);
+        Kernel.rr_broadcast ~k:(Scsr.oriented_max_latency oriented) oriented
+    | p -> Kernel.of_protocol csr p
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Wheel.broadcast_kernel ?telemetry:reg ~domains rng csr ~kernel ~source ~max_rounds
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match r.Wheel.rounds with
+  | Some rounds ->
+      Printf.printf "wheel %s (domains=%d): %d rounds in %.2fs on %d nodes\n"
+        (Kernel.name kernel) domains rounds elapsed n
+  | None ->
+      Printf.printf "wheel %s (domains=%d): hit the %d-round cap (%.2fs, %d nodes)\n"
+        (Kernel.name kernel) domains max_rounds elapsed n);
+  Printf.printf "initiations: %d, deliveries: %d\n"
+    r.Wheel.metrics.Gossip_sim.Engine.initiations
+    r.Wheel.metrics.Gossip_sim.Engine.deliveries;
+  match (telemetry, reg) with
+  | Some path, Some reg ->
+      Obs.Sink.with_jsonl path (fun sink ->
+          Obs.Sink.event sink
+            [
+              ("ev", Json.String "meta");
+              ("tool", Json.String "gossip-cli run");
+              ("protocol", Json.String (Kernel.name kernel));
+              ("family", Json.String args.family);
+              ("n", Json.Int n);
+              ("domains", Json.Int domains);
+              ("seed", Json.Int args.seed);
+            ];
+          Obs.Sink.registry sink reg;
+          match Obs.Registry.ring reg with
+          | None -> ()
+          | Some ring -> Obs.Sink.ring sink ring);
+      Printf.printf "telemetry written to %s\n" path
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
@@ -178,10 +289,22 @@ let run_cmd =
   let algorithm =
     let doc =
       "Algorithm: push-pull, push-pull-all, flood, push-only, dtg, eid, eid-known-d, \
-       path-discovery, unified, or a flat-array wheel engine run: wheel-push-pull, \
-       wheel-flood, wheel-random-contact (these honor $(b,--domains))."
+       path-discovery, unified, or a flat-array wheel engine run: wheel-$(i,PROTO) for \
+       any $(b,--protocol) name (these honor $(b,--domains))."
     in
     Arg.(value & opt string "push-pull" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let protocol =
+    let doc =
+      Printf.sprintf
+        "Run the wheel engine with this protocol kernel (%s); rr-spanner first builds a \
+         Baswana-Sen spanner and runs RR Broadcast over its orientation.  Builds \
+         ring-of-cliques, barabasi-albert, and watts-strogatz directly in CSR form (no \
+         boxed graph), honors $(b,--domains) and $(b,--telemetry), and overrides \
+         $(b,--algorithm)."
+        (String.concat ", " Gossip_scale.Wheel_engine.known_protocols)
+    in
+    Arg.(value & opt (some string) None & info [ "protocol" ] ~docv:"PROTO" ~doc)
   in
   let domains =
     Arg.(
@@ -226,9 +349,26 @@ let run_cmd =
       & info [ "telemetry" ] ~docv:"FILE"
           ~doc:
             "Write engine telemetry (per-round counters, histograms, trace ring) as \
-             JSONL (plain push-pull only); inspect with $(b,gossip-cli report).")
+             JSONL (plain push-pull and wheel protocol runs); inspect with \
+             $(b,gossip-cli report).")
   in
-  let run args algorithm domains source max_rounds crash drop capacity trace telemetry =
+  let run args algorithm protocol domains source max_rounds crash drop capacity trace
+      telemetry =
+    (* A wheel run never touches the boxed graph: dispatch before
+       build_graph so --protocol works at 10^6 nodes. *)
+    let wheel_protocol =
+      match protocol with
+      | Some p -> Some p
+      | None ->
+          let pfx = "wheel-" in
+          let pl = String.length pfx in
+          if String.length algorithm > pl && String.sub algorithm 0 pl = pfx then
+            Some (String.sub algorithm pl (String.length algorithm - pl))
+          else None
+    in
+    match wheel_protocol with
+    | Some pname -> run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry
+    | None ->
     let g = build_graph args in
     let rng = Rng.of_int (args.seed + 17) in
     let show label = function
@@ -347,29 +487,13 @@ let run_cmd =
           | Some x -> string_of_int x
           | None -> "cap")
           r.Gossip_core.Dissemination.spanner_rounds
-    | "wheel-push-pull" | "wheel-flood" | "wheel-random-contact" ->
-        let module Wheel = Gossip_scale.Wheel_engine in
-        let protocol =
-          match algorithm with
-          | "wheel-push-pull" -> Wheel.Push_pull
-          | "wheel-flood" -> Wheel.Flood
-          | _ -> Wheel.Random_contact
-        in
-        let csr = Gossip_scale.Csr.of_graph g in
-        let r = Wheel.broadcast ~domains rng csr ~protocol ~source ~max_rounds in
-        show
-          (Printf.sprintf "wheel %s (domains=%d)" (Wheel.protocol_name protocol) domains)
-          r.Wheel.rounds;
-        Printf.printf "initiations: %d, deliveries: %d\n"
-          r.Wheel.metrics.Gossip_sim.Engine.initiations
-          r.Wheel.metrics.Gossip_sim.Engine.deliveries
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
   let doc = "Run a dissemination algorithm and report round counts." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ family_term $ algorithm $ domains $ source $ max_rounds $ crash $ drop
-      $ capacity $ trace $ telemetry)
+      const run $ family_term $ algorithm $ protocol $ domains $ source $ max_rounds
+      $ crash $ drop $ capacity $ trace $ telemetry)
 
 (* ------------------------------------------------------------------ *)
 (* game *)
@@ -519,7 +643,9 @@ let sweep_cmd =
     Arg.(value & opt int 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.")
   in
   let protocol =
-    let doc = "Protocol: push-pull, flood, random-contact." in
+    let doc =
+      Printf.sprintf "Protocol: %s." (String.concat ", " Wheel.known_protocols)
+    in
     Arg.(value & opt string "push-pull" & info [ "protocol" ] ~docv:"PROTO" ~doc)
   in
   let trials =
@@ -631,11 +757,12 @@ let sweep_cmd =
       | other -> failwith (Printf.sprintf "unknown sweep family %S" other)
     in
     let protocol =
-      match protocol with
-      | "push-pull" -> Wheel.Push_pull
-      | "flood" -> Wheel.Flood
-      | "random-contact" -> Wheel.Random_contact
-      | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+      match Wheel.protocol_of_string protocol with
+      | Some p -> p
+      | None ->
+          failwith
+            (Printf.sprintf "unknown protocol %S (known: %s)" protocol
+               (String.concat ", " Wheel.known_protocols))
     in
     let jobs_list =
       Sweep.make_jobs ~family ~n ~protocol ~trials ~base_seed:seed ~max_rounds ?latency ()

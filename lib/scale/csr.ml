@@ -288,3 +288,96 @@ let with_latencies rng spec t =
 
 let pp ppf t =
   Format.fprintf ppf "csr(n=%d, m=%d, Δ=%d, ℓmax=%d)" t.n (m t) (max_degree t) (max_latency t)
+
+(* ------------------------------------------------------------------ *)
+(* Oriented (directed) contact structures *)
+
+type oriented = {
+  o_n : int;
+  o_row_ptr : int array;
+  o_col : int array;
+  o_lat : int array;
+}
+
+let oriented_of_csr t = { o_n = t.n; o_row_ptr = t.row_ptr; o_col = t.col; o_lat = t.lat }
+
+let oriented_n o = o.o_n
+
+let oriented_out_degree o u = o.o_row_ptr.(u + 1) - o.o_row_ptr.(u)
+
+let oriented_max_out_degree o =
+  let best = ref 0 in
+  for u = 0 to o.o_n - 1 do
+    let d = oriented_out_degree o u in
+    if d > !best then best := d
+  done;
+  !best
+
+let oriented_edge_count o = Array.length o.o_col
+
+let oriented_max_latency o =
+  let best = ref 1 in
+  Array.iter (fun l -> if l > !best then best := l) o.o_lat;
+  !best
+
+let oriented_iter_out o u f =
+  if u < 0 || u >= o.o_n then invalid_arg "Csr.oriented_iter_out: node out of range";
+  for i = o.o_row_ptr.(u) to o.o_row_ptr.(u + 1) - 1 do
+    f o.o_col.(i) o.o_lat.(i)
+  done
+
+(* Keep only the out-edges of latency <= ell, preserving each row's
+   edge order (RR Broadcast's cursor discipline depends on it). *)
+let oriented_filter_le o ell =
+  let n = o.o_n in
+  let row_ptr = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    let kept = ref 0 in
+    for i = o.o_row_ptr.(u) to o.o_row_ptr.(u + 1) - 1 do
+      if o.o_lat.(i) <= ell then incr kept
+    done;
+    row_ptr.(u + 1) <- row_ptr.(u) + !kept
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  let p = ref 0 in
+  for u = 0 to n - 1 do
+    for i = o.o_row_ptr.(u) to o.o_row_ptr.(u + 1) - 1 do
+      if o.o_lat.(i) <= ell then begin
+        col.(!p) <- o.o_col.(i);
+        lat.(!p) <- o.o_lat.(i);
+        incr p
+      end
+    done
+  done;
+  { o_n = n; o_row_ptr = row_ptr; o_col = col; o_lat = lat }
+
+let of_oriented_spanner ?out_degree_bound out_edges =
+  let n = Array.length out_edges in
+  let row_ptr = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let d = Array.length out_edges.(v) in
+    (match out_degree_bound with
+    | Some b when d > b ->
+        invalid_arg
+          (Printf.sprintf
+             "Csr.of_oriented_spanner: out-degree %d of node %d exceeds the declared \
+              Lemma 15 bound %d"
+             d v b)
+    | _ -> ());
+    row_ptr.(v + 1) <- row_ptr.(v) + d
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  for v = 0 to n - 1 do
+    let base = row_ptr.(v) in
+    Array.iteri
+      (fun i (peer, l) ->
+        if peer < 0 || peer >= n || peer = v then
+          invalid_arg "Csr.of_oriented_spanner: out-edge peer out of range";
+        if l < 1 then invalid_arg "Csr.of_oriented_spanner: latency must be >= 1";
+        col.(base + i) <- peer;
+        lat.(base + i) <- l)
+      out_edges.(v)
+  done;
+  { o_n = n; o_row_ptr = row_ptr; o_col = col; o_lat = lat }

@@ -109,3 +109,58 @@ val watts_strogatz : Gossip_util.Rng.t -> n:int -> k:int -> beta:float -> t
 val with_latencies : Gossip_util.Rng.t -> Gossip_graph.Gen.latency_spec -> t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Oriented contact structures}
+
+    A protocol kernel ({!Kernel}) initiates exchanges over a {e
+    directed} per-node edge list: the classic protocols contact over
+    the symmetric CSR rows, RR Broadcast over a Baswana–Sen
+    orientation, DTG over the latency-[<= ℓ] subrows.  [oriented]
+    packs such a directed structure into the same flat layout as
+    {!t}, with one crucial difference: {b rows are in construction
+    order, not sorted} — round-robin kernels step a cursor through a
+    row, so the order itself is part of the protocol. *)
+
+type oriented = {
+  o_n : int;  (** node count *)
+  o_row_ptr : int array;  (** length [n + 1]; row boundaries *)
+  o_col : int array;  (** out-neighbor ids, construction order *)
+  o_lat : int array;  (** latencies, parallel to [o_col] *)
+}
+
+(** [oriented_of_csr t] views the symmetric CSR as a directed contact
+    structure (every undirected edge in both rows); shares [t]'s
+    arrays, costs O(1). *)
+val oriented_of_csr : t -> oriented
+
+val oriented_n : oriented -> int
+val oriented_out_degree : oriented -> int -> int
+
+(** [oriented_max_out_degree o] is [Δ_out]; 0 on an edgeless
+    structure. *)
+val oriented_max_out_degree : oriented -> int
+
+(** [oriented_edge_count o] counts directed out-edges. *)
+val oriented_edge_count : oriented -> int
+
+(** [oriented_max_latency o] is the largest out-edge latency; 1 on an
+    edgeless structure (matching [max_latency]). *)
+val oriented_max_latency : oriented -> int
+
+(** [oriented_iter_out o u f] applies [f peer latency] over the row of
+    [u] in row order. *)
+val oriented_iter_out : oriented -> int -> (int -> int -> unit) -> unit
+
+(** [oriented_filter_le o ell] keeps only out-edges of latency
+    [<= ell], preserving each row's edge order. *)
+val oriented_filter_le : oriented -> int -> oriented
+
+(** [of_oriented_spanner ?out_degree_bound out_edges] packs
+    {!Gossip_core.Spanner}'s orientation ([out_edges.(v)] = the
+    [(peer, latency)] edges added by [v]) into flat arrays,
+    edge-for-edge in the source order.  When [out_degree_bound] is
+    given, any row longer than the bound raises [Invalid_argument] —
+    the Lemma 15 precondition RR Broadcast's round bound rests on is
+    asserted at construction rather than silently violated at run
+    time.  Also validates peer ids and latencies [>= 1]. *)
+val of_oriented_spanner : ?out_degree_bound:int -> (int * int) array array -> oriented

@@ -1,0 +1,176 @@
+module Rng = Gossip_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Protocol descriptors *)
+
+type protocol =
+  | Push_pull
+  | Flood
+  | Random_contact
+  | Rr_spanner of { stretch_k : int }
+  | Dtg_local of { ell : int }
+
+let protocol_name = function
+  | Push_pull -> "push-pull"
+  | Flood -> "flood"
+  | Random_contact -> "random-contact"
+  | Rr_spanner { stretch_k } ->
+      if stretch_k = 0 then "rr-spanner" else Printf.sprintf "rr-spanner:%d" stretch_k
+  | Dtg_local { ell } -> if ell = 0 then "dtg" else Printf.sprintf "dtg:%d" ell
+
+(* "name" or "name:K" with K >= 1; K absent encodes the auto value 0. *)
+let parse_param s prefix make =
+  let pl = String.length prefix and sl = String.length s in
+  if sl >= pl && String.sub s 0 pl = prefix then
+    if sl = pl then Some (make 0)
+    else if s.[pl] = ':' then
+      match int_of_string_opt (String.sub s (pl + 1) (sl - pl - 1)) with
+      | Some v when v >= 1 -> Some (make v)
+      | _ -> None
+    else None
+  else None
+
+let protocol_of_string s =
+  match s with
+  | "push-pull" -> Some Push_pull
+  | "flood" -> Some Flood
+  | "random-contact" -> Some Random_contact
+  | _ -> (
+      match parse_param s "rr-spanner" (fun k -> Rr_spanner { stretch_k = k }) with
+      | Some p -> Some p
+      | None -> parse_param s "dtg" (fun l -> Dtg_local { ell = l }))
+
+let known_protocols =
+  [ "push-pull"; "flood"; "random-contact"; "rr-spanner[:K]"; "dtg[:L]" ]
+
+(* ------------------------------------------------------------------ *)
+(* The kernel interface *)
+
+type t = {
+  name : string;
+  contact : Csr.oriented;
+  uses_rng : bool;
+  on_initiate : rngs:Rng.t array -> round:int -> u:int -> deg:int -> informed:bool -> int;
+  req_pay : informed:bool -> int;
+  on_deliver : informed:bool -> int;
+  on_response : pay:int -> bool;
+}
+
+let name t = t.name
+
+let contact t = t.contact
+
+(* The engine-generic halves of the classic exchange: responses carry
+   the responder's round-start informed bit, a payload bit of 1 marks
+   the receiver.  Kept as shared closures so kernels that want the
+   default pay exactly the same indirect call. *)
+let informed_bit ~informed = if informed then 1 else 0
+
+let always_one ~informed:_ = 1
+
+let mark_if_pay ~pay = pay = 1
+
+let push_pull csr =
+  {
+    name = "push-pull";
+    contact = Csr.oriented_of_csr csr;
+    uses_rng = true;
+    on_initiate =
+      (fun ~rngs ~round:_ ~u ~deg ~informed:_ -> if deg = 0 then -1 else Rng.int rngs.(u) deg);
+    req_pay = informed_bit;
+    on_deliver = informed_bit;
+    on_response = mark_if_pay;
+  }
+
+let flood csr =
+  let cursor = Array.make (Csr.n csr) 0 in
+  {
+    name = "flood";
+    contact = Csr.oriented_of_csr csr;
+    uses_rng = false;
+    on_initiate =
+      (fun ~rngs:_ ~round:_ ~u ~deg ~informed ->
+        if deg = 0 || not informed then -1
+        else begin
+          let i = cursor.(u) mod deg in
+          cursor.(u) <- cursor.(u) + 1;
+          i
+        end);
+    req_pay = always_one;
+    on_deliver = informed_bit;
+    on_response = mark_if_pay;
+  }
+
+let random_contact csr =
+  {
+    name = "random-contact";
+    contact = Csr.oriented_of_csr csr;
+    uses_rng = true;
+    on_initiate =
+      (fun ~rngs ~round:_ ~u ~deg ~informed ->
+        if deg = 0 || not informed then -1 else Rng.int rngs.(u) deg);
+    req_pay = always_one;
+    on_deliver = informed_bit;
+    on_response = mark_if_pay;
+  }
+
+let rr_broadcast ?iterations ~k oriented =
+  if k < 1 then invalid_arg "Kernel.rr_broadcast: need k >= 1";
+  let usable = Csr.oriented_filter_le oriented k in
+  let iterations =
+    match iterations with
+    | Some i ->
+        if i < 0 then invalid_arg "Kernel.rr_broadcast: iterations must be >= 0";
+        i
+    | None -> max_int
+  in
+  let cursor = Array.make (Csr.oriented_n usable) 0 in
+  {
+    name = "rr-spanner";
+    contact = usable;
+    uses_rng = false;
+    on_initiate =
+      (fun ~rngs:_ ~round ~u ~deg ~informed:_ ->
+        if round >= iterations || deg = 0 then -1
+        else begin
+          let i = cursor.(u) mod deg in
+          cursor.(u) <- cursor.(u) + 1;
+          i
+        end);
+    req_pay = informed_bit;
+    on_deliver = informed_bit;
+    on_response = mark_if_pay;
+  }
+
+let dtg_local ~ell csr =
+  if ell < 1 then invalid_arg "Kernel.dtg_local: need ell >= 1";
+  let contact = Csr.oriented_filter_le (Csr.oriented_of_csr csr) ell in
+  let cursor = Array.make (Csr.n csr) 0 in
+  {
+    name = "dtg";
+    contact;
+    uses_rng = false;
+    on_initiate =
+      (fun ~rngs:_ ~round:_ ~u ~deg ~informed ->
+        if deg = 0 || not informed then -1
+        else begin
+          let i = cursor.(u) mod deg in
+          cursor.(u) <- cursor.(u) + 1;
+          i
+        end);
+    req_pay = always_one;
+    on_deliver = informed_bit;
+    on_response = mark_if_pay;
+  }
+
+let of_protocol csr = function
+  | Push_pull -> push_pull csr
+  | Flood -> flood csr
+  | Random_contact -> random_contact csr
+  | Dtg_local { ell } -> dtg_local ~ell:(if ell = 0 then Csr.max_latency csr else ell) csr
+  | Rr_spanner _ ->
+      invalid_arg
+        "Kernel.of_protocol: rr-spanner needs a precomputed oriented spanner — build one \
+         with Gossip_core.Spanner.build, pack it with Csr.of_oriented_spanner, and run \
+         Kernel.rr_broadcast through Wheel_engine.broadcast_kernel (Sweep.run_job and \
+         gossip-cli run --protocol rr-spanner do this)"

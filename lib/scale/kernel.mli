@@ -1,0 +1,126 @@
+(** Protocol kernels for the flat timing-wheel engine.
+
+    {!Wheel_engine} owns everything a single-rumor gossip run needs
+    except the protocol itself: the exchange pool, the arrival/response
+    wheels, the fault plan, the deadline, per-node RNG streams, the
+    telemetry handles, and (when sharded) the cross-domain mailboxes.
+    A {e kernel} supplies the protocol: a directed contact structure
+    plus three hooks the engine calls at fixed points of its round.
+
+    {2 Hook contract}
+
+    The engine's round has four phases (1a/1b/1c/2, see
+    {!Wheel_engine}); the kernel is consulted at three of them:
+
+    - [on_initiate ~rngs ~round ~u ~deg ~informed] — phase 2, called
+      once per alive node in ascending node order.  Returns a slot
+      index into [u]'s contact row ([0 <= slot < deg]) or [-1] for no
+      initiation this round.  This is the only hook that may consume
+      randomness ([rngs.(u)]) or advance per-node kernel state, and
+      the {b order and count of those effects are part of the kernel's
+      observable API}: per-node RNG streams are split in node order at
+      engine creation, and trajectory parity between the sequential
+      and domain-sharded runtimes (and between engine generations)
+      holds only because every kernel draws from [rngs.(u)] under
+      exactly the same conditions in both.  The request payload is
+      [req_pay ~informed], evaluated with [u]'s informed bit as of
+      phase 2 (after this round's deliveries).
+    - [on_deliver ~informed] — phase 1a, computes the response payload
+      from the responder's {e round-start} informed bit, before any of
+      this round's push merges.
+    - [on_response ~pay] — phase 1c, decides whether the returning
+      payload marks the initiator informed.
+
+    The engine applies the symmetric merge itself: a request payload
+    of 1 marks the responder in phase 1b.
+
+    {2 State layout}
+
+    Kernels keep per-node state (round-robin cursors) in flat int
+    arrays captured by the hook closures.  A kernel instance is
+    mutable and single-run: build a fresh kernel per broadcast.  Under
+    domain sharding the one instance is shared by all shards, which is
+    safe because the engine only calls [on_initiate] for nodes the
+    calling shard owns — the same disjointness that protects the RNG
+    streams. *)
+
+(** {1 Protocol descriptors}
+
+    The serializable names for the kernels the stack knows how to
+    build; {!Wheel_engine} re-exports this type, and the sweep
+    checkpoints and the CLI's [--protocol]/[--algorithm] options parse
+    it through the single {!protocol_of_string} below.  A parameter of
+    [0] means "choose automatically at build time" ([⌈log₂ n⌉] for the
+    spanner parameter, the graph's [ℓ_max] for the DTG threshold). *)
+
+type protocol =
+  | Push_pull  (** uniform random neighbor, every node, every round *)
+  | Flood  (** informed nodes cycle neighbors round-robin *)
+  | Random_contact  (** informed nodes contact a uniform neighbor *)
+  | Rr_spanner of { stretch_k : int }
+      (** RR Broadcast over a Baswana–Sen oriented spanner built with
+          parameter [stretch_k] (0 = [⌈log₂ n⌉]) *)
+  | Dtg_local of { ell : int }
+      (** deterministic local broadcast over the latency-[<= ell]
+          subgraph (0 = [ℓ_max], i.e. flooding) *)
+
+val protocol_name : protocol -> string
+
+(** [protocol_of_string s] inverts {!protocol_name}; also accepts the
+    parameterless forms ["rr-spanner"] / ["dtg"] (auto parameters). *)
+val protocol_of_string : string -> protocol option
+
+(** Canonical names for help strings: ["push-pull"; "flood";
+    "random-contact"; "rr-spanner[:K]"; "dtg[:L]"]. *)
+val known_protocols : string list
+
+(** {1 Kernels} *)
+
+type t = {
+  name : string;  (** tag for telemetry counters and display *)
+  contact : Csr.oriented;  (** directed contact rows [on_initiate] indexes *)
+  uses_rng : bool;  (** engine must split per-node RNG streams *)
+  on_initiate : rngs:Gossip_util.Rng.t array -> round:int -> u:int -> deg:int -> informed:bool -> int;
+  req_pay : informed:bool -> int;
+  on_deliver : informed:bool -> int;
+  on_response : pay:int -> bool;
+}
+
+val name : t -> string
+
+val contact : t -> Csr.oriented
+
+(** The classic three, bit-identical in trajectory, metrics, and RNG
+    consumption to the closed-variant engine they replace. *)
+
+val push_pull : Csr.t -> t
+
+val flood : Csr.t -> t
+
+val random_contact : Csr.t -> t
+
+(** [rr_broadcast ?iterations ~k oriented] is RR Broadcast (Algorithm
+    2 / Lemma 15) over a precomputed orientation: every node cycles a
+    cursor through its out-edges of latency [<= k] (row order
+    preserved — see {!Csr.oriented_filter_le}), initiating every round
+    while [round < iterations].  [iterations] defaults to unbounded
+    (run-to-completion broadcast); pass the lemma's [k·Δ_out + k] to
+    reproduce {!Gossip_core.Rr_broadcast}'s finite window, e.g. for
+    trajectory-parity tests.  Exchanges are bidirectional, so rumors
+    flow against the orientation too. *)
+val rr_broadcast : ?iterations:int -> k:int -> Csr.oriented -> t
+
+(** [dtg_local ~ell csr] is the k-DTG local-broadcast kernel: informed
+    nodes cycle round-robin through their neighbors of latency
+    [<= ell] — deterministic single-rumor local broadcast over [G_ℓ]
+    (the scale-runtime simplification of {!Gossip_core.Dtg}'s
+    session-based phases; with [ell >= ℓ_max] it coincides exactly
+    with {!flood}). *)
+val dtg_local : ell:int -> Csr.t -> t
+
+(** [of_protocol csr p] builds the kernel a descriptor denotes, on
+    [csr]'s contact rows.  Raises [Invalid_argument] for
+    [Rr_spanner _], which needs a precomputed oriented spanner the
+    caller must supply through {!rr_broadcast} +
+    {!Wheel_engine.broadcast_kernel}. *)
+val of_protocol : Csr.t -> protocol -> t

@@ -1,12 +1,18 @@
 module Rng = Gossip_util.Rng
 module Engine = Gossip_sim.Engine
 
-type protocol = Push_pull | Flood | Random_contact
+type protocol = Kernel.protocol =
+  | Push_pull
+  | Flood
+  | Random_contact
+  | Rr_spanner of { stretch_k : int }
+  | Dtg_local of { ell : int }
 
-let protocol_name = function
-  | Push_pull -> "push-pull"
-  | Flood -> "flood"
-  | Random_contact -> "random-contact"
+let protocol_name = Kernel.protocol_name
+
+let protocol_of_string = Kernel.protocol_of_string
+
+let known_protocols = Kernel.known_protocols
 
 type faults = Engine.faults
 
@@ -41,13 +47,18 @@ let () =
              elapsed_s round)
     | _ -> None)
 
-(* Telemetry handles, resolved once at creation (see Engine.tel). *)
+(* Telemetry handles, resolved once at creation (see Engine.tel).  The
+   two kernel-tagged counters carry the kernel name in the metric name
+   itself, so a JSONL report shows which kernel produced the run's
+   traffic. *)
 type tel = {
   tel_ring : Gossip_obs.Ring.t option;
   h_deliveries : Gossip_obs.Registry.histogram;
   h_initiations : Gossip_obs.Registry.histogram;
   h_inflight : Gossip_obs.Registry.histogram;
   g_inflight : Gossip_obs.Registry.gauge;
+  c_kernel_deliveries : Gossip_obs.Registry.counter;
+  c_kernel_initiations : Gossip_obs.Registry.counter;
 }
 
 (* In-flight exchanges are pooled in parallel int arrays and threaded
@@ -56,13 +67,12 @@ type tel = {
    an index into the pool; [-1] terminates a list. *)
 type t = {
   csr : Csr.t;
-  protocol : protocol;
+  kernel : Kernel.t;  (* protocol hooks + directed contact rows *)
   faults : faults;
   wheel : int;  (* slot count = wheel latency bound + 1 *)
   informed : Bytes.t;
   mutable count : int;
-  rngs : Rng.t array;  (* per-node streams; empty for Flood *)
-  cursor : int array;  (* round-robin position; empty unless Flood *)
+  rngs : Rng.t array;  (* per-node streams; empty for rng-free kernels *)
   arrival_head : int array;  (* wheel slot -> exchange list *)
   response_head : int array;
   mutable ex_initiator : int array;
@@ -105,12 +115,15 @@ let pool_limit_of = function
       if c < 1 then invalid_arg "Wheel_engine.create: pool_capacity must be >= 1";
       c
 
-let make_rngs protocol rng n =
-  match protocol with
-  | Flood -> [||]
-  | Push_pull | Random_contact -> Array.init n (fun _ -> Rng.split rng)
+(* Per-node RNG streams are split in node order — the one and only
+   split sequence, shared by every kernel and both runtimes, so a
+   fixed caller seed reproduces a trajectory across all of them.
+   Rng-free kernels (flood, rr-spanner, dtg) get no streams at all,
+   keeping their runs byte-identical to the pre-kernel engine. *)
+let make_rngs ~uses_rng rng n =
+  if uses_rng then Array.init n (fun _ -> Rng.split rng) else [||]
 
-let resolve_tel telemetry =
+let resolve_tel ~kernel_name telemetry =
   Option.map
     (fun reg ->
       {
@@ -119,28 +132,71 @@ let resolve_tel telemetry =
         h_initiations = Gossip_obs.Registry.histogram reg "wheel.round.initiations";
         h_inflight = Gossip_obs.Registry.histogram reg "wheel.inflight";
         g_inflight = Gossip_obs.Registry.gauge reg "wheel.inflight.max";
+        c_kernel_deliveries =
+          Gossip_obs.Registry.counter reg
+            (Printf.sprintf "wheel.kernel.%s.deliveries" kernel_name);
+        c_kernel_initiations =
+          Gossip_obs.Registry.counter reg
+            (Printf.sprintf "wheel.kernel.%s.initiations" kernel_name);
       })
     telemetry
 
-let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry ?pool_capacity
-    rng csr ~protocol ~source =
+(* The kernel's contact rows must fit the wheel even under the fault
+   plan's worst jitter; for kernels derived from [csr] this is
+   automatic (their latencies are a subset), so the check only bites
+   on caller-supplied orientations. *)
+let check_contact ~bound ~max_jitter kernel csr =
+  let contact = kernel.Kernel.contact in
+  if Csr.oriented_n contact <> Csr.n csr then
+    invalid_arg "Wheel_engine.create: kernel contact node count differs from the graph";
+  if Csr.oriented_edge_count contact > 0
+     && Csr.oriented_max_latency contact > bound - max_jitter
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Wheel_engine.create: kernel contact latency %d exceeds the wheel bound %d \
+          (graph ℓ_max %d + max_jitter %d)"
+         (Csr.oriented_max_latency contact)
+         (bound - max_jitter) (Csr.max_latency csr) max_jitter)
+
+(* An initial informed set (EID chains phases by handing one kernel's
+   informed bytes to the next); bytes are normalized and copied, never
+   shared with the caller. *)
+let init_informed ?informed ~n ~source () =
+  let b = Bytes.make n '\000' in
+  (match informed with
+  | None -> ()
+  | Some src ->
+      if Bytes.length src <> n then
+        invalid_arg "Wheel_engine.create: ?informed length differs from the node count";
+      for v = 0 to n - 1 do
+        if Bytes.get src v <> '\000' then Bytes.set b v '\001'
+      done);
+  Bytes.set b source '\001';
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if Bytes.get b v <> '\000' then incr count
+  done;
+  (b, !count)
+
+let create_kernel ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry
+    ?pool_capacity ?informed rng csr ~kernel ~source =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
+  check_contact ~bound ~max_jitter kernel csr;
   let pool_limit = pool_limit_of pool_capacity in
-  let informed = Bytes.make n '\000' in
-  Bytes.set informed source '\001';
-  let rngs = make_rngs protocol rng n in
+  let informed, count = init_informed ?informed ~n ~source () in
+  let rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n in
   let cap = min (max 1024 n) pool_limit in
   {
     csr;
-    protocol;
+    kernel;
     faults;
     wheel = bound + 1;
     informed;
-    count = 1;
+    count;
     rngs;
-    cursor = (match protocol with Flood -> Array.make n 0 | _ -> [||]);
     arrival_head = Array.make (bound + 1) (-1);
     response_head = Array.make (bound + 1) (-1);
     ex_initiator = Array.make cap 0;
@@ -155,9 +211,16 @@ let create ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry ?po
     pool_limit;
     metrics =
       { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 };
-    tel = resolve_tel telemetry;
+    tel = resolve_tel ~kernel_name:kernel.Kernel.name telemetry;
     now = 0;
   }
+
+let create ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng csr
+    ~protocol ~source =
+  create_kernel ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
+    csr
+    ~kernel:(Kernel.of_protocol csr protocol)
+    ~source
 
 let graph t = t.csr
 
@@ -229,7 +292,8 @@ let step t =
   while !e >= 0 do
     let ex = !e in
     if alive t.ex_responder.(ex) then
-      t.ex_resp_pay.(ex) <- (if informed t t.ex_responder.(ex) then 1 else 0);
+      t.ex_resp_pay.(ex) <-
+        t.kernel.Kernel.on_deliver ~informed:(informed t t.ex_responder.(ex));
     e := t.ex_next.(ex)
   done;
   (* Phase 1b: merge the pushed rumor bits and park each surviving
@@ -264,35 +328,31 @@ let step t =
     if alive t.ex_initiator.(ex) then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
-      if t.ex_resp_pay.(ex) = 1 then mark t t.ex_initiator.(ex)
+      if t.kernel.Kernel.on_response ~pay:t.ex_resp_pay.(ex) then mark t t.ex_initiator.(ex)
     end
     else t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
     free t ex;
     e := next
   done;
-  (* Phase 2: initiations in ascending node order.  Neighbor indexing
-     and RNG consumption mirror the handler-based protocols exactly:
-     push-pull draws one uniform neighbor index per node per round
-     (whether informed or not), flooding advances a deterministic
-     cursor, random-contact draws only when informed. *)
-  let row_ptr = t.csr.Csr.row_ptr and col = t.csr.Csr.col and lat = t.csr.Csr.lat in
+  (* Phase 2: initiations in ascending node order over the kernel's
+     directed contact rows.  [on_initiate] is the only point where a
+     kernel may consume randomness or advance a cursor, so the RNG
+     discipline the handler-based protocols established is preserved
+     verbatim: push-pull draws one uniform neighbor index per node per
+     round (whether informed or not), flooding advances a
+     deterministic cursor, random-contact draws only when informed. *)
+  let contact = t.kernel.Kernel.contact in
+  let row_ptr = contact.Csr.o_row_ptr
+  and col = contact.Csr.o_col
+  and lat = contact.Csr.o_lat in
   let n = Csr.n t.csr in
   for u = 0 to n - 1 do
     if alive u then begin
       let base = row_ptr.(u) in
       let deg = row_ptr.(u + 1) - base in
+      let informed_u = informed t u in
       let idx =
-        match t.protocol with
-        | Push_pull -> if deg = 0 then -1 else Rng.int t.rngs.(u) deg
-        | Flood ->
-            if deg = 0 || not (informed t u) then -1
-            else begin
-              let i = t.cursor.(u) mod deg in
-              t.cursor.(u) <- t.cursor.(u) + 1;
-              i
-            end
-        | Random_contact ->
-            if deg = 0 || not (informed t u) then -1 else Rng.int t.rngs.(u) deg
+        t.kernel.Kernel.on_initiate ~rngs:t.rngs ~round ~u ~deg ~informed:informed_u
       in
       if idx >= 0 then begin
         let peer = col.(base + idx) in
@@ -306,11 +366,7 @@ let step t =
                run, not a harness crash: the typed exception lets a
                sweep record this job as [Failed] and keep going. *)
             raise (Jitter_overflow { latency; bound = t.wheel - 1; round });
-          let req_pay =
-            match t.protocol with
-            | Push_pull -> if informed t u then 1 else 0
-            | Flood | Random_contact -> 1
-          in
+          let req_pay = t.kernel.Kernel.req_pay ~informed:informed_u in
           let ex = alloc t in
           t.ex_initiator.(ex) <- u;
           t.ex_responder.(ex) <- peer;
@@ -331,6 +387,8 @@ let step t =
   | Some tel ->
       Gossip_obs.Registry.observe tel.h_deliveries (t.metrics.Engine.deliveries - d0);
       Gossip_obs.Registry.observe tel.h_initiations (t.metrics.Engine.initiations - i0);
+      Gossip_obs.Registry.add tel.c_kernel_deliveries (t.metrics.Engine.deliveries - d0);
+      Gossip_obs.Registry.add tel.c_kernel_initiations (t.metrics.Engine.initiations - i0);
       Gossip_obs.Registry.observe tel.h_inflight t.in_flight;
       Gossip_obs.Registry.record_max tel.g_inflight t.in_flight;
       (match tel.tel_ring with
@@ -350,11 +408,11 @@ type result = {
   informed : Bytes.t;
 }
 
-let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity rng
-    csr ~protocol ~source ~max_rounds =
+let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+    ?informed rng csr ~kernel ~source ~max_rounds =
   let t =
-    create ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity rng csr ~protocol
-      ~source
+    create_kernel ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
+      csr ~kernel ~source
   in
   let n = Csr.n csr in
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
@@ -442,12 +500,11 @@ type shard = {
 
 type shared = {
   sh_csr : Csr.t;
-  sh_protocol : protocol;
+  sh_kernel : Kernel.t;  (* one instance, owner-only per-node state access *)
   sh_faults : faults;
   sh_wheel : int;
   sh_informed : Bytes.t;  (* disjoint per-shard slices, no cross-shard access *)
   sh_rngs : Rng.t array;
-  sh_cursor : int array;
   sh_k : int;
   sh_pool_limit : int;
   (* per-(src shard, dst shard) mailboxes at [src * k + dst]; written
@@ -559,7 +616,8 @@ let stage1 ctx sh round =
     let ex = !e in
     if alive sh.s_responder.(ex) then
       sh.s_resp_pay.(ex) <-
-        (if Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000' then 1 else 0);
+        ctx.sh_kernel.Kernel.on_deliver
+          ~informed:(Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000');
     e := sh.s_next.(ex)
   done;
   (* 1b: merge pushed bits; park the response at its due slot, or ship
@@ -628,7 +686,8 @@ let stage2_deliver ctx sh round =
     if alive sh.s_initiator.(ex) then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
-      if sh.s_resp_pay.(ex) = 1 then s_mark ctx sh sh.s_initiator.(ex)
+      if ctx.sh_kernel.Kernel.on_response ~pay:sh.s_resp_pay.(ex) then
+        s_mark ctx sh sh.s_initiator.(ex)
     end
     else sh.s_dropped <- sh.s_dropped + 1;
     s_free_ex sh ex;
@@ -641,9 +700,10 @@ let stage2_initiate ctx sh round =
   let k = ctx.sh_k in
   let n = Csr.n ctx.sh_csr in
   let alive node = ctx.sh_faults.Engine.alive ~node ~round in
-  let row_ptr = ctx.sh_csr.Csr.row_ptr
-  and col = ctx.sh_csr.Csr.col
-  and lat = ctx.sh_csr.Csr.lat in
+  let contact = ctx.sh_kernel.Kernel.contact in
+  let row_ptr = contact.Csr.o_row_ptr
+  and col = contact.Csr.o_col
+  and lat = contact.Csr.o_lat in
   for u = sh.s_lo to sh.s_hi - 1 do
     sh.s_at <- u;
     if alive u then begin
@@ -651,17 +711,8 @@ let stage2_initiate ctx sh round =
       let deg = row_ptr.(u + 1) - base in
       let informed_u = Bytes.get ctx.sh_informed u <> '\000' in
       let idx =
-        match ctx.sh_protocol with
-        | Push_pull -> if deg = 0 then -1 else Rng.int ctx.sh_rngs.(u) deg
-        | Flood ->
-            if deg = 0 || not informed_u then -1
-            else begin
-              let i = ctx.sh_cursor.(u) mod deg in
-              ctx.sh_cursor.(u) <- ctx.sh_cursor.(u) + 1;
-              i
-            end
-        | Random_contact ->
-            if deg = 0 || not informed_u then -1 else Rng.int ctx.sh_rngs.(u) deg
+        ctx.sh_kernel.Kernel.on_initiate ~rngs:ctx.sh_rngs ~round ~u ~deg
+          ~informed:informed_u
       in
       if idx >= 0 then begin
         let peer = col.(base + idx) in
@@ -672,11 +723,7 @@ let stage2_initiate ctx sh round =
           let latency = max 1 (ctx.sh_faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
           if latency >= ctx.sh_wheel then
             raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
-          let req_pay =
-            match ctx.sh_protocol with
-            | Push_pull -> if informed_u then 1 else 0
-            | Flood | Random_contact -> 1
-          in
+          let req_pay = ctx.sh_kernel.Kernel.req_pay ~informed:informed_u in
           let due = round + latency in
           let arr_slot = (round + ((latency + 1) / 2)) mod ctx.sh_wheel in
           let dst = Shard.owner ~n ~k peer in
@@ -715,21 +762,20 @@ type control = {
 }
 
 let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?deadline
-    ?telemetry ?pool_capacity rng csr ~protocol ~source ~max_rounds =
+    ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
-  let informed = Bytes.make n '\000' in
-  Bytes.set informed source '\001';
+  check_contact ~bound ~max_jitter kernel csr;
+  let informed, count0 = init_informed ?informed ~n ~source () in
   let ctx =
     {
       sh_csr = csr;
-      sh_protocol = protocol;
+      sh_kernel = kernel;
       sh_faults = faults;
       sh_wheel = bound + 1;
       sh_informed = informed;
-      sh_rngs = make_rngs protocol rng n;
-      sh_cursor = (match protocol with Flood -> Array.make n 0 | _ -> [||]);
+      sh_rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n;
       sh_k = k;
       sh_pool_limit = pool_limit_of pool_capacity;
       sh_init_mail = Array.init (k * k) (fun _ -> Shard.Buf.create ());
@@ -738,19 +784,26 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
   in
   let bounds = Shard.bounds ~n ~k in
   let shards = Array.init k (fun i -> make_shard ctx i bounds.(i) bounds.(i + 1)) in
-  shards.(Shard.owner ~n ~k source).s_count <- 1;
+  Array.iter
+    (fun sh ->
+      let c = ref 0 in
+      for v = sh.s_lo to sh.s_hi - 1 do
+        if Bytes.get informed v <> '\000' then incr c
+      done;
+      sh.s_count <- !c)
+    shards;
   let metrics =
     { Engine.rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0;
       dropped = 0 }
   in
-  let tel = resolve_tel telemetry in
+  let tel = resolve_tel ~kernel_name:kernel.Kernel.name telemetry in
   (match telemetry with
   | Some reg -> Gossip_obs.Registry.set (Gossip_obs.Registry.gauge reg "wheel.shards") k
   | None -> ());
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let ctl =
-    { c_round = 0; c_count = 1; c_stop = false; c_rounds = None; c_fail = None;
-      c_history = [ (0, 1) ] }
+    { c_round = 0; c_count = count0; c_stop = false; c_rounds = None; c_fail = None;
+      c_history = [ (0, count0) ] }
   in
   (* Pre-loop checks, in the sequential engine's precedence order. *)
   if ctl.c_count = n then ctl.c_rounds <- Some 0
@@ -815,6 +868,8 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
           | Some tel ->
               Gossip_obs.Registry.observe tel.h_deliveries (!deliveries - !prev_d);
               Gossip_obs.Registry.observe tel.h_initiations (!initiations - !prev_i);
+              Gossip_obs.Registry.add tel.c_kernel_deliveries (!deliveries - !prev_d);
+              Gossip_obs.Registry.add tel.c_kernel_initiations (!initiations - !prev_i);
               Gossip_obs.Registry.observe tel.h_inflight !in_flight;
               Gossip_obs.Registry.record_max tel.g_inflight !in_flight;
               (match tel.tel_ring with
@@ -878,13 +933,20 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
   (match ctl.c_fail with Some e -> raise e | None -> ());
   { rounds = ctl.c_rounds; metrics; history = List.rev ctl.c_history; informed }
 
-let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-    ?(domains = 1) rng csr ~protocol ~source ~max_rounds =
+let broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+    ?informed ?(domains = 1) rng csr ~kernel ~source ~max_rounds =
   if domains < 1 then invalid_arg "Wheel_engine.broadcast: domains must be >= 1";
   let k = min domains (Csr.n csr) in
   if k <= 1 then
-    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity rng
-      csr ~protocol ~source ~max_rounds
+    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+      ?informed rng csr ~kernel ~source ~max_rounds
   else
     broadcast_sharded ~k ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry
-      ?pool_capacity rng csr ~protocol ~source ~max_rounds
+      ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
+
+let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+    ?informed ?domains rng csr ~protocol ~source ~max_rounds =
+  broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
+    ?informed ?domains rng csr
+    ~kernel:(Kernel.of_protocol csr protocol)
+    ~source ~max_rounds

@@ -25,11 +25,19 @@
     never chains through several same-round deliveries), then every
     node may initiate, in ascending node order.  A latency-[ℓ] exchange
     initiated at round [r] arrives at [r + ⌈ℓ/2⌉] and its response
-    returns at [r + ℓ]. *)
+    returns at [r + ℓ].
 
-(** The specialized protocols.  All three spread one rumor from a
-    source; they differ in who initiates and toward whom. *)
-type protocol =
+    The protocol itself is a {!Kernel.t}: a directed contact structure
+    plus the [on_initiate] / [on_deliver] / [on_response] hooks the
+    round phases call (see {!Kernel} for the hook contract and why the
+    RNG-stream discipline is part of it).  The engine owns everything
+    else — pool, wheels, faults, deadline, RNG streams, telemetry,
+    shard mailboxes. *)
+
+(** The serializable protocol descriptors ({!Kernel.protocol},
+    re-exported).  All spread one rumor from a source; they differ in
+    who initiates, toward whom, and over which contact structure. *)
+type protocol = Kernel.protocol =
   | Push_pull
       (** every node contacts a uniformly random neighbor each round;
           the exchange pushes the rumor out and pulls it back —
@@ -43,8 +51,23 @@ type protocol =
   | Random_contact
       (** informed nodes push to a uniformly random neighbor each
           round — the classical random-phone-call push half *)
+  | Rr_spanner of { stretch_k : int }
+      (** RR Broadcast over a Baswana–Sen oriented spanner ([stretch_k
+          = 0] means [⌈log₂ n⌉]).  Needs a precomputed spanner, so
+          {!broadcast} rejects it — build the kernel with
+          {!Kernel.rr_broadcast} and run {!broadcast_kernel}. *)
+  | Dtg_local of { ell : int }
+      (** deterministic local broadcast over the latency-[<= ell]
+          subgraph ([ell = 0] means [ℓ_max], i.e. flooding) *)
 
 val protocol_name : protocol -> string
+
+(** [protocol_of_string s] inverts {!protocol_name} (single parser
+    shared by the CLI and the sweep checkpoints). *)
+val protocol_of_string : string -> protocol option
+
+(** Canonical protocol names for help strings. *)
+val known_protocols : string list
 
 (** Fault injection is shared with the reference engine so experiment
     plans ({!Gossip_core.Robustness}-style crash/drop/jitter closures)
@@ -102,19 +125,53 @@ type t
     ["wheel.inflight"] histograms, tracks the ["wheel.inflight.max"]
     gauge, and — when the registry carries a ring — records per-round
     [informed]/[deliveries]/[initiations]/[drops]/[queue] trace
-    events.  All handles are resolved at creation; a telemetry-off
-    run pays one option match per round.
+    events.  Kernel-tagged traffic totals additionally accumulate into
+    the ["wheel.kernel.<name>.deliveries"] /
+    ["wheel.kernel.<name>.initiations"] counters, so a JSONL report
+    shows which kernel produced a run's traffic.  All handles are
+    resolved at creation; a telemetry-off run pays one option match
+    per round.
+
+    [informed] seeds the initial informed set from a byte vector (any
+    nonzero byte marks the node; the source is always added) — this is
+    how {!Gossip_core.Eid}'s scale pipeline chains one kernel's final
+    informed set into the next phase.  The bytes are copied, never
+    shared.
     @raise Invalid_argument on a bad source, a negative [max_jitter],
-    or a wheel too small for [ℓ_max + max_jitter]. *)
+    a wheel too small for [ℓ_max + max_jitter], an [informed] vector
+    of the wrong length, or (for {!create}) the [Rr_spanner _]
+    descriptor, which needs a precomputed spanner. *)
 val create :
   ?faults:faults ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?telemetry:Gossip_obs.Registry.t ->
   ?pool_capacity:int ->
+  ?informed:Bytes.t ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->
+  source:int ->
+  t
+
+(** [create_kernel rng csr ~kernel ~source] is {!create} for an
+    explicit kernel — the only way to run protocols whose contact
+    structure the engine cannot derive from [csr] alone (RR Broadcast
+    over a precomputed spanner).  The kernel's contact structure must
+    span exactly [Csr.n csr] nodes and its latencies must fit the
+    wheel even under [max_jitter]; both are validated here.
+    @raise Invalid_argument as {!create}, plus on a kernel contact
+    mismatch. *)
+val create_kernel :
+  ?faults:faults ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?pool_capacity:int ->
+  ?informed:Bytes.t ->
+  Gossip_util.Rng.t ->
+  Csr.t ->
+  kernel:Kernel.t ->
   source:int ->
   t
 
@@ -183,10 +240,33 @@ val broadcast :
   ?deadline:float ->
   ?telemetry:Gossip_obs.Registry.t ->
   ?pool_capacity:int ->
+  ?informed:Bytes.t ->
   ?domains:int ->
   Gossip_util.Rng.t ->
   Csr.t ->
   protocol:protocol ->
+  source:int ->
+  max_rounds:int ->
+  result
+
+(** [broadcast_kernel rng csr ~kernel ~source ~max_rounds] is
+    {!broadcast} for an explicit kernel (see {!create_kernel}); the
+    sequential/sharded dispatch, determinism guarantees, and
+    exceptions are identical.  This is the entry point for RR
+    Broadcast over a precomputed spanner and for EID's phase-chained
+    runs ([?informed] carries the previous phase's informed set). *)
+val broadcast_kernel :
+  ?faults:faults ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?pool_capacity:int ->
+  ?informed:Bytes.t ->
+  ?domains:int ->
+  Gossip_util.Rng.t ->
+  Csr.t ->
+  kernel:Kernel.t ->
   source:int ->
   max_rounds:int ->
   result

@@ -81,9 +81,34 @@ let run_job ?timeout_s ?domains ?pool_capacity job =
   let source = job.seed mod n_actual in
   let source = if source < 0 then source + n_actual else source in
   let result =
-    Wheel_engine.broadcast ?deadline ?domains ?pool_capacity
-      (Rng.of_int (job.seed + 17))
-      csr ~protocol:job.protocol ~source ~max_rounds:job.max_rounds
+    match job.protocol with
+    | Wheel_engine.Rr_spanner { stretch_k } ->
+        (* RR Broadcast needs a precomputed Baswana–Sen orientation.
+           The spanner draws from its own seed stream (seed + 29), so
+           the engine's RNG consumption is untouched by its
+           construction; stretch_k = 0 means the canonical ⌈log₂ n⌉. *)
+        let k_sp =
+          if stretch_k > 0 then stretch_k
+          else
+            let rec go acc p = if p >= n_actual then acc else go (acc + 1) (2 * p) in
+            max 1 (go 0 1)
+        in
+        let spanner =
+          Gossip_core.Spanner.build
+            (Rng.of_int (job.seed + 29))
+            (Csr.to_graph csr) ~k:k_sp ~n_hat:n_actual ()
+        in
+        let oriented = Csr.of_oriented_spanner spanner.Gossip_core.Spanner.out_edges in
+        let kernel =
+          Gossip_scale.Kernel.rr_broadcast ~k:(Csr.oriented_max_latency oriented) oriented
+        in
+        Wheel_engine.broadcast_kernel ?deadline ?domains ?pool_capacity
+          (Rng.of_int (job.seed + 17))
+          csr ~kernel ~source ~max_rounds:job.max_rounds
+    | protocol ->
+        Wheel_engine.broadcast ?deadline ?domains ?pool_capacity
+          (Rng.of_int (job.seed + 17))
+          csr ~protocol ~source ~max_rounds:job.max_rounds
   in
   {
     job;
@@ -195,11 +220,7 @@ let ckpt_fail_event (f : failure) =
     ("attempts", Json.Int f.attempts);
   ]
 
-let protocol_of_name = function
-  | "push-pull" -> Some Wheel_engine.Push_pull
-  | "flood" -> Some Wheel_engine.Flood
-  | "random-contact" -> Some Wheel_engine.Random_contact
-  | _ -> None
+let protocol_of_name = Wheel_engine.protocol_of_string
 
 let family_of_json j =
   let field name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None in

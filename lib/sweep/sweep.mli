@@ -91,7 +91,10 @@ type failure = {
     many OCaml domains (trajectory-identical to 1, see
     {!Gossip_scale.Wheel_engine.broadcast}); [pool_capacity] bounds
     the engine's exchange pool so a runaway job fails fast with
-    {!Gossip_scale.Wheel_engine.Pool_exhausted}.
+    {!Gossip_scale.Wheel_engine.Pool_exhausted}.  An [Rr_spanner] job
+    first builds the Baswana–Sen orientation (from its own seed
+    stream, so the engine's draws are unperturbed) and runs the RR
+    kernel through {!Gossip_scale.Wheel_engine.broadcast_kernel}.
     @raise Gossip_scale.Wheel_engine.Deadline_exceeded over budget. *)
 val run_job : ?timeout_s:float -> ?domains:int -> ?pool_capacity:int -> job -> outcome
 

@@ -1,0 +1,438 @@
+(* Tests for the protocol-kernel layer of lib/scale: protocol
+   descriptors, the oriented-spanner packing (Lemma 15 bound), the
+   trajectory parity of the scale RR kernel against the reference
+   Gossip_core.Rr_broadcast on the paper's gadget families, the
+   DTG/flood coincidence, fault-plan and domain-sharding coverage for
+   the new kernels, and the EID-at-scale pipeline. *)
+
+module Rng = Gossip_util.Rng
+module Bitset = Gossip_util.Bitset
+module Graph = Gossip_graph.Graph
+module Gen = Gossip_graph.Gen
+module Paths = Gossip_graph.Paths
+module Gadgets = Gossip_graph.Gadgets
+module Engine = Gossip_sim.Engine
+module Csr = Gossip_scale.Csr
+module Kernel = Gossip_scale.Kernel
+module Wheel = Gossip_scale.Wheel_engine
+module Registry = Gossip_obs.Registry
+module Spanner = Gossip_core.Spanner
+module Rr = Gossip_core.Rr_broadcast
+module Eid = Gossip_core.Eid
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Connected G(n, p) with mixed latencies, the standard parity fodder. *)
+let gen_graph n seed lmax =
+  let grng = Rng.of_int seed in
+  let p = min 1.0 ((log (float_of_int n) +. 3.0) /. float_of_int n) in
+  Gen.with_latencies grng (Gen.Uniform (1, lmax)) (Gen.erdos_renyi_connected grng ~n ~p)
+
+let count_informed bytes =
+  let c = ref 0 in
+  Bytes.iter (fun ch -> if ch <> '\000' then incr c) bytes;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Protocol descriptors *)
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Kernel.protocol_name p in
+      match Kernel.protocol_of_string s with
+      | Some p' -> checkb (s ^ " round-trips") true (p = p')
+      | None -> Alcotest.failf "%s does not parse back" s)
+    [
+      Kernel.Push_pull;
+      Kernel.Flood;
+      Kernel.Random_contact;
+      Kernel.Rr_spanner { stretch_k = 0 };
+      Kernel.Rr_spanner { stretch_k = 3 };
+      Kernel.Dtg_local { ell = 0 };
+      Kernel.Dtg_local { ell = 5 };
+    ];
+  (* Parameterless forms mean "choose automatically". *)
+  checkb "bare rr-spanner" true
+    (Kernel.protocol_of_string "rr-spanner" = Some (Kernel.Rr_spanner { stretch_k = 0 }));
+  checkb "bare dtg" true
+    (Kernel.protocol_of_string "dtg" = Some (Kernel.Dtg_local { ell = 0 }));
+  List.iter
+    (fun s -> checkb ("\"" ^ s ^ "\" rejected") true (Kernel.protocol_of_string s = None))
+    [ "nope"; "rr-spanner:0"; "rr-spanner:x"; "dtg:-2"; "dtg:"; "" ];
+  checki "known protocols listed" 5 (List.length Kernel.known_protocols);
+  (* The engine and the sweep both delegate to this one parser. *)
+  checkb "wheel re-export is the same table" true
+    (Wheel.protocol_of_string "dtg:3" = Some (Wheel.Dtg_local { ell = 3 }))
+
+let test_of_protocol_rr_needs_spanner () =
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:1 in
+  match Kernel.of_protocol csr (Kernel.Rr_spanner { stretch_k = 2 }) with
+  | _ -> Alcotest.fail "Rr_spanner built without a spanner"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Oriented spanner packing *)
+
+(* Lemma 15's precondition: the oriented Baswana–Sen out-degree stays
+   under 8 n^(1/k) ln n, and the flat packing preserves it exactly. *)
+let prop_spanner_out_degree =
+  QCheck.Test.make ~name:"oriented Baswana-Sen obeys the Lemma 15 out-degree bound" ~count:30
+    QCheck.(triple (int_range 8 120) (int_range 0 100_000) (int_range 2 4))
+    (fun (n, seed, k) ->
+      let g = gen_graph n seed 5 in
+      let s = Spanner.build (Rng.of_int (seed + 1)) g ~k () in
+      let bound =
+        int_of_float
+          (ceil (8.0 *. (float_of_int n ** (1.0 /. float_of_int k)) *. log (float_of_int n)))
+      in
+      let o = Csr.of_oriented_spanner ~out_degree_bound:bound s.Spanner.out_edges in
+      Csr.oriented_max_out_degree o = Spanner.max_out_degree s
+      && Csr.oriented_max_out_degree o <= bound)
+
+let prop_oriented_roundtrip =
+  QCheck.Test.make ~name:"of_oriented_spanner packs edge-for-edge in row order" ~count:40
+    QCheck.(pair (int_range 5 80) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let g = gen_graph n seed 6 in
+      let s = Spanner.build (Rng.of_int (seed + 2)) g ~k:3 () in
+      let o = Csr.of_oriented_spanner s.Spanner.out_edges in
+      let total = Array.fold_left (fun a r -> a + Array.length r) 0 s.Spanner.out_edges in
+      let ok = ref (Csr.oriented_n o = n && Csr.oriented_edge_count o = total) in
+      Array.iteri
+        (fun v row ->
+          let i = ref 0 in
+          Csr.oriented_iter_out o v (fun peer lat ->
+              (if !i >= Array.length row then ok := false
+               else
+                 let p, l = row.(!i) in
+                 if p <> peer || l <> lat then ok := false);
+              incr i);
+          if !i <> Array.length row then ok := false)
+        s.Spanner.out_edges;
+      !ok)
+
+let test_out_degree_bound_enforced () =
+  let rows = [| [| (1, 1); (2, 1); (3, 2) |]; [||]; [||]; [||] |] in
+  (match Csr.of_oriented_spanner ~out_degree_bound:2 rows with
+  | _ -> Alcotest.fail "bound violation accepted"
+  | exception Invalid_argument _ -> ());
+  checki "bound met passes" 3
+    (Csr.oriented_edge_count (Csr.of_oriented_spanner ~out_degree_bound:3 rows))
+
+(* ------------------------------------------------------------------ *)
+(* RR kernel vs reference Rr_broadcast: trajectory parity *)
+
+(* Same orientation, same finite window, same seedless round-robin: the
+   wheel's informed bit must evolve exactly like membership of the
+   source rumor in the reference engine's sets. *)
+let check_rr_parity label g source seed =
+  let n = Graph.n g in
+  let csr = Csr.of_graph g in
+  let k = Graph.max_latency g in
+  let s = Spanner.build (Rng.of_int seed) g ~k:2 () in
+  let oriented = Csr.of_oriented_spanner s.Spanner.out_edges in
+  let delta_out = Csr.oriented_max_out_degree (Csr.oriented_filter_le oriented k) in
+  let iterations = (k * delta_out) + k in
+  let sets =
+    Array.init n (fun v ->
+        let b = Bitset.create n in
+        if v = source then Bitset.add b source;
+        b)
+  in
+  let core = Rr.run ~base:g ~out_edges:s.Spanner.out_edges ~k ~rumors:sets ~iterations () in
+  let kernel = Kernel.rr_broadcast ~iterations ~k oriented in
+  let t = Wheel.create_kernel (Rng.of_int 0) csr ~kernel ~source in
+  for _ = 1 to iterations + k do
+    Wheel.step t
+  done;
+  for v = 0 to n - 1 do
+    if Wheel.informed t v <> Bitset.mem core.Rr.sets.(v) source then
+      Alcotest.failf "%s: node %d informed bit diverges from the reference" label v
+  done;
+  checki (label ^ " initiations") core.Rr.metrics.Engine.initiations
+    (Wheel.metrics t).Engine.initiations;
+  checki (label ^ " deliveries") core.Rr.metrics.Engine.deliveries
+    (Wheel.metrics t).Engine.deliveries
+
+let test_rr_parity_gadgets () =
+  let m = 6 in
+  let target = Gadgets.singleton_target (Rng.of_int 77) ~m in
+  let gp = Gadgets.g_p ~m ~target ~fast_latency:1 ~slow_latency:4 in
+  let gsym = Gadgets.g_sym_p ~m ~target ~fast_latency:1 ~slow_latency:4 in
+  let t8 =
+    (Gadgets.theorem8 (Rng.of_int 5) ~layers:5 ~layer_size:4 ~ell:3).Gadgets.t8_graph
+  in
+  List.iter
+    (fun (label, g, source, seed) -> check_rr_parity label g source seed)
+    [ ("G(P)", gp, 0, 11); ("G_sym(P)", gsym, 1, 12); ("theorem8 ring", t8, 7, 13) ]
+
+let prop_rr_parity =
+  QCheck.Test.make ~name:"scale RR kernel = reference RR broadcast (informed trajectories)"
+    ~count:30
+    QCheck.(pair (int_range 5 70) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let g = gen_graph n seed 5 in
+      check_rr_parity (Printf.sprintf "er n=%d seed=%d" n seed) g (seed mod n) (seed + 7);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* DTG kernel *)
+
+let trajectory_testable = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let check_same_run label (a : Wheel.result) (b : Wheel.result) =
+  Alcotest.check (Alcotest.option Alcotest.int) (label ^ " rounds") a.Wheel.rounds b.Wheel.rounds;
+  Alcotest.check trajectory_testable (label ^ " trajectory") a.Wheel.history b.Wheel.history;
+  checkb (label ^ " metrics") true (a.Wheel.metrics = b.Wheel.metrics);
+  checkb (label ^ " informed set") true (Bytes.equal a.Wheel.informed b.Wheel.informed)
+
+let test_dtg_flood_coincides () =
+  (* With ell >= l_max the latency filter keeps everything, so k-DTG is
+     flooding — bit-identical, through both the kernel constructor and
+     the Dtg_local{ell=0} auto-parameter descriptor. *)
+  let g = gen_graph 60 123 4 in
+  let csr = Csr.of_graph g in
+  let flood =
+    Wheel.broadcast (Rng.of_int 0) csr ~protocol:Wheel.Flood ~source:3 ~max_rounds:100_000
+  in
+  let dtg_kernel =
+    Wheel.broadcast_kernel (Rng.of_int 0) csr
+      ~kernel:(Kernel.dtg_local ~ell:(Csr.max_latency csr) csr)
+      ~source:3 ~max_rounds:100_000
+  in
+  let dtg_auto =
+    Wheel.broadcast (Rng.of_int 0) csr
+      ~protocol:(Wheel.Dtg_local { ell = 0 })
+      ~source:3 ~max_rounds:100_000
+  in
+  check_same_run "dtg(l_max) = flood" flood dtg_kernel;
+  check_same_run "dtg:0 = flood" flood dtg_auto
+
+let test_dtg_confined_to_subgraph () =
+  (* Bridges above the threshold are invisible to k-DTG: the rumor
+     saturates the source clique of G_ell and goes nowhere else. *)
+  let csr = Csr.ring_of_cliques ~cliques:4 ~size:5 ~bridge_latency:7 in
+  let r =
+    Wheel.broadcast_kernel (Rng.of_int 1) csr
+      ~kernel:(Kernel.dtg_local ~ell:3 csr)
+      ~source:0 ~max_rounds:200
+  in
+  checkb "capped" true (r.Wheel.rounds = None);
+  checki "source clique saturated, rest dark" 5 (count_informed r.Wheel.informed);
+  for v = 0 to 4 do
+    checkb (Printf.sprintf "clique node %d informed" v) true
+      (Bytes.get r.Wheel.informed v <> '\000')
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans through the new kernels *)
+
+let test_kernel_fault_smoke () =
+  let csr = Csr.ring_of_cliques ~cliques:5 ~size:6 ~bridge_latency:3 in
+  let crash =
+    { Wheel.no_faults with Engine.alive = (fun ~node ~round -> node mod 7 <> 3 || round < 2) }
+  in
+  let jitter =
+    {
+      Wheel.no_faults with
+      Engine.jitter = (fun ~latency ~round -> latency + ((latency + round) mod 3));
+    }
+  in
+  let mk_rr () =
+    let s = Spanner.build (Rng.of_int 3) (Csr.to_graph csr) ~k:2 () in
+    let o = Csr.of_oriented_spanner s.Spanner.out_edges in
+    Kernel.rr_broadcast ~k:(Csr.oriented_max_latency o) o
+  in
+  List.iter
+    (fun (label, mk) ->
+      (* Kernels are single-run (mutable cursors): fresh instance per run. *)
+      let crashed =
+        Wheel.broadcast_kernel ~faults:crash (Rng.of_int 2) csr ~kernel:(mk ()) ~source:0
+          ~max_rounds:2_000
+      in
+      checkb (label ^ " crash run executes") true
+        (crashed.Wheel.metrics.Engine.initiations > 0);
+      checkb (label ^ " crash drops counted") true (crashed.Wheel.metrics.Engine.dropped > 0);
+      let jittered =
+        Wheel.broadcast_kernel ~faults:jitter ~max_jitter:2 (Rng.of_int 2) csr ~kernel:(mk ())
+          ~source:0 ~max_rounds:20_000
+      in
+      checkb (label ^ " completes under jitter") true (jittered.Wheel.rounds <> None))
+    [ ("rr-spanner", mk_rr); ("dtg", fun () -> Kernel.dtg_local ~ell:3 csr) ]
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-vs-sequential parity for the new kernels *)
+
+(* Same CI matrix convention as test_scale: GOSSIP_PARITY_DOMAINS
+   selects the shard counts to sweep. *)
+let parity_domains =
+  match Sys.getenv_opt "GOSSIP_PARITY_DOMAINS" with
+  | None -> [ 1; 2; 3; 4 ]
+  | Some s ->
+      let ds = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
+      if ds = [] then [ 1; 2; 3; 4 ] else ds
+
+let parity_fault_plans =
+  [
+    ("none", Wheel.no_faults, 0);
+    ( "drop",
+      {
+        Wheel.no_faults with
+        Engine.drop =
+          (fun ~initiator ~responder ~round -> (initiator + (3 * responder) + round) mod 5 = 0);
+      },
+      0 );
+    ( "crash",
+      { Wheel.no_faults with Engine.alive = (fun ~node ~round -> node mod 7 <> 3 || round < 2) },
+      0 );
+    ( "jitter",
+      {
+        Wheel.no_faults with
+        Engine.jitter = (fun ~latency ~round -> latency + ((latency + round) mod 3));
+      },
+      2 );
+  ]
+
+let test_sharded_kernel_fixed () =
+  let csr = Csr.ring_of_cliques ~cliques:6 ~size:7 ~bridge_latency:9 in
+  let s = Spanner.build (Rng.of_int 4) (Csr.to_graph csr) ~k:3 () in
+  let oriented = Csr.of_oriented_spanner s.Spanner.out_edges in
+  List.iter
+    (fun (name, mk) ->
+      let run d =
+        Wheel.broadcast_kernel ~domains:d (Rng.of_int 13) csr ~kernel:(mk ()) ~source:5
+          ~max_rounds:3_000
+      in
+      let base = run 1 in
+      List.iter
+        (fun d -> check_same_run (Printf.sprintf "%s domains=%d" name d) base (run d))
+        parity_domains)
+    [
+      ( "rr-spanner",
+        fun () -> Kernel.rr_broadcast ~k:(Csr.oriented_max_latency oriented) oriented );
+      ("dtg:1", fun () -> Kernel.dtg_local ~ell:1 csr);
+      ("dtg:9", fun () -> Kernel.dtg_local ~ell:9 csr);
+    ]
+
+let prop_sharded_kernel_parity =
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (spanner/dtg kernels x faults)"
+    ~count:25
+    QCheck.(triple (int_range 6 70) (int_range 0 100_000) (int_range 0 7))
+    (fun (n, seed, pick) ->
+      let g = gen_graph n seed 6 in
+      let csr = Csr.of_graph g in
+      let source = seed mod n in
+      let mk =
+        if pick mod 2 = 0 then (
+          let s = Spanner.build (Rng.of_int (seed + 3)) g ~k:2 () in
+          let o = Csr.of_oriented_spanner s.Spanner.out_edges in
+          fun () -> Kernel.rr_broadcast ~k:(Csr.oriented_max_latency o) o)
+        else fun () -> Kernel.dtg_local ~ell:(1 + (pick / 2)) csr
+      in
+      let _, faults, max_jitter = List.nth parity_fault_plans (pick / 2) in
+      let run d =
+        Wheel.broadcast_kernel ~faults ~max_jitter ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~kernel:(mk ()) ~source ~max_rounds:400
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed)
+        parity_domains)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-tagged telemetry *)
+
+let test_kernel_tagged_telemetry () =
+  let csr = Csr.ring_of_cliques ~cliques:4 ~size:6 ~bridge_latency:2 in
+  let s = Spanner.build (Rng.of_int 9) (Csr.to_graph csr) ~k:2 () in
+  let o = Csr.of_oriented_spanner s.Spanner.out_edges in
+  let reg = Registry.create () in
+  let r =
+    Wheel.broadcast_kernel ~telemetry:reg (Rng.of_int 2) csr
+      ~kernel:(Kernel.rr_broadcast ~k:(Csr.oriented_max_latency o) o)
+      ~source:0 ~max_rounds:10_000
+  in
+  let c name = Registry.counter_value (Registry.counter reg name) in
+  checki "tagged deliveries = metrics" r.Wheel.metrics.Engine.deliveries
+    (c "wheel.kernel.rr-spanner.deliveries");
+  checki "tagged initiations = metrics" r.Wheel.metrics.Engine.initiations
+    (c "wheel.kernel.rr-spanner.initiations");
+  (* The classic protocols are tagged by their kernel name too. *)
+  let reg2 = Registry.create () in
+  let f =
+    Wheel.broadcast ~telemetry:reg2 (Rng.of_int 2) csr ~protocol:Wheel.Flood ~source:0
+      ~max_rounds:10_000
+  in
+  checki "flood tagged deliveries" f.Wheel.metrics.Engine.deliveries
+    (Registry.counter_value (Registry.counter reg2 "wheel.kernel.flood.deliveries"))
+
+(* ------------------------------------------------------------------ *)
+(* EID on the scale engine *)
+
+let test_eid_scale_smoke () =
+  let csr = Csr.ring_of_cliques ~cliques:4 ~size:5 ~bridge_latency:2 in
+  let d = Paths.weighted_diameter (Csr.to_graph csr) in
+  let r = Eid.run_known_diameter_scale (Rng.of_int 7) csr ~d ~source:0 () in
+  checkb "success with d = diameter" true r.Eid.scale_success;
+  checki "everyone informed" (Csr.n csr) (count_informed r.Eid.scale_informed);
+  checkb "spanner nonempty" true (r.Eid.scale_spanner_edges > 0);
+  checkb "out-degree bound witnessed" true (r.Eid.scale_spanner_out_degree >= 1);
+  checkb "rounds accounted" true (r.Eid.scale_rounds >= r.Eid.scale_dtg_rounds);
+  (* The run is deterministic across shard counts, like the engine. *)
+  let r2 = Eid.run_known_diameter_scale ~domains:2 (Rng.of_int 7) csr ~d ~source:0 () in
+  checki "sharded rounds identical" r.Eid.scale_rounds r2.Eid.scale_rounds;
+  checkb "sharded informed identical" true
+    (Bytes.equal r.Eid.scale_informed r2.Eid.scale_informed);
+  (* d below the bridge latency: G_d is disconnected, the pipeline
+     honestly reports failure confined to the source component. *)
+  let stuck = Eid.run_known_diameter_scale (Rng.of_int 7) csr ~d:1 ~source:0 () in
+  checkb "d = 1 cannot cross bridges" false stuck.Eid.scale_success;
+  checki "confined to the source clique" 5 (count_informed stuck.Eid.scale_informed);
+  match Eid.run_known_diameter_scale (Rng.of_int 7) csr ~d:0 ~source:0 () with
+  | _ -> Alcotest.fail "d = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "gossip_kernel"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "name round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "Rr_spanner needs a spanner" `Quick
+            test_of_protocol_rr_needs_spanner;
+        ] );
+      ( "spanner-oriented",
+        [
+          qtest prop_spanner_out_degree;
+          qtest prop_oriented_roundtrip;
+          Alcotest.test_case "out-degree bound enforced" `Quick test_out_degree_bound_enforced;
+        ] );
+      ( "rr-parity",
+        [
+          Alcotest.test_case "gadget families" `Quick test_rr_parity_gadgets;
+          qtest prop_rr_parity;
+        ] );
+      ( "dtg",
+        [
+          Alcotest.test_case "dtg = flood at l_max" `Quick test_dtg_flood_coincides;
+          Alcotest.test_case "confined to G_ell" `Quick test_dtg_confined_to_subgraph;
+        ] );
+      ("faults", [ Alcotest.test_case "crash + jitter smoke" `Quick test_kernel_fault_smoke ]);
+      ( "sharded-kernels",
+        [
+          Alcotest.test_case "fixed cases" `Quick test_sharded_kernel_fixed;
+          qtest prop_sharded_kernel_parity;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "kernel-tagged counters" `Quick test_kernel_tagged_telemetry ] );
+      ("eid-scale", [ Alcotest.test_case "known-diameter pipeline" `Quick test_eid_scale_smoke ]);
+    ]
