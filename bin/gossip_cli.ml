@@ -27,6 +27,29 @@ let seed_arg =
   let doc = "Seed for all randomness (runs are reproducible)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Values that must be strictly positive are rejected at parse time —
+   a clear usage error beats a deep engine failure minutes into a
+   sweep. *)
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    | Some v when v < 1 -> Error (`Msg (Printf.sprintf "must be >= 1 (got %d)" v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v when not (Float.is_finite v) ->
+        Error (`Msg (Printf.sprintf "must be finite (got %s)" s))
+    | Some v when v <= 0.0 -> Error (`Msg (Printf.sprintf "must be > 0 (got %g)" v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let latency_spec_conv =
   let parse s =
     let fail () = Error (`Msg (Printf.sprintf "bad latency spec %S" s)) in
@@ -658,7 +681,7 @@ let sweep_cmd =
   in
   let domains =
     Arg.(
-      value & opt int 1
+      value & opt pos_int_conv 1
       & info [ "domains" ] ~docv:"D"
           ~doc:
             "Engine domains per job (sharded wheel engine; trajectory-identical to 1). \
@@ -699,13 +722,13 @@ let sweep_cmd =
   in
   let retries =
     Arg.(
-      value & opt int 0
+      value & opt pos_int_conv 0
       & info [ "retries" ] ~docv:"K"
           ~doc:"Re-run each failing job up to K extra times before recording a failure.")
   in
   let job_timeout =
     Arg.(
-      value & opt (some float) None
+      value & opt (some pos_float_conv) None
       & info [ "job-timeout" ] ~docv:"SECS"
           ~doc:
             "Per-job wall-clock budget, checked cooperatively between rounds; an \
@@ -748,7 +771,6 @@ let sweep_cmd =
   in
   let run family n protocol trials jobs domains size bridge attach ws_k beta latency
       max_rounds retries job_timeout checkpoint resume inject_crash out telemetry seed =
-    if domains < 1 then failwith "--domains must be >= 1";
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
@@ -845,6 +867,237 @@ let sweep_cmd =
       const run $ family $ n $ protocol $ trials $ jobs $ domains $ size $ bridge $ attach
       $ ws_k $ beta $ latency $ max_rounds $ retries $ job_timeout $ checkpoint $ resume
       $ inject_crash $ out $ telemetry $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / client: the gossip daemon *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let module Server = Gossip_serve.Server in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Persist every accepted job and finished trial to FILE (JSONL, the PR-3 \
+             checkpoint format); a restarted daemon replays it and resumes the queue.")
+  in
+  let telemetry =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "On shutdown write the $(b,serve.*) counters and gauges to FILE (JSONL); \
+             inspect with $(b,gossip-cli report).")
+  in
+  let capacity =
+    Arg.(
+      value & opt pos_int_conv 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Bound on incomplete jobs (queued + running); a submit over the bound is \
+             rejected with a typed $(b,queue_full) error, never a hang.")
+  in
+  let retries =
+    Arg.(
+      value & opt pos_int_conv 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Re-run each failing trial up to K extra times before recording a failure.")
+  in
+  let job_timeout =
+    Arg.(
+      value & opt (some pos_float_conv) None
+      & info [ "job-timeout" ] ~docv:"SECS"
+          ~doc:"Cooperative per-trial wall-clock budget, checked between rounds.")
+  in
+  let run socket journal telemetry capacity retries job_timeout =
+    let cfg =
+      {
+        (Server.default ~socket_path:socket) with
+        Server.journal;
+        telemetry;
+        capacity;
+        retries;
+        timeout_s = job_timeout;
+      }
+    in
+    Printf.printf "gossipd listening on %s\n%!" socket;
+    Server.run cfg;
+    print_endline "gossipd: drained, exiting"
+  in
+  let doc = "Run the gossip daemon: queued sweeps over a Unix-socket JSONL protocol." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ journal $ telemetry $ capacity $ retries $ job_timeout)
+
+let client_cmd =
+  let module P = Gossip_serve.Protocol in
+  let module C = Gossip_serve.Client in
+  let module Sweep = Gossip_sweep.Sweep in
+  let module Wheel = Gossip_scale.Wheel_engine in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of: ping, submit, status, watch, results, cancel, wait, stats, \
+             shutdown.")
+  in
+  let job =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"JOB" ~doc:"Job id (status, watch, results, cancel, wait).")
+  in
+  let family =
+    let doc = "Sweep family: ring-of-cliques, barabasi-albert, watts-strogatz." in
+    Arg.(value & opt string "ring-of-cliques" & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let n = Arg.(value & opt pos_int_conv 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.") in
+  let protocol =
+    let doc = Printf.sprintf "Protocol: %s." (String.concat ", " Wheel.known_protocols) in
+    Arg.(value & opt string "push-pull" & info [ "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let trials =
+    Arg.(value & opt pos_int_conv 8 & info [ "trials" ] ~docv:"T" ~doc:"Independent seeded trials.")
+  in
+  let size =
+    Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Clique size (ring-of-cliques).")
+  in
+  let bridge =
+    Arg.(value & opt int 8 & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques).")
+  in
+  let attach =
+    Arg.(value & opt int 3 & info [ "attach" ] ~docv:"M" ~doc:"Edges per new node (barabasi-albert).")
+  in
+  let ws_k =
+    Arg.(value & opt int 6 & info [ "ws-k" ] ~docv:"K" ~doc:"Even base degree (watts-strogatz).")
+  in
+  let beta =
+    Arg.(value & opt float 0.1 & info [ "beta" ] ~docv:"B" ~doc:"Rewiring probability (watts-strogatz).")
+  in
+  let latency =
+    Arg.(
+      value & opt (some latency_spec_conv) None
+      & info [ "latency" ] ~docv:"SPEC"
+          ~doc:"Redraw edge latencies: unit, fixed:K, uniform:LO-HI, bimodal:F,S,P, \
+                powerlaw:MIN,MAX,EXP.")
+  in
+  let max_rounds =
+    Arg.(value & opt pos_int_conv 1_000_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round cap.")
+  in
+  let wait_timeout =
+    Arg.(
+      value & opt pos_float_conv 60.0
+      & info [ "wait-timeout" ] ~docv:"SECS" ~doc:"Give up on $(b,wait) after this long.")
+  in
+  let run socket action job family n protocol trials size bridge attach ws_k beta latency
+      max_rounds wait_timeout seed =
+    let print_resp r = print_string (Gossip_serve.Frame.frame (P.response_to_json r)) in
+    let finish r =
+      print_resp r;
+      match r with P.Error _ -> exit 1 | _ -> ()
+    in
+    let need_job () =
+      match job with
+      | Some j -> j
+      | None -> failwith (Printf.sprintf "client %s needs a JOB argument" action)
+    in
+    let with_connect f =
+      match C.with_connect socket f with
+      | v -> v
+      | exception Unix.Unix_error (e, "connect", _) ->
+          failwith
+            (Printf.sprintf "cannot connect to %s: %s (is the daemon running?)" socket
+               (Unix.error_message e))
+      | exception C.Closed -> failwith "the daemon closed the connection mid-exchange"
+    in
+    with_connect (fun c ->
+        match action with
+        | "ping" -> finish (C.rpc c P.Ping)
+        | "submit" ->
+            let family =
+              match family with
+              | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
+              | "barabasi-albert" -> Sweep.Barabasi_albert { attach }
+              | "watts-strogatz" -> Sweep.Watts_strogatz { k = ws_k; beta }
+              | other -> failwith (Printf.sprintf "unknown sweep family %S" other)
+            in
+            let protocol =
+              match Wheel.protocol_of_string protocol with
+              | Some p -> p
+              | None ->
+                  failwith
+                    (Printf.sprintf "unknown protocol %S (known: %s)" protocol
+                       (String.concat ", " Wheel.known_protocols))
+            in
+            finish
+              (C.rpc c
+                 (P.Submit
+                    {
+                      P.family;
+                      n;
+                      protocol;
+                      trials;
+                      base_seed = seed;
+                      max_rounds;
+                      latency;
+                    }))
+        | "status" -> finish (C.rpc c (P.Status (need_job ())))
+        | "cancel" -> finish (C.rpc c (P.Cancel (need_job ())))
+        | "stats" -> finish (C.rpc c P.Stats)
+        | "shutdown" -> finish (C.rpc c P.Shutdown)
+        | "watch" ->
+            C.stream c
+              (P.Watch (need_job ()))
+              (fun r ->
+                print_resp r;
+                match r with
+                | P.Job_done _ -> `Stop
+                | P.Error _ -> exit 1
+                | _ -> `Continue)
+        | "results" ->
+            C.stream c
+              (P.Results (need_job ()))
+              (fun r ->
+                print_resp r;
+                match r with
+                | P.Results_end _ -> `Stop
+                | P.Error _ -> exit 1
+                | _ -> `Continue)
+        | "wait" ->
+            let job = need_job () in
+            let deadline = Unix.gettimeofday () +. wait_timeout in
+            let rec poll () =
+              match C.rpc c (P.Status job) with
+              | P.Job_status s as r -> (
+                  match s.P.s_state with
+                  | P.Done | P.Failed | P.Cancelled -> print_resp r
+                  | P.Queued | P.Running ->
+                      if Unix.gettimeofday () > deadline then begin
+                        print_resp r;
+                        prerr_endline "wait: timed out";
+                        exit 2
+                      end
+                      else begin
+                        Unix.sleepf 0.05;
+                        poll ()
+                      end)
+              | r -> finish r
+            in
+            poll ()
+        | other -> failwith (Printf.sprintf "unknown client action %S" other))
+  in
+  let doc = "Talk to a running gossip daemon (submit, follow, and fetch jobs)." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ action $ job $ family $ n $ protocol $ trials $ size $ bridge
+      $ attach $ ws_k $ beta $ latency $ max_rounds $ wait_timeout $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -950,5 +1203,7 @@ let () =
             spanner_cmd;
             reduce_cmd;
             sweep_cmd;
+            serve_cmd;
+            client_cmd;
             report_cmd;
           ]))

@@ -1,0 +1,38 @@
+type 'a t = {
+  lock : Mutex.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Live.create: capacity must be >= 1";
+  { lock = Mutex.create (); q = Queue.create (); capacity; dropped = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let publish t ev =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.capacity then begin
+        ignore (Queue.pop t.q);
+        t.dropped <- t.dropped + 1
+      end;
+      Queue.push ev t.q)
+
+let drain t =
+  with_lock t (fun () ->
+      let out = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      out)
+
+let pending t = with_lock t (fun () -> Queue.length t.q)
+
+let dropped t = with_lock t (fun () -> t.dropped)

@@ -1,0 +1,35 @@
+(** A thread-safe mailbox for streaming telemetry between threads.
+
+    The serve daemon's worker thread publishes per-round progress
+    events while an engine run is in flight; the socket loop drains
+    them on its next tick and fans them out to [watch] subscribers.
+    The mailbox is the only synchronization point between the two
+    sides: publishing is a mutex-protected enqueue (no allocation
+    beyond the list cell), so it is cheap enough to call from an
+    engine [on_round] hook, and draining hands back every pending
+    event at once, oldest first.
+
+    A bounded mailbox drops the {e oldest} events on overflow —
+    progress streams are snapshots, so the freshest event is the one
+    that must survive — and counts what it dropped, so a slow consumer
+    degrades to coarser progress rather than unbounded memory. *)
+
+type 'a t
+
+(** [create ?capacity ()] builds an empty mailbox holding at most
+    [capacity] pending events (default 4096).
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [publish t ev] enqueues [ev], evicting the oldest pending event
+    when the mailbox is full. *)
+val publish : 'a t -> 'a -> unit
+
+(** [drain t] removes and returns every pending event, oldest first. *)
+val drain : 'a t -> 'a list
+
+(** [pending t] is the number of undrained events. *)
+val pending : 'a t -> int
+
+(** [dropped t] counts events evicted by overflow since [create]. *)
+val dropped : 'a t -> int

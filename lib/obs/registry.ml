@@ -147,6 +147,16 @@ let merge ~into src =
           dst.sum <- dst.sum + h.sum)
     src.metrics
 
+let scalars kindp t =
+  Hashtbl.fold
+    (fun name metric acc -> match kindp metric with Some v -> (name, v) :: acc | None -> acc)
+    t.metrics []
+  |> List.sort compare
+
+let counters t = scalars (function Counter c -> Some c.c | _ -> None) t
+
+let gauges t = scalars (function Gauge g -> Some g.g | _ -> None) t
+
 let names t =
   Hashtbl.fold
     (fun name metric acc ->

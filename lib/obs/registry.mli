@@ -89,6 +89,15 @@ val merge : into:t -> t -> unit
     sorted by name. *)
 val names : t -> (string * [ `Counter | `Gauge | `Histogram ]) list
 
+(** [counters t] is a point-in-time snapshot of every counter as
+    [(name, value)], sorted by name — the scalar half of {!to_json}
+    for layers (the serve daemon's [stats] response) that need typed
+    values rather than a JSON tree. *)
+val counters : t -> (string * int) list
+
+(** [gauges t] is the gauge snapshot, shaped like {!counters}. *)
+val gauges : t -> (string * int) list
+
 (** Snapshot as a JSON object with ["counters"], ["gauges"] and
     ["histograms"] fields (names sorted; histogram entries carry
     [count], [sum], [mean] and non-empty [buckets]). *)

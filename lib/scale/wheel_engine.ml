@@ -408,8 +408,8 @@ type result = {
   informed : Bytes.t;
 }
 
-let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-    ?informed rng csr ~kernel ~source ~max_rounds =
+let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+    ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
   let t =
     create_kernel ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
       csr ~kernel ~source
@@ -431,6 +431,12 @@ let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_
             raise (Deadline_exceeded { round = t.now; elapsed_s = now -. started })
       | None -> ());
       step t;
+      (* Like the deadline, the observer runs strictly between rounds:
+         it reads counts the engine already committed and can abort the
+         run by raising, but can never perturb the trajectory. *)
+      (match on_round with
+      | Some f -> f ~round:t.now ~informed:t.count
+      | None -> ());
       let _, last = List.hd !history in
       if t.count <> last then history := (t.now, t.count) :: !history;
       go ()
@@ -762,7 +768,7 @@ type control = {
 }
 
 let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?deadline
-    ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
+    ?on_round ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
@@ -886,7 +892,20 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
           prev_d := !deliveries;
           prev_i := !initiations;
           prev_x := !dropped;
-          if !count = n then begin
+          (* The observer runs inside the serial merge — one domain at
+             a time, strictly between rounds, counts already committed
+             — so it is exactly as trajectory-neutral as in the
+             sequential engine.  A raising observer aborts the run the
+             way an expired deadline does. *)
+          (match on_round with
+          | Some f -> (
+              try f ~round:(r + 1) ~informed:!count
+              with e ->
+                ctl.c_fail <- Some e;
+                ctl.c_stop <- true)
+          | None -> ());
+          if ctl.c_stop then ()
+          else if !count = n then begin
             ctl.c_rounds <- Some (r + 1);
             ctl.c_stop <- true
           end
@@ -933,20 +952,20 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
   (match ctl.c_fail with Some e -> raise e | None -> ());
   { rounds = ctl.c_rounds; metrics; history = List.rev ctl.c_history; informed }
 
-let broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-    ?informed ?(domains = 1) rng csr ~kernel ~source ~max_rounds =
+let broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+    ?pool_capacity ?informed ?(domains = 1) rng csr ~kernel ~source ~max_rounds =
   if domains < 1 then invalid_arg "Wheel_engine.broadcast: domains must be >= 1";
   let k = min domains (Csr.n csr) in
   if k <= 1 then
-    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-      ?informed rng csr ~kernel ~source ~max_rounds
+    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+      ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
   else
-    broadcast_sharded ~k ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry
+    broadcast_sharded ~k ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
       ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
 
-let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-    ?informed ?domains rng csr ~protocol ~source ~max_rounds =
-  broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?telemetry ?pool_capacity
-    ?informed ?domains rng csr
+let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+    ?pool_capacity ?informed ?domains rng csr ~protocol ~source ~max_rounds =
+  broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+    ?pool_capacity ?informed ?domains rng csr
     ~kernel:(Kernel.of_protocol csr protocol)
     ~source ~max_rounds

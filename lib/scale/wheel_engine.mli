@@ -229,6 +229,15 @@ type result = {
     ["wheel.shard.remote.responses"] counters merged in at the end of
     the run.  [domains] is clamped to the node count; 1 runs the plain
     sequential engine.
+
+    [on_round] is a per-round observer with the deadline's guarantees:
+    it fires strictly {e between} rounds (after round [round]'s
+    deliveries and initiations are committed, with the informed count
+    at that instant) on the orchestrating domain, so it can never
+    perturb RNG draws, delivery order, or trajectory parity.  An
+    exception it raises aborts the run and propagates — the
+    cooperative-cancellation hook the serve daemon's progress
+    streaming and job cancellation are built on.
     @raise Deadline_exceeded once [deadline] has passed.
     @raise Jitter_overflow when an undeclared jitter overruns the
     wheel mid-run.
@@ -238,6 +247,7 @@ val broadcast :
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?deadline:float ->
+  ?on_round:(round:int -> informed:int -> unit) ->
   ?telemetry:Gossip_obs.Registry.t ->
   ?pool_capacity:int ->
   ?informed:Bytes.t ->
@@ -260,6 +270,7 @@ val broadcast_kernel :
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?deadline:float ->
+  ?on_round:(round:int -> informed:int -> unit) ->
   ?telemetry:Gossip_obs.Registry.t ->
   ?pool_capacity:int ->
   ?informed:Bytes.t ->

@@ -1,0 +1,69 @@
+module Json = Gossip_util.Json
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  mutable inbox : string list;  (* decoded lines not yet consumed *)
+  mutable eof : bool;
+}
+
+exception Closed
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Frame.reader (); inbox = []; eof = false }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  let s = Frame.frame (Protocol.request_to_json req) in
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring t.fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> raise Closed
+  in
+  go 0
+
+let rec next_line t =
+  match t.inbox with
+  | line :: rest ->
+      t.inbox <- rest;
+      line
+  | [] ->
+      if t.eof then raise Closed;
+      let buf = Bytes.create 4096 in
+      (match Unix.read t.fd buf 0 4096 with
+      | 0 -> t.eof <- true
+      | n -> t.inbox <- Frame.feed t.reader buf ~off:0 ~len:n
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (ECONNRESET, _, _) -> t.eof <- true);
+      next_line t
+
+let recv t =
+  let line = next_line t in
+  match Json.of_string line with
+  | Error msg -> failwith (Printf.sprintf "unparseable frame from server: %s" msg)
+  | Ok j -> (
+      match Protocol.response_of_json j with
+      | Ok resp -> resp
+      | Error msg -> failwith (Printf.sprintf "foreign frame from server: %s" msg))
+
+let rpc t req =
+  send t req;
+  recv t
+
+let stream t req f =
+  send t req;
+  let rec go () = match f (recv t) with `Continue -> go () | `Stop -> () in
+  go ()
+
+let with_connect path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

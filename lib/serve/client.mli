@@ -1,0 +1,37 @@
+(** Blocking client for the daemon's wire protocol.
+
+    One connection, one in-flight exchange at a time: {!rpc} for the
+    one-request-one-response verbs, {!stream} for [watch] / [results],
+    which keep yielding frames until the caller stops.  The socket is
+    read through the same {!Frame} reader the daemon uses, so partial
+    reads and coalesced frames are invisible here too. *)
+
+type t
+
+exception Closed
+(** The daemon hung up mid-exchange. *)
+
+(** [connect path] opens the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nothing listens there. *)
+val connect : string -> t
+
+val close : t -> unit
+
+(** [send t req] writes one request frame. *)
+val send : t -> Protocol.request -> unit
+
+(** [recv t] blocks for the next response frame.
+    @raise Closed on EOF.
+    @raise Failure on an undecodable frame (a foreign server). *)
+val recv : t -> Protocol.response
+
+(** [rpc t req] is [send] then [recv]. *)
+val rpc : t -> Protocol.request -> Protocol.response
+
+(** [stream t req f] sends [req] and hands every response frame to
+    [f] until it returns [`Stop]. *)
+val stream : t -> Protocol.request -> (Protocol.response -> [ `Continue | `Stop ]) -> unit
+
+(** [with_connect path f] runs [f] over a fresh connection and closes
+    it even if [f] raises. *)
+val with_connect : string -> (t -> 'a) -> 'a

@@ -1,0 +1,55 @@
+module Json = Gossip_util.Json
+
+type reader = {
+  buf : Buffer.t;
+  max_line : int;
+  mutable discarding : bool;  (* inside an oversized frame, skip to '\n' *)
+  mutable oversized : int;
+}
+
+let reader ?(max_line = 1 lsl 20) () =
+  if max_line < 1 then invalid_arg "Frame.reader: max_line must be >= 1";
+  { buf = Buffer.create 256; max_line; discarding = false; oversized = 0 }
+
+(* One complete line left the buffer: strip the optional '\r' and skip
+   blanks. *)
+let emit acc line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then acc else line :: acc
+
+let feed r bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    invalid_arg "Frame.feed: window out of bounds";
+  let acc = ref [] in
+  for i = off to off + len - 1 do
+    let c = Bytes.get bytes i in
+    if r.discarding then begin
+      if c = '\n' then begin
+        r.discarding <- false;
+        r.oversized <- r.oversized + 1
+      end
+    end
+    else if c = '\n' then begin
+      acc := emit !acc (Buffer.contents r.buf);
+      Buffer.clear r.buf
+    end
+    else begin
+      Buffer.add_char r.buf c;
+      if Buffer.length r.buf > r.max_line then begin
+        Buffer.clear r.buf;
+        r.discarding <- true
+      end
+    end
+  done;
+  List.rev !acc
+
+let feed_string r s = feed r (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let pending r = Buffer.length r.buf
+
+let oversized r = r.oversized
+
+let frame j = Json.to_string j ^ "\n"

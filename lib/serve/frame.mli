@@ -1,0 +1,39 @@
+(** Line framing for the JSONL wire protocol.
+
+    A socket read hands back an arbitrary byte window: it may end in
+    the middle of a frame (a partial read), contain several frames, or
+    both.  The reader accumulates bytes across feeds and yields only
+    {e complete} lines — everything up to a ['\n'] — so a torn final
+    line simply waits in the buffer for the rest of its bytes.  A
+    trailing ['\r'] is stripped (telnet-style clients) and blank lines
+    are skipped, so keep-alive newlines are free.
+
+    A line that grows past [max_line] without a terminator is
+    discarded wholesale (the reader skips to the next ['\n'] and
+    counts the loss in {!oversized}) — one hostile or broken client
+    cannot balloon the daemon's memory. *)
+
+type reader
+
+(** [reader ?max_line ()] builds an empty reader.  [max_line]
+    (default [1 lsl 20] bytes) bounds a single frame.
+    @raise Invalid_argument if [max_line < 1]. *)
+val reader : ?max_line:int -> unit -> reader
+
+(** [feed r bytes ~off ~len] appends a read window and returns the
+    complete lines it unlocked, oldest first (without terminators,
+    blank lines skipped). *)
+val feed : reader -> Bytes.t -> off:int -> len:int -> string list
+
+(** [feed_string r s] is {!feed} over a whole string. *)
+val feed_string : reader -> string -> string list
+
+(** [pending r] is the byte count of the partial line still waiting
+    for its terminator. *)
+val pending : reader -> int
+
+(** [oversized r] counts frames discarded for exceeding [max_line]. *)
+val oversized : reader -> int
+
+(** [frame j] renders one wire frame: compact JSON plus ['\n']. *)
+val frame : Gossip_util.Json.t -> string

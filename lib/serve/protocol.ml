@@ -1,0 +1,359 @@
+module Json = Gossip_util.Json
+module Sweep = Gossip_sweep.Sweep
+module Wheel = Gossip_scale.Wheel_engine
+
+let version = 1
+
+type spec = {
+  family : Sweep.family;
+  n : int;
+  protocol : Wheel.protocol;
+  trials : int;
+  base_seed : int;
+  max_rounds : int;
+  latency : Gossip_graph.Gen.latency_spec option;
+}
+
+let jobs_of_spec s =
+  Sweep.make_jobs ~family:s.family ~n:s.n ~protocol:s.protocol ~trials:s.trials
+    ~base_seed:s.base_seed ~max_rounds:s.max_rounds ?latency:s.latency ()
+
+let validate_spec s =
+  if s.n < 1 then Error (Printf.sprintf "n must be >= 1 (got %d)" s.n)
+  else if s.trials < 1 then Error (Printf.sprintf "trials must be >= 1 (got %d)" s.trials)
+  else if s.max_rounds < 1 then
+    Error (Printf.sprintf "max_rounds must be >= 1 (got %d)" s.max_rounds)
+  else Ok ()
+
+type request =
+  | Ping
+  | Submit of spec
+  | Status of string
+  | Watch of string
+  | Cancel of string
+  | Results of string
+  | Stats
+  | Shutdown
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+let job_state_label = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let job_state_of_label = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+type status = {
+  s_job : string;
+  s_state : job_state;
+  s_trials : int;
+  s_completed : int;
+  s_failed : int;
+  s_position : int option;
+}
+
+type progress = {
+  p_job : string;
+  p_trial : int;
+  p_trials : int;
+  p_seed : int;
+  p_round : int;
+  p_informed : int;
+  p_n : int;
+}
+
+type error_code = Bad_request | Version_mismatch | Unknown_job | Queue_full | Shutting_down
+
+let error_code_label = function
+  | Bad_request -> "bad_request"
+  | Version_mismatch -> "version_mismatch"
+  | Unknown_job -> "unknown_job"
+  | Queue_full -> "queue_full"
+  | Shutting_down -> "shutting_down"
+
+let error_code_of_label = function
+  | "bad_request" -> Some Bad_request
+  | "version_mismatch" -> Some Version_mismatch
+  | "unknown_job" -> Some Unknown_job
+  | "queue_full" -> Some Queue_full
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+type response =
+  | Pong of { proto : int; server : string }
+  | Submitted of { job : string; position : int; trials : int }
+  | Job_status of status
+  | Watching of { job : string }
+  | Progress of progress
+  | Trial_done of {
+      job : string;
+      trial : int;
+      trials : int;
+      seed : int;
+      rounds : int option;
+      ok : bool;
+    }
+  | Job_done of status
+  | Result_row of { job : string; row : Json.t }
+  | Results_end of { job : string; count : int }
+  | Server_stats of { counters : (string * int) list; gauges : (string * int) list }
+  | Cancel_ok of { job : string; state : job_state }
+  | Bye
+  | Error of { code : error_code; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Field helpers *)
+
+let field j name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None
+
+let int_field j name = match field j name with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field j name = match field j name with Some (Json.String s) -> Some s | _ -> None
+
+let bool_field j name = match field j name with Some (Json.Bool b) -> Some b | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Spec *)
+
+let spec_to_json s =
+  Json.Obj
+    ([
+       ("family", Sweep.family_json s.family);
+       ("n", Json.Int s.n);
+       ("protocol", Json.String (Wheel.protocol_name s.protocol));
+       ("trials", Json.Int s.trials);
+       ("base_seed", Json.Int s.base_seed);
+       ("max_rounds", Json.Int s.max_rounds);
+     ]
+    @ match s.latency with None -> [] | Some l -> [ ("latency", Sweep.latency_json l) ])
+
+let spec_of_json j =
+  let need name = function
+    | Some v -> Ok v
+    | None -> Result.Error (Printf.sprintf "spec: missing or malformed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* fj = need "family" (field j "family") in
+  let* family = need "family" (Sweep.family_of_json fj) in
+  let* n = need "n" (int_field j "n") in
+  let* pname = need "protocol" (str_field j "protocol") in
+  let* protocol =
+    match Wheel.protocol_of_string pname with
+    | Some p -> Ok p
+    | None -> Result.Error (Printf.sprintf "spec: unknown protocol %S" pname)
+  in
+  let* trials = need "trials" (int_field j "trials") in
+  let* base_seed = need "base_seed" (int_field j "base_seed") in
+  let* max_rounds = need "max_rounds" (int_field j "max_rounds") in
+  let* latency =
+    match field j "latency" with
+    | None | Some Json.Null -> Ok None
+    | Some lj -> (
+        match Sweep.latency_of_json lj with
+        | Some l -> Ok (Some l)
+        | None -> Result.Error "spec: malformed latency")
+  in
+  Ok { family; n; protocol; trials; base_seed; max_rounds; latency }
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let request_to_json r =
+  let v = ("v", Json.Int version) in
+  match r with
+  | Ping -> Json.Obj [ v; ("req", Json.String "ping") ]
+  | Submit s -> Json.Obj [ v; ("req", Json.String "submit"); ("spec", spec_to_json s) ]
+  | Status job -> Json.Obj [ v; ("req", Json.String "status"); ("job", Json.String job) ]
+  | Watch job -> Json.Obj [ v; ("req", Json.String "watch"); ("job", Json.String job) ]
+  | Cancel job -> Json.Obj [ v; ("req", Json.String "cancel"); ("job", Json.String job) ]
+  | Results job -> Json.Obj [ v; ("req", Json.String "results"); ("job", Json.String job) ]
+  | Stats -> Json.Obj [ v; ("req", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ v; ("req", Json.String "shutdown") ]
+
+let request_of_json j =
+  match int_field j "v" with
+  | None -> Result.Error (Bad_request, "missing protocol version field \"v\"")
+  | Some v when v <> version ->
+      Result.Error
+        (Version_mismatch, Printf.sprintf "protocol version %d, server speaks %d" v version)
+  | Some _ -> (
+      let with_job k =
+        match str_field j "job" with
+        | Some job -> Ok (k job)
+        | None -> Result.Error (Bad_request, "missing job id field \"job\"")
+      in
+      match str_field j "req" with
+      | Some "ping" -> Ok Ping
+      | Some "submit" -> (
+          match field j "spec" with
+          | None -> Result.Error (Bad_request, "submit: missing \"spec\"")
+          | Some sj -> (
+              match spec_of_json sj with
+              | Ok s -> Ok (Submit s)
+              | Result.Error msg -> Result.Error (Bad_request, msg)))
+      | Some "status" -> with_job (fun job -> Status job)
+      | Some "watch" -> with_job (fun job -> Watch job)
+      | Some "cancel" -> with_job (fun job -> Cancel job)
+      | Some "results" -> with_job (fun job -> Results job)
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Result.Error (Bad_request, Printf.sprintf "unknown request %S" other)
+      | None -> Result.Error (Bad_request, "missing request field \"req\""))
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let status_fields st =
+  [
+    ("job", Json.String st.s_job);
+    ("state", Json.String (job_state_label st.s_state));
+    ("trials", Json.Int st.s_trials);
+    ("completed", Json.Int st.s_completed);
+    ("failed", Json.Int st.s_failed);
+  ]
+  @ match st.s_position with None -> [] | Some p -> [ ("position", Json.Int p) ]
+
+let status_of_json j =
+  match
+    ( str_field j "job",
+      Option.bind (str_field j "state") job_state_of_label,
+      int_field j "trials",
+      int_field j "completed",
+      int_field j "failed" )
+  with
+  | Some s_job, Some s_state, Some s_trials, Some s_completed, Some s_failed ->
+      Ok { s_job; s_state; s_trials; s_completed; s_failed; s_position = int_field j "position" }
+  | _ -> Result.Error "malformed status fields"
+
+let scalar_obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
+
+let scalar_list name j =
+  match field j name with
+  | Some (Json.Obj fs) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | (k, Json.Int v) :: rest -> go ((k, v) :: acc) rest
+        | _ -> None
+      in
+      go [] fs
+  | _ -> None
+
+let response_to_json r =
+  let resp kind fields = Json.Obj (("resp", Json.String kind) :: fields) in
+  match r with
+  | Pong { proto; server } ->
+      resp "pong" [ ("proto", Json.Int proto); ("server", Json.String server) ]
+  | Submitted { job; position; trials } ->
+      resp "submitted"
+        [ ("job", Json.String job); ("position", Json.Int position); ("trials", Json.Int trials) ]
+  | Job_status st -> resp "status" (status_fields st)
+  | Watching { job } -> resp "watching" [ ("job", Json.String job) ]
+  | Progress p ->
+      resp "progress"
+        [
+          ("job", Json.String p.p_job);
+          ("trial", Json.Int p.p_trial);
+          ("trials", Json.Int p.p_trials);
+          ("seed", Json.Int p.p_seed);
+          ("round", Json.Int p.p_round);
+          ("informed", Json.Int p.p_informed);
+          ("n", Json.Int p.p_n);
+        ]
+  | Trial_done { job; trial; trials; seed; rounds; ok } ->
+      resp "trial_done"
+        [
+          ("job", Json.String job);
+          ("trial", Json.Int trial);
+          ("trials", Json.Int trials);
+          ("seed", Json.Int seed);
+          ("rounds", match rounds with Some r -> Json.Int r | None -> Json.Null);
+          ("ok", Json.Bool ok);
+        ]
+  | Job_done st -> resp "job_done" (status_fields st)
+  | Result_row { job; row } -> resp "result" [ ("job", Json.String job); ("row", row) ]
+  | Results_end { job; count } ->
+      resp "results_end" [ ("job", Json.String job); ("count", Json.Int count) ]
+  | Server_stats { counters; gauges } ->
+      resp "stats" [ ("counters", scalar_obj counters); ("gauges", scalar_obj gauges) ]
+  | Cancel_ok { job; state } ->
+      resp "cancelled"
+        [ ("job", Json.String job); ("state", Json.String (job_state_label state)) ]
+  | Bye -> resp "bye" []
+  | Error { code; message } ->
+      resp "error"
+        [ ("code", Json.String (error_code_label code)); ("message", Json.String message) ]
+
+let response_of_json j =
+  let need name = function
+    | Some v -> Ok v
+    | None -> Result.Error (Printf.sprintf "response: missing or malformed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  match str_field j "resp" with
+  | Some "pong" ->
+      let* proto = need "proto" (int_field j "proto") in
+      let* server = need "server" (str_field j "server") in
+      Ok (Pong { proto; server })
+  | Some "submitted" ->
+      let* job = need "job" (str_field j "job") in
+      let* position = need "position" (int_field j "position") in
+      let* trials = need "trials" (int_field j "trials") in
+      Ok (Submitted { job; position; trials })
+  | Some "status" ->
+      let* st = status_of_json j in
+      Ok (Job_status st)
+  | Some "watching" ->
+      let* job = need "job" (str_field j "job") in
+      Ok (Watching { job })
+  | Some "progress" ->
+      let* p_job = need "job" (str_field j "job") in
+      let* p_trial = need "trial" (int_field j "trial") in
+      let* p_trials = need "trials" (int_field j "trials") in
+      let* p_seed = need "seed" (int_field j "seed") in
+      let* p_round = need "round" (int_field j "round") in
+      let* p_informed = need "informed" (int_field j "informed") in
+      let* p_n = need "n" (int_field j "n") in
+      Ok (Progress { p_job; p_trial; p_trials; p_seed; p_round; p_informed; p_n })
+  | Some "trial_done" ->
+      let* job = need "job" (str_field j "job") in
+      let* trial = need "trial" (int_field j "trial") in
+      let* trials = need "trials" (int_field j "trials") in
+      let* seed = need "seed" (int_field j "seed") in
+      let* ok = need "ok" (bool_field j "ok") in
+      let rounds = int_field j "rounds" in
+      Ok (Trial_done { job; trial; trials; seed; rounds; ok })
+  | Some "job_done" ->
+      let* st = status_of_json j in
+      Ok (Job_done st)
+  | Some "result" ->
+      let* job = need "job" (str_field j "job") in
+      let* row = need "row" (field j "row") in
+      Ok (Result_row { job; row })
+  | Some "results_end" ->
+      let* job = need "job" (str_field j "job") in
+      let* count = need "count" (int_field j "count") in
+      Ok (Results_end { job; count })
+  | Some "stats" ->
+      let* counters = need "counters" (scalar_list "counters" j) in
+      let* gauges = need "gauges" (scalar_list "gauges" j) in
+      Ok (Server_stats { counters; gauges })
+  | Some "cancelled" ->
+      let* job = need "job" (str_field j "job") in
+      let* state = need "state" (Option.bind (str_field j "state") job_state_of_label) in
+      Ok (Cancel_ok { job; state })
+  | Some "bye" -> Ok Bye
+  | Some "error" ->
+      let* code = need "code" (Option.bind (str_field j "code") error_code_of_label) in
+      let* message = need "message" (str_field j "message") in
+      Ok (Error { code; message })
+  | Some other -> Result.Error (Printf.sprintf "unknown response %S" other)
+  | None -> Result.Error "missing response field \"resp\""

@@ -68,7 +68,7 @@ type failure = {
   attempts : int;
 }
 
-let run_job ?timeout_s ?domains ?pool_capacity job =
+let run_job ?timeout_s ?domains ?pool_capacity ?on_round job =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> started +. s) timeout_s in
   let csr = build job.family ~n:job.n ~seed:job.seed in
@@ -102,11 +102,11 @@ let run_job ?timeout_s ?domains ?pool_capacity job =
         let kernel =
           Gossip_scale.Kernel.rr_broadcast ~k:(Csr.oriented_max_latency oriented) oriented
         in
-        Wheel_engine.broadcast_kernel ?deadline ?domains ?pool_capacity
+        Wheel_engine.broadcast_kernel ?deadline ?domains ?pool_capacity ?on_round
           (Rng.of_int (job.seed + 17))
           csr ~kernel ~source ~max_rounds:job.max_rounds
     | protocol ->
-        Wheel_engine.broadcast ?deadline ?domains ?pool_capacity
+        Wheel_engine.broadcast ?deadline ?domains ?pool_capacity ?on_round
           (Rng.of_int (job.seed + 17))
           csr ~protocol ~source ~max_rounds:job.max_rounds
   in
@@ -148,6 +148,55 @@ let family_json = function
   | Watts_strogatz { k; beta } ->
       Json.Obj
         [ ("kind", Json.String "watts-strogatz"); ("k", Json.Int k); ("beta", Json.Float beta) ]
+
+let latency_json = function
+  | Gen.Unit -> Json.Obj [ ("kind", Json.String "unit") ]
+  | Gen.Fixed k -> Json.Obj [ ("kind", Json.String "fixed"); ("latency", Json.Int k) ]
+  | Gen.Uniform (lo, hi) ->
+      Json.Obj [ ("kind", Json.String "uniform"); ("lo", Json.Int lo); ("hi", Json.Int hi) ]
+  | Gen.Bimodal { fast; slow; p_fast } ->
+      Json.Obj
+        [
+          ("kind", Json.String "bimodal");
+          ("fast", Json.Int fast);
+          ("slow", Json.Int slow);
+          ("p_fast", Json.Float p_fast);
+        ]
+  | Gen.Power_law { min_latency; max_latency; exponent } ->
+      Json.Obj
+        [
+          ("kind", Json.String "powerlaw");
+          ("min", Json.Int min_latency);
+          ("max", Json.Int max_latency);
+          ("exponent", Json.Float exponent);
+        ]
+
+let latency_of_json j =
+  let field name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None in
+  let int name = match field name with Some (Json.Int i) -> Some i | _ -> None in
+  let flt name =
+    match field name with
+    | Some (Json.Float x) -> Some x
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match field "kind" with
+  | Some (Json.String "unit") -> Some Gen.Unit
+  | Some (Json.String "fixed") -> Option.map (fun k -> Gen.Fixed k) (int "latency")
+  | Some (Json.String "uniform") -> (
+      match (int "lo", int "hi") with
+      | Some lo, Some hi -> Some (Gen.Uniform (lo, hi))
+      | _ -> None)
+  | Some (Json.String "bimodal") -> (
+      match (int "fast", int "slow", flt "p_fast") with
+      | Some fast, Some slow, Some p_fast -> Some (Gen.Bimodal { fast; slow; p_fast })
+      | _ -> None)
+  | Some (Json.String "powerlaw") -> (
+      match (int "min", int "max", flt "exponent") with
+      | Some min_latency, Some max_latency, Some exponent ->
+          Some (Gen.Power_law { min_latency; max_latency; exponent })
+      | _ -> None)
+  | _ -> None
 
 let outcome_json o =
   Json.Obj
@@ -246,6 +295,40 @@ let family_of_json j =
       | _ -> None)
   | _ -> None
 
+(* A job spec as one standalone JSON object — the serialization the
+   serve daemon journals at submit time, so a killed daemon can
+   re-enqueue exactly the jobs it accepted.  Unlike the checkpoint
+   records above, the latency redraw spec {e is} persisted: a pending
+   job must rebuild its graph byte-identically when re-run. *)
+let job_to_json j =
+  Json.Obj
+    ([
+       ("family", family_json j.family);
+       ("n", Json.Int j.n);
+       ("seed", Json.Int j.seed);
+       ("protocol", Json.String (Wheel_engine.protocol_name j.protocol));
+       ("max_rounds", Json.Int j.max_rounds);
+     ]
+    @ match j.latency with None -> [] | Some spec -> [ ("latency", latency_json spec) ])
+
+let job_of_json j =
+  let field name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None in
+  let int name = match field name with Some (Json.Int i) -> Some i | _ -> None in
+  let str name = match field name with Some (Json.String s) -> Some s | _ -> None in
+  match (field "family", int "n", int "seed", str "protocol", int "max_rounds") with
+  | Some fj, Some n, Some seed, Some pname, Some max_rounds -> (
+      match (family_of_json fj, protocol_of_name pname) with
+      | Some family, Some protocol -> (
+          match field "latency" with
+          | None | Some Json.Null -> Some { family; n; seed; protocol; latency = None; max_rounds }
+          | Some lj -> (
+              match latency_of_json lj with
+              | Some spec ->
+                  Some { family; n; seed; protocol; latency = Some spec; max_rounds }
+              | None -> None))
+      | _ -> None)
+  | _ -> None
+
 let entry_of_json j =
   let field name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None in
   let int name = match field name with Some (Json.Int i) -> Some i | _ -> None in
@@ -309,6 +392,10 @@ let checkpoint_key = function
   | Ckpt_done o -> job_key o.job
   | Ckpt_failed f -> job_key f.failed_job
 
+let checkpoint_event = function
+  | Ckpt_done o -> ckpt_job_event o
+  | Ckpt_failed f -> ckpt_fail_event f
+
 let read_checkpoint path =
   let ic = open_in path in
   let entries = ref [] in
@@ -363,6 +450,8 @@ let seal_torn_line path =
       close_out oc
     end
   end
+
+let seal_checkpoint = seal_torn_line
 
 (* ------------------------------------------------------------------ *)
 (* Fault-tolerant runner *)

@@ -66,6 +66,31 @@ type job_key = string * int * int * string
 
 val job_key : job -> job_key
 
+(** [family_json f] serializes a family descriptor as a JSON object
+    keyed by ["kind"]; {!family_of_json} inverts it. *)
+val family_json : family -> Gossip_util.Json.t
+
+val family_of_json : Gossip_util.Json.t -> family option
+
+(** [latency_json spec] serializes a latency redraw spec as a JSON
+    object keyed by ["kind"]; {!latency_of_json} inverts it. *)
+val latency_json : Gossip_graph.Gen.latency_spec -> Gossip_util.Json.t
+
+val latency_of_json : Gossip_util.Json.t -> Gossip_graph.Gen.latency_spec option
+
+(** [job_to_json job] is the job spec as one standalone JSON object —
+    family, requested [n], seed, protocol, round cap, {e and} the
+    latency redraw spec (unlike checkpoint records, which only report
+    executed results, a persisted spec must rebuild its graph
+    byte-identically when re-run).  The serve daemon journals this at
+    submit time so a killed daemon re-enqueues exactly the jobs it
+    accepted. *)
+val job_to_json : job -> Gossip_util.Json.t
+
+(** [job_of_json j] inverts {!job_to_json}; [None] on any missing or
+    malformed field (including a present-but-undecodable latency). *)
+val job_of_json : Gossip_util.Json.t -> job option
+
 type outcome = {
   job : job;
   n_actual : int;  (** realized node count *)
@@ -95,8 +120,17 @@ type failure = {
     first builds the Baswana–Sen orientation (from its own seed
     stream, so the engine's draws are unperturbed) and runs the RR
     kernel through {!Gossip_scale.Wheel_engine.broadcast_kernel}.
+    [on_round] is threaded to the engine's between-round observer
+    (see {!Gossip_scale.Wheel_engine.broadcast}): trajectory-neutral
+    progress streaming, and cooperative cancellation by raising.
     @raise Gossip_scale.Wheel_engine.Deadline_exceeded over budget. *)
-val run_job : ?timeout_s:float -> ?domains:int -> ?pool_capacity:int -> job -> outcome
+val run_job :
+  ?timeout_s:float ->
+  ?domains:int ->
+  ?pool_capacity:int ->
+  ?on_round:(round:int -> informed:int -> unit) ->
+  job ->
+  outcome
 
 (** [run ?workers ?domains ?telemetry jobs] fans the jobs across a
     domain pool (default {!Pool.default_workers}); results come back
@@ -120,6 +154,29 @@ val run :
 type checkpoint_entry = Ckpt_done of outcome | Ckpt_failed of failure
 
 val checkpoint_key : checkpoint_entry -> job_key
+
+(** [outcome_json o] is the result row the sweep's JSON report carries
+    for one finished job (deterministic fields plus wall-clock
+    [elapsed_s]) — exposed so the serve daemon's [results] frames are
+    byte-identical to a direct sweep's rows. *)
+val outcome_json : outcome -> Gossip_util.Json.t
+
+(** [checkpoint_event e] is the JSONL event ([ckpt_job] / [ckpt_fail])
+    {!run_ft} streams for [e] — the PR-3 checkpoint format, exposed so
+    other runtimes (the serve daemon's job journal) persist through
+    the same schema.  Extra fields appended by a caller are ignored by
+    {!entry_of_json}. *)
+val checkpoint_event : checkpoint_entry -> (string * Gossip_util.Json.t) list
+
+(** [entry_of_json j] parses one checkpoint event; [None] for foreign
+    or malformed events (never an exception — checkpoints must be
+    readable after any crash). *)
+val entry_of_json : Gossip_util.Json.t -> checkpoint_entry option
+
+(** [seal_checkpoint path] terminates a torn final line (a process
+    killed mid-write leaves no trailing newline) so appending cannot
+    weld a new record onto the fragment.  A missing file is a no-op. *)
+val seal_checkpoint : string -> unit
 
 (** [read_checkpoint path] parses an append-only JSONL checkpoint.
     Torn lines (a process killed mid-write) and foreign events are

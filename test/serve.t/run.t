@@ -1,0 +1,138 @@
+The gossip daemon end to end from the shell: serve, submit, follow,
+fetch, and survive kills.  Result rows are deterministic given seeds;
+only wall-clock fields vary, so a strip filter removes them.
+
+  $ strip() { sed -E 's/,?"elapsed_s":[0-9.eE+-]+//g'; }
+
+Strictly-positive knobs are validated at parse time — a clear usage
+error, not a deep engine failure minutes into a sweep:
+
+  $ gossip-cli sweep --domains 0 --n 64 --trials 1
+  gossip-cli: option '--domains': must be >= 1 (got 0)
+  Usage: gossip-cli sweep [OPTION]…
+  Try 'gossip-cli sweep --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli sweep --retries=-1 --n 64 --trials 1
+  gossip-cli: option '--retries': must be >= 1 (got -1)
+  Usage: gossip-cli sweep [OPTION]…
+  Try 'gossip-cli sweep --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli sweep --job-timeout 0 --n 64 --trials 1
+  gossip-cli: option '--job-timeout': must be > 0 (got 0)
+  Usage: gossip-cli sweep [OPTION]…
+  Try 'gossip-cli sweep --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli sweep --job-timeout nan --n 64 --trials 1
+  gossip-cli: option '--job-timeout': must be finite (got nan)
+  Usage: gossip-cli sweep [OPTION]…
+  Try 'gossip-cli sweep --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli sweep --job-timeout inf --n 64 --trials 1
+  gossip-cli: option '--job-timeout': must be finite (got inf)
+  Usage: gossip-cli sweep [OPTION]…
+  Try 'gossip-cli sweep --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli serve --socket x.sock --capacity 0
+  gossip-cli: option '--capacity': must be >= 1 (got 0)
+  Usage: gossip-cli serve [OPTION]…
+  Try 'gossip-cli serve --help' or 'gossip-cli --help' for more information.
+  [124]
+  $ gossip-cli client --socket x.sock submit --trials 0
+  gossip-cli: option '--trials': must be >= 1 (got 0)
+  Usage: gossip-cli client [OPTION]… ACTION [JOB]
+  Try 'gossip-cli client --help' or 'gossip-cli --help' for more information.
+  [124]
+
+A client without a daemon fails with a clear message:
+
+  $ gossip-cli client --socket nope.sock ping
+  gossip-cli: internal error, uncaught exception:
+              Failure("cannot connect to nope.sock: No such file or directory (is the daemon running?)")
+              
+  [125]
+
+Start a daemon and drive the whole loop: ping, stats, submit, poll,
+fetch results, error frames, shutdown.
+
+  $ gossip-cli serve --socket gd.sock --journal journal.jsonl --telemetry telemetry.jsonl --capacity 4 > server.log 2>&1 &
+  $ for i in $(seq 1 150); do [ -S gd.sock ] && break; sleep 0.1; done
+  $ gossip-cli client --socket gd.sock ping
+  {"resp":"pong","proto":1,"server":"gossipd"}
+  $ gossip-cli client --socket gd.sock stats
+  {"resp":"stats","counters":{"serve.connections":2,"serve.requests.ping":1,"serve.requests.stats":1},"gauges":{"serve.queue_depth":0}}
+  $ gossip-cli client --socket gd.sock submit --family ring-of-cliques --n 64 --size 8 --trials 3 --seed 42 --max-rounds 500
+  {"resp":"submitted","job":"job-1","position":0,"trials":3}
+  $ gossip-cli client --socket gd.sock wait job-1
+  {"resp":"status","job":"job-1","state":"done","trials":3,"completed":3,"failed":0}
+  $ gossip-cli client --socket gd.sock results job-1 | strip
+  {"resp":"result","job":"job-1","row":{"family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":42,"protocol":"push-pull","max_rounds":500,"rounds":47,"initiations":3008,"deliveries":5864,"payload_words":5864,"dropped":0}}
+  {"resp":"result","job":"job-1","row":{"family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":7961,"protocol":"push-pull","max_rounds":500,"rounds":40,"initiations":2560,"deliveries":4967,"payload_words":4967,"dropped":0}}
+  {"resp":"result","job":"job-1","row":{"family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":15880,"protocol":"push-pull","max_rounds":500,"rounds":37,"initiations":2368,"deliveries":4589,"payload_words":4589,"dropped":0}}
+  {"resp":"results_end","job":"job-1","count":3}
+  $ gossip-cli client --socket gd.sock status job-99
+  {"resp":"error","code":"unknown_job","message":"unknown job \"job-99\""}
+  [1]
+  $ gossip-cli client --socket gd.sock cancel job-1
+  {"resp":"cancelled","job":"job-1","state":"done"}
+  $ gossip-cli client --socket gd.sock shutdown
+  {"resp":"bye"}
+  $ wait
+  $ cat server.log
+  gossipd listening on gd.sock
+  gossipd: drained, exiting
+
+The journal holds the submit, one checkpoint record per trial, and the
+terminal close — the PR-3 checkpoint format plus job tags:
+
+  $ strip < journal.jsonl
+  {"ev":"serve_submit","job":"job-1","spec":{"family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n":64,"protocol":"push-pull","trials":3,"base_seed":42,"max_rounds":500}}
+  {"ev":"ckpt_job","family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":42,"protocol":"push-pull","max_rounds":500,"rounds":47,"initiations":3008,"deliveries":5864,"payload_words":5864,"dropped":0,"rounds_executed":47,"rejected":0,"job":"job-1","trial":0}
+  {"ev":"ckpt_job","family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":7961,"protocol":"push-pull","max_rounds":500,"rounds":40,"initiations":2560,"deliveries":4967,"payload_words":4967,"dropped":0,"rounds_executed":40,"rejected":0,"job":"job-1","trial":1}
+  {"ev":"ckpt_job","family":{"kind":"ring-of-cliques","size":8,"bridge_latency":8},"n_requested":64,"n":64,"edges":232,"seed":15880,"protocol":"push-pull","max_rounds":500,"rounds":37,"initiations":2368,"deliveries":4589,"payload_words":4589,"dropped":0,"rounds_executed":37,"rejected":0,"job":"job-1","trial":2}
+  {"ev":"serve_close","job":"job-1","state":"done"}
+
+The serve.* telemetry snapshot is readable by gossip-cli report
+(request counts vary with poll timing, so pick stable counters):
+
+  $ gossip-cli report telemetry.jsonl | grep -E 'serve\.(connections|queue_depth|requests\.submit)'
+      serve.connections = 8
+      serve.requests.submit = 1
+      serve.queue_depth = 0
+
+Graceful shutdown on SIGTERM: stop accepting, abort the in-flight job
+at a round boundary, seal the journal, exit 0.
+
+  $ gossip-cli serve --socket gd2.sock --journal journal2.jsonl > server2.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -S gd2.sock ] && break; sleep 0.1; done
+  $ gossip-cli client --socket gd2.sock submit --family watts-strogatz --n 150000 --trials 2 --seed 5 > /dev/null
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ cat server2.log
+  gossipd listening on gd2.sock
+  gossipd: drained, exiting
+  $ grep -c serve_submit journal2.jsonl
+  1
+
+kill -9 mid-job, then restart on the same journal: the queue resumes
+and completes, and results are served as if nothing happened.
+
+  $ gossip-cli serve --socket gd3.sock --journal journal3.jsonl > server3.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -S gd3.sock ] && break; sleep 0.1; done
+  $ gossip-cli client --socket gd3.sock submit --family watts-strogatz --n 120000 --trials 3 --seed 9
+  {"resp":"submitted","job":"job-1","position":0,"trials":3}
+  $ sleep 1
+  $ kill -9 $SRV
+  $ wait $SRV
+  Killed
+  [137]
+  $ gossip-cli serve --socket gd3.sock --journal journal3.jsonl > server3b.log 2>&1 &
+  $ for i in $(seq 1 150); do [ -S gd3.sock ] && break; sleep 0.1; done
+  $ gossip-cli client --socket gd3.sock wait job-1 --wait-timeout 300
+  {"resp":"status","job":"job-1","state":"done","trials":3,"completed":3,"failed":0}
+  $ gossip-cli client --socket gd3.sock results job-1 | grep -c '"resp":"result"'
+  3
+  $ gossip-cli client --socket gd3.sock shutdown
+  {"resp":"bye"}
+  $ wait
