@@ -487,3 +487,234 @@ let e15 () =
   print_endline
     "RR-on-spanner reaches every clique deterministically; push-pull pays the\n\
      conductance price at each latency-8 bridge."
+
+(* E16 — dynamic networks: push-pull vs RR-on-spanner vs a
+   drift-immune baseline while the low-conductance cut erodes.
+
+   The testbed is the braided ring (lib/scale Csr.braided_ring): a
+   ring of cliques where adjacent cliques are joined by [bridges]
+   parallel bridges, one of which — the backbone — is one tick faster
+   than the rest.  A linear lib/dyn drift schedule filtered to
+   [lat-ge bridge_latency] stretches every braid bridge by up to the
+   cap while leaving cliques and the backbone untouched, so the
+   conductance profile degrades live: ell-star / phi-star grows with
+   the cap, and the per-epoch [dyn.epoch.<k>.*] gauges from
+   Scenario.observer record the climb inside the run itself.
+
+   Three contenders per drift cap:
+   - randomized push-pull, which pays the eroding cut in full;
+   - RR Broadcast over a Baswana-Sen orientation, whose spanner may
+     lean on braid bridges and so also feels the drift;
+   - the conductance-independent baseline: the k-DTG local-broadcast
+     kernel with ell = bridge_latency - 1, which only ever uses
+     edges the filter exempts (cliques + backbone) and is therefore
+     immune by construction — asserted to stay within 1.25x of its
+     own static round count.
+
+   Defaults are sized for a single-core container; E16_N picks other
+   node counts (comma-separated; E16_N=100000 is the full-scale run
+   for a beefy host).  Rounds, seconds, and the per-epoch gauge
+   series land in BENCH_e16.json. *)
+let e16 () =
+  let module Kernel = Gossip_scale.Kernel in
+  let module Spanner = Gossip_core.Spanner in
+  let module Scenario = Gossip_dyn.Scenario in
+  let module Registry = Gossip_obs.Registry in
+  let module Json = Gossip_util.Json in
+  let sizes =
+    match Sys.getenv_opt "E16_N" with
+    | Some s -> String.split_on_char ',' s |> List.map String.trim |> List.map int_of_string
+    | None -> [ 12_000 ]
+  in
+  let clique = 16 and bridges = 4 and bridge = 8 in
+  let caps = [ 1; 2; 4; 8 ] in
+  let max_rounds = 1_000_000 in
+  let ceil_log2 x =
+    let rec go k p = if p >= x then k else go (k + 1) (p * 2) in
+    go 0 1
+  in
+  section "E16  dynamic networks: broadcast under live latency drift"
+    (Printf.sprintf
+       "One-to-all broadcast on a braided ring (cliques of %d, %d bridges per\n\
+        seam, backbone latency %d) while a linear drift schedule stretches\n\
+        every latency->=%d braid bridge up to cap x: push-pull vs RR-on-spanner\n\
+        vs the drift-immune DTG backbone walker (ell = %d).  Per-epoch\n\
+        ell-star / phi-ell gauges and all rounds in BENCH_e16.json."
+       clique bridges (bridge - 1) bridge (bridge - 1));
+  let t =
+    Table.create ~title:"E16: broadcast rounds as the braid cut erodes"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("cap", Table.Right);
+          ("pp rounds", Table.Right);
+          ("pp s", Table.Right);
+          ("rr rounds", Table.Right);
+          ("rr s", Table.Right);
+          ("base rounds", Table.Right);
+          ("base s", Table.Right);
+          ("bound @0", Table.Right);
+          ("bound @last", Table.Right);
+        ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n_req ->
+      let seed = 1013 in
+      let cliques = max 3 (n_req / clique) in
+      let csr = Csr.braided_ring ~cliques ~size:clique ~bridges ~bridge_latency:bridge in
+      let n = Csr.n csr in
+      let k_sp = ceil_log2 n in
+      let sp, _ = time (fun () -> Spanner.build (Rng.of_int (seed + 29)) (Csr.to_graph csr) ~k:k_sp ()) in
+      let out_bound =
+        int_of_float
+          (ceil (8.0 *. (float_of_int n ** (1.0 /. float_of_int k_sp)) *. log (float_of_int n)))
+      in
+      let oriented = Csr.of_oriented_spanner ~out_degree_bound:out_bound sp.Spanner.out_edges in
+      (* Both kernels carry round-robin cursors, so build a fresh one
+         per run or the second cap inherits the first's state. *)
+      let rr_kernel () = Kernel.rr_broadcast ~k:(Csr.oriented_max_latency oriented) oriented in
+      let base_kernel () = Kernel.dtg_local ~ell:(bridge - 1) csr in
+      let pp_static = ref 0 and base_static = ref 0 in
+      List.iter
+        (fun cap ->
+          (* cap 1 is the static control: no env at all, so the run is
+             bit-identical to the pre-lib/dyn engine. *)
+          let compiled =
+            if cap <= 1 then None
+            else
+              let scen =
+                {
+                  Scenario.static with
+                  Scenario.name = Printf.sprintf "braid-drift-x%d" cap;
+                  seed;
+                  rules =
+                    [
+                      {
+                        Scenario.schedule = Scenario.Linear { rate = 0.25; cap = float_of_int cap };
+                        filter = Scenario.Lat_ge bridge;
+                      };
+                    ];
+                  epoch = 1024;
+                  track_phi = true;
+                }
+              in
+              Some (Scenario.compile scen ~csr ~source:0)
+          in
+          let env = Option.map (fun c -> c.Scenario.env) compiled in
+          let wheel_latency = Option.map (fun c -> c.Scenario.wheel_latency) compiled in
+          let reg = Registry.create () in
+          let on_round =
+            Option.map (fun c -> Scenario.observer c ~csr ~telemetry:reg) compiled
+          in
+          let pp, pp_s =
+            time (fun () ->
+                Wheel.broadcast ?env ?wheel_latency ?on_round (Rng.of_int (seed + 17)) csr
+                  ~protocol:Wheel.Push_pull ~source:0 ~max_rounds)
+          in
+          let rr, rr_s =
+            time (fun () ->
+                Wheel.broadcast_kernel ?env ?wheel_latency (Rng.of_int (seed + 17)) csr
+                  ~kernel:(rr_kernel ()) ~source:0 ~max_rounds)
+          in
+          let base, base_s =
+            time (fun () ->
+                Wheel.broadcast_kernel ?env ?wheel_latency (Rng.of_int (seed + 17)) csr
+                  ~kernel:(base_kernel ()) ~source:0 ~max_rounds)
+          in
+          let pp_r = rounds_exn pp.Wheel.rounds in
+          let rr_r = rounds_exn rr.Wheel.rounds in
+          let base_r = rounds_exn base.Wheel.rounds in
+          (* Per-epoch gauge series: dyn.epoch.<k>.{ell_star,phi_ell_ppm,bound}. *)
+          let epochs =
+            let tbl = Hashtbl.create 8 in
+            List.iter
+              (fun (name, v) ->
+                match String.split_on_char '.' name with
+                | [ "dyn"; "epoch"; k; field ] ->
+                    let k = int_of_string k in
+                    let prev = try Hashtbl.find tbl k with Not_found -> [] in
+                    Hashtbl.replace tbl k ((field, Json.Int v) :: prev)
+                | _ -> ())
+              (Registry.gauges reg);
+            Hashtbl.fold (fun k fields acc -> (k, fields) :: acc) tbl []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let bound_of k =
+            match List.assoc_opt k epochs with
+            | Some fields -> (
+                match List.assoc_opt "bound" fields with Some (Json.Int b) -> Some b | _ -> None)
+            | None -> None
+          in
+          let bound0 = bound_of 0 in
+          let bound_last =
+            match epochs with [] -> None | l -> bound_of (fst (List.nth l (List.length l - 1)))
+          in
+          if cap <= 1 then (
+            pp_static := pp_r;
+            base_static := base_r)
+          else (
+            (* Drift only ever slows push-pull: the eroding cut costs rounds. *)
+            if pp_r < !pp_static then
+              failwith
+                (Printf.sprintf "e16: push-pull sped up under drift x%d (%d < static %d)" cap pp_r
+                   !pp_static);
+            (* The backbone walker never touches a drifted edge. *)
+            if float_of_int base_r > 1.25 *. float_of_int !base_static then
+              failwith
+                (Printf.sprintf "e16: baseline not drift-immune at cap %d (%d vs static %d)" cap
+                   base_r !base_static);
+            match bound0 with
+            | None -> failwith "e16: drifted run produced no dyn.epoch.0.bound gauge"
+            | Some _ -> ());
+          rows :=
+            [
+              ("n", Json.Int n);
+              ("cliques", Json.Int cliques);
+              ("clique_size", Json.Int clique);
+              ("bridges", Json.Int bridges);
+              ("bridge_latency", Json.Int bridge);
+              ("drift_cap", Json.Int cap);
+              ("pp_rounds", Json.Int pp_r);
+              ("pp_s", Json.Float pp_s);
+              ("rr_rounds", Json.Int rr_r);
+              ("rr_s", Json.Float rr_s);
+              ("baseline_rounds", Json.Int base_r);
+              ("baseline_s", Json.Float base_s);
+              ( "epochs",
+                Json.List
+                  (List.map
+                     (fun (k, fields) -> Json.Obj (("epoch", Json.Int k) :: List.rev fields))
+                     epochs) );
+            ]
+            :: !rows;
+          let fmt_bound = function Some b -> fmt_i b | None -> "-" in
+          Table.add_row t
+            [
+              fmt_i n;
+              string_of_int cap ^ "x";
+              fmt_i pp_r;
+              fmt_f ~d:2 pp_s;
+              fmt_i rr_r;
+              fmt_f ~d:2 rr_s;
+              fmt_i base_r;
+              fmt_f ~d:2 base_s;
+              fmt_bound bound0;
+              fmt_bound bound_last;
+            ])
+        caps;
+      let last_pp =
+        match !rows with
+        | row :: _ -> (match List.assoc "pp_rounds" row with Json.Int r -> r | _ -> 0)
+        | [] -> 0
+      in
+      if last_pp <= !pp_static then
+        failwith
+          (Printf.sprintf "e16: push-pull did not slow down at the largest cap (%d vs static %d)"
+             last_pp !pp_static))
+    sizes;
+  Table.print t;
+  bench_rows ~exp:"e16" (List.rev !rows);
+  print_endline
+    "The drifting braid cut taxes push-pull round by round while the DTG\n\
+     backbone walker, blind to conductance, never notices."

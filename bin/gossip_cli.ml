@@ -99,6 +99,27 @@ let latency_arg =
   in
   Arg.(value & opt latency_spec_conv Gen.Unit & info [ "latency" ] ~docv:"SPEC" ~doc)
 
+let scenario_arg =
+  let doc =
+    "Load a dynamic-network scenario (JSON) and run under it: time-varying latency \
+     schedules, churn, and adversarial jitter, with live conductance tracking when the \
+     scenario asks for it.  Wheel-engine runs only; see DESIGN.md for the schema."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+
+(* Scenario files are user input: a parse or validation failure exits
+   with the offending path and the validator's message, not an
+   uncaught-exception backtrace. *)
+let load_scenario path =
+  match Gossip_dyn.Scenario.load path with
+  | s -> s
+  | exception Gossip_dyn.Scenario.Invalid_scenario msg ->
+      Printf.eprintf "gossip-cli: --scenario %s: %s\n" path msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "gossip-cli: --scenario: %s\n" msg;
+      exit 2
+
 type family_args = {
   family : string;
   n : int;
@@ -107,6 +128,7 @@ type family_args = {
   cliques : int;
   size : int;
   bridge : int;
+  bridges : int;
   rows : int;
   cols : int;
   latency : Gen.latency_spec;
@@ -118,7 +140,8 @@ let family_term =
     let doc =
       "Graph family: clique, star, path, cycle, grid, torus, hypercube, tree, er, \
        regular, ring-of-cliques, dumbbell; wheel runs ($(b,--protocol)) additionally \
-       accept barabasi-albert and watts-strogatz, built directly in CSR form."
+       accept barabasi-albert, watts-strogatz, and braided-ring, built directly in CSR \
+       form."
     in
     Arg.(value & opt string "clique" & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
@@ -136,14 +159,20 @@ let family_term =
   let bridge =
     Arg.(value & opt int 8 & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency.")
   in
+  let bridges =
+    Arg.(
+      value & opt int 2
+      & info [ "bridges" ] ~docv:"B"
+          ~doc:"Parallel bridges between adjacent cliques (braided-ring).")
+  in
   let rows = Arg.(value & opt int 6 & info [ "rows" ] ~docv:"R" ~doc:"Grid rows.") in
   let cols = Arg.(value & opt int 6 & info [ "cols" ] ~docv:"C" ~doc:"Grid columns.") in
-  let make family n p d cliques size bridge rows cols latency seed =
-    { family; n; p; d; cliques; size; bridge; rows; cols; latency; seed }
+  let make family n p d cliques size bridge bridges rows cols latency seed =
+    { family; n; p; d; cliques; size; bridge; bridges; rows; cols; latency; seed }
   in
   Term.(
-    const make $ family $ n $ p $ d $ cliques $ size $ bridge $ rows $ cols $ latency_arg
-    $ seed_arg)
+    const make $ family $ n $ p $ d $ cliques $ size $ bridge $ bridges $ rows $ cols
+    $ latency_arg $ seed_arg)
 
 let build_graph a =
   let rng = Rng.of_int a.seed in
@@ -181,6 +210,10 @@ let build_csr a =
     match a.family with
     | "ring-of-cliques" ->
         Some (Scsr.ring_of_cliques ~cliques:a.cliques ~size:a.size ~bridge_latency:a.bridge)
+    | "braided-ring" ->
+        Some
+          (Scsr.braided_ring ~cliques:a.cliques ~size:a.size ~bridges:a.bridges
+             ~bridge_latency:a.bridge)
     | "barabasi-albert" ->
         Some (Scsr.barabasi_albert (Rng.of_int a.seed) ~n:a.n ~attach:a.d)
     | "watts-strogatz" ->
@@ -202,10 +235,11 @@ let ceil_log2 x =
    name, builds the contact structure (including the Baswana-Sen
    spanner an rr-spanner kernel needs), runs, and optionally dumps the
    telemetry registry -- kernel-tagged counters included -- as JSONL. *)
-let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
+let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scenario =
   let module Wheel = Gossip_scale.Wheel_engine in
   let module Scsr = Gossip_scale.Csr in
   let module Kernel = Gossip_scale.Kernel in
+  let module Scenario = Gossip_dyn.Scenario in
   let module Obs = Gossip_obs in
   let module Json = Gossip_util.Json in
   let protocol =
@@ -216,6 +250,10 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
           (Printf.sprintf "unknown protocol %S (known: %s)" pname
              (String.concat ", " Wheel.known_protocols))
   in
+  (* Validate the scenario file before any graph is built — a typo in
+     the JSON should fail in milliseconds, not after a 10^6-node
+     construction. *)
+  let scenario = Option.map load_scenario scenario in
   let csr = build_csr args in
   let n = Scsr.n csr in
   let rng = Rng.of_int (args.seed + 17) in
@@ -226,7 +264,7 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
         let ring = Obs.Ring.create ~capacity:65536 () in
         Some (Obs.Registry.create ~ring ())
   in
-  let kernel =
+  let kernel, oriented =
     match protocol with
     | Wheel.Rr_spanner { stretch_k } ->
         let k_sp = if stretch_k > 0 then stretch_k else ceil_log2 n in
@@ -242,12 +280,30 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
           (Scsr.oriented_edge_count oriented)
           (Scsr.oriented_max_out_degree oriented)
           (Unix.gettimeofday () -. t0);
-        Kernel.rr_broadcast ~k:(Scsr.oriented_max_latency oriented) oriented
-    | p -> Kernel.of_protocol csr p
+        (Kernel.rr_broadcast ~k:(Scsr.oriented_max_latency oriented) oriented, Some oriented)
+    | p -> (Kernel.of_protocol csr p, None)
+  in
+  let compiled =
+    match scenario with
+    | None -> None
+    | Some s -> (
+        match Scenario.compile ?oriented s ~csr ~source with
+        | c -> Some c
+        | exception Scenario.Invalid_scenario msg ->
+            Printf.eprintf "gossip-cli: --scenario: %s\n" msg;
+            exit 2)
+  in
+  let env = Option.map (fun c -> c.Scenario.env) compiled in
+  let wheel_latency = Option.map (fun c -> c.Scenario.wheel_latency) compiled in
+  let on_round =
+    match (compiled, reg) with
+    | Some c, Some reg -> Some (Scenario.observer c ~csr ~telemetry:reg)
+    | _ -> None
   in
   let t0 = Unix.gettimeofday () in
   let r =
-    Wheel.broadcast_kernel ?telemetry:reg ~domains rng csr ~kernel ~source ~max_rounds
+    Wheel.broadcast_kernel ?telemetry:reg ~domains ?env ?wheel_latency ?on_round rng csr
+      ~kernel ~source ~max_rounds
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   (match r.Wheel.rounds with
@@ -264,15 +320,18 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry =
   | Some path, Some reg ->
       Obs.Sink.with_jsonl path (fun sink ->
           Obs.Sink.event sink
-            [
-              ("ev", Json.String "meta");
-              ("tool", Json.String "gossip-cli run");
-              ("protocol", Json.String (Kernel.name kernel));
+            ([
+               ("ev", Json.String "meta");
+               ("tool", Json.String "gossip-cli run");
+               ("protocol", Json.String (Kernel.name kernel));
               ("family", Json.String args.family);
               ("n", Json.Int n);
               ("domains", Json.Int domains);
               ("seed", Json.Int args.seed);
-            ];
+            ]
+            @ (match scenario with
+              | None -> []
+              | Some s -> [ ("scenario", Json.String s.Scenario.name) ]));
           Obs.Sink.registry sink reg;
           match Obs.Registry.ring reg with
           | None -> ()
@@ -376,7 +435,7 @@ let run_cmd =
              $(b,gossip-cli report).")
   in
   let run args algorithm protocol domains source max_rounds crash drop capacity trace
-      telemetry =
+      telemetry scenario =
     (* A wheel run never touches the boxed graph: dispatch before
        build_graph so --protocol works at 10^6 nodes. *)
     let wheel_protocol =
@@ -389,8 +448,16 @@ let run_cmd =
             Some (String.sub algorithm pl (String.length algorithm - pl))
           else None
     in
+    (match (scenario, wheel_protocol) with
+    | Some _, None ->
+        prerr_endline
+          "gossip-cli: --scenario applies to wheel-engine runs only (use --protocol or \
+           --algorithm wheel-PROTO)";
+        exit 2
+    | _ -> ());
     match wheel_protocol with
-    | Some pname -> run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry
+    | Some pname ->
+        run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scenario
     | None ->
     let g = build_graph args in
     let rng = Rng.of_int (args.seed + 17) in
@@ -516,7 +583,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ family_term $ algorithm $ protocol $ domains $ source $ max_rounds
-      $ crash $ drop $ capacity $ trace $ telemetry)
+      $ crash $ drop $ capacity $ trace $ telemetry $ scenario_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game *)
@@ -659,7 +726,9 @@ let sweep_cmd =
   let module Wheel = Gossip_scale.Wheel_engine in
   let module Json = Gossip_util.Json in
   let family =
-    let doc = "Scale family: ring-of-cliques, barabasi-albert, watts-strogatz." in
+    let doc =
+      "Scale family: ring-of-cliques, braided-ring, barabasi-albert, watts-strogatz."
+    in
     Arg.(value & opt string "ring-of-cliques" & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
   let n =
@@ -693,7 +762,13 @@ let sweep_cmd =
   let bridge =
     Arg.(
       value & opt int 8
-      & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques).")
+      & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques, braided-ring).")
+  in
+  let bridges =
+    Arg.(
+      value & opt int 2
+      & info [ "bridges" ] ~docv:"B"
+          ~doc:"Parallel bridges between adjacent cliques (braided-ring).")
   in
   let attach =
     Arg.(
@@ -769,11 +844,13 @@ let sweep_cmd =
             "Write per-job outcomes and pool metrics (worker busy time, job-latency \
              histogram, queue depth) as JSONL; inspect with $(b,gossip-cli report).")
   in
-  let run family n protocol trials jobs domains size bridge attach ws_k beta latency
-      max_rounds retries job_timeout checkpoint resume inject_crash out telemetry seed =
+  let run family n protocol trials jobs domains size bridge bridges attach ws_k beta
+      latency max_rounds retries job_timeout checkpoint resume inject_crash out telemetry
+      scenario seed =
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
+      | "braided-ring" -> Sweep.Braided_ring { size; bridges; bridge_latency = bridge }
       | "barabasi-albert" -> Sweep.Barabasi_albert { attach }
       | "watts-strogatz" -> Sweep.Watts_strogatz { k = ws_k; beta }
       | other -> failwith (Printf.sprintf "unknown sweep family %S" other)
@@ -786,8 +863,10 @@ let sweep_cmd =
             (Printf.sprintf "unknown protocol %S (known: %s)" protocol
                (String.concat ", " Wheel.known_protocols))
     in
+    let scenario = Option.map load_scenario scenario in
     let jobs_list =
-      Sweep.make_jobs ~family ~n ~protocol ~trials ~base_seed:seed ~max_rounds ?latency ()
+      Sweep.make_jobs ~family ~n ~protocol ~trials ~base_seed:seed ~max_rounds ?latency
+        ?scenario ()
     in
     let workers =
       let requested = match jobs with Some j -> max 1 j | None -> Pool.default_workers () in
@@ -864,9 +943,9 @@ let sweep_cmd =
   let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ family $ n $ protocol $ trials $ jobs $ domains $ size $ bridge $ attach
-      $ ws_k $ beta $ latency $ max_rounds $ retries $ job_timeout $ checkpoint $ resume
-      $ inject_crash $ out $ telemetry $ seed_arg)
+      const run $ family $ n $ protocol $ trials $ jobs $ domains $ size $ bridge
+      $ bridges $ attach $ ws_k $ beta $ latency $ max_rounds $ retries $ job_timeout
+      $ checkpoint $ resume $ inject_crash $ out $ telemetry $ scenario_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client: the gossip daemon *)
@@ -955,7 +1034,9 @@ let client_cmd =
       & info [] ~docv:"JOB" ~doc:"Job id (status, watch, results, cancel, wait).")
   in
   let family =
-    let doc = "Sweep family: ring-of-cliques, barabasi-albert, watts-strogatz." in
+    let doc =
+      "Sweep family: ring-of-cliques, braided-ring, barabasi-albert, watts-strogatz."
+    in
     Arg.(value & opt string "ring-of-cliques" & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
   let n = Arg.(value & opt pos_int_conv 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.") in
@@ -970,7 +1051,15 @@ let client_cmd =
     Arg.(value & opt int 8 & info [ "size" ] ~docv:"S" ~doc:"Clique size (ring-of-cliques).")
   in
   let bridge =
-    Arg.(value & opt int 8 & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques).")
+    Arg.(
+      value & opt int 8
+      & info [ "bridge" ] ~docv:"L" ~doc:"Bridge latency (ring-of-cliques, braided-ring).")
+  in
+  let bridges =
+    Arg.(
+      value & opt int 2
+      & info [ "bridges" ] ~docv:"B"
+          ~doc:"Parallel bridges between adjacent cliques (braided-ring).")
   in
   let attach =
     Arg.(value & opt int 3 & info [ "attach" ] ~docv:"M" ~doc:"Edges per new node (barabasi-albert).")
@@ -996,8 +1085,8 @@ let client_cmd =
       value & opt pos_float_conv 60.0
       & info [ "wait-timeout" ] ~docv:"SECS" ~doc:"Give up on $(b,wait) after this long.")
   in
-  let run socket action job family n protocol trials size bridge attach ws_k beta latency
-      max_rounds wait_timeout seed =
+  let run socket action job family n protocol trials size bridge bridges attach ws_k beta
+      latency max_rounds scenario wait_timeout seed =
     let print_resp r = print_string (Gossip_serve.Frame.frame (P.response_to_json r)) in
     let finish r =
       print_resp r;
@@ -1024,6 +1113,8 @@ let client_cmd =
             let family =
               match family with
               | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
+              | "braided-ring" ->
+                  Sweep.Braided_ring { size; bridges; bridge_latency = bridge }
               | "barabasi-albert" -> Sweep.Barabasi_albert { attach }
               | "watts-strogatz" -> Sweep.Watts_strogatz { k = ws_k; beta }
               | other -> failwith (Printf.sprintf "unknown sweep family %S" other)
@@ -1036,6 +1127,7 @@ let client_cmd =
                     (Printf.sprintf "unknown protocol %S (known: %s)" protocol
                        (String.concat ", " Wheel.known_protocols))
             in
+            let scenario = Option.map load_scenario scenario in
             finish
               (C.rpc c
                  (P.Submit
@@ -1047,6 +1139,7 @@ let client_cmd =
                       base_seed = seed;
                       max_rounds;
                       latency;
+                      scenario;
                     }))
         | "status" -> finish (C.rpc c (P.Status (need_job ())))
         | "cancel" -> finish (C.rpc c (P.Cancel (need_job ())))
@@ -1096,8 +1189,9 @@ let client_cmd =
   let doc = "Talk to a running gossip daemon (submit, follow, and fetch jobs)." in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ socket_arg $ action $ job $ family $ n $ protocol $ trials $ size $ bridge
-      $ attach $ ws_k $ beta $ latency $ max_rounds $ wait_timeout $ seed_arg)
+      const run $ socket_arg $ action $ job $ family $ n $ protocol $ trials $ size
+      $ bridge $ bridges $ attach $ ws_k $ beta $ latency $ max_rounds $ scenario_arg
+      $ wait_timeout $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report *)

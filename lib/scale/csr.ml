@@ -174,6 +174,47 @@ let ring_of_cliques ~cliques ~size ~bridge_latency =
   done;
   { n; row_ptr; col; lat }
 
+let braided_ring ~cliques ~size ~bridges ~bridge_latency =
+  if cliques < 3 then invalid_arg "Csr.braided_ring: need >= 3 cliques";
+  if size < 1 then invalid_arg "Csr.braided_ring: need size >= 1";
+  if bridges < 1 || bridges > size then
+    invalid_arg "Csr.braided_ring: need 1 <= bridges <= size";
+  if bridge_latency < 2 then
+    invalid_arg "Csr.braided_ring: need bridge_latency >= 2 (bridge 0 runs at bridge_latency - 1)";
+  let n = cliques * size in
+  let id c i = (c * size) + i in
+  let deg i = size - 1 + if i < bridges then 2 else 0 in
+  let row_ptr = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row_ptr.(u + 1) <- row_ptr.(u) + deg (u mod size)
+  done;
+  let len = row_ptr.(n) in
+  let col = Array.make len 0 and lat = Array.make len 0 in
+  for c = 0 to cliques - 1 do
+    for i = 0 to size - 1 do
+      let u = id c i in
+      let p = ref row_ptr.(u) in
+      let push v l =
+        col.(!p) <- v;
+        lat.(!p) <- l;
+        incr p
+      in
+      for j = 0 to size - 1 do
+        if j <> i then push (id c j) 1
+      done;
+      if i < bridges then begin
+        (* Bridge 0 is the fast backbone; its siblings run one round
+           slower, so a latency filter at [bridge_latency] touches the
+           braid but never the backbone. *)
+        let l = if i = 0 then bridge_latency - 1 else bridge_latency in
+        push (id ((c - 1 + cliques) mod cliques) i) l;
+        push (id ((c + 1) mod cliques) i) l
+      end;
+      sort_row col lat row_ptr.(u) row_ptr.(u + 1)
+    done
+  done;
+  { n; row_ptr; col; lat }
+
 let barabasi_albert rng ~n ~attach =
   if attach < 1 || n <= attach then invalid_arg "Csr.barabasi_albert: need n > attach >= 1";
   let seed_size = attach + 1 in

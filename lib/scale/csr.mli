@@ -88,6 +88,21 @@ val to_graph : t -> Gossip_graph.Graph.t
     [size >= 1], [bridge_latency >= 1]. *)
 val ring_of_cliques : cliques:int -> size:int -> bridge_latency:int -> t
 
+(** [braided_ring ~cliques ~size ~bridges ~bridge_latency] is a ring
+    of [cliques] unit-latency cliques of [size] nodes where adjacent
+    cliques are joined by [bridges] parallel matching edges: bridge
+    [j] connects node [j] of each clique to node [j] of the next.
+    Bridge 0 — the {e backbone} — has latency [bridge_latency - 1];
+    bridges [1 .. bridges-1] have latency [bridge_latency].  The split
+    makes the family the natural dynamic-scenario testbed: a drift
+    schedule filtered to [lat >= bridge_latency] erodes the braid's
+    fast cut capacity (raising [ℓ*/φ*]) while the backbone — and with
+    it the latency-[<= bridge_latency - 1] contact subgraph a
+    conductance-independent [Dtg_local] baseline walks — is untouched.
+    Requires [cliques >= 3], [size >= 1], [1 <= bridges <= size],
+    [bridge_latency >= 2]. *)
+val braided_ring : cliques:int -> size:int -> bridges:int -> bridge_latency:int -> t
+
 (** [barabasi_albert rng ~n ~attach] grows a preferential-attachment
     graph (unit latencies) with the repeated-endpoints method of
     [Gen.barabasi_albert], accumulating edges into flat growable

@@ -20,6 +20,69 @@ let no_faults = Engine.no_faults
 
 type metrics = Engine.metrics
 
+(* The dynamic-network environment: a time-indexed generalization of
+   [faults].  Where [faults.jitter] sees only (latency, round), the
+   environment's latency map also sees the edge's endpoints — the hook
+   `lib/dyn` scenarios use to drift, modulate, or adversarially jitter
+   specific edges.  Churn adds two notions the static plan lacks:
+   [env_present_since] asks whether a node has been continuously
+   present over an exchange's lifetime (an exchange binds to both
+   endpoints' incarnations — a node that departed and came back must
+   not receive stale traffic from its previous life), and [env_rejoin]
+   marks the amnesia point where a returning node forgets the rumor.
+   [env_has_churn] gates the per-round rejoin scan so churn-free
+   environments pay nothing for it. *)
+type env = {
+  env_alive : node:int -> round:int -> bool;
+  env_present_since : node:int -> since:int -> round:int -> bool;
+  env_drop : initiator:int -> responder:int -> round:int -> bool;
+  env_latency : u:int -> v:int -> latency:int -> round:int -> int;
+  env_rejoin : node:int -> round:int -> bool;
+  env_has_churn : bool;
+}
+
+(* A static fault plan is the trivial environment: presence over an
+   interval collapses to liveness at the evaluation round, the latency
+   map ignores the endpoints, nobody rejoins.  Every check below then
+   computes exactly what the pre-environment engine computed, which is
+   what keeps static runs bit-identical. *)
+let env_of_faults (f : faults) =
+  {
+    env_alive = (fun ~node ~round -> f.Engine.alive ~node ~round);
+    env_present_since = (fun ~node ~since:_ ~round -> f.Engine.alive ~node ~round);
+    env_drop =
+      (fun ~initiator ~responder ~round -> f.Engine.drop ~initiator ~responder ~round);
+    env_latency = (fun ~u:_ ~v:_ ~latency ~round -> f.Engine.jitter ~latency ~round);
+    env_rejoin = (fun ~node:_ ~round:_ -> false);
+    env_has_churn = false;
+  }
+
+(* ?faults and ?env compose: the static plan filters first (its jitter
+   feeds the environment's latency map), the environment decides
+   presence over intervals and rejoins. *)
+let compose_env (f : faults) (e : env) =
+  if f == no_faults then e
+  else
+    {
+      env_alive =
+        (fun ~node ~round -> f.Engine.alive ~node ~round && e.env_alive ~node ~round);
+      env_present_since =
+        (fun ~node ~since ~round ->
+          f.Engine.alive ~node ~round && e.env_present_since ~node ~since ~round);
+      env_drop =
+        (fun ~initiator ~responder ~round ->
+          f.Engine.drop ~initiator ~responder ~round
+          || e.env_drop ~initiator ~responder ~round);
+      env_latency =
+        (fun ~u ~v ~latency ~round ->
+          e.env_latency ~u ~v ~latency:(f.Engine.jitter ~latency ~round) ~round);
+      env_rejoin = e.env_rejoin;
+      env_has_churn = e.env_has_churn;
+    }
+
+let resolve_env ?env faults =
+  match env with None -> env_of_faults faults | Some e -> compose_env faults e
+
 exception Jitter_overflow of { latency : int; bound : int; round : int }
 
 exception Deadline_exceeded of { round : int; elapsed_s : float }
@@ -57,6 +120,7 @@ type tel = {
   h_initiations : Gossip_obs.Registry.histogram;
   h_inflight : Gossip_obs.Registry.histogram;
   g_inflight : Gossip_obs.Registry.gauge;
+  g_minor_words : Gossip_obs.Registry.gauge;
   c_kernel_deliveries : Gossip_obs.Registry.counter;
   c_kernel_initiations : Gossip_obs.Registry.counter;
 }
@@ -68,7 +132,7 @@ type tel = {
 type t = {
   csr : Csr.t;
   kernel : Kernel.t;  (* protocol hooks + directed contact rows *)
-  faults : faults;
+  env : env;
   wheel : int;  (* slot count = wheel latency bound + 1 *)
   informed : Bytes.t;
   mutable count : int;
@@ -80,6 +144,7 @@ type t = {
   mutable ex_req_pay : int array;  (* rumor bit carried by the request *)
   mutable ex_resp_pay : int array;  (* rumor bit carried by the response *)
   mutable ex_due : int array;  (* absolute response-due round *)
+  mutable ex_init : int array;  (* initiation round, for presence-interval checks *)
   mutable ex_next : int array;
   mutable free_head : int;
   mutable pool_used : int;  (* high-water mark of allocated slots *)
@@ -132,6 +197,7 @@ let resolve_tel ~kernel_name telemetry =
         h_initiations = Gossip_obs.Registry.histogram reg "wheel.round.initiations";
         h_inflight = Gossip_obs.Registry.histogram reg "wheel.inflight";
         g_inflight = Gossip_obs.Registry.gauge reg "wheel.inflight.max";
+        g_minor_words = Gossip_obs.Registry.gauge reg "wheel.minor_words_per_round";
         c_kernel_deliveries =
           Gossip_obs.Registry.counter reg
             (Printf.sprintf "wheel.kernel.%s.deliveries" kernel_name);
@@ -179,7 +245,7 @@ let init_informed ?informed ~n ~source () =
   done;
   (b, !count)
 
-let create_kernel ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?telemetry
+let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?telemetry
     ?pool_capacity ?informed rng csr ~kernel ~source =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
@@ -192,7 +258,7 @@ let create_kernel ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?teleme
   {
     csr;
     kernel;
-    faults;
+    env = resolve_env ?env faults;
     wheel = bound + 1;
     informed;
     count;
@@ -204,6 +270,7 @@ let create_kernel ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?teleme
     ex_req_pay = Array.make cap 0;
     ex_resp_pay = Array.make cap 0;
     ex_due = Array.make cap 0;
+    ex_init = Array.make cap 0;
     ex_next = Array.make cap (-1);
     free_head = -1;
     pool_used = 0;
@@ -215,10 +282,10 @@ let create_kernel ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?teleme
     now = 0;
   }
 
-let create ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng csr
-    ~protocol ~source =
-  create_kernel ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
-    csr
+let create ?faults ?env ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
+    csr ~protocol ~source =
+  create_kernel ?faults ?env ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed
+    rng csr
     ~kernel:(Kernel.of_protocol csr protocol)
     ~source
 
@@ -238,6 +305,14 @@ let mark t v =
     t.count <- t.count + 1
   end
 
+(* A rejoining node comes back with amnesia: its informed bit (if any)
+   is cleared, so it must hear the rumor again in its new incarnation. *)
+let unmark t v =
+  if Bytes.get t.informed v <> '\000' then begin
+    Bytes.set t.informed v '\000';
+    t.count <- t.count - 1
+  end
+
 let grow t =
   let old = Array.length t.ex_next in
   let cap = min (2 * old) t.pool_limit in
@@ -255,6 +330,7 @@ let grow t =
   t.ex_req_pay <- extend t.ex_req_pay;
   t.ex_resp_pay <- extend t.ex_resp_pay;
   t.ex_due <- extend t.ex_due;
+  t.ex_init <- extend t.ex_init;
   t.ex_next <- extend t.ex_next
 
 let alloc t =
@@ -282,7 +358,22 @@ let step t =
   and i0 = t.metrics.Engine.initiations
   and x0 = t.metrics.Engine.dropped in
   let slot = round mod t.wheel in
-  let alive node = t.faults.Engine.alive ~node ~round in
+  let alive node = t.env.env_alive ~node ~round in
+  (* An exchange is delivered only while both endpoints remain in the
+     incarnation that initiated it; for a static environment this is
+     plain liveness at [round]. *)
+  let present node since = t.env.env_present_since ~node ~since ~round in
+  (* Phase 0: churned nodes scheduled to rejoin this round come back
+     with amnesia — their informed bit is cleared before any of this
+     round's deliveries, so stale in-flight traffic (already doomed by
+     the presence-interval checks below) cannot re-inform them and the
+     informed count stays an honest census of current incarnations. *)
+  if t.env.env_has_churn then begin
+    let n = Csr.n t.csr in
+    for v = 0 to n - 1 do
+      if t.env.env_rejoin ~node:v ~round then unmark t v
+    done
+  end;
   (* Phase 1a: every response due to be generated this round reads the
      informed set as of the start of the round — before any of this
      round's push merges — matching Engine.step's sub-phase ordering.
@@ -291,7 +382,7 @@ let step t =
   let e = ref t.arrival_head.(slot) in
   while !e >= 0 do
     let ex = !e in
-    if alive t.ex_responder.(ex) then
+    if present t.ex_responder.(ex) t.ex_init.(ex) then
       t.ex_resp_pay.(ex) <-
         t.kernel.Kernel.on_deliver ~informed:(informed t t.ex_responder.(ex));
     e := t.ex_next.(ex)
@@ -304,7 +395,7 @@ let step t =
   while !e >= 0 do
     let ex = !e in
     let next = t.ex_next.(ex) in
-    if alive t.ex_responder.(ex) then begin
+    if present t.ex_responder.(ex) t.ex_init.(ex) then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
       if t.ex_req_pay.(ex) = 1 then mark t t.ex_responder.(ex);
@@ -325,7 +416,7 @@ let step t =
   while !e >= 0 do
     let ex = !e in
     let next = t.ex_next.(ex) in
-    if alive t.ex_initiator.(ex) then begin
+    if present t.ex_initiator.(ex) t.ex_init.(ex) then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
       if t.kernel.Kernel.on_response ~pay:t.ex_resp_pay.(ex) then mark t t.ex_initiator.(ex)
@@ -357,10 +448,12 @@ let step t =
       if idx >= 0 then begin
         let peer = col.(base + idx) in
         t.metrics.Engine.initiations <- t.metrics.Engine.initiations + 1;
-        if t.faults.Engine.drop ~initiator:u ~responder:peer ~round then
+        if t.env.env_drop ~initiator:u ~responder:peer ~round then
           t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1
         else begin
-          let latency = max 1 (t.faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
+          let latency =
+            max 1 (t.env.env_latency ~u ~v:peer ~latency:lat.(base + idx) ~round)
+          in
           if latency >= t.wheel then
             (* An undeclared jitter overrunning the wheel is a failed
                run, not a harness crash: the typed exception lets a
@@ -373,6 +466,7 @@ let step t =
           t.ex_req_pay.(ex) <- req_pay;
           t.ex_resp_pay.(ex) <- 0;
           t.ex_due.(ex) <- round + latency;
+          t.ex_init.(ex) <- round;
           let arrival_slot = (round + ((latency + 1) / 2)) mod t.wheel in
           t.ex_next.(ex) <- t.arrival_head.(arrival_slot);
           t.arrival_head.(arrival_slot) <- ex
@@ -408,14 +502,15 @@ type result = {
   informed : Bytes.t;
 }
 
-let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
   let t =
-    create_kernel ?faults ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed rng
-      csr ~kernel ~source
+    create_kernel ?faults ?env ?wheel_latency ?max_jitter ?telemetry ?pool_capacity ?informed
+      rng csr ~kernel ~source
   in
   let n = Csr.n csr in
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
+  let minor0 = match t.tel with None -> 0.0 | Some _ -> Gc.minor_words () in
   let history = ref [ (0, t.count) ] in
   let rec go () =
     if t.count = n then Some t.now
@@ -443,6 +538,15 @@ let broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?teleme
     end
   in
   let rounds = go () in
+  (* Per-round minor-allocation gauge (ROADMAP item 3: the watchdog for
+     an allocation-free round loop).  Measured across the whole round
+     loop — including history bookkeeping — on the static path. *)
+  (match t.tel with
+  | Some tel when t.metrics.Engine.rounds > 0 ->
+      Gossip_obs.Registry.set tel.g_minor_words
+        (int_of_float
+           ((Gc.minor_words () -. minor0) /. float_of_int t.metrics.Engine.rounds))
+  | _ -> ());
   { rounds; metrics = t.metrics; history = List.rev !history; informed = t.informed }
 
 (* ------------------------------------------------------------------ *)
@@ -484,6 +588,7 @@ type shard = {
   mutable s_req_pay : int array;
   mutable s_resp_pay : int array;
   mutable s_due : int array;
+  mutable s_init : int array;
   mutable s_next : int array;
   mutable s_free : int;
   mutable s_pool_used : int;
@@ -507,7 +612,7 @@ type shard = {
 type shared = {
   sh_csr : Csr.t;
   sh_kernel : Kernel.t;  (* one instance, owner-only per-node state access *)
-  sh_faults : faults;
+  sh_env : env;
   sh_wheel : int;
   sh_informed : Bytes.t;  (* disjoint per-shard slices, no cross-shard access *)
   sh_rngs : Rng.t array;
@@ -515,8 +620,9 @@ type shared = {
   sh_pool_limit : int;
   (* per-(src shard, dst shard) mailboxes at [src * k + dst]; written
      in one stage, drained after a barrier, so no locking is needed *)
-  sh_init_mail : Shard.Buf.t array;  (* 5 ints: initiator responder req_pay due arr_slot *)
-  sh_resp_mail : Shard.Buf.t array;  (* 3 ints: initiator resp_pay due_slot *)
+  sh_init_mail : Shard.Buf.t array;
+      (* 6 ints: initiator responder req_pay due arr_slot init_round *)
+  sh_resp_mail : Shard.Buf.t array;  (* 4 ints: initiator resp_pay due_slot init_round *)
 }
 
 let make_shard ctx id lo hi =
@@ -534,6 +640,7 @@ let make_shard ctx id lo hi =
     s_req_pay = Array.make cap 0;
     s_resp_pay = Array.make cap 0;
     s_due = Array.make cap 0;
+    s_init = Array.make cap 0;
     s_next = Array.make cap (-1);
     s_free = -1;
     s_pool_used = 0;
@@ -564,6 +671,7 @@ let s_grow ctx sh round =
   sh.s_req_pay <- extend sh.s_req_pay;
   sh.s_resp_pay <- extend sh.s_resp_pay;
   sh.s_due <- extend sh.s_due;
+  sh.s_init <- extend sh.s_init;
   sh.s_next <- extend sh.s_next
 
 let s_alloc ctx sh round =
@@ -596,6 +704,17 @@ let stage1 ctx sh round =
   sh.s_at <- sh.s_lo;
   let k = ctx.sh_k in
   let slot = round mod ctx.sh_wheel in
+  (* Phase 0 (churn): rejoin-with-amnesia over this shard's own nodes,
+     mirroring the sequential engine's pre-delivery scan.  Informed
+     bytes are own-shard-only, so this is race-free and the merge's
+     count sum stays exact. *)
+  if ctx.sh_env.env_has_churn then
+    for v = sh.s_lo to sh.s_hi - 1 do
+      if ctx.sh_env.env_rejoin ~node:v ~round && Bytes.get ctx.sh_informed v <> '\000' then begin
+        Bytes.set ctx.sh_informed v '\000';
+        sh.s_count <- sh.s_count - 1
+      end
+    done;
   for src = 0 to k - 1 do
     let b = ctx.sh_init_mail.((src * k) + sh.s_id) in
     let len = Shard.Buf.length b in
@@ -608,19 +727,20 @@ let stage1 ctx sh round =
       sh.s_resp_pay.(ex) <- 0;
       sh.s_due.(ex) <- Shard.Buf.get b (!i + 3);
       let arr_slot = Shard.Buf.get b (!i + 4) in
+      sh.s_init.(ex) <- Shard.Buf.get b (!i + 5);
       sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
       sh.s_arrival.(arr_slot) <- ex;
-      i := !i + 5
+      i := !i + 6
     done;
     Shard.Buf.clear b
   done;
-  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  let present node since = ctx.sh_env.env_present_since ~node ~since ~round in
   (* 1a: responses read the informed set as of the start of the round,
      before any of this round's push merges. *)
   let e = ref sh.s_arrival.(slot) in
   while !e >= 0 do
     let ex = !e in
-    if alive sh.s_responder.(ex) then
+    if present sh.s_responder.(ex) sh.s_init.(ex) then
       sh.s_resp_pay.(ex) <-
         ctx.sh_kernel.Kernel.on_deliver
           ~informed:(Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000');
@@ -633,7 +753,7 @@ let stage1 ctx sh round =
   while !e >= 0 do
     let ex = !e in
     let next = sh.s_next.(ex) in
-    if alive sh.s_responder.(ex) then begin
+    if present sh.s_responder.(ex) sh.s_init.(ex) then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
       if sh.s_req_pay.(ex) = 1 then s_mark ctx sh sh.s_responder.(ex);
@@ -646,12 +766,14 @@ let stage1 ctx sh round =
       end
       else begin
         let resp_pay = sh.s_resp_pay.(ex) in
+        let init_round = sh.s_init.(ex) in
         s_free_ex sh ex;
         let b = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
-        let base = Shard.Buf.reserve b 3 in
+        let base = Shard.Buf.reserve b 4 in
         Shard.Buf.set b base initiator;
         Shard.Buf.set b (base + 1) resp_pay;
         Shard.Buf.set b (base + 2) due_slot;
+        Shard.Buf.set b (base + 3) init_round;
         Gossip_obs.Registry.incr sh.s_c_remote_resps
       end
     end
@@ -677,19 +799,20 @@ let stage2_deliver ctx sh round =
       sh.s_initiator.(ex) <- Shard.Buf.get b !i;
       sh.s_resp_pay.(ex) <- Shard.Buf.get b (!i + 1);
       let due_slot = Shard.Buf.get b (!i + 2) in
+      sh.s_init.(ex) <- Shard.Buf.get b (!i + 3);
       sh.s_next.(ex) <- sh.s_response.(due_slot);
       sh.s_response.(due_slot) <- ex;
-      i := !i + 3
+      i := !i + 4
     done;
     Shard.Buf.clear b
   done;
-  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  let present node since = ctx.sh_env.env_present_since ~node ~since ~round in
   let e = ref sh.s_response.(slot) in
   sh.s_response.(slot) <- -1;
   while !e >= 0 do
     let ex = !e in
     let next = sh.s_next.(ex) in
-    if alive sh.s_initiator.(ex) then begin
+    if present sh.s_initiator.(ex) sh.s_init.(ex) then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
       if ctx.sh_kernel.Kernel.on_response ~pay:sh.s_resp_pay.(ex) then
@@ -705,7 +828,7 @@ let stage2_deliver ctx sh round =
 let stage2_initiate ctx sh round =
   let k = ctx.sh_k in
   let n = Csr.n ctx.sh_csr in
-  let alive node = ctx.sh_faults.Engine.alive ~node ~round in
+  let alive node = ctx.sh_env.env_alive ~node ~round in
   let contact = ctx.sh_kernel.Kernel.contact in
   let row_ptr = contact.Csr.o_row_ptr
   and col = contact.Csr.o_col
@@ -723,10 +846,12 @@ let stage2_initiate ctx sh round =
       if idx >= 0 then begin
         let peer = col.(base + idx) in
         sh.s_initiations <- sh.s_initiations + 1;
-        if ctx.sh_faults.Engine.drop ~initiator:u ~responder:peer ~round then
+        if ctx.sh_env.env_drop ~initiator:u ~responder:peer ~round then
           sh.s_dropped <- sh.s_dropped + 1
         else begin
-          let latency = max 1 (ctx.sh_faults.Engine.jitter ~latency:lat.(base + idx) ~round) in
+          let latency =
+            max 1 (ctx.sh_env.env_latency ~u ~v:peer ~latency:lat.(base + idx) ~round)
+          in
           if latency >= ctx.sh_wheel then
             raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
           let req_pay = ctx.sh_kernel.Kernel.req_pay ~informed:informed_u in
@@ -740,17 +865,19 @@ let stage2_initiate ctx sh round =
             sh.s_req_pay.(ex) <- req_pay;
             sh.s_resp_pay.(ex) <- 0;
             sh.s_due.(ex) <- due;
+            sh.s_init.(ex) <- round;
             sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
             sh.s_arrival.(arr_slot) <- ex
           end
           else begin
             let b = ctx.sh_init_mail.((sh.s_id * k) + dst) in
-            let mb = Shard.Buf.reserve b 5 in
+            let mb = Shard.Buf.reserve b 6 in
             Shard.Buf.set b mb u;
             Shard.Buf.set b (mb + 1) peer;
             Shard.Buf.set b (mb + 2) req_pay;
             Shard.Buf.set b (mb + 3) due;
             Shard.Buf.set b (mb + 4) arr_slot;
+            Shard.Buf.set b (mb + 5) round;
             Gossip_obs.Registry.incr sh.s_c_remote_inits
           end
         end
@@ -767,8 +894,9 @@ type control = {
   mutable c_history : (int * int) list;
 }
 
-let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) ?deadline
-    ?on_round ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
+let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0)
+    ?deadline ?on_round ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source
+    ~max_rounds =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
@@ -778,7 +906,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
     {
       sh_csr = csr;
       sh_kernel = kernel;
-      sh_faults = faults;
+      sh_env = resolve_env ?env faults;
       sh_wheel = bound + 1;
       sh_informed = informed;
       sh_rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n;
@@ -859,7 +987,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
              exchanges the sequential engine would have allocated in
              phase 2 — count them so the in-flight telemetry matches. *)
           Array.iter
-            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 5))
+            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 6))
             ctx.sh_init_mail;
           metrics.Engine.deliveries <- !deliveries;
           metrics.Engine.initiations <- !initiations;
@@ -938,11 +1066,20 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
         Shard.Barrier.await ~serial:merge bar2
       done
     in
+    let minor0 = match tel with None -> 0.0 | Some _ -> Gc.minor_words () in
     let domains =
       Array.init (k - 1) (fun i -> Domain.spawn (fun () -> worker shards.(i + 1)))
     in
     worker shards.(0);
     Array.iter Domain.join domains;
+    (* Same gauge as the sequential path, measured from the
+       orchestrating domain's minor heap (shard 0 + serial merges). *)
+    (match tel with
+    | Some tel when metrics.Engine.rounds > 0 ->
+        Gossip_obs.Registry.set tel.g_minor_words
+          (int_of_float
+             ((Gc.minor_words () -. minor0) /. float_of_int metrics.Engine.rounds))
+    | _ -> ());
     (* Merge per-shard registries (cross-shard traffic counters) into
        the caller's registry once the run is over. *)
     (match telemetry with
@@ -952,20 +1089,20 @@ let broadcast_sharded ~k ?(faults = no_faults) ?wheel_latency ?(max_jitter = 0) 
   (match ctl.c_fail with Some e -> raise e | None -> ());
   { rounds = ctl.c_rounds; metrics; history = List.rev ctl.c_history; informed }
 
-let broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+let broadcast_kernel ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed ?(domains = 1) rng csr ~kernel ~source ~max_rounds =
   if domains < 1 then invalid_arg "Wheel_engine.broadcast: domains must be >= 1";
   let k = min domains (Csr.n csr) in
   if k <= 1 then
-    broadcast_seq ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+    broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
       ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
   else
-    broadcast_sharded ~k ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
-      ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
+    broadcast_sharded ~k ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round
+      ?telemetry ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds
 
-let broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+let broadcast ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed ?domains rng csr ~protocol ~source ~max_rounds =
-  broadcast_kernel ?faults ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
+  broadcast_kernel ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed ?domains rng csr
     ~kernel:(Kernel.of_protocol csr protocol)
     ~source ~max_rounds

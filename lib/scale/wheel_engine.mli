@@ -76,6 +76,52 @@ type faults = Gossip_sim.Engine.faults
 
 val no_faults : faults
 
+(** A time-indexed network environment — the generalization of
+    {!faults} that dynamic scenarios ([lib/dyn]) compile into.  Where a
+    fault plan sees only [(node, round)] or [(latency, round)], an
+    environment additionally sees {e edge identity} ([u], [v]) for
+    latency rewriting and {e presence intervals} for churn:
+
+    - [env_alive ~node ~round]: may [node] act (initiate, respond,
+      be counted live) at [round]?
+    - [env_present_since ~node ~since ~round]: has [node] been
+      continuously present from round [since] through [round]?  An
+      in-flight exchange initiated at [since] is delivered to [node]
+      only if this holds — a node that left and rejoined mid-flight
+      missed the message (its incarnation changed).  For static plans
+      this degenerates to [env_alive ~node ~round].
+    - [env_drop ~initiator ~responder ~round]: suppress the initiation.
+    - [env_latency ~u ~v ~latency ~round]: the effective latency of
+      edge [(u, v)] (static latency [latency]) for an exchange
+      initiated at [round].  Clamped to [>= 1] by the engine; must stay
+      within the wheel bound or {!Jitter_overflow} is raised.
+    - [env_rejoin ~node ~round]: [node] rejoins (with amnesia) at the
+      start of [round] — the engine clears its informed bit before any
+      deliveries, so completion still means "everyone currently
+      informed".  Scanned only when [env_has_churn] is set, so static
+      environments pay nothing.
+
+    All closures must be pure (deterministic functions of their
+    arguments): under [?domains > 1] the engine may evaluate them from
+    any domain, and bit-identical parity with the sequential engine
+    relies on it. *)
+type env = {
+  env_alive : node:int -> round:int -> bool;
+  env_present_since : node:int -> since:int -> round:int -> bool;
+  env_drop : initiator:int -> responder:int -> round:int -> bool;
+  env_latency : u:int -> v:int -> latency:int -> round:int -> int;
+  env_rejoin : node:int -> round:int -> bool;
+  env_has_churn : bool;
+}
+
+(** [env_of_faults f] embeds a static fault plan as the trivial
+    environment ([env_present_since] ignores [since]; no churn) —
+    running it is bit-identical to running [f] directly.  When both
+    [?faults] and [?env] are given to {!create} / {!broadcast}, they
+    compose: alive conjoins, drop disjoins, and the fault plan's jitter
+    feeds the environment's [env_latency]. *)
+val env_of_faults : faults -> env
+
 (** Counters are the reference engine's record, so downstream
     aggregation code needs no conversion. *)
 type metrics = Gossip_sim.Engine.metrics
@@ -130,7 +176,15 @@ type t
     ["wheel.kernel.<name>.initiations"] counters, so a JSONL report
     shows which kernel produced a run's traffic.  All handles are
     resolved at creation; a telemetry-off run pays one option match
-    per round.
+    per round.  A full {!broadcast} run additionally sets the
+    ["wheel.minor_words_per_round"] gauge — minor-heap words allocated
+    per executed round on the orchestrating domain (ROADMAP item 3's
+    allocation-free-round-loop enforcement hook).
+
+    [env] is a time-indexed environment (see {!env}); it composes with
+    [?faults] as documented at {!env_of_faults}.  A dynamic
+    environment's [env_latency] must respect [wheel_latency] /
+    [max_jitter] sizing exactly as a jitter fault plan would.
 
     [informed] seeds the initial informed set from a byte vector (any
     nonzero byte marks the node; the source is always added) — this is
@@ -143,6 +197,7 @@ type t
     descriptor, which needs a precomputed spanner. *)
 val create :
   ?faults:faults ->
+  ?env:env ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?telemetry:Gossip_obs.Registry.t ->
@@ -164,6 +219,7 @@ val create :
     mismatch. *)
 val create_kernel :
   ?faults:faults ->
+  ?env:env ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?telemetry:Gossip_obs.Registry.t ->
@@ -244,6 +300,7 @@ type result = {
     @raise Pool_exhausted when the pool hits [pool_capacity]. *)
 val broadcast :
   ?faults:faults ->
+  ?env:env ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?deadline:float ->
@@ -267,6 +324,7 @@ val broadcast :
     runs ([?informed] carries the previous phase's informed set). *)
 val broadcast_kernel :
   ?faults:faults ->
+  ?env:env ->
   ?wheel_latency:int ->
   ?max_jitter:int ->
   ?deadline:float ->

@@ -12,11 +12,13 @@ type spec = {
   base_seed : int;
   max_rounds : int;
   latency : Gossip_graph.Gen.latency_spec option;
+  scenario : Gossip_dyn.Scenario.t option;
 }
 
 let jobs_of_spec s =
   Sweep.make_jobs ~family:s.family ~n:s.n ~protocol:s.protocol ~trials:s.trials
-    ~base_seed:s.base_seed ~max_rounds:s.max_rounds ?latency:s.latency ()
+    ~base_seed:s.base_seed ~max_rounds:s.max_rounds ?latency:s.latency
+    ?scenario:s.scenario ()
 
 let validate_spec s =
   if s.n < 1 then Error (Printf.sprintf "n must be >= 1 (got %d)" s.n)
@@ -134,7 +136,14 @@ let spec_to_json s =
        ("base_seed", Json.Int s.base_seed);
        ("max_rounds", Json.Int s.max_rounds);
      ]
-    @ match s.latency with None -> [] | Some l -> [ ("latency", Sweep.latency_json l) ])
+    @ (match s.latency with None -> [] | Some l -> [ ("latency", Sweep.latency_json l) ])
+    @
+    (* The scenario field is optional and absent for static plans, so
+       a v1 client that has never heard of scenarios emits and reads
+       the exact frames it always did. *)
+    match s.scenario with
+    | None -> []
+    | Some sc -> [ ("scenario", Gossip_dyn.Scenario.to_json sc) ])
 
 let spec_of_json j =
   let need name = function
@@ -162,7 +171,16 @@ let spec_of_json j =
         | Some l -> Ok (Some l)
         | None -> Result.Error "spec: malformed latency")
   in
-  Ok { family; n; protocol; trials; base_seed; max_rounds; latency }
+  let* scenario =
+    match field j "scenario" with
+    | None | Some Json.Null -> Ok None
+    | Some sj -> (
+        match Gossip_dyn.Scenario.of_json sj with
+        | sc -> Ok (Some sc)
+        | exception Gossip_dyn.Scenario.Invalid_scenario msg ->
+            Result.Error (Printf.sprintf "spec: %s" msg))
+  in
+  Ok { family; n; protocol; trials; base_seed; max_rounds; latency; scenario }
 
 (* ------------------------------------------------------------------ *)
 (* Requests *)

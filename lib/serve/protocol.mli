@@ -27,6 +27,10 @@ type spec = {
   base_seed : int;
   max_rounds : int;
   latency : Gossip_graph.Gen.latency_spec option;
+  scenario : Gossip_dyn.Scenario.t option;
+      (** optional dynamic-network scenario threaded into every trial
+          job; the field is omitted from the wire frame when [None],
+          so the protocol stays v1-compatible with static clients *)
 }
 
 (** [jobs_of_spec spec] expands the spec into its trial jobs with the

@@ -9,11 +9,13 @@ module Sink = Gossip_obs.Sink
 
 type family =
   | Ring_of_cliques of { size : int; bridge_latency : int }
+  | Braided_ring of { size : int; bridges : int; bridge_latency : int }
   | Barabasi_albert of { attach : int }
   | Watts_strogatz of { k : int; beta : float }
 
 let family_name = function
   | Ring_of_cliques _ -> "ring-of-cliques"
+  | Braided_ring _ -> "braided-ring"
   | Barabasi_albert _ -> "barabasi-albert"
   | Watts_strogatz _ -> "watts-strogatz"
 
@@ -22,7 +24,7 @@ let family_name = function
    successes of the same realized size. *)
 let realized_n family ~n =
   match family with
-  | Ring_of_cliques { size; _ } -> max 3 (n / size) * size
+  | Ring_of_cliques { size; _ } | Braided_ring { size; _ } -> max 3 (n / size) * size
   | Barabasi_albert _ | Watts_strogatz _ -> n
 
 let build family ~n ~seed =
@@ -31,6 +33,9 @@ let build family ~n ~seed =
   | Ring_of_cliques { size; bridge_latency } ->
       let cliques = max 3 (n / size) in
       Csr.ring_of_cliques ~cliques ~size ~bridge_latency
+  | Braided_ring { size; bridges; bridge_latency } ->
+      let cliques = max 3 (n / size) in
+      Csr.braided_ring ~cliques ~size ~bridges ~bridge_latency
   | Barabasi_albert { attach } -> Csr.barabasi_albert rng ~n ~attach
   | Watts_strogatz { k; beta } -> Csr.watts_strogatz rng ~n ~k ~beta
 
@@ -40,13 +45,22 @@ type job = {
   seed : int;
   protocol : Wheel_engine.protocol;
   latency : Gen.latency_spec option;
+  scenario : Gossip_dyn.Scenario.t option;
   max_rounds : int;
 }
 
-let make_jobs ~family ~n ~protocol ~trials ~base_seed ~max_rounds ?latency () =
+let make_jobs ~family ~n ~protocol ~trials ~base_seed ~max_rounds ?latency ?scenario () =
   if trials < 1 then invalid_arg "Sweep.make_jobs: need trials >= 1";
   List.init trials (fun i ->
-      { family; n; seed = base_seed + (i * 7919); protocol; latency; max_rounds })
+      {
+        family;
+        n;
+        seed = base_seed + (i * 7919);
+        protocol;
+        latency;
+        scenario;
+        max_rounds;
+      })
 
 type job_key = string * int * int * string
 
@@ -80,6 +94,17 @@ let run_job ?timeout_s ?domains ?pool_capacity ?on_round job =
   let n_actual = Csr.n csr in
   let source = job.seed mod n_actual in
   let source = if source < 0 then source + n_actual else source in
+  (* A dynamic scenario compiles against the realized graph into an
+     engine environment plus the wheel bound its schedules need; the
+     adversary (when present) aims at the spanner orientation, so it
+     only resolves on [Rr_spanner] jobs. *)
+  let compile_scenario ?oriented () =
+    Option.map
+      (fun s -> Gossip_dyn.Scenario.compile ?oriented s ~csr ~source)
+      job.scenario
+  in
+  let env c = Option.map (fun c -> c.Gossip_dyn.Scenario.env) c in
+  let wheel c = Option.map (fun c -> c.Gossip_dyn.Scenario.wheel_latency) c in
   let result =
     match job.protocol with
     | Wheel_engine.Rr_spanner { stretch_k } ->
@@ -102,11 +127,15 @@ let run_job ?timeout_s ?domains ?pool_capacity ?on_round job =
         let kernel =
           Gossip_scale.Kernel.rr_broadcast ~k:(Csr.oriented_max_latency oriented) oriented
         in
-        Wheel_engine.broadcast_kernel ?deadline ?domains ?pool_capacity ?on_round
+        let c = compile_scenario ~oriented () in
+        Wheel_engine.broadcast_kernel ?env:(env c) ?wheel_latency:(wheel c) ?deadline
+          ?domains ?pool_capacity ?on_round
           (Rng.of_int (job.seed + 17))
           csr ~kernel ~source ~max_rounds:job.max_rounds
     | protocol ->
-        Wheel_engine.broadcast ?deadline ?domains ?pool_capacity ?on_round
+        let c = compile_scenario () in
+        Wheel_engine.broadcast ?env:(env c) ?wheel_latency:(wheel c) ?deadline ?domains
+          ?pool_capacity ?on_round
           (Rng.of_int (job.seed + 17))
           csr ~protocol ~source ~max_rounds:job.max_rounds
   in
@@ -141,6 +170,14 @@ let family_json = function
         [
           ("kind", Json.String "ring-of-cliques");
           ("size", Json.Int size);
+          ("bridge_latency", Json.Int bridge_latency);
+        ]
+  | Braided_ring { size; bridges; bridge_latency } ->
+      Json.Obj
+        [
+          ("kind", Json.String "braided-ring");
+          ("size", Json.Int size);
+          ("bridges", Json.Int bridges);
           ("bridge_latency", Json.Int bridge_latency);
         ]
   | Barabasi_albert { attach } ->
@@ -285,6 +322,11 @@ let family_of_json j =
       match (int "size", int "bridge_latency") with
       | Some size, Some bridge_latency -> Some (Ring_of_cliques { size; bridge_latency })
       | _ -> None)
+  | Some (Json.String "braided-ring") -> (
+      match (int "size", int "bridges", int "bridge_latency") with
+      | Some size, Some bridges, Some bridge_latency ->
+          Some (Braided_ring { size; bridges; bridge_latency })
+      | _ -> None)
   | Some (Json.String "barabasi-albert") -> (
       match int "attach" with
       | Some attach -> Some (Barabasi_albert { attach })
@@ -309,7 +351,11 @@ let job_to_json j =
        ("protocol", Json.String (Wheel_engine.protocol_name j.protocol));
        ("max_rounds", Json.Int j.max_rounds);
      ]
-    @ match j.latency with None -> [] | Some spec -> [ ("latency", latency_json spec) ])
+    @ (match j.latency with None -> [] | Some spec -> [ ("latency", latency_json spec) ])
+    @
+    match j.scenario with
+    | None -> []
+    | Some s -> [ ("scenario", Gossip_dyn.Scenario.to_json s) ])
 
 let job_of_json j =
   let field name = match j with Json.Obj fs -> List.assoc_opt name fs | _ -> None in
@@ -319,13 +365,26 @@ let job_of_json j =
   | Some fj, Some n, Some seed, Some pname, Some max_rounds -> (
       match (family_of_json fj, protocol_of_name pname) with
       | Some family, Some protocol -> (
-          match field "latency" with
-          | None | Some Json.Null -> Some { family; n; seed; protocol; latency = None; max_rounds }
-          | Some lj -> (
-              match latency_of_json lj with
-              | Some spec ->
-                  Some { family; n; seed; protocol; latency = Some spec; max_rounds }
-              | None -> None))
+          let latency =
+            match field "latency" with
+            | None | Some Json.Null -> Some None
+            | Some lj -> (
+                match latency_of_json lj with
+                | Some spec -> Some (Some spec)
+                | None -> None)
+          in
+          let scenario =
+            match field "scenario" with
+            | None | Some Json.Null -> Some None
+            | Some sj -> (
+                match Gossip_dyn.Scenario.of_json sj with
+                | s -> Some (Some s)
+                | exception Gossip_dyn.Scenario.Invalid_scenario _ -> None)
+          in
+          match (latency, scenario) with
+          | Some latency, Some scenario ->
+              Some { family; n; seed; protocol; latency; scenario; max_rounds }
+          | _ -> None)
       | _ -> None)
   | _ -> None
 
@@ -344,9 +403,10 @@ let entry_of_json j =
     | Some fj, Some n, Some seed, Some pname, Some max_rounds -> (
         match (family_of_json fj, protocol_of_name pname) with
         | Some family, Some protocol ->
-            (* The latency redraw spec only steers execution; every
-               reported field is checkpointed, so it is not persisted. *)
-            Some { family; n; seed; protocol; latency = None; max_rounds }
+            (* The latency redraw and scenario specs only steer
+               execution; every reported field is checkpointed, so they
+               are not persisted. *)
+            Some { family; n; seed; protocol; latency = None; scenario = None; max_rounds }
         | _ -> None)
     | _ -> None
   in

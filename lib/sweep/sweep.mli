@@ -20,6 +20,11 @@ type family =
   | Ring_of_cliques of { size : int; bridge_latency : int }
       (** [n / size] cliques of [size] nodes (at least 3 cliques; the
           realized node count is rounded to a multiple of [size]) *)
+  | Braided_ring of { size : int; bridges : int; bridge_latency : int }
+      (** ring of cliques joined by [bridges] parallel matching edges,
+          bridge 0 one round faster than the rest (see
+          {!Gossip_scale.Csr.braided_ring}) — the dynamic-scenario
+          testbed family *)
   | Barabasi_albert of { attach : int }
   | Watts_strogatz of { k : int; beta : float }
 
@@ -43,6 +48,10 @@ type job = {
   protocol : Gossip_scale.Wheel_engine.protocol;
   latency : Gossip_graph.Gen.latency_spec option;
       (** optional redraw of edge latencies after construction *)
+  scenario : Gossip_dyn.Scenario.t option;
+      (** optional dynamic-network scenario, compiled per job against
+          the realized graph (see {!run_job}); [None] is the static
+          plan *)
   max_rounds : int;
 }
 
@@ -57,6 +66,7 @@ val make_jobs :
   base_seed:int ->
   max_rounds:int ->
   ?latency:Gossip_graph.Gen.latency_spec ->
+  ?scenario:Gossip_dyn.Scenario.t ->
   unit ->
   job list
 
@@ -80,11 +90,11 @@ val latency_of_json : Gossip_util.Json.t -> Gossip_graph.Gen.latency_spec option
 
 (** [job_to_json job] is the job spec as one standalone JSON object —
     family, requested [n], seed, protocol, round cap, {e and} the
-    latency redraw spec (unlike checkpoint records, which only report
-    executed results, a persisted spec must rebuild its graph
-    byte-identically when re-run).  The serve daemon journals this at
-    submit time so a killed daemon re-enqueues exactly the jobs it
-    accepted. *)
+    latency redraw and scenario specs (unlike checkpoint records,
+    which only report executed results, a persisted spec must rebuild
+    its graph and environment byte-identically when re-run).  The
+    serve daemon journals this at submit time so a killed daemon
+    re-enqueues exactly the jobs it accepted. *)
 val job_to_json : job -> Gossip_util.Json.t
 
 (** [job_of_json j] inverts {!job_to_json}; [None] on any missing or
@@ -120,6 +130,12 @@ type failure = {
     first builds the Baswana–Sen orientation (from its own seed
     stream, so the engine's draws are unperturbed) and runs the RR
     kernel through {!Gossip_scale.Wheel_engine.broadcast_kernel}.
+    A job's [scenario] is compiled against the realized graph
+    ({!Gossip_dyn.Scenario.compile}) into the engine's [?env] hook and
+    wheel bound; an adversarial scenario aims at the spanner
+    orientation, so it requires an [Rr_spanner] job and raises
+    {!Gossip_dyn.Scenario.Invalid_scenario} (a structured failure
+    under {!run_ft}) on any other protocol.
     [on_round] is threaded to the engine's between-round observer
     (see {!Gossip_scale.Wheel_engine.broadcast}): trajectory-neutral
     progress streaming, and cooperative cancellation by raising.

@@ -348,6 +348,59 @@ let prop_sharded_kernel_parity =
           && Bytes.equal r.Wheel.informed base.Wheel.informed)
         parity_domains)
 
+(* Dynamic scenarios compiled by lib/dyn — latency drift, churn, and
+   the spanner-targeting adversary — obey the same parity contract on
+   the kernel path as static fault plans. *)
+let prop_sharded_kernel_parity_scenario =
+  let module Scenario = Gossip_dyn.Scenario in
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (kernels x dynamic scenarios)"
+    ~count:15
+    QCheck.(triple (int_range 8 60) (int_range 0 100_000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = gen_graph n seed 6 in
+      let csr = Csr.of_graph g in
+      let source = seed mod n in
+      let s = Spanner.build (Rng.of_int (seed + 3)) g ~k:2 () in
+      let o = Csr.of_oriented_spanner s.Spanner.out_edges in
+      let mk () =
+        if pick mod 2 = 0 then Kernel.rr_broadcast ~k:(Csr.oriented_max_latency o) o
+        else Kernel.dtg_local ~ell:3 csr
+      in
+      let scen =
+        {
+          Scenario.static with
+          Scenario.seed;
+          rules =
+            [
+              {
+                Scenario.schedule = Scenario.Linear { rate = 0.2; cap = 2.0 };
+                filter = Scenario.All;
+              };
+            ];
+          churn =
+            (if pick >= 2 then
+               [ Scenario.Random_churn { fraction = 0.15; leave = 3; down = 4; period = 2 } ]
+             else []);
+          adversary = Some { Scenario.budget = 2 };
+        }
+      in
+      let c = Scenario.compile ~oriented:o scen ~csr ~source in
+      let run d =
+        Wheel.broadcast_kernel ~env:c.Scenario.env ~wheel_latency:c.Scenario.wheel_latency
+          ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~kernel:(mk ()) ~source ~max_rounds:400
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed)
+        parity_domains)
+
 (* ------------------------------------------------------------------ *)
 (* Kernel-tagged telemetry *)
 
@@ -431,6 +484,7 @@ let () =
         [
           Alcotest.test_case "fixed cases" `Quick test_sharded_kernel_fixed;
           qtest prop_sharded_kernel_parity;
+          qtest prop_sharded_kernel_parity_scenario;
         ] );
       ( "telemetry",
         [ Alcotest.test_case "kernel-tagged counters" `Quick test_kernel_tagged_telemetry ] );

@@ -547,6 +547,85 @@ let test_sharded_telemetry () =
   checkb "cross-shard initiations observed" true (remote "wheel.shard.remote.initiations" > 0);
   checkb "cross-shard responses observed" true (remote "wheel.shard.remote.responses" > 0)
 
+(* The static path reports its allocation rate: a telemetry run sets
+   wheel.minor_words_per_round on both the sequential and the sharded
+   engine (the steady-state loop allocates, but boundedly). *)
+let test_minor_words_gauge () =
+  let c = Csr.ring_of_cliques ~cliques:5 ~size:8 ~bridge_latency:4 in
+  let words d =
+    let reg = Registry.create () in
+    let r =
+      Wheel.broadcast ~telemetry:reg ~domains:d (Rng.of_int 6) c ~protocol:Wheel.Push_pull
+        ~source:0 ~max_rounds:10_000
+    in
+    checkb "completes" true (r.Wheel.rounds <> None);
+    Registry.gauge_value (Registry.gauge reg "wheel.minor_words_per_round")
+  in
+  checkb "sequential gauge set" true (words 1 > 0);
+  checkb "sharded gauge set" true (words 3 > 0)
+
+(* Dynamic scenarios ride the same parity contract as static fault
+   plans: for drifting latencies and churn compiled by lib/dyn, the
+   domain-sharded engine is bit-identical to the sequential wheel. *)
+let prop_sharded_parity_scenario =
+  let module Scenario = Gossip_dyn.Scenario in
+  QCheck.Test.make
+    ~name:"sharded wheel = sequential wheel (dynamic scenarios x protocols x domains)"
+    ~count:25
+    QCheck.(triple (int_range 8 60) (int_range 0 100_000) (int_range 0 8))
+    (fun (n, seed, pick) ->
+      let grng = Rng.of_int seed in
+      let g =
+        let p = min 1.0 ((log (float_of_int n) +. 3.0) /. float_of_int n) in
+        Gen.with_latencies grng (Gen.Uniform (1, 6)) (Gen.erdos_renyi_connected grng ~n ~p)
+      in
+      let csr = Csr.of_graph g in
+      let source = seed mod n in
+      let protocol =
+        match pick mod 3 with 0 -> Wheel.Push_pull | 1 -> Wheel.Flood | _ -> Wheel.Random_contact
+      in
+      let rules =
+        match pick / 3 with
+        | 0 ->
+            [
+              {
+                Scenario.schedule = Scenario.Linear { rate = 0.25; cap = 3.0 };
+                filter = Scenario.Lat_ge 3;
+              };
+            ]
+        | 1 -> [ { Scenario.schedule = Scenario.Step { at = 4; factor = 2.0 }; filter = Scenario.All } ]
+        | _ ->
+            [
+              {
+                Scenario.schedule = Scenario.Diurnal { amplitude = 1.0; period = 12; phase = 2 };
+                filter = Scenario.Endpoint_mod { modulus = 3; residue = 1 };
+              };
+            ]
+      in
+      let scen =
+        {
+          Scenario.static with
+          Scenario.seed;
+          rules;
+          churn = [ Scenario.Random_churn { fraction = 0.2; leave = 2; down = 5; period = 3 } ];
+        }
+      in
+      let c = Scenario.compile scen ~csr ~source in
+      let run d =
+        Wheel.broadcast ~env:c.Scenario.env ~wheel_latency:c.Scenario.wheel_latency ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~protocol ~source ~max_rounds:400
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed)
+        parity_domains)
+
 let () =
   Alcotest.run "gossip_scale"
     [
@@ -589,6 +668,8 @@ let () =
         [
           Alcotest.test_case "fixed cases, all protocols" `Quick test_sharded_parity_fixed;
           qtest prop_sharded_parity;
+          qtest prop_sharded_parity_scenario;
+          Alcotest.test_case "minor-words gauge" `Quick test_minor_words_gauge;
           Alcotest.test_case "dead shard" `Quick test_sharded_dead_shard;
           Alcotest.test_case "domains validation + clamp" `Quick
             test_sharded_domains_validation;

@@ -107,6 +107,15 @@ let latency_gen =
 
 let protocol_gen = QGen.oneofl (List.filter_map Wheel.protocol_of_string Wheel.known_protocols)
 
+(* A representative dynamic scenario for the optional submit field
+   (drift on slow edges plus one rejoining node). *)
+let drift_scenario =
+  Gossip_dyn.Scenario.of_string
+    {|{"name": "drift", "seed": 3,
+       "schedules": [{"kind": "linear", "rate": 0.25, "cap": 2,
+                      "filter": {"kind": "lat-ge", "latency": 4}}],
+       "churn": [{"node": 7, "leave": 3, "rejoin": 9}]}|}
+
 let spec_gen =
   let open QGen in
   let* family = family_gen in
@@ -116,7 +125,8 @@ let spec_gen =
   let* base_seed = int_range 0 1_000_000 in
   let* max_rounds = int_range 1 1_000_000 in
   let* latency = opt latency_gen in
-  return { P.family; n; protocol; trials; base_seed; max_rounds; latency }
+  let* scenario = opt (oneofl [ Gossip_dyn.Scenario.static; drift_scenario ]) in
+  return { P.family; n; protocol; trials; base_seed; max_rounds; latency; scenario }
 
 let job_id_gen =
   QGen.string_size ~gen:(QGen.oneofl [ 'a'; 'z'; '0'; '-'; ' '; '"'; '\\'; '{' ])
@@ -256,7 +266,7 @@ let response_roundtrip =
 (* ------------------------------------------------------------------ *)
 (* Jobq *)
 
-let small_spec ?latency ?(trials = 2) ?(seed = 42) () =
+let small_spec ?latency ?scenario ?(trials = 2) ?(seed = 42) () =
   {
     P.family = Sweep.Ring_of_cliques { size = 8; bridge_latency = 8 };
     n = 64;
@@ -265,6 +275,7 @@ let small_spec ?latency ?(trials = 2) ?(seed = 42) () =
     base_seed = seed;
     max_rounds = 500;
     latency;
+    scenario;
   }
 
 let test_jobq_lifecycle () =
@@ -583,6 +594,38 @@ let test_server_cancel_running () =
           let s = wait_terminal c id in
           Alcotest.(check bool) "cancelled" true (s.P.s_state = P.Cancelled)))
 
+(* The optional scenario field: absent from the v1 wire when None (old
+   clients and daemons interoperate unchanged), round-trips when
+   present, and a malformed one is a typed decode error. *)
+let test_spec_scenario_wire () =
+  let with_scenario = small_spec ~scenario:drift_scenario () in
+  (match P.spec_of_json (P.spec_to_json with_scenario) with
+  | Ok s -> Alcotest.(check bool) "scenario preserved" true (s = with_scenario)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  let v1 = P.spec_to_json (small_spec ()) in
+  (match v1 with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "no scenario key on the v1 wire" false
+        (List.mem_assoc "scenario" fields)
+  | _ -> Alcotest.fail "spec must encode as an object");
+  (match P.spec_of_json v1 with
+  | Ok s -> Alcotest.(check bool) "v1 decodes to None" true (s.P.scenario = None)
+  | Error e -> Alcotest.failf "v1 decode failed: %s" e);
+  match v1 with
+  | Json.Obj fields -> (
+      match P.spec_of_json (Json.Obj (("scenario", Json.String "drift") :: fields)) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed scenario accepted")
+  | _ -> ()
+
+(* End to end: a scenario-carrying submit runs on a live daemon. *)
+let test_server_runs_scenario_job () =
+  with_server (fun sock ->
+      Client.with_connect sock (fun c ->
+          let id = submit_ok c (small_spec ~scenario:drift_scenario ()) in
+          let s = wait_terminal c id in
+          Alcotest.(check bool) "scenario job done" true (s.P.s_state = P.Done)))
+
 let test_server_validates_spec () =
   with_server (fun sock ->
       Client.with_connect sock (fun c ->
@@ -653,6 +696,8 @@ let () =
           Alcotest.test_case "typed backpressure" `Quick test_server_backpressure_typed;
           Alcotest.test_case "cancel running job" `Quick test_server_cancel_running;
           Alcotest.test_case "spec validation" `Quick test_server_validates_spec;
+          Alcotest.test_case "scenario wire format" `Quick test_spec_scenario_wire;
+          Alcotest.test_case "scenario job end to end" `Quick test_server_runs_scenario_job;
           Alcotest.test_case "restart resumes queue" `Quick test_server_restart_resumes_queue;
         ] );
     ]
