@@ -718,3 +718,193 @@ let e16 () =
   print_endline
     "The drifting braid cut taxes push-pull round by round while the DTG\n\
      backbone walker, blind to conductance, never notices."
+
+(* E17 — Theorem 20 closed at scale: the unified unknown-latency
+   algorithm (push-pull raced against the discovery -> T(k) schedule ->
+   spanner-RR -> termination-check chain) head-to-head with its own
+   push-pull branch on a 10^6-node small-world graph, starting from
+   zero latency knowledge.
+
+   Configurations: a static control, a deterministic mild drop plan, a
+   bounded jitter plan, and a lib/dyn linear latency-drift scenario —
+   the same fault surface the parity qchecks sweep, at full scale.
+   Every run must complete source-to-all and land within the Theorem
+   20 budget O(min((D + Delta) log^3 n, (l_star/phi_star) log n)); we assert
+   against the (D + Delta) log^3 n arm (D bounded by twice the source
+   eccentricity — min(a, b) <= a, so the assertion is sound without a
+   10^12-op conductance sweep).  A violation is a hard failure with a
+   non-zero exit, which is what the CI smoke step leans on.
+
+   The default is sized for a single-core container (~5 min);
+   E17_N=1000000 is the full-scale run for a beefy host (the budget
+   assertion holds at every size), E17_DOMAINS shards the wheel.
+   Rows in BENCH_e17.json. *)
+let e17 () =
+  let module Kernel = Gossip_scale.Kernel in
+  let module Dissemination = Gossip_core.Dissemination in
+  let module Eid = Gossip_core.Eid in
+  let module Robustness = Gossip_core.Robustness in
+  let module Scenario = Gossip_dyn.Scenario in
+  let module Gen = Gossip_graph.Gen in
+  let module Paths = Gossip_graph.Paths in
+  let module Engine = Gossip_sim.Engine in
+  let module Json = Gossip_util.Json in
+  ignore Kernel.known_protocols;
+  let n_req =
+    match Sys.getenv_opt "E17_N" with Some s -> int_of_string s | None -> 50_000
+  in
+  let domains =
+    match Sys.getenv_opt "E17_DOMAINS" with Some s -> int_of_string s | None -> 1
+  in
+  let seed = 1013 in
+  let deg = 8 and lmax = 4 in
+  let max_rounds = 1_000_000 in
+  let ceil_log2 x =
+    let rec go k p = if p >= x then k else go (k + 1) (p * 2) in
+    go 0 1
+  in
+  section "E17  Theorem 20 at scale: unified unknown-latency vs push-pull"
+    (Printf.sprintf
+       "One-to-all dissemination on a Watts-Strogatz graph (degree %d, uniform\n\
+        1-%d latencies) with ZERO a-priori latency knowledge: push-pull raced\n\
+        against discovery -> T(k) -> spanner RR -> termination check, under\n\
+        static / drop / jitter / lib-dyn-drift conditions.  Rounds asserted\n\
+        against the (D + Delta) log^3 n arm of the Theorem 20 budget; rows in\n\
+        BENCH_e17.json."
+       deg lmax);
+  let grng = Rng.of_int seed in
+  let g =
+    Gen.with_latencies grng (Gen.Uniform (1, lmax)) (Gen.watts_strogatz grng ~n:n_req ~k:deg ~beta:0.1)
+  in
+  let csr = Csr.of_graph g in
+  let n = Csr.n csr in
+  let source = 0 in
+  (* Budget: D <= 2 * ecc(source) (one Dijkstra, not all-pairs). *)
+  let ecc = Paths.eccentricity g source in
+  let delta = Graph.max_degree g in
+  let lg = ceil_log2 (max 2 n) in
+  let budget = 8 * ((2 * ecc) + delta) * lg * lg * lg in
+  Printf.printf "n = %d, ecc(source) = %d, Delta = %d, budget = %d rounds\n\n" n ecc delta budget;
+  let drift_compiled =
+    let scen =
+      {
+        Scenario.static with
+        Scenario.name = "e17-drift";
+        seed;
+        rules =
+          [ { Scenario.schedule = Scenario.Linear { rate = 0.1; cap = 2.0 }; filter = Scenario.All } ];
+      }
+    in
+    Scenario.compile scen ~csr ~source
+  in
+  let configs =
+    [
+      ("static", None, None, 0, None);
+      ( "drop",
+        Some
+          {
+            Wheel.no_faults with
+            Engine.drop =
+              (fun ~initiator ~responder ~round -> (initiator + (3 * responder) + round) mod 13 = 0);
+          },
+        None, 0, None );
+      ("jitter", Some (Robustness.jitter_up_to (Rng.of_int (seed + 5)) ~extra:2), None, 2, None);
+      ("drift", None, Some drift_compiled.Scenario.env, 0, Some drift_compiled.Scenario.wheel_latency);
+    ]
+  in
+  let t =
+    Table.create ~title:"E17: Theorem 20 unified race, unknown latencies"
+      ~columns:
+        [
+          ("config", Table.Left);
+          ("winner", Table.Left);
+          ("rounds", Table.Right);
+          ("pp rounds", Table.Right);
+          ("eid rounds", Table.Right);
+          ("attempts", Table.Right);
+          ("k_final", Table.Right);
+          ("s", Table.Right);
+        ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (label, faults, env, max_jitter, wheel_latency) ->
+      let r, secs =
+        time (fun () ->
+            Dissemination.broadcast_scale ?faults ?env ?wheel_latency ~max_jitter ~domains
+              (Rng.of_int (seed + 17))
+              csr ~source ~max_rounds ())
+      in
+      if not r.Dissemination.b_success then
+        failwith (Printf.sprintf "e17 %s: unified dissemination did not complete" label);
+      let informed =
+        let c = ref 0 in
+        Bytes.iter (fun ch -> if ch <> '\000' then incr c) r.Dissemination.b_informed;
+        !c
+      in
+      if informed <> n then
+        failwith (Printf.sprintf "e17 %s: %d of %d nodes informed" label informed n);
+      if r.Dissemination.b_rounds > budget then
+        failwith
+          (Printf.sprintf "e17 %s: %d rounds exceed the Theorem 20 budget %d" label
+             r.Dissemination.b_rounds budget);
+      let attempts = r.Dissemination.b_attempts in
+      let k_final =
+        match List.rev attempts with a :: _ -> a.Eid.ua_k | [] -> 0
+      in
+      let winner =
+        match r.Dissemination.b_winner with
+        | Dissemination.Scale_push_pull_won -> "push-pull"
+        | Dissemination.Scale_spanner_route_won -> "eid-chain"
+      in
+      rows :=
+        [
+          ("config", Json.String label);
+          ("n", Json.Int n);
+          ("deg", Json.Int deg);
+          ("lmax", Json.Int lmax);
+          ("domains", Json.Int domains);
+          ("budget", Json.Int budget);
+          ("winner", Json.String winner);
+          ("rounds", Json.Int r.Dissemination.b_rounds);
+          ( "pp_rounds",
+            match r.Dissemination.b_pushpull_rounds with Some x -> Json.Int x | None -> Json.Null );
+          ("eid_rounds", Json.Int r.Dissemination.b_spanner_rounds);
+          ("k_final", Json.Int k_final);
+          ("seconds", Json.Float secs);
+          ( "attempts",
+            Json.List
+              (List.map
+                 (fun a ->
+                   Json.Obj
+                     [
+                       ("k", Json.Int a.Eid.ua_k);
+                       ("discovery_rounds", Json.Int a.Eid.ua_discovery_rounds);
+                       ("schedule_rounds", Json.Int a.Eid.ua_schedule_rounds);
+                       ("rr_rounds", Json.Int a.Eid.ua_rr_rounds);
+                       ("check_rounds", Json.Int a.Eid.ua_check_rounds);
+                       ("edges_known", Json.Int a.Eid.ua_edges_known);
+                       ("failed", Json.Bool a.Eid.ua_failed);
+                       ("unanimous", Json.Bool a.Eid.ua_unanimous);
+                     ])
+                 attempts) );
+        ]
+        :: !rows;
+      Table.add_row t
+        [
+          label;
+          winner;
+          fmt_i r.Dissemination.b_rounds;
+          (match r.Dissemination.b_pushpull_rounds with Some x -> fmt_i x | None -> "capped");
+          fmt_i r.Dissemination.b_spanner_rounds;
+          fmt_i (List.length attempts);
+          fmt_i k_final;
+          fmt_f ~d:1 secs;
+        ])
+    configs;
+  Table.print t;
+  bench_rows ~exp:"e17" (List.rev !rows);
+  Printf.printf
+    "Every configuration finished source-to-all from zero latency knowledge\n\
+     within the Theorem 20 budget (%d rounds).\n"
+    budget

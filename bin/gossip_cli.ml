@@ -264,6 +264,101 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scen
         let ring = Obs.Ring.create ~capacity:65536 () in
         Some (Obs.Registry.create ~ring ())
   in
+  let dump_telemetry label =
+    match (telemetry, reg) with
+    | Some path, Some reg ->
+        Obs.Sink.with_jsonl path (fun sink ->
+            Obs.Sink.event sink
+              ([
+                 ("ev", Json.String "meta");
+                 ("tool", Json.String "gossip-cli run");
+                 ("protocol", Json.String label);
+                 ("family", Json.String args.family);
+                 ("n", Json.Int n);
+                 ("domains", Json.Int domains);
+                 ("seed", Json.Int args.seed);
+               ]
+              @ (match scenario with
+                | None -> []
+                | Some s -> [ ("scenario", Json.String s.Scenario.name) ]));
+            Obs.Sink.registry sink reg;
+            match Obs.Registry.ring reg with
+            | None -> ()
+            | Some ring -> Obs.Sink.ring sink ring);
+        Printf.printf "telemetry written to %s\n" path
+    | _ -> ()
+  in
+  (* The two Theorem 20 chains are kernel-chain drivers, not single
+     kernels: they compile the scenario without a spanner orientation
+     (each attempt builds its own, from discovered latencies) and
+     budget their own phases. *)
+  let run_chain () =
+    let compiled =
+      match scenario with
+      | None -> None
+      | Some s -> (
+          match Scenario.compile s ~csr ~source with
+          | c -> Some c
+          | exception Scenario.Invalid_scenario msg ->
+              Printf.eprintf "gossip-cli: --scenario: %s\n" msg;
+              exit 2)
+    in
+    let env = Option.map (fun c -> c.Scenario.env) compiled in
+    let wheel_latency = Option.map (fun c -> c.Scenario.wheel_latency) compiled in
+    let t0 = Unix.gettimeofday () in
+    let metrics, label =
+      match protocol with
+      | Wheel.Unknown_eid ->
+          let r =
+            Gossip_core.Eid.run_unknown_scale ?telemetry:reg ~domains ?env ?wheel_latency
+              rng csr ~source ()
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Printf.printf
+            "wheel unknown-eid (domains=%d): %d rounds in %.2fs on %d nodes (%s, k_final=%d, \
+             %d attempt%s, unanimous=%b)\n"
+            domains r.Gossip_core.Eid.u_rounds elapsed n
+            (if r.Gossip_core.Eid.u_success then "success" else "FAILED")
+            r.Gossip_core.Eid.u_k_final
+            (List.length r.Gossip_core.Eid.u_attempts)
+            (if List.length r.Gossip_core.Eid.u_attempts = 1 then "" else "s")
+            r.Gossip_core.Eid.u_unanimous;
+          List.iter
+            (fun a ->
+              Printf.printf
+                "  k=%d: discovery %d + schedule %d + rr %d + check %d rounds, %d edges known\n"
+                a.Gossip_core.Eid.ua_k a.Gossip_core.Eid.ua_discovery_rounds
+                a.Gossip_core.Eid.ua_schedule_rounds a.Gossip_core.Eid.ua_rr_rounds
+                a.Gossip_core.Eid.ua_check_rounds a.Gossip_core.Eid.ua_edges_known)
+            r.Gossip_core.Eid.u_attempts;
+          (r.Gossip_core.Eid.u_metrics, "unknown-eid")
+      | Wheel.Unified ->
+          let r =
+            Gossip_core.Dissemination.broadcast_scale ?telemetry:reg ~domains ?env
+              ?wheel_latency rng csr ~source ~max_rounds ()
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Printf.printf
+            "wheel unified (domains=%d): %d rounds in %.2fs on %d nodes (winner: %s, \
+             push-pull %s, spanner route %d)\n"
+            domains r.Gossip_core.Dissemination.b_rounds elapsed n
+            (match r.Gossip_core.Dissemination.b_winner with
+            | Gossip_core.Dissemination.Scale_push_pull_won -> "push-pull"
+            | Gossip_core.Dissemination.Scale_spanner_route_won -> "spanner route")
+            (match r.Gossip_core.Dissemination.b_pushpull_rounds with
+            | Some rr -> string_of_int rr
+            | None -> "capped")
+            r.Gossip_core.Dissemination.b_spanner_rounds;
+          (r.Gossip_core.Dissemination.b_metrics, "unified")
+      | _ -> assert false
+    in
+    Printf.printf "initiations: %d, deliveries: %d\n" metrics.Gossip_sim.Engine.initiations
+      metrics.Gossip_sim.Engine.deliveries;
+    dump_telemetry label
+  in
+  match protocol with
+  | Wheel.Unknown_eid | Wheel.Unified -> run_chain ()
+  | _ ->
   let kernel, oriented =
     match protocol with
     | Wheel.Rr_spanner { stretch_k } ->
@@ -316,28 +411,7 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scen
   Printf.printf "initiations: %d, deliveries: %d\n"
     r.Wheel.metrics.Gossip_sim.Engine.initiations
     r.Wheel.metrics.Gossip_sim.Engine.deliveries;
-  match (telemetry, reg) with
-  | Some path, Some reg ->
-      Obs.Sink.with_jsonl path (fun sink ->
-          Obs.Sink.event sink
-            ([
-               ("ev", Json.String "meta");
-               ("tool", Json.String "gossip-cli run");
-               ("protocol", Json.String (Kernel.name kernel));
-              ("family", Json.String args.family);
-              ("n", Json.Int n);
-              ("domains", Json.Int domains);
-              ("seed", Json.Int args.seed);
-            ]
-            @ (match scenario with
-              | None -> []
-              | Some s -> [ ("scenario", Json.String s.Scenario.name) ]));
-          Obs.Sink.registry sink reg;
-          match Obs.Registry.ring reg with
-          | None -> ()
-          | Some ring -> Obs.Sink.ring sink ring);
-      Printf.printf "telemetry written to %s\n" path
-  | _ -> ()
+  dump_telemetry (Kernel.name kernel)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)

@@ -36,3 +36,44 @@ val all_to_all :
   knowledge:knowledge ->
   max_rounds:int ->
   result
+
+(** {1 The unified algorithm on the flat scale engine}
+
+    Single-rumor Theorem 20 at 10^6 nodes with {e unknown} latencies:
+    push-pull ({!Gossip_scale.Wheel_engine.broadcast}) raced against
+    the unknown-latency EID chain ({!Eid.run_unknown_scale}), each on
+    its own RNG split, winner = fewer rounds. *)
+
+type scale_winner = Scale_push_pull_won | Scale_spanner_route_won
+
+type scale_result = {
+  b_rounds : int;  (** the minimum of the two branches *)
+  b_winner : scale_winner;
+  b_pushpull_rounds : int option;  (** [None] when push-pull hit the cap *)
+  b_spanner_rounds : int;  (** EID chain total (discovery included) *)
+  b_informed : Bytes.t;  (** the winning branch's final informed set *)
+  b_success : bool;
+  b_unanimous : bool;  (** the EID branch's check verdicts all agreed *)
+  b_attempts : Eid.unknown_attempt list;  (** the EID branch's attempts *)
+  b_metrics : Gossip_sim.Engine.metrics;  (** the winning branch's counters *)
+}
+
+(** [broadcast_scale rng csr ~source ~max_rounds ()] races the two
+    branches.  [max_rounds] caps the push-pull branch only (the EID
+    chain self-budgets per phase); the other optional arguments pass
+    through to both branches. *)
+val broadcast_scale :
+  ?n_hat:int ->
+  ?domains:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?faults:Gossip_scale.Wheel_engine.faults ->
+  ?env:Gossip_scale.Wheel_engine.env ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
+  Gossip_util.Rng.t ->
+  Gossip_scale.Csr.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  scale_result

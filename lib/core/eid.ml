@@ -148,6 +148,155 @@ let run_known_diameter_scale ?n_hat ?domains ?telemetry ?max_rounds rng csr ~d ~
     scale_success = !final_count = n;
   }
 
+(* ------------------------------------------------------------------ *)
+(* General EID with UNKNOWN latencies on the scale engine — the
+   Theorem 20 spanner branch, end to end, with zero a-priori latency
+   knowledge.  Per guess k (doubling from 1):
+
+   1. probe every edge with wait bound k, timing the responses
+      (Discovery.probe_scale) — this is the only place latencies
+      enter, and they enter as measurements;
+   2. run the T(k) DTG schedule over the DISCOVERED graph
+      (Path_discovery.run_schedule_scale), informed set chained in;
+   3. Baswana–Sen with ⌈log n̂⌉ on the discovered graph, RR Broadcast
+      over the orientation for k_rr = k·(2·k_spanner − 1);
+   4. the single-rumor termination check over the same orientation
+      with parameter k_rr (Termination_check.run_scale);
+   5. a failed (or vacuously clean-but-incomplete) verdict doubles k
+      and retries, carrying the informed set forward.
+
+   Phases 2–4 run with the discovered graph as the engine's base, so
+   the wheel sizes itself from discovered latencies; when the caller
+   pinned a wheel bound we widen it to cover them.  The true input
+   only appears in the harness guard (the latency-sum cap that
+   bounds the doubling loop, mirroring [run]) and in
+   [Discovery.probe_scale]'s completeness audit. *)
+
+type unknown_attempt = {
+  ua_k : int;
+  ua_discovery_rounds : int;
+  ua_schedule_rounds : int;
+  ua_rr_rounds : int;
+  ua_check_rounds : int;
+  ua_edges_known : int;
+  ua_spanner_out_degree : int;
+  ua_spanner_edges : int;
+  ua_failed : bool;
+  ua_unanimous : bool;
+}
+
+type unknown_result = {
+  u_rounds : int;
+  u_attempts : unknown_attempt list;
+  u_k_final : int;
+  u_informed : Bytes.t;
+  u_success : bool;
+  u_unanimous : bool;
+  u_metrics : Gossip_sim.Engine.metrics;
+}
+
+let count_informed informed =
+  let c = ref 0 in
+  Bytes.iter (fun ch -> if ch <> '\000' then incr c) informed;
+  !c
+
+let run_unknown_scale ?n_hat ?domains ?telemetry ?faults ?env ?wheel_latency ?max_jitter
+    ?deadline rng csr ~source () =
+  let n = Scale_csr.n csr in
+  let n_hat = match n_hat with Some h -> max h n | None -> n in
+  let lg = ceil_log2 n_hat in
+  let mj = match max_jitter with Some j -> j | None -> 0 in
+  (* Harness guard on the doubling loop, from the TRUE latencies (the
+     protocol never reads them): a guess beyond twice the latency sum
+     cannot be beaten by any larger guess on a connected input. *)
+  let latency_sum =
+    let o = Scale_csr.oriented_of_csr csr in
+    let acc = ref 0 in
+    Array.iter (fun l -> acc := !acc + l) o.Scale_csr.o_lat;
+    max 1 (!acc / 2)
+  in
+  let u_metrics = Gossip_sim.Engine.empty_metrics () in
+  let rec attempt_loop k informed acc_attempts acc_rounds unanimous =
+    let disc =
+      Discovery.probe_scale ?faults ?env ?wheel_latency ?max_jitter ?deadline ?telemetry
+        ?domains rng csr ~d_bound:k
+    in
+    let gk = disc.Discovery.s_discovered in
+    (* Phases over the discovered graph: widen a pinned wheel to cover
+       measured latencies (a jittered probe can measure above the
+       static ℓ_max). *)
+    let gk_wheel =
+      match wheel_latency with
+      | Some w -> Some (max w (Scale_csr.max_latency gk + mj))
+      | None -> None
+    in
+    let sched =
+      Path_discovery.run_schedule_scale ?faults ?env ?wheel_latency:gk_wheel ?max_jitter
+        ?deadline ?telemetry ?domains ?informed rng gk ~k ~source
+    in
+    let k_spanner = lg in
+    let spanner = Spanner.build rng (Scale_csr.to_graph gk) ~k:k_spanner ~n_hat () in
+    let out_degree_bound =
+      let nf = float_of_int (max 2 n) in
+      int_of_float (ceil (8.0 *. (nf ** (1.0 /. float_of_int k_spanner)) *. log nf))
+    in
+    let oriented = Scale_csr.of_oriented_spanner ~out_degree_bound spanner.Spanner.out_edges in
+    let k_rr = k * ((2 * k_spanner) - 1) in
+    let rr_cap = (k_rr * Scale_csr.oriented_max_out_degree oriented) + (2 * k_rr) in
+    let rr_kernel = Scale_kernel.rr_broadcast ~k:k_rr oriented in
+    let rr_res =
+      Scale_wheel.broadcast_kernel ?faults ?env ?wheel_latency:gk_wheel ?max_jitter ?deadline
+        ?telemetry ?domains ~informed:sched.Path_discovery.ps_informed rng gk ~kernel:rr_kernel
+        ~source ~max_rounds:rr_cap
+    in
+    let check =
+      Termination_check.run_scale ?faults ?env ?wheel_latency:gk_wheel ?max_jitter ?deadline
+        ?telemetry ?domains rng gk ~oriented ~k:k_rr
+        ~informed:rr_res.Scale_wheel.informed
+    in
+    let attempt =
+      {
+        ua_k = k;
+        ua_discovery_rounds = disc.Discovery.s_rounds;
+        ua_schedule_rounds = sched.Path_discovery.ps_rounds;
+        ua_rr_rounds = rr_res.Scale_wheel.metrics.Gossip_sim.Engine.rounds;
+        ua_check_rounds = check.Termination_check.sc_rounds;
+        ua_edges_known = disc.Discovery.s_edges_known;
+        ua_spanner_out_degree = Spanner.max_out_degree spanner;
+        ua_spanner_edges = Spanner.edge_count spanner;
+        ua_failed = check.Termination_check.sc_any_failed;
+        ua_unanimous = check.Termination_check.sc_unanimous;
+      }
+    in
+    let acc_rounds =
+      acc_rounds + attempt.ua_discovery_rounds + attempt.ua_schedule_rounds
+      + attempt.ua_rr_rounds + attempt.ua_check_rounds
+    in
+    let acc_attempts = attempt :: acc_attempts in
+    let unanimous = unanimous && check.Termination_check.sc_unanimous in
+    let informed = rr_res.Scale_wheel.informed in
+    Gossip_sim.Engine.add_metrics ~into:u_metrics disc.Discovery.s_metrics;
+    Gossip_sim.Engine.add_metrics ~into:u_metrics sched.Path_discovery.ps_metrics;
+    Gossip_sim.Engine.add_metrics ~into:u_metrics rr_res.Scale_wheel.metrics;
+    Gossip_sim.Engine.add_metrics ~into:u_metrics check.Termination_check.sc_metrics;
+    let finish success =
+      {
+        u_rounds = acc_rounds;
+        u_attempts = List.rev acc_attempts;
+        u_k_final = k;
+        u_informed = informed;
+        u_success = success;
+        u_unanimous = unanimous;
+        u_metrics;
+      }
+    in
+    if not check.Termination_check.sc_any_failed then
+      finish (count_informed informed = n)
+    else if k > 2 * latency_sum then finish false
+    else attempt_loop (2 * k) (Some informed) acc_attempts acc_rounds unanimous
+  in
+  attempt_loop 1 None [] 0 true
+
 let run rng g ?n_hat () =
   let n_hat = match n_hat with Some h -> max h (Graph.n g) | None -> Graph.n g in
   let sets = Rumor.initial g in

@@ -88,3 +88,60 @@ val run_known_diameter_scale :
   source:int ->
   unit ->
   scale_result
+
+(** {1 Unknown-latency EID on the scale engine (Theorem 20)}
+
+    The spanner branch of the unified algorithm with {e zero} a-priori
+    latency knowledge: per guess [k] (doubling from 1) the chain
+    probes every edge with wait bound [k] and times the responses
+    ({!Discovery.probe_scale}), runs the T([k]) DTG schedule over the
+    {e discovered} graph ({!Path_discovery.run_schedule_scale}),
+    builds a Baswana–Sen spanner on it and RR-broadcasts over the
+    orientation, then runs the single-rumor termination check
+    ({!Termination_check.run_scale}); a failed or incomplete verdict
+    doubles [k] and retries, carrying the informed set forward.  The
+    true input graph is only consulted by the harness (the
+    latency-sum cap bounding the doubling loop), never by the
+    protocol. *)
+
+type unknown_attempt = {
+  ua_k : int;  (** the wait-bound / diameter estimate of this attempt *)
+  ua_discovery_rounds : int;
+  ua_schedule_rounds : int;
+  ua_rr_rounds : int;
+  ua_check_rounds : int;
+  ua_edges_known : int;  (** undirected edges measured both ways *)
+  ua_spanner_out_degree : int;
+  ua_spanner_edges : int;
+  ua_failed : bool;  (** some check verdict failed *)
+  ua_unanimous : bool;  (** the verdicts agreed (Lemma 18) *)
+}
+
+type unknown_result = {
+  u_rounds : int;  (** wheel rounds, all phases and attempts *)
+  u_attempts : unknown_attempt list;  (** in execution order *)
+  u_k_final : int;
+  u_informed : Bytes.t;
+  u_success : bool;  (** every node informed *)
+  u_unanimous : bool;  (** every attempt's verdict was unanimous *)
+  u_metrics : Gossip_sim.Engine.metrics;  (** summed over every phase *)
+}
+
+(** [run_unknown_scale rng csr ~source ()] runs the chain above.
+    Optional arguments pass through to every wheel-engine phase;
+    [wheel_latency], when pinned, is widened per attempt to cover the
+    measured (possibly jittered) latencies of the discovered graph. *)
+val run_unknown_scale :
+  ?n_hat:int ->
+  ?domains:int ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?faults:Gossip_scale.Wheel_engine.faults ->
+  ?env:Gossip_scale.Wheel_engine.env ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
+  Gossip_util.Rng.t ->
+  Gossip_scale.Csr.t ->
+  source:int ->
+  unit ->
+  unknown_result

@@ -38,3 +38,34 @@ val run_known_diameter : Gossip_graph.Graph.t -> d:int -> result
 
 (** [run g] is Path Discovery with unknown diameter. *)
 val run : Gossip_graph.Graph.t -> result
+
+(** {1 The T(k) schedule on the flat scale engine} *)
+
+type schedule_scale_result = {
+  ps_rounds : int;  (** wheel rounds executed across all phases *)
+  ps_informed : Bytes.t;  (** final informed set, one byte per node *)
+  ps_metrics : Gossip_sim.Engine.metrics;  (** summed over all phases *)
+}
+
+(** [run_schedule_scale rng csr ~k ~source] executes [T(k)]
+    single-rumor: each ℓ-DTG entry runs as a
+    {!Gossip_scale.Kernel.dtg_local} kernel for its
+    [max 64 (2·ℓ·⌈log n⌉²)] budget, the informed set chaining from
+    phase to phase (seeded from [?informed], copied).  Phases after
+    the rumor has reached everyone cost no rounds.  Optional
+    arguments pass through to
+    {!Gossip_scale.Wheel_engine.broadcast_kernel}. *)
+val run_schedule_scale :
+  ?faults:Gossip_scale.Wheel_engine.faults ->
+  ?env:Gossip_scale.Wheel_engine.env ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?domains:int ->
+  ?informed:Bytes.t ->
+  Gossip_util.Rng.t ->
+  Gossip_scale.Csr.t ->
+  k:int ->
+  source:int ->
+  schedule_scale_result

@@ -6,11 +6,13 @@ type plan = Engine.faults
 
 let no_faults = Engine.no_faults
 
-let crash_fraction rng ~n ~fraction ~from_round ~protect =
+let crash_fraction ?skipped rng ~n ~fraction ~from_round ~protect =
   if not (fraction >= 0.0 && fraction < 1.0) then
     invalid_arg "Robustness.crash_fraction: fraction out of [0,1)";
   let crashed = Array.make n false in
-  let victims = int_of_float (fraction *. float_of_int n) in
+  (* Round to nearest, as the sweep pool does for durations: plain
+     truncation maps e.g. fraction = 0.1, n = 9 to zero victims. *)
+  let victims = min n (int_of_float (Float.round (fraction *. float_of_int n))) in
   let order = Rng.sample_without_replacement rng n n in
   let placed = ref 0 in
   Array.iter
@@ -20,6 +22,7 @@ let crash_fraction rng ~n ~fraction ~from_round ~protect =
         incr placed
       end)
     order;
+  (match skipped with Some r -> r := victims - !placed | None -> ());
   {
     Engine.no_faults with
     Engine.alive = (fun ~node ~round -> (not crashed.(node)) || round < from_round);

@@ -20,9 +20,15 @@ type plan = Gossip_sim.Engine.faults
 val no_faults : plan
 
 (** [crash_fraction rng ~n ~fraction ~from_round ~protect] crash-stops
-    [fraction · n] uniformly chosen nodes at round [from_round]
-    (never the nodes in [protect], e.g. the broadcast source). *)
+    [round (fraction · n)] uniformly chosen nodes at round [from_round]
+    (never the nodes in [protect], e.g. the broadcast source).  The
+    victim count rounds to nearest — truncation would silently crash
+    zero nodes for small fractions on small graphs.  When [protect]
+    leaves fewer than that many candidates, the shortfall is reported
+    through [?skipped] (set to the number of victims that could not be
+    placed; [0] when the full quota crashed). *)
 val crash_fraction :
+  ?skipped:int ref ->
   Gossip_util.Rng.t ->
   n:int ->
   fraction:float ->

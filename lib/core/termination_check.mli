@@ -35,3 +35,52 @@ val run :
   k:int ->
   sets:Rumor.t array ->
   result
+
+(** [rr_rounds_of ~delta_out ~k] is Lemma 15's round-robin window
+    [k·Δ_out + k] — the iteration count both check passes flood for. *)
+val rr_rounds_of : delta_out:int -> k:int -> int
+
+(** [run_single ~base ~out_edges ~k ~informed] is the single-rumor
+    form of the check: the frozen per-node state is one bit ([u] heard
+    the rumor), and a node starts flagged iff it is uninformed, so a
+    unanimously clean verdict means "everyone heard it".  Semantically
+    the boxed twin of {!run_scale} (same flag/mismatch algebra),
+    kept for cross-runtime parity tests. *)
+val run_single :
+  base:Gossip_graph.Graph.t ->
+  out_edges:(Gossip_graph.Graph.node * int) array array ->
+  k:int ->
+  informed:bool array ->
+  result
+
+(** {1 The check on the flat scale engine} *)
+
+type scale_result = {
+  sc_failed : Bytes.t;  (** per-node verdict after the flood pass *)
+  sc_rounds : int;  (** wheel rounds executed, both passes *)
+  sc_unanimous : bool;  (** Lemma 18: all verdicts equal *)
+  sc_any_failed : bool;  (** some node failed (retry needed) *)
+  sc_metrics : Gossip_sim.Engine.metrics;  (** summed over both passes *)
+}
+
+(** [run_scale rng csr ~oriented ~k ~informed] runs the single-rumor
+    check through the {!Gossip_scale.Kernel.termination_check} /
+    [verdict_flood] kernels: gather over [oriented]'s latency-[<= k]
+    out-edges for the Lemma 15 window, then flood the verdict for the
+    same window.  [informed] is frozen at kernel construction (copied,
+    never written).  Optional arguments pass through to
+    {!Gossip_scale.Wheel_engine.broadcast_kernel}. *)
+val run_scale :
+  ?faults:Gossip_scale.Wheel_engine.faults ->
+  ?env:Gossip_scale.Wheel_engine.env ->
+  ?wheel_latency:int ->
+  ?max_jitter:int ->
+  ?deadline:float ->
+  ?telemetry:Gossip_obs.Registry.t ->
+  ?domains:int ->
+  Gossip_util.Rng.t ->
+  Gossip_scale.Csr.t ->
+  oriented:Gossip_scale.Csr.oriented ->
+  k:int ->
+  informed:Bytes.t ->
+  scale_result

@@ -441,8 +441,14 @@ let churn_intervals s ~n ~source =
       | Leave { node; leave; rejoin } ->
           add ~ctx node leave (Option.value rejoin ~default:max_int)
       | Random_churn { fraction; leave; down; period } ->
-          let count = int_of_float (fraction *. float_of_int n) in
-          let count = min count n in
+          (* Round to nearest: truncation compiles small fractions on
+             small graphs to zero churn, silently disabling the entry. *)
+          let count = min n (int_of_float (Float.round (fraction *. float_of_int n))) in
+          if fraction > 0.0 && count = 0 then
+            fail
+              "%s: fraction %g of an n=%d graph rounds to zero churned nodes — raise \
+               the fraction or drop the entry"
+              ctx fraction n;
           if count > 0 then begin
             let rng = Rng.of_int (s.seed + (7919 * (i + 1))) in
             Rng.sample_without_replacement rng count n

@@ -74,6 +74,15 @@ val of_graph : Gossip_graph.Graph.t -> t
     code (conductance, diameters) on CSR-built graphs. *)
 val to_graph : t -> Gossip_graph.Graph.t
 
+(** [of_undirected_arrays ~n eu ev el ~count] packs the first [count]
+    undirected edges [(eu.(i), ev.(i))] with latency [el.(i)] into CSR
+    (both directions scattered, rows sorted ascending by neighbor).
+    No validation beyond the scatter — callers must supply in-range
+    distinct endpoints with no duplicate edges.  This is how the
+    unknown-latency drivers rebuild a graph from a discovered latency
+    profile without round-tripping through boxed edge lists. *)
+val of_undirected_arrays : n:int -> int array -> int array -> int array -> count:int -> t
+
 (** {1 Direct generators}
 
     These rebuild the three large-graph families of {!Gossip_graph.Gen}

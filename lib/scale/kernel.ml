@@ -9,6 +9,8 @@ type protocol =
   | Random_contact
   | Rr_spanner of { stretch_k : int }
   | Dtg_local of { ell : int }
+  | Unknown_eid
+  | Unified
 
 let protocol_name = function
   | Push_pull -> "push-pull"
@@ -17,6 +19,8 @@ let protocol_name = function
   | Rr_spanner { stretch_k } ->
       if stretch_k = 0 then "rr-spanner" else Printf.sprintf "rr-spanner:%d" stretch_k
   | Dtg_local { ell } -> if ell = 0 then "dtg" else Printf.sprintf "dtg:%d" ell
+  | Unknown_eid -> "unknown-eid"
+  | Unified -> "unified"
 
 (* "name" or "name:K" with K >= 1; K absent encodes the auto value 0. *)
 let parse_param s prefix make =
@@ -35,13 +39,23 @@ let protocol_of_string s =
   | "push-pull" -> Some Push_pull
   | "flood" -> Some Flood
   | "random-contact" -> Some Random_contact
+  | "unknown-eid" -> Some Unknown_eid
+  | "unified" -> Some Unified
   | _ -> (
       match parse_param s "rr-spanner" (fun k -> Rr_spanner { stretch_k = k }) with
       | Some p -> Some p
       | None -> parse_param s "dtg" (fun l -> Dtg_local { ell = l }))
 
 let known_protocols =
-  [ "push-pull"; "flood"; "random-contact"; "rr-spanner[:K]"; "dtg[:L]" ]
+  [
+    "push-pull";
+    "flood";
+    "random-contact";
+    "rr-spanner[:K]";
+    "dtg[:L]";
+    "unknown-eid";
+    "unified";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* The kernel interface *)
@@ -51,9 +65,10 @@ type t = {
   contact : Csr.oriented;
   uses_rng : bool;
   on_initiate : rngs:Rng.t array -> round:int -> u:int -> deg:int -> informed:bool -> int;
-  req_pay : informed:bool -> int;
-  on_deliver : informed:bool -> int;
-  on_response : pay:int -> bool;
+  req_pay : u:int -> informed:bool -> int;
+  on_deliver : v:int -> informed:bool -> int;
+  on_push : v:int -> pay:int -> bool;
+  on_response : u:int -> slot:int -> rtt:int -> pay:int -> bool;
 }
 
 let name t = t.name
@@ -62,13 +77,18 @@ let contact t = t.contact
 
 (* The engine-generic halves of the classic exchange: responses carry
    the responder's round-start informed bit, a payload bit of 1 marks
-   the receiver.  Kept as shared closures so kernels that want the
-   default pay exactly the same indirect call. *)
-let informed_bit ~informed = if informed then 1 else 0
+   the receiver (request side in phase 1b, response side in phase 1c).
+   Kept as shared closures so kernels that want the default pay exactly
+   the same indirect call. *)
+let req_informed ~u:_ ~informed = if informed then 1 else 0
 
-let always_one ~informed:_ = 1
+let req_always ~u:_ ~informed:_ = 1
 
-let mark_if_pay ~pay = pay = 1
+let deliver_informed ~v:_ ~informed = if informed then 1 else 0
+
+let push_if_pay ~v:_ ~pay = pay = 1
+
+let mark_if_pay ~u:_ ~slot:_ ~rtt:_ ~pay = pay = 1
 
 let push_pull csr =
   {
@@ -77,8 +97,9 @@ let push_pull csr =
     uses_rng = true;
     on_initiate =
       (fun ~rngs ~round:_ ~u ~deg ~informed:_ -> if deg = 0 then -1 else Rng.int rngs.(u) deg);
-    req_pay = informed_bit;
-    on_deliver = informed_bit;
+    req_pay = req_informed;
+    on_deliver = deliver_informed;
+    on_push = push_if_pay;
     on_response = mark_if_pay;
   }
 
@@ -96,8 +117,9 @@ let flood csr =
           cursor.(u) <- cursor.(u) + 1;
           i
         end);
-    req_pay = always_one;
-    on_deliver = informed_bit;
+    req_pay = req_always;
+    on_deliver = deliver_informed;
+    on_push = push_if_pay;
     on_response = mark_if_pay;
   }
 
@@ -109,8 +131,9 @@ let random_contact csr =
     on_initiate =
       (fun ~rngs ~round:_ ~u ~deg ~informed ->
         if deg = 0 || not informed then -1 else Rng.int rngs.(u) deg);
-    req_pay = always_one;
-    on_deliver = informed_bit;
+    req_pay = req_always;
+    on_deliver = deliver_informed;
+    on_push = push_if_pay;
     on_response = mark_if_pay;
   }
 
@@ -137,8 +160,9 @@ let rr_broadcast ?iterations ~k oriented =
           cursor.(u) <- cursor.(u) + 1;
           i
         end);
-    req_pay = informed_bit;
-    on_deliver = informed_bit;
+    req_pay = req_informed;
+    on_deliver = deliver_informed;
+    on_push = push_if_pay;
     on_response = mark_if_pay;
   }
 
@@ -158,9 +182,148 @@ let dtg_local ~ell csr =
           cursor.(u) <- cursor.(u) + 1;
           i
         end);
-    req_pay = always_one;
-    on_deliver = informed_bit;
+    req_pay = req_always;
+    on_deliver = deliver_informed;
+    on_push = push_if_pay;
     on_response = mark_if_pay;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Latency discovery (Section 4.2).  Each node walks a cursor over its
+   full contact row, probing one neighbor per round; the response's
+   round-trip time IS the edge's effective latency, measured by the
+   engine itself (rtt = response round - initiation round), so the
+   kernel needs no pending table — the engine's exchange pool plays
+   that role.  Discovered latencies land in [disc_lat] at the probed
+   slot's index, which makes every write order-independent (each
+   (node, slot) pair is probed at most once per run): bit-identical
+   under any domain count.  The rumor machinery is inert — probes
+   carry payload 0 and never mark anyone. *)
+
+type discovery = { disc_kernel : t; disc_lat : int array; disc_d_bound : int }
+
+let discovery ~d_bound csr =
+  if d_bound < 1 then invalid_arg "Kernel.discovery: need d_bound >= 1";
+  let contact = Csr.oriented_of_csr csr in
+  let row_ptr = contact.Csr.o_row_ptr in
+  let n = Csr.n csr in
+  let cursor = Array.make n 0 in
+  let disc_lat = Array.make (Array.length contact.Csr.o_col) (-1) in
+  let disc_kernel =
+    {
+      name = "discovery";
+      contact;
+      uses_rng = false;
+      on_initiate =
+        (fun ~rngs:_ ~round:_ ~u ~deg ~informed:_ ->
+          if cursor.(u) >= deg then -1
+          else begin
+            let i = cursor.(u) in
+            cursor.(u) <- i + 1;
+            i
+          end);
+      req_pay = (fun ~u:_ ~informed:_ -> 0);
+      on_deliver = (fun ~v:_ ~informed:_ -> 0);
+      on_push = (fun ~v:_ ~pay:_ -> false);
+      on_response =
+        (fun ~u ~slot ~rtt ~pay:_ ->
+          if rtt <= d_bound then disc_lat.(row_ptr.(u) + slot) <- rtt;
+          false);
+    }
+  in
+  { disc_kernel; disc_lat; disc_d_bound = d_bound }
+
+(* ------------------------------------------------------------------ *)
+(* Termination check (Section 5.3, Lemma 15 voting), single-rumor
+   adaptation: where Algorithm 1 compares accumulated rumor {e sets},
+   a broadcast needs only the frozen informed {e bit} — a node flags
+   itself when uninformed, so "unanimously clean" is equivalent to
+   "every node heard the rumor".  Payloads bit-pack (frozen, flag,
+   mismatch); absorbs are boolean ORs into kernel-owned byte arrays
+   (idempotent and commutative, hence shard-parity-safe), and the
+   engine's informed set is never touched.  The verdict flood is the
+   check's second pass: failed bits spread by OR until everyone agrees
+   (or provably cannot). *)
+
+type check = { check_kernel : t; check_flag : Bytes.t; check_mismatch : Bytes.t }
+
+let check_emit frozen flag mismatch w =
+  (if Bytes.get frozen w <> '\000' then 1 else 0)
+  lor (if Bytes.get flag w <> '\000' then 2 else 0)
+  lor if Bytes.get mismatch w <> '\000' then 4 else 0
+
+let check_absorb frozen flag mismatch w pay =
+  if pay land 2 <> 0 then Bytes.set flag w '\001';
+  if pay land 4 <> 0 || pay land 1 <> 0 <> (Bytes.get frozen w <> '\000') then
+    Bytes.set mismatch w '\001'
+
+(* Round-robin initiation over the whole contact row while the
+   iteration window is open — the RR Broadcast schedule with a state
+   payload instead of the rumor bit. *)
+let rr_cursor ~iterations n =
+  let cursor = Array.make n 0 in
+  fun ~rngs:_ ~round ~u ~deg ~informed:_ ->
+    if round >= iterations || deg = 0 then -1
+    else begin
+      let i = cursor.(u) mod deg in
+      cursor.(u) <- cursor.(u) + 1;
+      i
+    end
+
+let termination_check ~iterations ~informed oriented =
+  if iterations < 0 then invalid_arg "Kernel.termination_check: iterations must be >= 0";
+  let n = Csr.oriented_n oriented in
+  if Bytes.length informed <> n then
+    invalid_arg "Kernel.termination_check: informed length differs from the node count";
+  let frozen = Bytes.make n '\000' in
+  let flag = Bytes.make n '\000' in
+  let mismatch = Bytes.make n '\000' in
+  for v = 0 to n - 1 do
+    if Bytes.get informed v <> '\000' then Bytes.set frozen v '\001'
+    else (* an uninformed node is its own counterexample *)
+      Bytes.set flag v '\001'
+  done;
+  let check_kernel =
+    {
+      name = "check";
+      contact = oriented;
+      uses_rng = false;
+      on_initiate = rr_cursor ~iterations n;
+      req_pay = (fun ~u ~informed:_ -> check_emit frozen flag mismatch u);
+      on_deliver = (fun ~v ~informed:_ -> check_emit frozen flag mismatch v);
+      on_push =
+        (fun ~v ~pay ->
+          check_absorb frozen flag mismatch v pay;
+          false);
+      on_response =
+        (fun ~u ~slot:_ ~rtt:_ ~pay ->
+          check_absorb frozen flag mismatch u pay;
+          false);
+    }
+  in
+  { check_kernel; check_flag = flag; check_mismatch = mismatch }
+
+let verdict_flood ~iterations ~failed oriented =
+  if iterations < 0 then invalid_arg "Kernel.verdict_flood: iterations must be >= 0";
+  let n = Csr.oriented_n oriented in
+  if Bytes.length failed <> n then
+    invalid_arg "Kernel.verdict_flood: failed length differs from the node count";
+  let absorb w pay = if pay = 1 then Bytes.set failed w '\001' in
+  {
+    name = "check";
+    contact = oriented;
+    uses_rng = false;
+    on_initiate = rr_cursor ~iterations n;
+    req_pay = (fun ~u ~informed:_ -> if Bytes.get failed u <> '\000' then 1 else 0);
+    on_deliver = (fun ~v ~informed:_ -> if Bytes.get failed v <> '\000' then 1 else 0);
+    on_push =
+      (fun ~v ~pay ->
+        absorb v pay;
+        false);
+    on_response =
+      (fun ~u ~slot:_ ~rtt:_ ~pay ->
+        absorb u pay;
+        false);
   }
 
 let of_protocol csr = function
@@ -174,3 +337,13 @@ let of_protocol csr = function
          with Gossip_core.Spanner.build, pack it with Csr.of_oriented_spanner, and run \
          Kernel.rr_broadcast through Wheel_engine.broadcast_kernel (Sweep.run_job and \
          gossip-cli run --protocol rr-spanner do this)"
+  | Unknown_eid ->
+      invalid_arg
+        "Kernel.of_protocol: unknown-eid is a kernel chain, not a single kernel — run it \
+         through Gossip_core.Eid.run_unknown_scale (Sweep.run_job and gossip-cli run \
+         --protocol unknown-eid do this)"
+  | Unified ->
+      invalid_arg
+        "Kernel.of_protocol: unified is a kernel chain, not a single kernel — run it \
+         through Gossip_core.Dissemination.broadcast_scale (Sweep.run_job and gossip-cli \
+         run --protocol unified do this)"

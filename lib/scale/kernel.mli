@@ -5,44 +5,61 @@
     wheels, the fault plan, the deadline, per-node RNG streams, the
     telemetry handles, and (when sharded) the cross-domain mailboxes.
     A {e kernel} supplies the protocol: a directed contact structure
-    plus three hooks the engine calls at fixed points of its round.
+    plus five hooks the engine calls at fixed points of its round.
 
     {2 Hook contract}
 
     The engine's round has four phases (1a/1b/1c/2, see
-    {!Wheel_engine}); the kernel is consulted at three of them:
+    {!Wheel_engine}); the kernel is consulted at all of them:
 
     - [on_initiate ~rngs ~round ~u ~deg ~informed] — phase 2, called
       once per alive node in ascending node order.  Returns a slot
       index into [u]'s contact row ([0 <= slot < deg]) or [-1] for no
       initiation this round.  This is the only hook that may consume
-      randomness ([rngs.(u)]) or advance per-node kernel state, and
-      the {b order and count of those effects are part of the kernel's
-      observable API}: per-node RNG streams are split in node order at
-      engine creation, and trajectory parity between the sequential
-      and domain-sharded runtimes (and between engine generations)
-      holds only because every kernel draws from [rngs.(u)] under
-      exactly the same conditions in both.  The request payload is
-      [req_pay ~informed], evaluated with [u]'s informed bit as of
-      phase 2 (after this round's deliveries).
-    - [on_deliver ~informed] — phase 1a, computes the response payload
-      from the responder's {e round-start} informed bit, before any of
-      this round's push merges.
-    - [on_response ~pay] — phase 1c, decides whether the returning
-      payload marks the initiator informed.
+      randomness ([rngs.(u)]) or advance per-node kernel state whose
+      update order matters, and the {b order and count of those effects
+      are part of the kernel's observable API}: per-node RNG streams
+      are split in node order at engine creation, and trajectory parity
+      between the sequential and domain-sharded runtimes (and between
+      engine generations) holds only because every kernel draws from
+      [rngs.(u)] under exactly the same conditions in both.  The
+      request payload is [req_pay ~u ~informed], evaluated with [u]'s
+      informed bit as of phase 2 (after this round's deliveries).
+    - [on_deliver ~v ~informed] — phase 1a, computes the response
+      payload from the responder [v]'s {e round-start} informed bit,
+      before any of this round's push merges.
+    - [on_push ~v ~pay] — phase 1b, decides whether the request
+      payload marks the responder [v] informed (the classic kernels
+      mark on [pay = 1]; state-carrying kernels absorb [pay] into
+      their own arrays and return [false]).
+    - [on_response ~u ~slot ~rtt ~pay] — phase 1c, decides whether the
+      returning payload marks the initiator [u] informed.  [slot] is
+      the contact-row index [on_initiate] returned (the peer is
+      [contact.o_col.(o_row_ptr.(u) + slot)]), and [rtt] is the
+      exchange's measured round-trip time — its {e effective} latency
+      under the run's fault plan and environment, which is how the
+      discovery kernel learns the latency profile without any side
+      channel.
 
-    The engine applies the symmetric merge itself: a request payload
-    of 1 marks the responder in phase 1b.
+    {2 Shard parity}
+
+    Hooks other than [on_initiate] may mutate kernel state only in
+    ways that are order-independent within a phase: idempotent
+    monotone marks (boolean ORs into byte arrays) or writes to
+    per-(node, slot) cells that each receive at most one write per run.
+    Every cell a hook touches must belong to the node the engine
+    passed it ([u]/[v]) — the same owner-only discipline that protects
+    the informed bytes — so the domain-sharded runtime stays
+    bit-identical to the sequential one.
 
     {2 State layout}
 
-    Kernels keep per-node state (round-robin cursors) in flat int
-    arrays captured by the hook closures.  A kernel instance is
-    mutable and single-run: build a fresh kernel per broadcast.  Under
-    domain sharding the one instance is shared by all shards, which is
-    safe because the engine only calls [on_initiate] for nodes the
-    calling shard owns — the same disjointness that protects the RNG
-    streams. *)
+    Kernels keep per-node state (round-robin cursors, discovered
+    latencies, vote bits) in flat arrays captured by the hook
+    closures.  A kernel instance is mutable and single-run: build a
+    fresh kernel per broadcast.  Under domain sharding the one
+    instance is shared by all shards, which is safe because the engine
+    only calls each hook for nodes the calling shard owns. *)
 
 (** {1 Protocol descriptors}
 
@@ -63,6 +80,17 @@ type protocol =
   | Dtg_local of { ell : int }
       (** deterministic local broadcast over the latency-[<= ell]
           subgraph (0 = [ℓ_max], i.e. flooding) *)
+  | Unknown_eid
+      (** the unknown-latency EID chain (Theorem 20's spanner branch):
+          guess-and-double latency discovery → T(k) DTG schedule →
+          spanner on the discovered profile → RR Broadcast →
+          termination check, retrying while the vote is failed or
+          non-unanimous.  A kernel chain, so {!of_protocol} rejects it
+          — run [Gossip_core.Eid.run_unknown_scale]. *)
+  | Unified
+      (** Theorem 20's unified algorithm: push-pull and the
+          unknown-latency EID chain raced, min taken.  A kernel chain
+          — run [Gossip_core.Dissemination.broadcast_scale]. *)
 
 val protocol_name : protocol -> string
 
@@ -71,7 +99,8 @@ val protocol_name : protocol -> string
 val protocol_of_string : string -> protocol option
 
 (** Canonical names for help strings: ["push-pull"; "flood";
-    "random-contact"; "rr-spanner[:K]"; "dtg[:L]"]. *)
+    "random-contact"; "rr-spanner[:K]"; "dtg[:L]"; "unknown-eid";
+    "unified"]. *)
 val known_protocols : string list
 
 (** {1 Kernels} *)
@@ -81,9 +110,10 @@ type t = {
   contact : Csr.oriented;  (** directed contact rows [on_initiate] indexes *)
   uses_rng : bool;  (** engine must split per-node RNG streams *)
   on_initiate : rngs:Gossip_util.Rng.t array -> round:int -> u:int -> deg:int -> informed:bool -> int;
-  req_pay : informed:bool -> int;
-  on_deliver : informed:bool -> int;
-  on_response : pay:int -> bool;
+  req_pay : u:int -> informed:bool -> int;
+  on_deliver : v:int -> informed:bool -> int;
+  on_push : v:int -> pay:int -> bool;
+  on_response : u:int -> slot:int -> rtt:int -> pay:int -> bool;
 }
 
 val name : t -> string
@@ -118,9 +148,56 @@ val rr_broadcast : ?iterations:int -> k:int -> Csr.oriented -> t
     with {!flood}). *)
 val dtg_local : ell:int -> Csr.t -> t
 
+(** {1 Unknown-latency kernels}
+
+    The building blocks of the Theorem 20 chain.  Both are inert with
+    respect to the engine's rumor machinery (payload 0 / return
+    [false]): their results live in the arrays below, which the
+    drivers in [Gossip_core.Discovery] / [Gossip_core.Termination_check]
+    read back after the run. *)
+
+(** The discovery kernel's handle: [disc_lat] is parallel to the
+    contact structure's [o_col] — [disc_lat.(o_row_ptr.(u) + i)] is
+    the measured round-trip latency of [u]'s [i]-th out-edge, or [-1]
+    while undiscovered (probe still in flight, lost to a fault, or
+    measured above [disc_d_bound]). *)
+type discovery = { disc_kernel : t; disc_lat : int array; disc_d_bound : int }
+
+(** [discovery ~d_bound csr] probes every contact edge once, one
+    neighbor per round per node (cursor order), recording each
+    response's measured round-trip time when it is [<= d_bound].  The
+    schedule needs [Δ + d_bound] rounds to settle
+    ({!Gossip_core.Discovery.probe_rounds}); run it through
+    [Gossip_core.Discovery.probe_scale]. *)
+val discovery : d_bound:int -> Csr.t -> discovery
+
+(** The check kernel's handle: after the gather pass, [check_flag]
+    marks nodes that saw (or heard of) an uninformed node, and
+    [check_mismatch] marks nodes whose frozen informed bit disagreed
+    with a received one. *)
+type check = { check_kernel : t; check_flag : Bytes.t; check_mismatch : Bytes.t }
+
+(** [termination_check ~iterations ~informed oriented] is pass 1 of
+    the Section 5.3 vote, single-rumor form: the informed set is
+    frozen at construction, every node floods (frozen, flag, mismatch)
+    bit-packed payloads round-robin over [oriented] for [iterations]
+    rounds, and absorbs received payloads by boolean OR.  A node
+    starts flagged iff it is uninformed, so a unanimously clean
+    verdict is exactly "everyone heard the rumor".  Run through
+    [Gossip_core.Termination_check.run_scale], which adds the verdict
+    pass. *)
+val termination_check : iterations:int -> informed:Bytes.t -> Csr.oriented -> check
+
+(** [verdict_flood ~iterations ~failed oriented] is pass 2: the
+    per-node failed bits spread by OR under the same round-robin
+    schedule, mutating [failed] in place. *)
+val verdict_flood : iterations:int -> failed:Bytes.t -> Csr.oriented -> t
+
 (** [of_protocol csr p] builds the kernel a descriptor denotes, on
     [csr]'s contact rows.  Raises [Invalid_argument] for
-    [Rr_spanner _], which needs a precomputed oriented spanner the
-    caller must supply through {!rr_broadcast} +
-    {!Wheel_engine.broadcast_kernel}. *)
+    [Rr_spanner _] (needs a precomputed oriented spanner the caller
+    must supply through {!rr_broadcast} +
+    {!Wheel_engine.broadcast_kernel}) and for [Unknown_eid] /
+    [Unified] (kernel chains driven by [Gossip_core.Eid.run_unknown_scale]
+    / [Gossip_core.Dissemination.broadcast_scale]). *)
 val of_protocol : Csr.t -> protocol -> t

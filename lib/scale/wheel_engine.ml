@@ -7,6 +7,8 @@ type protocol = Kernel.protocol =
   | Random_contact
   | Rr_spanner of { stretch_k : int }
   | Dtg_local of { ell : int }
+  | Unknown_eid
+  | Unified
 
 let protocol_name = Kernel.protocol_name
 
@@ -145,6 +147,7 @@ type t = {
   mutable ex_resp_pay : int array;  (* rumor bit carried by the response *)
   mutable ex_due : int array;  (* absolute response-due round *)
   mutable ex_init : int array;  (* initiation round, for presence-interval checks *)
+  mutable ex_slot : int array;  (* contact-row slot [on_initiate] picked *)
   mutable ex_next : int array;
   mutable free_head : int;
   mutable pool_used : int;  (* high-water mark of allocated slots *)
@@ -271,6 +274,7 @@ let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?t
     ex_resp_pay = Array.make cap 0;
     ex_due = Array.make cap 0;
     ex_init = Array.make cap 0;
+    ex_slot = Array.make cap 0;
     ex_next = Array.make cap (-1);
     free_head = -1;
     pool_used = 0;
@@ -331,6 +335,7 @@ let grow t =
   t.ex_resp_pay <- extend t.ex_resp_pay;
   t.ex_due <- extend t.ex_due;
   t.ex_init <- extend t.ex_init;
+  t.ex_slot <- extend t.ex_slot;
   t.ex_next <- extend t.ex_next
 
 let alloc t =
@@ -384,7 +389,8 @@ let step t =
     let ex = !e in
     if present t.ex_responder.(ex) t.ex_init.(ex) then
       t.ex_resp_pay.(ex) <-
-        t.kernel.Kernel.on_deliver ~informed:(informed t t.ex_responder.(ex));
+        t.kernel.Kernel.on_deliver ~v:t.ex_responder.(ex)
+          ~informed:(informed t t.ex_responder.(ex));
     e := t.ex_next.(ex)
   done;
   (* Phase 1b: merge the pushed rumor bits and park each surviving
@@ -398,7 +404,8 @@ let step t =
     if present t.ex_responder.(ex) t.ex_init.(ex) then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
-      if t.ex_req_pay.(ex) = 1 then mark t t.ex_responder.(ex);
+      if t.kernel.Kernel.on_push ~v:t.ex_responder.(ex) ~pay:t.ex_req_pay.(ex) then
+        mark t t.ex_responder.(ex);
       let due_slot = t.ex_due.(ex) mod t.wheel in
       t.ex_next.(ex) <- t.response_head.(due_slot);
       t.response_head.(due_slot) <- ex
@@ -419,7 +426,11 @@ let step t =
     if present t.ex_initiator.(ex) t.ex_init.(ex) then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
-      if t.kernel.Kernel.on_response ~pay:t.ex_resp_pay.(ex) then mark t t.ex_initiator.(ex)
+      if
+        t.kernel.Kernel.on_response ~u:t.ex_initiator.(ex) ~slot:t.ex_slot.(ex)
+          ~rtt:(t.ex_due.(ex) - t.ex_init.(ex))
+          ~pay:t.ex_resp_pay.(ex)
+      then mark t t.ex_initiator.(ex)
     end
     else t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
     free t ex;
@@ -459,7 +470,7 @@ let step t =
                run, not a harness crash: the typed exception lets a
                sweep record this job as [Failed] and keep going. *)
             raise (Jitter_overflow { latency; bound = t.wheel - 1; round });
-          let req_pay = t.kernel.Kernel.req_pay ~informed:informed_u in
+          let req_pay = t.kernel.Kernel.req_pay ~u ~informed:informed_u in
           let ex = alloc t in
           t.ex_initiator.(ex) <- u;
           t.ex_responder.(ex) <- peer;
@@ -467,6 +478,7 @@ let step t =
           t.ex_resp_pay.(ex) <- 0;
           t.ex_due.(ex) <- round + latency;
           t.ex_init.(ex) <- round;
+          t.ex_slot.(ex) <- idx;
           let arrival_slot = (round + ((latency + 1) / 2)) mod t.wheel in
           t.ex_next.(ex) <- t.arrival_head.(arrival_slot);
           t.arrival_head.(arrival_slot) <- ex
@@ -589,6 +601,7 @@ type shard = {
   mutable s_resp_pay : int array;
   mutable s_due : int array;
   mutable s_init : int array;
+  mutable s_slot : int array;
   mutable s_next : int array;
   mutable s_free : int;
   mutable s_pool_used : int;
@@ -621,8 +634,10 @@ type shared = {
   (* per-(src shard, dst shard) mailboxes at [src * k + dst]; written
      in one stage, drained after a barrier, so no locking is needed *)
   sh_init_mail : Shard.Buf.t array;
-      (* 6 ints: initiator responder req_pay due arr_slot init_round *)
-  sh_resp_mail : Shard.Buf.t array;  (* 4 ints: initiator resp_pay due_slot init_round *)
+      (* 7 ints: initiator responder req_pay due arr_slot init_round slot *)
+  sh_resp_mail : Shard.Buf.t array;
+      (* 5 ints: initiator resp_pay due init_round slot (due absolute, so
+         the initiator's shard can rebuild the round-trip time) *)
 }
 
 let make_shard ctx id lo hi =
@@ -641,6 +656,7 @@ let make_shard ctx id lo hi =
     s_resp_pay = Array.make cap 0;
     s_due = Array.make cap 0;
     s_init = Array.make cap 0;
+    s_slot = Array.make cap 0;
     s_next = Array.make cap (-1);
     s_free = -1;
     s_pool_used = 0;
@@ -672,6 +688,7 @@ let s_grow ctx sh round =
   sh.s_resp_pay <- extend sh.s_resp_pay;
   sh.s_due <- extend sh.s_due;
   sh.s_init <- extend sh.s_init;
+  sh.s_slot <- extend sh.s_slot;
   sh.s_next <- extend sh.s_next
 
 let s_alloc ctx sh round =
@@ -728,9 +745,10 @@ let stage1 ctx sh round =
       sh.s_due.(ex) <- Shard.Buf.get b (!i + 3);
       let arr_slot = Shard.Buf.get b (!i + 4) in
       sh.s_init.(ex) <- Shard.Buf.get b (!i + 5);
+      sh.s_slot.(ex) <- Shard.Buf.get b (!i + 6);
       sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
       sh.s_arrival.(arr_slot) <- ex;
-      i := !i + 6
+      i := !i + 7
     done;
     Shard.Buf.clear b
   done;
@@ -742,7 +760,7 @@ let stage1 ctx sh round =
     let ex = !e in
     if present sh.s_responder.(ex) sh.s_init.(ex) then
       sh.s_resp_pay.(ex) <-
-        ctx.sh_kernel.Kernel.on_deliver
+        ctx.sh_kernel.Kernel.on_deliver ~v:sh.s_responder.(ex)
           ~informed:(Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000');
     e := sh.s_next.(ex)
   done;
@@ -756,7 +774,8 @@ let stage1 ctx sh round =
     if present sh.s_responder.(ex) sh.s_init.(ex) then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
-      if sh.s_req_pay.(ex) = 1 then s_mark ctx sh sh.s_responder.(ex);
+      if ctx.sh_kernel.Kernel.on_push ~v:sh.s_responder.(ex) ~pay:sh.s_req_pay.(ex) then
+        s_mark ctx sh sh.s_responder.(ex);
       let initiator = sh.s_initiator.(ex) in
       let due_slot = sh.s_due.(ex) mod ctx.sh_wheel in
       let dst = Shard.owner ~n:(Csr.n ctx.sh_csr) ~k initiator in
@@ -766,14 +785,17 @@ let stage1 ctx sh round =
       end
       else begin
         let resp_pay = sh.s_resp_pay.(ex) in
+        let due = sh.s_due.(ex) in
         let init_round = sh.s_init.(ex) in
+        let ex_slot = sh.s_slot.(ex) in
         s_free_ex sh ex;
         let b = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
-        let base = Shard.Buf.reserve b 4 in
+        let base = Shard.Buf.reserve b 5 in
         Shard.Buf.set b base initiator;
         Shard.Buf.set b (base + 1) resp_pay;
-        Shard.Buf.set b (base + 2) due_slot;
+        Shard.Buf.set b (base + 2) due;
         Shard.Buf.set b (base + 3) init_round;
+        Shard.Buf.set b (base + 4) ex_slot;
         Gossip_obs.Registry.incr sh.s_c_remote_resps
       end
     end
@@ -798,11 +820,14 @@ let stage2_deliver ctx sh round =
       let ex = s_alloc ctx sh round in
       sh.s_initiator.(ex) <- Shard.Buf.get b !i;
       sh.s_resp_pay.(ex) <- Shard.Buf.get b (!i + 1);
-      let due_slot = Shard.Buf.get b (!i + 2) in
+      let due = Shard.Buf.get b (!i + 2) in
+      sh.s_due.(ex) <- due;
       sh.s_init.(ex) <- Shard.Buf.get b (!i + 3);
+      sh.s_slot.(ex) <- Shard.Buf.get b (!i + 4);
+      let due_slot = due mod ctx.sh_wheel in
       sh.s_next.(ex) <- sh.s_response.(due_slot);
       sh.s_response.(due_slot) <- ex;
-      i := !i + 4
+      i := !i + 5
     done;
     Shard.Buf.clear b
   done;
@@ -815,8 +840,11 @@ let stage2_deliver ctx sh round =
     if present sh.s_initiator.(ex) sh.s_init.(ex) then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
-      if ctx.sh_kernel.Kernel.on_response ~pay:sh.s_resp_pay.(ex) then
-        s_mark ctx sh sh.s_initiator.(ex)
+      if
+        ctx.sh_kernel.Kernel.on_response ~u:sh.s_initiator.(ex) ~slot:sh.s_slot.(ex)
+          ~rtt:(sh.s_due.(ex) - sh.s_init.(ex))
+          ~pay:sh.s_resp_pay.(ex)
+      then s_mark ctx sh sh.s_initiator.(ex)
     end
     else sh.s_dropped <- sh.s_dropped + 1;
     s_free_ex sh ex;
@@ -854,7 +882,7 @@ let stage2_initiate ctx sh round =
           in
           if latency >= ctx.sh_wheel then
             raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
-          let req_pay = ctx.sh_kernel.Kernel.req_pay ~informed:informed_u in
+          let req_pay = ctx.sh_kernel.Kernel.req_pay ~u ~informed:informed_u in
           let due = round + latency in
           let arr_slot = (round + ((latency + 1) / 2)) mod ctx.sh_wheel in
           let dst = Shard.owner ~n ~k peer in
@@ -866,18 +894,20 @@ let stage2_initiate ctx sh round =
             sh.s_resp_pay.(ex) <- 0;
             sh.s_due.(ex) <- due;
             sh.s_init.(ex) <- round;
+            sh.s_slot.(ex) <- idx;
             sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
             sh.s_arrival.(arr_slot) <- ex
           end
           else begin
             let b = ctx.sh_init_mail.((sh.s_id * k) + dst) in
-            let mb = Shard.Buf.reserve b 6 in
+            let mb = Shard.Buf.reserve b 7 in
             Shard.Buf.set b mb u;
             Shard.Buf.set b (mb + 1) peer;
             Shard.Buf.set b (mb + 2) req_pay;
             Shard.Buf.set b (mb + 3) due;
             Shard.Buf.set b (mb + 4) arr_slot;
             Shard.Buf.set b (mb + 5) round;
+            Shard.Buf.set b (mb + 6) idx;
             Gossip_obs.Registry.incr sh.s_c_remote_inits
           end
         end
@@ -987,7 +1017,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
              exchanges the sequential engine would have allocated in
              phase 2 — count them so the in-flight telemetry matches. *)
           Array.iter
-            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 6))
+            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 7))
             ctx.sh_init_mail;
           metrics.Engine.deliveries <- !deliveries;
           metrics.Engine.initiations <- !initiations;

@@ -59,6 +59,14 @@ type protocol = Kernel.protocol =
   | Dtg_local of { ell : int }
       (** deterministic local broadcast over the latency-[<= ell]
           subgraph ([ell = 0] means [ℓ_max], i.e. flooding) *)
+  | Unknown_eid
+      (** the unknown-latency EID chain (Theorem 20's spanner branch).
+          A kernel chain, so {!broadcast} rejects it — run
+          [Gossip_core.Eid.run_unknown_scale]. *)
+  | Unified
+      (** Theorem 20's unified algorithm: push-pull raced against the
+          unknown-latency chain.  A kernel chain — run
+          [Gossip_core.Dissemination.broadcast_scale]. *)
 
 val protocol_name : protocol -> string
 

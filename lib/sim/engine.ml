@@ -57,6 +57,17 @@ type 'p t = {
   mutable now : int;
 }
 
+let empty_metrics () =
+  { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 }
+
+let add_metrics ~into m =
+  into.rounds <- into.rounds + m.rounds;
+  into.initiations <- into.initiations + m.initiations;
+  into.deliveries <- into.deliveries + m.deliveries;
+  into.payload_words <- into.payload_words + m.payload_words;
+  into.rejected <- into.rejected + m.rejected;
+  into.dropped <- into.dropped + m.dropped
+
 let create ?(faults = no_faults) ?in_capacity ?(payload_size = fun _ -> 1) ?telemetry g
     ~handlers =
   (match in_capacity with

@@ -81,6 +81,13 @@ type metrics = {
   mutable dropped : int;  (** messages lost to faults *)
 }
 
+(** [empty_metrics ()] is a fresh all-zero record — the accumulator
+    seed for multi-phase drivers that sum per-phase engine metrics. *)
+val empty_metrics : unit -> metrics
+
+(** [add_metrics ~into m] adds every counter of [m] into [into]. *)
+val add_metrics : into:metrics -> metrics -> unit
+
 type 'p t
 
 (** [create ?faults ?in_capacity ?payload_size g ~handlers] builds an

@@ -132,6 +132,41 @@ let run_job ?timeout_s ?domains ?pool_capacity ?on_round job =
           ?domains ?pool_capacity ?on_round
           (Rng.of_int (job.seed + 17))
           csr ~kernel ~source ~max_rounds:job.max_rounds
+    | Wheel_engine.Unknown_eid ->
+        (* The unknown-latency chain is a kernel-chain driver, not a
+           single kernel; it budgets its own phases, so [max_rounds]
+           is unused.  Reported rounds are the chain total. *)
+        let c = compile_scenario () in
+        let r =
+          Gossip_core.Eid.run_unknown_scale ?env:(env c) ?wheel_latency:(wheel c) ?deadline
+            ?domains
+            (Rng.of_int (job.seed + 17))
+            csr ~source ()
+        in
+        {
+          Wheel_engine.rounds =
+            (if r.Gossip_core.Eid.u_success then Some r.Gossip_core.Eid.u_rounds else None);
+          metrics = r.Gossip_core.Eid.u_metrics;
+          history = [];
+          informed = r.Gossip_core.Eid.u_informed;
+        }
+    | Wheel_engine.Unified ->
+        let c = compile_scenario () in
+        let r =
+          Gossip_core.Dissemination.broadcast_scale ?env:(env c) ?wheel_latency:(wheel c)
+            ?deadline ?domains
+            (Rng.of_int (job.seed + 17))
+            csr ~source ~max_rounds:job.max_rounds ()
+        in
+        {
+          Wheel_engine.rounds =
+            (if r.Gossip_core.Dissemination.b_success then
+               Some r.Gossip_core.Dissemination.b_rounds
+             else None);
+          metrics = r.Gossip_core.Dissemination.b_metrics;
+          history = [];
+          informed = r.Gossip_core.Dissemination.b_informed;
+        }
     | protocol ->
         let c = compile_scenario () in
         Wheel_engine.broadcast ?env:(env c) ?wheel_latency:(wheel c) ?deadline ?domains

@@ -53,9 +53,17 @@ let geometric t p =
   if p >= 1.0 then 1
   else
     let u = float t 1.0 in
-    (* Inverse transform: ceil(ln u / ln (1-p)), clamped to >= 1. *)
-    let v = ceil (log (1.0 -. u) /. log (1.0 -. p)) in
-    max 1 (int_of_float v)
+    (* Inverse transform: ceil(ln u / ln (1-p)), clamped to >= 1.  Two
+       overflow hazards for tiny [p]: [1 - p] can round to [1] (zero
+       denominator), and the quotient can exceed [max_int], where
+       [int_of_float] is unspecified.  Both clamp to [max_int] — the
+       true draw is astronomically large either way. *)
+    let denom = log (1.0 -. p) in
+    if denom = 0.0 then max_int
+    else
+      let v = ceil (log (1.0 -. u) /. denom) in
+      if not (Float.is_finite v) || v >= float_of_int max_int then max_int
+      else max 1 (int_of_float v)
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

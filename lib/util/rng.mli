@@ -44,7 +44,9 @@ val bernoulli : t -> float -> bool
 
 (** [geometric t p] is the number of Bernoulli([p]) trials up to and
     including the first success (support 1, 2, ...).  Requires
-    [0 < p <= 1]. *)
+    [0 < p <= 1].  Always finite and [>= 1]: draws whose inverse
+    transform would overflow the integer range (tiny [p]) clamp to
+    [max_int]. *)
 val geometric : t -> float -> int
 
 (** [shuffle t a] permutes [a] in place uniformly (Fisher–Yates). *)

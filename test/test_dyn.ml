@@ -228,6 +228,41 @@ let test_random_churn_spares_source () =
     done
   done
 
+let test_random_churn_rounds_to_nearest () =
+  (* fraction 0.15 of 10 nodes is 1.5: truncation churned 1 node,
+     rounding churns 2 — the regression test for the truncation bug. *)
+  let s =
+    Scenario.of_string
+      {|{"seed": 4, "churn": [{"kind": "random", "fraction": 0.15, "leave": 0, "down": 100, "period": 1}]}|}
+  in
+  let csr = Csr.of_graph (Gen.cycle 10) in
+  let c = Scenario.compile s ~csr ~source:0 in
+  let absent = ref 0 in
+  for node = 0 to 9 do
+    if not (c.Scenario.env.Wheel.env_alive ~node ~round:1) then incr absent
+  done;
+  checki "1.5 churned nodes round to 2" 2 !absent
+
+let test_random_churn_zero_count_rejected () =
+  (* A positive fraction that rounds to zero churned nodes would
+     silently disable the entry; compile refuses instead. *)
+  let s =
+    Scenario.of_string
+      {|{"churn": [{"kind": "random", "fraction": 0.04, "leave": 1, "down": 2}]}|}
+  in
+  let csr = Csr.of_graph (Gen.cycle 10) in
+  (match Scenario.compile s ~csr ~source:0 with
+  | _ -> Alcotest.fail "zero-count churn entry accepted"
+  | exception Scenario.Invalid_scenario msg ->
+      checkb "message names the entry" true
+        (String.length msg > 0 && String.sub msg 0 17 = "scenario.churn[0]"));
+  (* fraction exactly 0 stays a valid no-op. *)
+  let s0 =
+    Scenario.of_string
+      {|{"churn": [{"kind": "random", "fraction": 0.0, "leave": 1, "down": 2}]}|}
+  in
+  ignore (Scenario.compile s0 ~csr ~source:0)
+
 (* ------------------------------------------------------------------ *)
 (* Static scenarios are bit-identical to the plain engine *)
 
@@ -417,6 +452,9 @@ let () =
           Alcotest.test_case "diurnal bounds" `Quick test_diurnal_bounds;
           Alcotest.test_case "churn intervals" `Quick test_churn_intervals;
           Alcotest.test_case "random churn spares source" `Quick test_random_churn_spares_source;
+          Alcotest.test_case "random churn rounds" `Quick test_random_churn_rounds_to_nearest;
+          Alcotest.test_case "zero-count churn rejected" `Quick
+            test_random_churn_zero_count_rejected;
         ] );
       ( "engine",
         [

@@ -53,6 +53,8 @@ let test_protocol_roundtrip () =
       Kernel.Rr_spanner { stretch_k = 3 };
       Kernel.Dtg_local { ell = 0 };
       Kernel.Dtg_local { ell = 5 };
+      Kernel.Unknown_eid;
+      Kernel.Unified;
     ];
   (* Parameterless forms mean "choose automatically". *)
   checkb "bare rr-spanner" true
@@ -62,10 +64,19 @@ let test_protocol_roundtrip () =
   List.iter
     (fun s -> checkb ("\"" ^ s ^ "\" rejected") true (Kernel.protocol_of_string s = None))
     [ "nope"; "rr-spanner:0"; "rr-spanner:x"; "dtg:-2"; "dtg:"; "" ];
-  checki "known protocols listed" 5 (List.length Kernel.known_protocols);
+  checki "known protocols listed" 7 (List.length Kernel.known_protocols);
   (* The engine and the sweep both delegate to this one parser. *)
   checkb "wheel re-export is the same table" true
-    (Wheel.protocol_of_string "dtg:3" = Some (Wheel.Dtg_local { ell = 3 }))
+    (Wheel.protocol_of_string "dtg:3" = Some (Wheel.Dtg_local { ell = 3 }));
+  (* The chain descriptors name multi-phase drivers, not single
+     kernels: the kernel factory must refuse them. *)
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:1 in
+  List.iter
+    (fun p ->
+      match Kernel.of_protocol csr p with
+      | _ -> Alcotest.failf "%s built as a single kernel" (Kernel.protocol_name p)
+      | exception Invalid_argument _ -> ())
+    [ Kernel.Unknown_eid; Kernel.Unified ]
 
 let test_of_protocol_rr_needs_spanner () =
   let csr = Csr.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:1 in
@@ -429,6 +440,105 @@ let test_kernel_tagged_telemetry () =
     (Registry.counter_value (Registry.counter reg2 "wheel.kernel.flood.deliveries"))
 
 (* ------------------------------------------------------------------ *)
+(* Termination-check kernel vs the boxed reference (Lemma 18) *)
+
+module Check = Gossip_core.Termination_check
+
+(* A seed-derived informed pattern with the source always set, so the
+   check exercises flagged, mismatching, and clean nodes alike. *)
+let informed_pattern n seed =
+  Array.init n (fun v -> v = 0 || (v + (seed * 7)) mod 3 <> 0)
+
+let check_check_parity label g seed informed =
+  let n = Graph.n g in
+  let csr = Csr.of_graph g in
+  let k = Graph.max_latency g in
+  let s = Spanner.build (Rng.of_int seed) g ~k:2 () in
+  let oriented = Csr.of_oriented_spanner s.Spanner.out_edges in
+  let core = Check.run_single ~base:g ~out_edges:s.Spanner.out_edges ~k ~informed in
+  let bytes = Bytes.init n (fun v -> if informed.(v) then '\001' else '\000') in
+  let scale =
+    Check.run_scale (Rng.of_int (seed + 1)) csr ~oriented ~k ~informed:bytes
+  in
+  checki (label ^ " rounds") core.Check.rounds scale.Check.sc_rounds;
+  checkb (label ^ " unanimous") core.Check.unanimous scale.Check.sc_unanimous;
+  checkb (label ^ " any-failed") (Array.exists Fun.id core.Check.failed)
+    scale.Check.sc_any_failed;
+  for v = 0 to n - 1 do
+    if core.Check.failed.(v) <> (Bytes.get scale.Check.sc_failed v <> '\000') then
+      Alcotest.failf "%s: node %d verdict diverges from the reference" label v
+  done
+
+let test_check_parity_fixed () =
+  let g = gen_graph 40 31 4 in
+  let n = Graph.n g in
+  (* Everyone informed: clean, unanimous verdict on both runtimes. *)
+  check_check_parity "all-informed" g 31 (Array.make n true);
+  (* One dark node: its neighbors flag, the verdict floods. *)
+  let holey = Array.make n true in
+  holey.(n / 2) <- false;
+  check_check_parity "one-dark" g 31 holey
+
+let prop_check_parity =
+  QCheck.Test.make ~name:"scale termination-check kernel = boxed reference check" ~count:30
+    QCheck.(pair (int_range 5 60) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let g = gen_graph n seed 5 in
+      check_check_parity
+        (Printf.sprintf "er n=%d seed=%d" n seed)
+        g (seed + 3)
+        (informed_pattern n seed);
+      true)
+
+let prop_check_sharded_parity =
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (check kernel x faults)" ~count:20
+    QCheck.(triple (int_range 6 60) (int_range 0 100_000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = gen_graph n seed 5 in
+      let csr = Csr.of_graph g in
+      let k = Graph.max_latency g in
+      let s = Spanner.build (Rng.of_int (seed + 3)) g ~k:2 () in
+      let oriented = Csr.of_oriented_spanner s.Spanner.out_edges in
+      let informed = Bytes.init n (fun v -> if (v + seed) mod 4 = 0 then '\000' else '\001') in
+      let _, faults, max_jitter = List.nth parity_fault_plans pick in
+      let run d =
+        Check.run_scale ~faults ~max_jitter ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~oriented ~k ~informed
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Check.sc_rounds = base.Check.sc_rounds
+          && r.Check.sc_metrics = base.Check.sc_metrics
+          && Bytes.equal r.Check.sc_failed base.Check.sc_failed)
+        parity_domains)
+
+let prop_discovery_sharded_parity =
+  let module Discovery = Gossip_core.Discovery in
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (discovery kernel x faults)"
+    ~count:20
+    QCheck.(triple (int_range 6 60) (int_range 0 100_000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = gen_graph n seed 5 in
+      let csr = Csr.of_graph g in
+      let _, faults, max_jitter = List.nth parity_fault_plans pick in
+      let run d =
+        Discovery.probe_scale ~faults ~max_jitter ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~d_bound:3
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Discovery.s_rounds = base.Discovery.s_rounds
+          && r.Discovery.s_lat = base.Discovery.s_lat
+          && Csr.equal r.Discovery.s_discovered base.Discovery.s_discovered)
+        parity_domains)
+
+(* ------------------------------------------------------------------ *)
 (* EID on the scale engine *)
 
 let test_eid_scale_smoke () =
@@ -453,6 +563,73 @@ let test_eid_scale_smoke () =
   match Eid.run_known_diameter_scale (Rng.of_int 7) csr ~d:0 ~source:0 () with
   | _ -> Alcotest.fail "d = 0 accepted"
   | exception Invalid_argument _ -> ()
+
+(* The full Theorem 20 chain with zero latency knowledge: discovery ->
+   T(k) schedule -> spanner RR -> termination check, guess-and-double
+   outer loop, bit-identical across shard counts. *)
+let test_unknown_eid_scale () =
+  let csr = Csr.ring_of_cliques ~cliques:4 ~size:5 ~bridge_latency:2 in
+  let r = Eid.run_unknown_scale (Rng.of_int 11) csr ~source:0 () in
+  checkb "success with no a-priori latencies" true r.Eid.u_success;
+  (* Early attempts with too-small k may split their verdicts (Lemma 18
+     unanimity needs the flood to cover the graph); the accepting
+     attempt is always unanimous — no node failed. *)
+  (match List.rev r.Eid.u_attempts with
+  | last :: _ ->
+      checkb "accepting attempt unanimous" true last.Eid.ua_unanimous;
+      checkb "accepting attempt clean" false last.Eid.ua_failed
+  | [] -> Alcotest.fail "no attempts recorded");
+  checki "everyone informed" (Csr.n csr) (count_informed r.Eid.u_informed);
+  checkb "at least one attempt" true (r.Eid.u_attempts <> []);
+  (* Guesses double: k = 1, 2, 4, ... *)
+  List.iteri
+    (fun i a -> checki (Printf.sprintf "attempt %d guess" i) (1 lsl i) a.Eid.ua_k)
+    r.Eid.u_attempts;
+  (* Rounds account for every phase of every attempt. *)
+  let budget =
+    List.fold_left
+      (fun acc a ->
+        acc + a.Eid.ua_discovery_rounds + a.Eid.ua_schedule_rounds + a.Eid.ua_rr_rounds
+        + a.Eid.ua_check_rounds)
+      0 r.Eid.u_attempts
+  in
+  checki "rounds = sum over attempts and phases" budget r.Eid.u_rounds;
+  List.iter
+    (fun d ->
+      let rd = Eid.run_unknown_scale ~domains:d (Rng.of_int 11) csr ~source:0 () in
+      checki (Printf.sprintf "rounds domains=%d" d) r.Eid.u_rounds rd.Eid.u_rounds;
+      checki (Printf.sprintf "k_final domains=%d" d) r.Eid.u_k_final rd.Eid.u_k_final;
+      checkb (Printf.sprintf "informed domains=%d" d) true
+        (Bytes.equal r.Eid.u_informed rd.Eid.u_informed))
+    parity_domains
+
+let test_unified_scale () =
+  let module Dissemination = Gossip_core.Dissemination in
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:6 ~bridge_latency:2 in
+  let run d =
+    Dissemination.broadcast_scale ?domains:d (Rng.of_int 5) csr ~source:0
+      ~max_rounds:100_000 ()
+  in
+  let r = run None in
+  checkb "unified succeeds" true r.Dissemination.b_success;
+  checki "everyone informed" (Csr.n csr) (count_informed r.Dissemination.b_informed);
+  (* The winner really is the cheaper branch. *)
+  (match r.Dissemination.b_pushpull_rounds with
+  | Some pp ->
+      checki "min of the branches" (min pp r.Dissemination.b_spanner_rounds)
+        r.Dissemination.b_rounds
+  | None -> checki "spanner wins by default" r.Dissemination.b_spanner_rounds
+              r.Dissemination.b_rounds);
+  List.iter
+    (fun d ->
+      let rd = run (Some d) in
+      checki (Printf.sprintf "rounds domains=%d" d) r.Dissemination.b_rounds
+        rd.Dissemination.b_rounds;
+      checkb (Printf.sprintf "winner domains=%d" d) true
+        (r.Dissemination.b_winner = rd.Dissemination.b_winner);
+      checkb (Printf.sprintf "informed domains=%d" d) true
+        (Bytes.equal r.Dissemination.b_informed rd.Dissemination.b_informed))
+    parity_domains
 
 let () =
   Alcotest.run "gossip_kernel"
@@ -485,8 +662,20 @@ let () =
           Alcotest.test_case "fixed cases" `Quick test_sharded_kernel_fixed;
           qtest prop_sharded_kernel_parity;
           qtest prop_sharded_kernel_parity_scenario;
+          qtest prop_check_sharded_parity;
+          qtest prop_discovery_sharded_parity;
+        ] );
+      ( "check-parity",
+        [
+          Alcotest.test_case "fixed cases" `Quick test_check_parity_fixed;
+          qtest prop_check_parity;
         ] );
       ( "telemetry",
         [ Alcotest.test_case "kernel-tagged counters" `Quick test_kernel_tagged_telemetry ] );
-      ("eid-scale", [ Alcotest.test_case "known-diameter pipeline" `Quick test_eid_scale_smoke ]);
+      ( "eid-scale",
+        [
+          Alcotest.test_case "known-diameter pipeline" `Quick test_eid_scale_smoke;
+          Alcotest.test_case "unknown-latency chain" `Quick test_unknown_eid_scale;
+          Alcotest.test_case "unified race" `Quick test_unified_scale;
+        ] );
     ]

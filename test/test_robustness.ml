@@ -30,6 +30,45 @@ let test_crash_fraction_counts () =
   checki "five crashed after" 5 (crashed_at 5);
   checkb "protected node alive" true (plan.Engine.alive ~node:0 ~round:100)
 
+let test_crash_fraction_rounds_to_nearest () =
+  (* 0.15 of 10 nodes is 1.5: truncation crashed 1, rounding crashes 2.
+     This is the regression test for the int_of_float truncation bug. *)
+  let plan =
+    Robustness.crash_fraction (Rng.of_int 6) ~n:10 ~fraction:0.15 ~from_round:0 ~protect:[]
+  in
+  let c = ref 0 in
+  for v = 0 to 9 do
+    if not (plan.Engine.alive ~node:v ~round:0) then incr c
+  done;
+  checki "1.5 victims round to 2" 2 !c;
+  (* 0.04 of 10 is 0.4: rounds to zero, nobody crashes. *)
+  let plan0 =
+    Robustness.crash_fraction (Rng.of_int 6) ~n:10 ~fraction:0.04 ~from_round:0 ~protect:[]
+  in
+  for v = 0 to 9 do
+    checkb "0.4 victims round to 0" true (plan0.Engine.alive ~node:v ~round:0)
+  done
+
+let test_crash_fraction_skipped_surfaced () =
+  (* Everyone protected: the full quota goes unplaced, and the plan
+     says so instead of silently crashing nobody. *)
+  let skipped = ref (-1) in
+  let protect = List.init 10 Fun.id in
+  let plan =
+    Robustness.crash_fraction ~skipped (Rng.of_int 7) ~n:10 ~fraction:0.5 ~from_round:0
+      ~protect
+  in
+  checki "all five victims skipped" 5 !skipped;
+  for v = 0 to 9 do
+    checkb "nobody crashed" true (plan.Engine.alive ~node:v ~round:0)
+  done;
+  (* Unconstrained quota: skipped reports zero. *)
+  let skipped2 = ref (-1) in
+  ignore
+    (Robustness.crash_fraction ~skipped:skipped2 (Rng.of_int 8) ~n:10 ~fraction:0.5
+       ~from_round:0 ~protect:[]);
+  checki "full quota placed" 0 !skipped2
+
 let test_crash_fraction_validation () =
   Alcotest.check_raises "fraction 1.0"
     (Invalid_argument "Robustness.crash_fraction: fraction out of [0,1)") (fun () ->
@@ -286,6 +325,8 @@ let () =
       ( "plans",
         [
           Alcotest.test_case "crash fraction" `Quick test_crash_fraction_counts;
+          Alcotest.test_case "crash fraction rounds" `Quick test_crash_fraction_rounds_to_nearest;
+          Alcotest.test_case "crash skipped surfaced" `Quick test_crash_fraction_skipped_surfaced;
           Alcotest.test_case "crash validation" `Quick test_crash_fraction_validation;
           Alcotest.test_case "drop extremes" `Quick test_drop_rate_extremes;
           Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;

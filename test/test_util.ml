@@ -116,6 +116,26 @@ let test_rng_geometric_mean () =
   let mean = float_of_int !sum /. float_of_int trials in
   checkb "mean near 4" true (Float.abs (mean -. 4.0) < 0.25)
 
+let test_rng_geometric_tiny_p () =
+  (* log(1-p) underflows to 0 for denormal-small p, and the division
+     overflows to infinity for merely tiny p: both used to reach
+     int_of_float undefined-behavior territory.  Hardened: the result
+     saturates at max_int instead. *)
+  let rng = Rng.of_int 16 in
+  List.iter
+    (fun p ->
+      let v = Rng.geometric rng p in
+      checkb (Printf.sprintf "p=%g in [1, max_int]" p) true (v >= 1 && v <= max_int))
+    [ 1e-18; 1e-300; Float.min_float; 4.9e-324 ]
+
+let prop_rng_geometric_bounds =
+  QCheck.Test.make ~name:"geometric is finite and >= 1 for all p in (0,1]" ~count:500
+    QCheck.(pair (int_range 0 10_000) (float_range 1e-9 1.0))
+    (fun (seed, p) ->
+      let p = if p <= 0.0 then 1e-9 else p in
+      let v = Rng.geometric (Rng.of_int seed) p in
+      v >= 1 && v <= max_int)
+
 let test_rng_shuffle_permutes () =
   let rng = Rng.of_int 13 in
   let a = Array.init 50 (fun i -> i) in
@@ -597,6 +617,8 @@ let () =
           Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
           Alcotest.test_case "geometric p=1" `Quick test_rng_geometric_one;
           Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+          Alcotest.test_case "geometric tiny p" `Quick test_rng_geometric_tiny_p;
+          qtest prop_rng_geometric_bounds;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "pick member" `Quick test_rng_pick_member;
           Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
