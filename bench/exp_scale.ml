@@ -908,3 +908,195 @@ let e17 () =
     "Every configuration finished source-to-all from zero latency knowledge\n\
      within the Theorem 20 budget (%d rounds).\n"
     budget
+
+(* E18 — the scale ceiling: the compact int32/SoA memory layout at
+   n = 10^7.
+
+   The runtime hot state (CSR arrays, the exchange pool's SoA columns,
+   the per-node RNG streams) moved from boxed machine words to int32
+   Bigarray cells / 8-byte RNG states; this experiment records the
+   honest numbers at ten million nodes and hard-fails (non-zero exit,
+   which the CI smoke step leans on) if any of the PR's claims
+   regress:
+
+   - resident bytes-per-directed-edge of the hot state, measured for
+     the int32 layout and computed for the boxed layout it replaced
+     (Csr.boxed_memory_words keeps the removed layout's arithmetic;
+     the pool and RNG baselines are 8 machine words per exchange field
+     row and 5 words per stream, the removed representations) — the
+     reduction must be >= 2x;
+   - the wheel.minor_words_per_round gauge must sit within
+     Wheel.minor_words_budget: the round loop is allocation-free;
+   - a domains=2 run must be bit-identical to the sequential run
+     (trajectory, metrics, informed set) — the parity matrix at the
+     bench's scale;
+   - peak RSS (VmHWM) and rounds/sec are recorded in BENCH_e18.json;
+     at n <= E18_REF_MAX (default 200k) the boxed reference engine
+     (lib/sim) runs the same broadcast for an honest rounds/sec
+     baseline — above that it is skipped, and the skip is printed, not
+     silent.
+
+   E18_N sizes the run (default 10^7; CI uses a small value). *)
+let e18 () =
+  let module Json = Gossip_util.Json in
+  let module Registry = Gossip_obs.Registry in
+  let n =
+    match Sys.getenv_opt "E18_N" with Some s -> int_of_string s | None -> 10_000_000
+  in
+  let ref_max =
+    match Sys.getenv_opt "E18_REF_MAX" with Some s -> int_of_string s | None -> 200_000
+  in
+  let seed = 1009 in
+  section "E18  the scale ceiling: int32/SoA layout at n = 10^7"
+    (Printf.sprintf
+       "Full push-pull broadcast on a Barabasi-Albert graph (attach 3, uniform\n\
+        1-8 latencies) at n = %d: resident bytes-per-edge of the int32 hot\n\
+        state vs the boxed layout it replaced (>= 2x reduction asserted), the\n\
+        allocation-free round loop (minor-words gauge <= %d asserted), and\n\
+        sequential-vs-sharded parity.  Peak RSS and rounds/sec in\n\
+        BENCH_e18.json." n Wheel.minor_words_budget);
+  let peak_rss_kb () =
+    (* VmHWM from /proc/self/status: the high-water resident set. *)
+    try
+      let ic = open_in "/proc/self/status" in
+      let rec go () =
+        match input_line ic with
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+            close_in ic;
+            int_of_string
+              (String.trim (String.sub line 6 (String.length line - 6 - 3)))
+        | _ -> go ()
+        | exception End_of_file ->
+            close_in ic;
+            0
+      in
+      go ()
+    with Sys_error _ -> 0
+  in
+  let csr, build_s =
+    time (fun () ->
+        Csr.with_latencies (Rng.of_int (seed + 7)) (Gossip_graph.Gen.Uniform (1, 8))
+          (Csr.barabasi_albert (Rng.of_int seed) ~n ~attach:3))
+  in
+  let directed = 2 * Csr.m csr in
+  Printf.printf "graph built: %d nodes, %d directed edge entries, %.1f s\n" n directed build_s;
+  (* Sequential run with telemetry: the timed run and the gauge run. *)
+  let reg = Registry.create () in
+  let seq, seq_s =
+    time (fun () ->
+        Wheel.broadcast ~telemetry:reg (Rng.of_int (seed + 17)) csr ~protocol:Wheel.Push_pull
+          ~source:0 ~max_rounds:10_000)
+  in
+  let rounds = rounds_exn seq.Wheel.rounds in
+  let gauge = Registry.gauge_value (Registry.gauge reg "wheel.minor_words_per_round") in
+  let inflight_max = Registry.gauge_value (Registry.gauge reg "wheel.inflight.max") in
+  if gauge > Wheel.minor_words_budget then
+    failwith
+      (Printf.sprintf "E18: minor-words gauge %d over the budget %d — the round loop allocates"
+         gauge Wheel.minor_words_budget);
+  (* Parity: a domains=2 run must be bit-identical. *)
+  let shard, shard_s =
+    time (fun () ->
+        Wheel.broadcast ~domains:2 (Rng.of_int (seed + 17)) csr ~protocol:Wheel.Push_pull
+          ~source:0 ~max_rounds:10_000)
+  in
+  if
+    not
+      (seq.Wheel.rounds = shard.Wheel.rounds
+      && seq.Wheel.history = shard.Wheel.history
+      && seq.Wheel.metrics = shard.Wheel.metrics
+      && Bytes.equal seq.Wheel.informed shard.Wheel.informed)
+  then failwith "E18: sharded run diverged from the sequential wheel";
+  (* Resident bytes per directed edge entry: CSR + exchange pool +
+     RNG streams, int32/SoA layout vs the boxed layout it replaced.
+     The pool is sized by the peak in-flight population (the same
+     population either layout would hold); the boxed columns were 8
+     machine words per exchange vs 8 int32 cells, and a boxed RNG
+     stream was a record holding a boxed int64 (~5 words) vs one
+     8-byte Bytes payload (2 words). *)
+  let word = 8 in
+  let csr_bytes = word * Csr.memory_words csr in
+  let csr_boxed_bytes = word * Csr.boxed_memory_words csr in
+  let pool_bytes = inflight_max * 8 * 4 in
+  let pool_boxed_bytes = inflight_max * 8 * word in
+  let rng_bytes = n * 2 * word in
+  let rng_boxed_bytes = n * 5 * word in
+  let hot = csr_bytes + pool_bytes + rng_bytes in
+  let hot_boxed = csr_boxed_bytes + pool_boxed_bytes + rng_boxed_bytes in
+  let bpe = float_of_int hot /. float_of_int directed in
+  let bpe_boxed = float_of_int hot_boxed /. float_of_int directed in
+  let reduction = bpe_boxed /. bpe in
+  if reduction < 2.0 then
+    failwith
+      (Printf.sprintf "E18: bytes-per-edge reduction %.2fx below the 2x floor (%.1f vs %.1f)"
+         reduction bpe_boxed bpe);
+  (* Boxed reference engine baseline, when affordable. *)
+  let ref_row =
+    if n <= ref_max then begin
+      let g = Csr.to_graph csr in
+      let er, ref_s =
+        time (fun () ->
+            Push_pull.broadcast (Rng.of_int (seed + 17)) g ~source:0 ~max_rounds:10_000)
+      in
+      if Some (rounds_exn er.Push_pull.rounds) <> seq.Wheel.rounds then
+        failwith "E18: wheel diverged from the boxed reference engine";
+      [ ("ref_engine_s", Json.Float ref_s);
+        ("ref_engine_rps", Json.Float (float_of_int rounds /. ref_s)) ]
+    end
+    else begin
+      Printf.printf
+        "boxed reference engine skipped at n = %d (> E18_REF_MAX = %d): the boxed graph\n\
+         alone would not be a fair same-machine baseline at this size\n"
+        n ref_max;
+      []
+    end
+  in
+  let rss = peak_rss_kb () in
+  let t =
+    Table.create ~title:"E18: hot-state footprint, int32/SoA vs boxed"
+      ~columns:
+        [ ("component", Table.Left); ("int32 MB", Table.Right); ("boxed MB", Table.Right) ]
+  in
+  let mb b = fmt_f ~d:1 (float_of_int b /. 1048576.0) in
+  Table.add_row t [ "csr"; mb csr_bytes; mb csr_boxed_bytes ];
+  Table.add_row t [ "exchange pool (peak)"; mb pool_bytes; mb pool_boxed_bytes ];
+  Table.add_row t [ "rng streams"; mb rng_bytes; mb rng_boxed_bytes ];
+  Table.add_row t [ "total"; mb hot; mb hot_boxed ];
+  Table.print t;
+  Printf.printf
+    "bytes/edge: %.1f int32 vs %.1f boxed (%.2fx reduction, floor 2x)\n\
+     rounds: %d  seq: %.1f s (%.0f r/s)  sharded(2): %.1f s  parity: ok\n\
+     minor words/round: %d (budget %d)  peak RSS: %d kB\n"
+    bpe bpe_boxed reduction rounds seq_s
+    (float_of_int rounds /. seq_s)
+    shard_s gauge Wheel.minor_words_budget rss;
+  bench_rows ~exp:"e18"
+    [
+      [
+        ("n", Json.Int n);
+        ("directed_edges", Json.Int directed);
+        ("build_s", Json.Float build_s);
+        ("rounds", Json.Int rounds);
+        ("seq_s", Json.Float seq_s);
+        ("seq_rps", Json.Float (float_of_int rounds /. seq_s));
+        ("shard_s", Json.Float shard_s);
+        ("parity", Json.Bool true);
+        ("inflight_max", Json.Int inflight_max);
+        ("csr_bytes", Json.Int csr_bytes);
+        ("csr_boxed_bytes", Json.Int csr_boxed_bytes);
+        ("pool_bytes", Json.Int pool_bytes);
+        ("pool_boxed_bytes", Json.Int pool_boxed_bytes);
+        ("rng_bytes", Json.Int rng_bytes);
+        ("rng_boxed_bytes", Json.Int rng_boxed_bytes);
+        ("bytes_per_edge", Json.Float bpe);
+        ("bytes_per_edge_boxed", Json.Float bpe_boxed);
+        ("reduction", Json.Float reduction);
+        ("minor_words_per_round", Json.Int gauge);
+        ("minor_words_budget", Json.Int Wheel.minor_words_budget);
+        ("peak_rss_kb", Json.Int rss);
+      ]
+      @ ref_row;
+    ];
+  print_endline
+    "The int32/SoA layout holds the 10^7-node hot state in half the bytes,\n\
+     with an allocation-free round loop and bit-identical trajectories."

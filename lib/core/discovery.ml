@@ -94,11 +94,13 @@ type scale_result = {
    reverse direction of an edge found by a forward row walk, so it is
    always present. *)
 let slot_of o u target =
-  let lo = ref o.Scale_csr.o_row_ptr.(u) and hi = ref (o.Scale_csr.o_row_ptr.(u + 1) - 1) in
+  let module I32 = Gossip_scale.I32 in
+  let lo = ref (I32.get o.Scale_csr.o_row_ptr u)
+  and hi = ref (I32.get o.Scale_csr.o_row_ptr (u + 1) - 1) in
   let found = ref (-1) in
   while !found < 0 && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = o.Scale_csr.o_col.(mid) in
+    let c = I32.get o.Scale_csr.o_col mid in
     if c = target then found := mid else if c < target then lo := mid + 1 else hi := mid - 1
   done;
   if !found < 0 then invalid_arg "Discovery.probe_scale: asymmetric CSR row";
@@ -125,10 +127,11 @@ let probe_scale ?faults ?env ?wheel_latency ?max_jitter ?deadline ?telemetry ?do
   and el = Array.make (max 1 m) 0 in
   let count = ref 0 in
   let complete = ref true in
+  let module I32 = Gossip_scale.I32 in
   for u = 0 to n - 1 do
-    for i = o.Scale_csr.o_row_ptr.(u) to o.Scale_csr.o_row_ptr.(u + 1) - 1 do
-      if o.Scale_csr.o_lat.(i) <= d_bound && lat.(i) < 0 then complete := false;
-      let v = o.Scale_csr.o_col.(i) in
+    for i = I32.get o.Scale_csr.o_row_ptr u to I32.get o.Scale_csr.o_row_ptr (u + 1) - 1 do
+      if I32.get o.Scale_csr.o_lat i <= d_bound && lat.(i) < 0 then complete := false;
+      let v = I32.get o.Scale_csr.o_col i in
       if v > u && lat.(i) >= 0 then begin
         let j = slot_of o v u in
         if lat.(j) >= 0 then begin

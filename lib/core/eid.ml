@@ -210,9 +210,12 @@ let run_unknown_scale ?n_hat ?domains ?telemetry ?faults ?env ?wheel_latency ?ma
      protocol never reads them): a guess beyond twice the latency sum
      cannot be beaten by any larger guess on a connected input. *)
   let latency_sum =
+    let module I32 = Gossip_scale.I32 in
     let o = Scale_csr.oriented_of_csr csr in
     let acc = ref 0 in
-    Array.iter (fun l -> acc := !acc + l) o.Scale_csr.o_lat;
+    for i = 0 to I32.length o.Scale_csr.o_lat - 1 do
+      acc := !acc + I32.get o.Scale_csr.o_lat i
+    done;
     max 1 (!acc / 2)
   in
   let u_metrics = Gossip_sim.Engine.empty_metrics () in

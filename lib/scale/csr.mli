@@ -4,15 +4,26 @@
     per directed edge — convenient for the paper's gadget graphs,
     hopeless at 10^6 nodes where pointer chasing dominates.  [Csr.t]
     packs the same undirected latency-weighted graph into three flat
-    integer arrays (the classical CSR layout), so a neighbor scan is a
-    contiguous walk and the whole structure costs 2 machine words per
-    directed edge.
+    {b int32} arrays (the classical CSR layout backed by
+    {!I32.t} Bigarrays), so a neighbor scan is a contiguous walk and
+    the whole structure costs 4 bytes per directed-edge entry — half
+    the boxed-int [int array] layout it replaced, and off the OCaml
+    heap, so the GC never scans it.
+
+    {b int32 range contract.}  Node ids, latencies, and [row_ptr]
+    entries must fit an int32.  Every constructor enforces this with
+    the typed {!I32.Overflow} — a node count above [2^31 - 1], a
+    latency above [Int32.max_int], or a directed-edge total whose
+    prefix sum overflows the cell raises instead of silently wrapping.
+    At 4 bytes per entry, an int32-breaking graph would cost > 16 GiB
+    for [col]/[lat] alone, so the contract costs nothing real.
 
     The representation is exposed (read-only by convention) so hot
     loops — {!Wheel_engine} in particular — can index the arrays
-    directly.  Invariants, checked by [of_graph] and the generators:
+    directly through {!I32.get}/{!I32.unsafe_get}.  Invariants,
+    checked by [of_graph] and the generators:
 
-    - [Array.length row_ptr = n + 1], [row_ptr.(0) = 0], non-decreasing;
+    - [I32.length row_ptr = n + 1], [row_ptr.(0) = 0], non-decreasing;
     - the directed entries of node [u] live at indices
       [row_ptr.(u) .. row_ptr.(u+1) - 1] of [col] / [lat];
     - each row is sorted by ascending neighbor id (same order as
@@ -22,9 +33,9 @@
 
 type t = private {
   n : int;  (** node count *)
-  row_ptr : int array;  (** length [n + 1]; row boundaries *)
-  col : int array;  (** neighbor ids, one entry per directed edge *)
-  lat : int array;  (** latencies, parallel to [col] *)
+  row_ptr : I32.t;  (** length [n + 1]; row boundaries *)
+  col : I32.t;  (** neighbor ids, one entry per directed edge *)
+  lat : I32.t;  (** latencies, parallel to [col] *)
 }
 
 (** {1 Accessors} *)
@@ -59,14 +70,22 @@ val is_connected : t -> bool
 val equal : t -> t -> bool
 
 (** [memory_words t] is the approximate heap footprint in machine
-    words — the honest denominator for rounds/sec comparisons. *)
+    words of the int32 layout — the honest denominator for rounds/sec
+    and bytes-per-edge comparisons. *)
 val memory_words : t -> int
+
+(** [boxed_memory_words t] is what the same structure cost in the
+    pre-int32 boxed layout (three [int array]s at one machine word per
+    element): the baseline bench e18's bytes-per-edge reduction is
+    measured against. *)
+val boxed_memory_words : t -> int
 
 (** {1 Conversions} *)
 
 (** [of_graph g] packs a {!Gossip_graph.Graph.t}; rows inherit the
     graph's ascending-neighbor order, so protocols that index neighbors
-    by position behave identically on either representation. *)
+    by position behave identically on either representation.
+    @raise I32.Overflow on an out-of-int32-range node count or latency. *)
 val of_graph : Gossip_graph.Graph.t -> t
 
 (** [to_graph t] unpacks into the boxed representation (validating via
@@ -77,10 +96,12 @@ val to_graph : t -> Gossip_graph.Graph.t
 (** [of_undirected_arrays ~n eu ev el ~count] packs the first [count]
     undirected edges [(eu.(i), ev.(i))] with latency [el.(i)] into CSR
     (both directions scattered, rows sorted ascending by neighbor).
-    No validation beyond the scatter — callers must supply in-range
-    distinct endpoints with no duplicate edges.  This is how the
-    unknown-latency drivers rebuild a graph from a discovered latency
-    profile without round-tripping through boxed edge lists. *)
+    Latencies and the node count are int32-range-checked
+    ({!I32.Overflow}); beyond that, no validation — callers must
+    supply in-range distinct endpoints with no duplicate edges.  This
+    is how the unknown-latency drivers rebuild a graph from a
+    discovered latency profile without round-tripping through boxed
+    edge lists. *)
 val of_undirected_arrays : n:int -> int array -> int array -> int array -> count:int -> t
 
 (** {1 Direct generators}
@@ -89,7 +110,9 @@ val of_undirected_arrays : n:int -> int array -> int array -> int array -> count
     straight into CSR form: degrees are counted (or bounded) first,
     [row_ptr] is a prefix sum, and edges are scattered into place — no
     intermediate OCaml lists of tuples, which at 10^6 nodes would cost
-    more than the final structure. *)
+    more than the final structure.  All raise {!I32.Overflow} when the
+    node count, a latency, or the directed-edge total exceeds the
+    int32 range. *)
 
 (** [ring_of_cliques ~cliques ~size ~bridge_latency] is byte-for-byte
     the graph of [Gen.ring_of_cliques] (same ids, same orientation of
@@ -129,7 +152,8 @@ val watts_strogatz : Gossip_util.Rng.t -> n:int -> k:int -> beta:float -> t
 
 (** [with_latencies rng spec t] redraws every undirected edge latency
     from [spec], keeping the two directed mirrors equal.  Edges are
-    visited in ascending [(u, v)] order. *)
+    visited in ascending [(u, v)] order.
+    @raise I32.Overflow when a drawn latency exceeds the int32 range. *)
 val with_latencies : Gossip_util.Rng.t -> Gossip_graph.Gen.latency_spec -> t -> t
 
 val pp : Format.formatter -> t -> unit
@@ -140,16 +164,16 @@ val pp : Format.formatter -> t -> unit
     directed} per-node edge list: the classic protocols contact over
     the symmetric CSR rows, RR Broadcast over a Baswana–Sen
     orientation, DTG over the latency-[<= ℓ] subrows.  [oriented]
-    packs such a directed structure into the same flat layout as
+    packs such a directed structure into the same flat int32 layout as
     {!t}, with one crucial difference: {b rows are in construction
     order, not sorted} — round-robin kernels step a cursor through a
     row, so the order itself is part of the protocol. *)
 
 type oriented = {
   o_n : int;  (** node count *)
-  o_row_ptr : int array;  (** length [n + 1]; row boundaries *)
-  o_col : int array;  (** out-neighbor ids, construction order *)
-  o_lat : int array;  (** latencies, parallel to [o_col] *)
+  o_row_ptr : I32.t;  (** length [n + 1]; row boundaries *)
+  o_col : I32.t;  (** out-neighbor ids, construction order *)
+  o_lat : I32.t;  (** latencies, parallel to [o_col] *)
 }
 
 (** [oriented_of_csr t] views the symmetric CSR as a directed contact
@@ -186,5 +210,7 @@ val oriented_filter_le : oriented -> int -> oriented
     given, any row longer than the bound raises [Invalid_argument] —
     the Lemma 15 precondition RR Broadcast's round bound rests on is
     asserted at construction rather than silently violated at run
-    time.  Also validates peer ids and latencies [>= 1]. *)
+    time.  Also validates peer ids and latencies [>= 1], and raises
+    the typed {!I32.Overflow} when a peer id or latency exceeds the
+    int32 range (never a wrapped value). *)
 val of_oriented_spanner : ?out_degree_bound:int -> (int * int) array array -> oriented

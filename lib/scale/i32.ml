@@ -1,0 +1,71 @@
+(* Flat int32 storage for the scale runtime's hot state.
+
+   A Bigarray.Array1 of int32 costs 4 bytes per element against the 8
+   bytes of a boxed-int [int array] element, and its payload lives
+   outside the OCaml heap, so the GC never scans it.  The accessors
+   below convert at the boundary: [Int32.to_int] composed directly
+   over [Bigarray.Array1.get] compiles without materializing a boxed
+   [int32] in native code, which is what keeps the round loop
+   allocation-free (see the [wheel.minor_words_per_round] budget in
+   the tests and bench e18). *)
+
+type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+exception Overflow of { what : string; value : int }
+
+let () =
+  Printexc.register_printer (function
+    | Overflow { what; value } ->
+        Some
+          (Printf.sprintf
+             "Gossip_scale.I32.Overflow: %s %d falls outside the int32 range of the \
+              compact layout (the CSR/exchange-pool contract caps node ids, latencies, \
+              and row_ptr entries at %ld)"
+             what value Int32.max_int)
+    | _ -> None)
+
+let max_value = Int32.to_int Int32.max_int
+
+(* [check what v] admits exactly the values an int32 cell can hold;
+   anything else raises the typed error instead of silently wrapping
+   through [Int32.of_int]. *)
+let check what v = if v < 0 || v > max_value then raise (Overflow { what; value = v })
+
+let make len v =
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout len in
+  Bigarray.Array1.fill a (Int32.of_int v);
+  a
+
+let length (a : t) = Bigarray.Array1.dim a
+
+let get (a : t) i = Int32.to_int (Bigarray.Array1.get a i)
+
+let set (a : t) i v = Bigarray.Array1.set a i (Int32.of_int v)
+
+let unsafe_get (a : t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let unsafe_set (a : t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+let fill (a : t) v = Bigarray.Array1.fill a (Int32.of_int v)
+
+let blit ~src ~dst len =
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src 0 len)
+    (Bigarray.Array1.sub dst 0 len)
+
+let of_int_array ~what src =
+  let len = Array.length src in
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout len in
+  for i = 0 to len - 1 do
+    check what src.(i);
+    set a i src.(i)
+  done;
+  a
+
+let to_int_array a = Array.init (length a) (fun i -> get a i)
+
+let equal (a : t) (b : t) = a = b
+
+(* Payload bytes only — headers are accounted by the callers that
+   build memory tables (Csr.memory_words). *)
+let memory_bytes a = 4 * length a

@@ -208,7 +208,7 @@ let discovery ~d_bound csr =
   let row_ptr = contact.Csr.o_row_ptr in
   let n = Csr.n csr in
   let cursor = Array.make n 0 in
-  let disc_lat = Array.make (Array.length contact.Csr.o_col) (-1) in
+  let disc_lat = Array.make (Csr.oriented_edge_count contact) (-1) in
   let disc_kernel =
     {
       name = "discovery";
@@ -227,7 +227,7 @@ let discovery ~d_bound csr =
       on_push = (fun ~v:_ ~pay:_ -> false);
       on_response =
         (fun ~u ~slot ~rtt ~pay:_ ->
-          if rtt <= d_bound then disc_lat.(row_ptr.(u) + slot) <- rtt;
+          if rtt <= d_bound then disc_lat.(I32.get row_ptr u + slot) <- rtt;
           false);
     }
   in

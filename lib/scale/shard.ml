@@ -4,31 +4,71 @@ let bounds ~n ~k =
 
 let owner ~n ~k v = v * k / n
 
-module Buf = struct
-  type t = { mutable data : int array; mutable len : int }
+exception Buf_overflow of { need : int; limit : int }
 
-  let create () = { data = Array.make 64 0; len = 0 }
+let () =
+  Printexc.register_printer (function
+    | Buf_overflow { need; limit } ->
+        Some
+          (Printf.sprintf
+             "Gossip_scale.Shard.Buf_overflow: mailbox reservation of %d cells exceeds \
+              the growth ceiling %d"
+             need limit)
+    | _ -> None)
+
+module Buf = struct
+  type t = { mutable data : I32.t; mutable len : int }
+
+  (* Cells are int32 (the cross-shard records carry node ids, rounds,
+     and payload bits, all covered by the CSR range contract), and the
+     capacity is capped so the doubling loop can neither overflow to a
+     negative request nor ask Bigarray for a bogus size. *)
+  let max_capacity = min Sys.max_array_length I32.max_value
+
+  let create () = { data = I32.make 64 0; len = 0 }
 
   let length b = b.len
 
-  let get b i = b.data.(i)
+  let get b i =
+    if i < 0 || i >= b.len then invalid_arg "Shard.Buf.get: index out of bounds";
+    I32.unsafe_get b.data i
 
   let clear b = b.len <- 0
 
   let reserve b k =
+    if k < 0 then invalid_arg "Shard.Buf.reserve: negative reservation";
     let need = b.len + k in
-    if need > Array.length b.data then begin
-      let cap = ref (2 * Array.length b.data) in
-      while !cap < need do cap := 2 * !cap done;
-      let data = Array.make !cap 0 in
-      Array.blit b.data 0 data 0 b.len;
+    (* [need < 0] is [len + k] overflowing max_int itself. *)
+    if need < 0 || need > max_capacity then
+      raise (Buf_overflow { need; limit = max_capacity });
+    if need > I32.length b.data then begin
+      let cap = ref (I32.length b.data) in
+      while !cap < need do
+        (* cap <= max_capacity < 2^62, so the doubling cannot wrap. *)
+        cap := min (2 * !cap) max_capacity
+      done;
+      let data = I32.make !cap 0 in
+      I32.blit ~src:b.data ~dst:data b.len;
       b.data <- data
     end;
     let base = b.len in
     b.len <- need;
     base
 
-  let set b i v = b.data.(i) <- v
+  let set b i v =
+    if i < 0 || i >= b.len then invalid_arg "Shard.Buf.set: index out of bounds";
+    I32.unsafe_set b.data i v
+
+  let push b v =
+    let i = reserve b 1 in
+    I32.unsafe_set b.data i v
+
+  (* Unchecked accessors for the engine's drain/fill loops, whose
+     indices come from [reserve]/[length] and are in bounds by
+     construction. *)
+  let unsafe_get b i = I32.unsafe_get b.data i
+
+  let unsafe_set b i v = I32.unsafe_set b.data i v
 end
 
 module Barrier = struct
@@ -44,7 +84,10 @@ module Barrier = struct
     if parties <= 0 then invalid_arg "Shard.Barrier.create: parties must be > 0";
     { mu = Mutex.create (); cv = Condition.create (); parties; arrived = 0; epoch = 0 }
 
-  let await ?(serial = fun () -> ()) t =
+  (* [serial] is a plain (not optional) argument: wrapping it in
+     [Some] at every call would put two words of allocation in each
+     shard's round loop. *)
+  let await_serial t serial =
     Mutex.lock t.mu;
     let epoch = t.epoch in
     t.arrived <- t.arrived + 1;
@@ -63,4 +106,6 @@ module Barrier = struct
       done;
       Mutex.unlock t.mu
     end
+
+  let await t = await_serial t ignore
 end

@@ -112,6 +112,20 @@ let () =
              elapsed_s round)
     | _ -> None)
 
+(* The asserted ceiling for [wheel.minor_words_per_round] on static
+   runs: the round loop is allocation-free by construction (no
+   per-round closures, refs that escape, or boxed ints), and the only
+   amortized allocations left — pool growth, history doubling — stay
+   far below this once a run is more than a handful of rounds long.
+   Tests, bench e18, and the CI smoke hard-fail against it. *)
+let minor_words_budget = 64
+
+(* Round to nearest, not truncate: the same bug class PR 3 fixed in
+   [busy_us] and PR 8 in [crash_fraction] — [int_of_float] alone maps
+   a 7.9-words/round loop to gauge 7. *)
+let gauge_of_minor_words ~total ~rounds =
+  int_of_float (Float.round (total /. float_of_int rounds))
+
 (* Telemetry handles, resolved once at creation (see Engine.tel).  The
    two kernel-tagged counters carry the kernel name in the metric name
    itself, so a JSONL report shows which kernel produced the run's
@@ -127,10 +141,14 @@ type tel = {
   c_kernel_initiations : Gossip_obs.Registry.counter;
 }
 
-(* In-flight exchanges are pooled in parallel int arrays and threaded
-   into singly-linked lists by [ex_next]: one arrival list and one
-   response list per wheel slot, plus a free list.  An exchange id is
-   an index into the pool; [-1] terminates a list. *)
+(* In-flight exchanges are pooled in parallel int32 columns (a
+   structure of arrays — 4 bytes per field instead of a boxed word)
+   and threaded into singly-linked lists by [ex_next]: one arrival
+   list and one response list per wheel slot, plus a free list.  An
+   exchange id is an index into the pool; [-1] terminates a list.
+   Everything a column stores — node ids, payload bits, absolute
+   rounds, row slots, pool indices — fits int32 by the CSR range
+   contract plus the per-round due-date guard in [step]. *)
 type t = {
   csr : Csr.t;
   kernel : Kernel.t;  (* protocol hooks + directed contact rows *)
@@ -141,14 +159,14 @@ type t = {
   rngs : Rng.t array;  (* per-node streams; empty for rng-free kernels *)
   arrival_head : int array;  (* wheel slot -> exchange list *)
   response_head : int array;
-  mutable ex_initiator : int array;
-  mutable ex_responder : int array;
-  mutable ex_req_pay : int array;  (* rumor bit carried by the request *)
-  mutable ex_resp_pay : int array;  (* rumor bit carried by the response *)
-  mutable ex_due : int array;  (* absolute response-due round *)
-  mutable ex_init : int array;  (* initiation round, for presence-interval checks *)
-  mutable ex_slot : int array;  (* contact-row slot [on_initiate] picked *)
-  mutable ex_next : int array;
+  mutable ex_initiator : I32.t;
+  mutable ex_responder : I32.t;
+  mutable ex_req_pay : I32.t;  (* rumor bit carried by the request *)
+  mutable ex_resp_pay : I32.t;  (* rumor bit carried by the response *)
+  mutable ex_due : I32.t;  (* absolute response-due round *)
+  mutable ex_init : I32.t;  (* initiation round, for presence-interval checks *)
+  mutable ex_slot : I32.t;  (* contact-row slot [on_initiate] picked *)
+  mutable ex_next : I32.t;
   mutable free_head : int;
   mutable pool_used : int;  (* high-water mark of allocated slots *)
   mutable in_flight : int;  (* live exchanges = wheel-slot occupancy *)
@@ -177,11 +195,14 @@ let wheel_bound ?wheel_latency ~max_jitter csr =
              (Csr.max_latency csr + max_jitter));
       b
 
+(* Pool indices live in int32 cells ([ex_next], the free list), so the
+   growth ceiling is clamped to the int32 range — the pool raises the
+   typed [Pool_exhausted] there instead of wrapping an index. *)
 let pool_limit_of = function
-  | None -> Sys.max_array_length
+  | None -> min Sys.max_array_length I32.max_value
   | Some c ->
       if c < 1 then invalid_arg "Wheel_engine.create: pool_capacity must be >= 1";
-      c
+      min c I32.max_value
 
 (* Per-node RNG streams are split in node order — the one and only
    split sequence, shared by every kernel and both runtimes, so a
@@ -268,14 +289,14 @@ let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?t
     rngs;
     arrival_head = Array.make (bound + 1) (-1);
     response_head = Array.make (bound + 1) (-1);
-    ex_initiator = Array.make cap 0;
-    ex_responder = Array.make cap 0;
-    ex_req_pay = Array.make cap 0;
-    ex_resp_pay = Array.make cap 0;
-    ex_due = Array.make cap 0;
-    ex_init = Array.make cap 0;
-    ex_slot = Array.make cap 0;
-    ex_next = Array.make cap (-1);
+    ex_initiator = I32.make cap 0;
+    ex_responder = I32.make cap 0;
+    ex_req_pay = I32.make cap 0;
+    ex_resp_pay = I32.make cap 0;
+    ex_due = I32.make cap 0;
+    ex_init = I32.make cap 0;
+    ex_slot = I32.make cap 0;
+    ex_next = I32.make cap (-1);
     free_head = -1;
     pool_used = 0;
     in_flight = 0;
@@ -318,15 +339,15 @@ let unmark t v =
   end
 
 let grow t =
-  let old = Array.length t.ex_next in
+  let old = I32.length t.ex_next in
   let cap = min (2 * old) t.pool_limit in
   (* Hitting the ceiling is a failed run, not a harness crash: the
      typed exception (with a registered printer) lets [Sweep.run_ft]
      checkpoint the job as [Failed] with a useful message. *)
   if cap = old then raise (Pool_exhausted { used = t.pool_used; round = t.now });
   let extend a =
-    let b = Array.make cap 0 in
-    Array.blit a 0 b 0 old;
+    let b = I32.make cap 0 in
+    I32.blit ~src:a ~dst:b old;
     b
   in
   t.ex_initiator <- extend t.ex_initiator;
@@ -342,11 +363,11 @@ let alloc t =
   t.in_flight <- t.in_flight + 1;
   if t.free_head >= 0 then begin
     let e = t.free_head in
-    t.free_head <- t.ex_next.(e);
+    t.free_head <- I32.get t.ex_next e;
     e
   end
   else begin
-    if t.pool_used >= Array.length t.ex_next then grow t;
+    if t.pool_used >= I32.length t.ex_next then grow t;
     let e = t.pool_used in
     t.pool_used <- t.pool_used + 1;
     e
@@ -354,20 +375,25 @@ let alloc t =
 
 let free t e =
   t.in_flight <- t.in_flight - 1;
-  t.ex_next.(e) <- t.free_head;
+  I32.set t.ex_next e t.free_head;
   t.free_head <- e
 
+(* The round loop is allocation-free: environment and kernel hooks are
+   called directly (no per-round [alive]/[present] closures), loop
+   cursors are non-escaping refs (unboxed by the compiler), and every
+   pool access goes through the int32 columns, whose reads compile
+   without boxing.  [minor_words_budget] is the enforced witness. *)
 let step t =
   let round = t.now in
+  (* Due dates [round + latency <= round + wheel - 1] must fit the
+     pool's int32 cells; reject the run that could wrap rather than
+     store a wrapped due round.  One compare per round. *)
+  if round > I32.max_value - t.wheel then
+    raise (I32.Overflow { what = "exchange due round"; value = round + t.wheel });
   let d0 = t.metrics.Engine.deliveries
   and i0 = t.metrics.Engine.initiations
   and x0 = t.metrics.Engine.dropped in
   let slot = round mod t.wheel in
-  let alive node = t.env.env_alive ~node ~round in
-  (* An exchange is delivered only while both endpoints remain in the
-     incarnation that initiated it; for a static environment this is
-     plain liveness at [round]. *)
-  let present node since = t.env.env_present_since ~node ~since ~round in
   (* Phase 0: churned nodes scheduled to rejoin this round come back
      with amnesia — their informed bit is cleared before any of this
      round's deliveries, so stale in-flight traffic (already doomed by
@@ -383,15 +409,17 @@ let step t =
      informed set as of the start of the round — before any of this
      round's push merges — matching Engine.step's sub-phase ordering.
      Requests whose responder is crashed are lost here, answer and
-     all. *)
+     all.  An exchange is delivered only while both endpoints remain
+     in the incarnation that initiated it; for a static environment
+     that is plain liveness at [round]. *)
   let e = ref t.arrival_head.(slot) in
   while !e >= 0 do
     let ex = !e in
-    if present t.ex_responder.(ex) t.ex_init.(ex) then
-      t.ex_resp_pay.(ex) <-
-        t.kernel.Kernel.on_deliver ~v:t.ex_responder.(ex)
-          ~informed:(informed t t.ex_responder.(ex));
-    e := t.ex_next.(ex)
+    let responder = I32.get t.ex_responder ex in
+    if t.env.env_present_since ~node:responder ~since:(I32.get t.ex_init ex) ~round then
+      I32.set t.ex_resp_pay ex
+        (t.kernel.Kernel.on_deliver ~v:responder ~informed:(informed t responder));
+    e := I32.get t.ex_next ex
   done;
   (* Phase 1b: merge the pushed rumor bits and park each surviving
      exchange on the response list of its due slot (for latency-1
@@ -400,14 +428,15 @@ let step t =
   t.arrival_head.(slot) <- -1;
   while !e >= 0 do
     let ex = !e in
-    let next = t.ex_next.(ex) in
-    if present t.ex_responder.(ex) t.ex_init.(ex) then begin
+    let next = I32.get t.ex_next ex in
+    let responder = I32.get t.ex_responder ex in
+    if t.env.env_present_since ~node:responder ~since:(I32.get t.ex_init ex) ~round then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
-      if t.kernel.Kernel.on_push ~v:t.ex_responder.(ex) ~pay:t.ex_req_pay.(ex) then
-        mark t t.ex_responder.(ex);
-      let due_slot = t.ex_due.(ex) mod t.wheel in
-      t.ex_next.(ex) <- t.response_head.(due_slot);
+      if t.kernel.Kernel.on_push ~v:responder ~pay:(I32.get t.ex_req_pay ex) then
+        mark t responder;
+      let due_slot = I32.get t.ex_due ex mod t.wheel in
+      I32.set t.ex_next ex t.response_head.(due_slot);
       t.response_head.(due_slot) <- ex
     end
     else begin
@@ -422,15 +451,16 @@ let step t =
   t.response_head.(slot) <- -1;
   while !e >= 0 do
     let ex = !e in
-    let next = t.ex_next.(ex) in
-    if present t.ex_initiator.(ex) t.ex_init.(ex) then begin
+    let next = I32.get t.ex_next ex in
+    let initiator = I32.get t.ex_initiator ex in
+    if t.env.env_present_since ~node:initiator ~since:(I32.get t.ex_init ex) ~round then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
       t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
       if
-        t.kernel.Kernel.on_response ~u:t.ex_initiator.(ex) ~slot:t.ex_slot.(ex)
-          ~rtt:(t.ex_due.(ex) - t.ex_init.(ex))
-          ~pay:t.ex_resp_pay.(ex)
-      then mark t t.ex_initiator.(ex)
+        t.kernel.Kernel.on_response ~u:initiator ~slot:(I32.get t.ex_slot ex)
+          ~rtt:(I32.get t.ex_due ex - I32.get t.ex_init ex)
+          ~pay:(I32.get t.ex_resp_pay ex)
+      then mark t initiator
     end
     else t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
     free t ex;
@@ -449,21 +479,21 @@ let step t =
   and lat = contact.Csr.o_lat in
   let n = Csr.n t.csr in
   for u = 0 to n - 1 do
-    if alive u then begin
-      let base = row_ptr.(u) in
-      let deg = row_ptr.(u + 1) - base in
+    if t.env.env_alive ~node:u ~round then begin
+      let base = I32.get row_ptr u in
+      let deg = I32.get row_ptr (u + 1) - base in
       let informed_u = informed t u in
       let idx =
         t.kernel.Kernel.on_initiate ~rngs:t.rngs ~round ~u ~deg ~informed:informed_u
       in
       if idx >= 0 then begin
-        let peer = col.(base + idx) in
+        let peer = I32.get col (base + idx) in
         t.metrics.Engine.initiations <- t.metrics.Engine.initiations + 1;
         if t.env.env_drop ~initiator:u ~responder:peer ~round then
           t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1
         else begin
           let latency =
-            max 1 (t.env.env_latency ~u ~v:peer ~latency:lat.(base + idx) ~round)
+            max 1 (t.env.env_latency ~u ~v:peer ~latency:(I32.get lat (base + idx)) ~round)
           in
           if latency >= t.wheel then
             (* An undeclared jitter overrunning the wheel is a failed
@@ -472,15 +502,15 @@ let step t =
             raise (Jitter_overflow { latency; bound = t.wheel - 1; round });
           let req_pay = t.kernel.Kernel.req_pay ~u ~informed:informed_u in
           let ex = alloc t in
-          t.ex_initiator.(ex) <- u;
-          t.ex_responder.(ex) <- peer;
-          t.ex_req_pay.(ex) <- req_pay;
-          t.ex_resp_pay.(ex) <- 0;
-          t.ex_due.(ex) <- round + latency;
-          t.ex_init.(ex) <- round;
-          t.ex_slot.(ex) <- idx;
+          I32.set t.ex_initiator ex u;
+          I32.set t.ex_responder ex peer;
+          I32.set t.ex_req_pay ex req_pay;
+          I32.set t.ex_resp_pay ex 0;
+          I32.set t.ex_due ex (round + latency);
+          I32.set t.ex_init ex round;
+          I32.set t.ex_slot ex idx;
           let arrival_slot = (round + ((latency + 1) / 2)) mod t.wheel in
-          t.ex_next.(ex) <- t.arrival_head.(arrival_slot);
+          I32.set t.ex_next ex t.arrival_head.(arrival_slot);
           t.arrival_head.(arrival_slot) <- ex
         end
       end
@@ -500,12 +530,18 @@ let step t =
       (match tel.tel_ring with
       | None -> ()
       | Some ring ->
-          let ev kind value = Gossip_obs.Ring.record ring ~round ~kind ~node:(-1) ~value in
-          ev Gossip_obs.Ring.kind_informed t.count;
-          ev Gossip_obs.Ring.kind_deliveries (t.metrics.Engine.deliveries - d0);
-          ev Gossip_obs.Ring.kind_initiations (t.metrics.Engine.initiations - i0);
-          ev Gossip_obs.Ring.kind_drops (t.metrics.Engine.dropped - x0);
-          ev Gossip_obs.Ring.kind_queue t.in_flight)
+          Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_informed
+            ~node:(-1) ~value:t.count;
+          Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_deliveries
+            ~node:(-1)
+            ~value:(t.metrics.Engine.deliveries - d0);
+          Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_initiations
+            ~node:(-1)
+            ~value:(t.metrics.Engine.initiations - i0);
+          Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_drops ~node:(-1)
+            ~value:(t.metrics.Engine.dropped - x0);
+          Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_queue ~node:(-1)
+            ~value:t.in_flight)
 
 type result = {
   rounds : int option;
@@ -513,6 +549,39 @@ type result = {
   history : (int * int) list;
   informed : Bytes.t;
 }
+
+(* The informed-count history, accumulated into growable int arrays
+   during the measured loop (a cons per change would charge two-plus
+   words per round to the allocation gauge) and converted to the
+   result's association list only after the gauge is read. *)
+type hist = {
+  mutable h_round : int array;
+  mutable h_count : int array;
+  mutable h_len : int;
+}
+
+let hist_create round count =
+  let h = { h_round = Array.make 64 0; h_count = Array.make 64 0; h_len = 1 } in
+  h.h_round.(0) <- round;
+  h.h_count.(0) <- count;
+  h
+
+let hist_push h round count =
+  if h.h_len = Array.length h.h_round then begin
+    let cap = 2 * h.h_len in
+    let nr = Array.make cap 0 and nc = Array.make cap 0 in
+    Array.blit h.h_round 0 nr 0 h.h_len;
+    Array.blit h.h_count 0 nc 0 h.h_len;
+    h.h_round <- nr;
+    h.h_count <- nc
+  end;
+  h.h_round.(h.h_len) <- round;
+  h.h_count.(h.h_len) <- count;
+  h.h_len <- h.h_len + 1
+
+let hist_last_count h = h.h_count.(h.h_len - 1)
+
+let hist_to_list h = List.init h.h_len (fun i -> (h.h_round.(i), h.h_count.(i)))
 
 let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed rng csr ~kernel ~source ~max_rounds =
@@ -523,7 +592,7 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
   let n = Csr.n csr in
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let minor0 = match t.tel with None -> 0.0 | Some _ -> Gc.minor_words () in
-  let history = ref [ (0, t.count) ] in
+  let history = hist_create 0 t.count in
   let rec go () =
     if t.count = n then Some t.now
     else if t.now >= max_rounds then None
@@ -544,8 +613,7 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
       (match on_round with
       | Some f -> f ~round:t.now ~informed:t.count
       | None -> ());
-      let _, last = List.hd !history in
-      if t.count <> last then history := (t.now, t.count) :: !history;
+      if t.count <> hist_last_count history then hist_push history t.now t.count;
       go ()
     end
   in
@@ -556,10 +624,11 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
   (match t.tel with
   | Some tel when t.metrics.Engine.rounds > 0 ->
       Gossip_obs.Registry.set tel.g_minor_words
-        (int_of_float
-           ((Gc.minor_words () -. minor0) /. float_of_int t.metrics.Engine.rounds))
+        (gauge_of_minor_words
+           ~total:(Gc.minor_words () -. minor0)
+           ~rounds:t.metrics.Engine.rounds)
   | _ -> ());
-  { rounds; metrics = t.metrics; history = List.rev !history; informed = t.informed }
+  { rounds; metrics = t.metrics; history = hist_to_list history; informed = t.informed }
 
 (* ------------------------------------------------------------------ *)
 (* Domain-sharded broadcast.                                          *)
@@ -595,14 +664,14 @@ type shard = {
   s_hi : int;  (* owns nodes [s_lo, s_hi) *)
   s_arrival : int array;
   s_response : int array;
-  mutable s_initiator : int array;
-  mutable s_responder : int array;
-  mutable s_req_pay : int array;
-  mutable s_resp_pay : int array;
-  mutable s_due : int array;
-  mutable s_init : int array;
-  mutable s_slot : int array;
-  mutable s_next : int array;
+  mutable s_initiator : I32.t;
+  mutable s_responder : I32.t;
+  mutable s_req_pay : I32.t;
+  mutable s_resp_pay : I32.t;
+  mutable s_due : I32.t;
+  mutable s_init : I32.t;
+  mutable s_slot : I32.t;
+  mutable s_next : I32.t;
   mutable s_free : int;
   mutable s_pool_used : int;
   mutable s_in_flight : int;
@@ -622,6 +691,14 @@ type shard = {
   s_c_remote_resps : Gossip_obs.Registry.counter;
 }
 
+(* Cross-shard mailboxes are structure-of-arrays: one int32 column
+   ({!Shard.Buf}) per record field, all columns of one mailbox always
+   the same length.  Record [i] of a mailbox is cell [i] of each
+   column. *)
+let init_cols = 7 (* initiator responder req_pay due arr_slot init_round slot *)
+
+let resp_cols = 5 (* initiator resp_pay due init_round slot *)
+
 type shared = {
   sh_csr : Csr.t;
   sh_kernel : Kernel.t;  (* one instance, owner-only per-node state access *)
@@ -633,11 +710,8 @@ type shared = {
   sh_pool_limit : int;
   (* per-(src shard, dst shard) mailboxes at [src * k + dst]; written
      in one stage, drained after a barrier, so no locking is needed *)
-  sh_init_mail : Shard.Buf.t array;
-      (* 7 ints: initiator responder req_pay due arr_slot init_round slot *)
-  sh_resp_mail : Shard.Buf.t array;
-      (* 5 ints: initiator resp_pay due init_round slot (due absolute, so
-         the initiator's shard can rebuild the round-trip time) *)
+  sh_init_mail : Shard.Buf.t array array;
+  sh_resp_mail : Shard.Buf.t array array;
 }
 
 let make_shard ctx id lo hi =
@@ -650,14 +724,14 @@ let make_shard ctx id lo hi =
     s_hi = hi;
     s_arrival = Array.make ctx.sh_wheel (-1);
     s_response = Array.make ctx.sh_wheel (-1);
-    s_initiator = Array.make cap 0;
-    s_responder = Array.make cap 0;
-    s_req_pay = Array.make cap 0;
-    s_resp_pay = Array.make cap 0;
-    s_due = Array.make cap 0;
-    s_init = Array.make cap 0;
-    s_slot = Array.make cap 0;
-    s_next = Array.make cap (-1);
+    s_initiator = I32.make cap 0;
+    s_responder = I32.make cap 0;
+    s_req_pay = I32.make cap 0;
+    s_resp_pay = I32.make cap 0;
+    s_due = I32.make cap 0;
+    s_init = I32.make cap 0;
+    s_slot = I32.make cap 0;
+    s_next = I32.make cap (-1);
     s_free = -1;
     s_pool_used = 0;
     s_in_flight = 0;
@@ -674,12 +748,12 @@ let make_shard ctx id lo hi =
   }
 
 let s_grow ctx sh round =
-  let old = Array.length sh.s_next in
+  let old = I32.length sh.s_next in
   let cap = min (2 * old) ctx.sh_pool_limit in
   if cap = old then raise (Pool_exhausted { used = sh.s_pool_used; round });
   let extend a =
-    let b = Array.make cap 0 in
-    Array.blit a 0 b 0 old;
+    let b = I32.make cap 0 in
+    I32.blit ~src:a ~dst:b old;
     b
   in
   sh.s_initiator <- extend sh.s_initiator;
@@ -695,11 +769,11 @@ let s_alloc ctx sh round =
   sh.s_in_flight <- sh.s_in_flight + 1;
   if sh.s_free >= 0 then begin
     let e = sh.s_free in
-    sh.s_free <- sh.s_next.(e);
+    sh.s_free <- I32.get sh.s_next e;
     e
   end
   else begin
-    if sh.s_pool_used >= Array.length sh.s_next then s_grow ctx sh round;
+    if sh.s_pool_used >= I32.length sh.s_next then s_grow ctx sh round;
     let e = sh.s_pool_used in
     sh.s_pool_used <- sh.s_pool_used + 1;
     e
@@ -707,7 +781,7 @@ let s_alloc ctx sh round =
 
 let s_free_ex sh e =
   sh.s_in_flight <- sh.s_in_flight - 1;
-  sh.s_next.(e) <- sh.s_free;
+  I32.set sh.s_next e sh.s_free;
   sh.s_free <- e
 
 let s_mark ctx sh v =
@@ -733,36 +807,44 @@ let stage1 ctx sh round =
       end
     done;
   for src = 0 to k - 1 do
-    let b = ctx.sh_init_mail.((src * k) + sh.s_id) in
-    let len = Shard.Buf.length b in
-    let i = ref 0 in
-    while !i < len do
+    let m = ctx.sh_init_mail.((src * k) + sh.s_id) in
+    let c_initiator = m.(0)
+    and c_responder = m.(1)
+    and c_req_pay = m.(2)
+    and c_due = m.(3)
+    and c_arr_slot = m.(4)
+    and c_init_round = m.(5)
+    and c_slot = m.(6) in
+    let len = Shard.Buf.length c_initiator in
+    for i = 0 to len - 1 do
       let ex = s_alloc ctx sh round in
-      sh.s_initiator.(ex) <- Shard.Buf.get b !i;
-      sh.s_responder.(ex) <- Shard.Buf.get b (!i + 1);
-      sh.s_req_pay.(ex) <- Shard.Buf.get b (!i + 2);
-      sh.s_resp_pay.(ex) <- 0;
-      sh.s_due.(ex) <- Shard.Buf.get b (!i + 3);
-      let arr_slot = Shard.Buf.get b (!i + 4) in
-      sh.s_init.(ex) <- Shard.Buf.get b (!i + 5);
-      sh.s_slot.(ex) <- Shard.Buf.get b (!i + 6);
-      sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
-      sh.s_arrival.(arr_slot) <- ex;
-      i := !i + 7
+      I32.set sh.s_initiator ex (Shard.Buf.unsafe_get c_initiator i);
+      I32.set sh.s_responder ex (Shard.Buf.unsafe_get c_responder i);
+      I32.set sh.s_req_pay ex (Shard.Buf.unsafe_get c_req_pay i);
+      I32.set sh.s_resp_pay ex 0;
+      I32.set sh.s_due ex (Shard.Buf.unsafe_get c_due i);
+      let arr_slot = Shard.Buf.unsafe_get c_arr_slot i in
+      I32.set sh.s_init ex (Shard.Buf.unsafe_get c_init_round i);
+      I32.set sh.s_slot ex (Shard.Buf.unsafe_get c_slot i);
+      I32.set sh.s_next ex sh.s_arrival.(arr_slot);
+      sh.s_arrival.(arr_slot) <- ex
     done;
-    Shard.Buf.clear b
+    for c = 0 to init_cols - 1 do
+      Shard.Buf.clear m.(c)
+    done
   done;
-  let present node since = ctx.sh_env.env_present_since ~node ~since ~round in
   (* 1a: responses read the informed set as of the start of the round,
      before any of this round's push merges. *)
   let e = ref sh.s_arrival.(slot) in
   while !e >= 0 do
     let ex = !e in
-    if present sh.s_responder.(ex) sh.s_init.(ex) then
-      sh.s_resp_pay.(ex) <-
-        ctx.sh_kernel.Kernel.on_deliver ~v:sh.s_responder.(ex)
-          ~informed:(Bytes.get ctx.sh_informed sh.s_responder.(ex) <> '\000');
-    e := sh.s_next.(ex)
+    let responder = I32.get sh.s_responder ex in
+    if ctx.sh_env.env_present_since ~node:responder ~since:(I32.get sh.s_init ex) ~round
+    then
+      I32.set sh.s_resp_pay ex
+        (ctx.sh_kernel.Kernel.on_deliver ~v:responder
+           ~informed:(Bytes.get ctx.sh_informed responder <> '\000'));
+    e := I32.get sh.s_next ex
   done;
   (* 1b: merge pushed bits; park the response at its due slot, or ship
      it to the initiator's shard. *)
@@ -770,32 +852,29 @@ let stage1 ctx sh round =
   sh.s_arrival.(slot) <- -1;
   while !e >= 0 do
     let ex = !e in
-    let next = sh.s_next.(ex) in
-    if present sh.s_responder.(ex) sh.s_init.(ex) then begin
+    let next = I32.get sh.s_next ex in
+    let responder = I32.get sh.s_responder ex in
+    if ctx.sh_env.env_present_since ~node:responder ~since:(I32.get sh.s_init ex) ~round
+    then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
-      if ctx.sh_kernel.Kernel.on_push ~v:sh.s_responder.(ex) ~pay:sh.s_req_pay.(ex) then
-        s_mark ctx sh sh.s_responder.(ex);
-      let initiator = sh.s_initiator.(ex) in
-      let due_slot = sh.s_due.(ex) mod ctx.sh_wheel in
+      if ctx.sh_kernel.Kernel.on_push ~v:responder ~pay:(I32.get sh.s_req_pay ex) then
+        s_mark ctx sh responder;
+      let initiator = I32.get sh.s_initiator ex in
+      let due_slot = I32.get sh.s_due ex mod ctx.sh_wheel in
       let dst = Shard.owner ~n:(Csr.n ctx.sh_csr) ~k initiator in
       if dst = sh.s_id then begin
-        sh.s_next.(ex) <- sh.s_response.(due_slot);
+        I32.set sh.s_next ex sh.s_response.(due_slot);
         sh.s_response.(due_slot) <- ex
       end
       else begin
-        let resp_pay = sh.s_resp_pay.(ex) in
-        let due = sh.s_due.(ex) in
-        let init_round = sh.s_init.(ex) in
-        let ex_slot = sh.s_slot.(ex) in
+        let m = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
+        Shard.Buf.push m.(0) initiator;
+        Shard.Buf.push m.(1) (I32.get sh.s_resp_pay ex);
+        Shard.Buf.push m.(2) (I32.get sh.s_due ex);
+        Shard.Buf.push m.(3) (I32.get sh.s_init ex);
+        Shard.Buf.push m.(4) (I32.get sh.s_slot ex);
         s_free_ex sh ex;
-        let b = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
-        let base = Shard.Buf.reserve b 5 in
-        Shard.Buf.set b base initiator;
-        Shard.Buf.set b (base + 1) resp_pay;
-        Shard.Buf.set b (base + 2) due;
-        Shard.Buf.set b (base + 3) init_round;
-        Shard.Buf.set b (base + 4) ex_slot;
         Gossip_obs.Registry.incr sh.s_c_remote_resps
       end
     end
@@ -813,38 +892,44 @@ let stage2_deliver ctx sh round =
   let k = ctx.sh_k in
   let slot = round mod ctx.sh_wheel in
   for src = 0 to k - 1 do
-    let b = ctx.sh_resp_mail.((src * k) + sh.s_id) in
-    let len = Shard.Buf.length b in
-    let i = ref 0 in
-    while !i < len do
+    let m = ctx.sh_resp_mail.((src * k) + sh.s_id) in
+    let c_initiator = m.(0)
+    and c_resp_pay = m.(1)
+    and c_due = m.(2)
+    and c_init_round = m.(3)
+    and c_slot = m.(4) in
+    let len = Shard.Buf.length c_initiator in
+    for i = 0 to len - 1 do
       let ex = s_alloc ctx sh round in
-      sh.s_initiator.(ex) <- Shard.Buf.get b !i;
-      sh.s_resp_pay.(ex) <- Shard.Buf.get b (!i + 1);
-      let due = Shard.Buf.get b (!i + 2) in
-      sh.s_due.(ex) <- due;
-      sh.s_init.(ex) <- Shard.Buf.get b (!i + 3);
-      sh.s_slot.(ex) <- Shard.Buf.get b (!i + 4);
+      I32.set sh.s_initiator ex (Shard.Buf.unsafe_get c_initiator i);
+      I32.set sh.s_resp_pay ex (Shard.Buf.unsafe_get c_resp_pay i);
+      let due = Shard.Buf.unsafe_get c_due i in
+      I32.set sh.s_due ex due;
+      I32.set sh.s_init ex (Shard.Buf.unsafe_get c_init_round i);
+      I32.set sh.s_slot ex (Shard.Buf.unsafe_get c_slot i);
       let due_slot = due mod ctx.sh_wheel in
-      sh.s_next.(ex) <- sh.s_response.(due_slot);
-      sh.s_response.(due_slot) <- ex;
-      i := !i + 5
+      I32.set sh.s_next ex sh.s_response.(due_slot);
+      sh.s_response.(due_slot) <- ex
     done;
-    Shard.Buf.clear b
+    for c = 0 to resp_cols - 1 do
+      Shard.Buf.clear m.(c)
+    done
   done;
-  let present node since = ctx.sh_env.env_present_since ~node ~since ~round in
   let e = ref sh.s_response.(slot) in
   sh.s_response.(slot) <- -1;
   while !e >= 0 do
     let ex = !e in
-    let next = sh.s_next.(ex) in
-    if present sh.s_initiator.(ex) sh.s_init.(ex) then begin
+    let next = I32.get sh.s_next ex in
+    let initiator = I32.get sh.s_initiator ex in
+    if ctx.sh_env.env_present_since ~node:initiator ~since:(I32.get sh.s_init ex) ~round
+    then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
       sh.s_payload <- sh.s_payload + 1;
       if
-        ctx.sh_kernel.Kernel.on_response ~u:sh.s_initiator.(ex) ~slot:sh.s_slot.(ex)
-          ~rtt:(sh.s_due.(ex) - sh.s_init.(ex))
-          ~pay:sh.s_resp_pay.(ex)
-      then s_mark ctx sh sh.s_initiator.(ex)
+        ctx.sh_kernel.Kernel.on_response ~u:initiator ~slot:(I32.get sh.s_slot ex)
+          ~rtt:(I32.get sh.s_due ex - I32.get sh.s_init ex)
+          ~pay:(I32.get sh.s_resp_pay ex)
+      then s_mark ctx sh initiator
     end
     else sh.s_dropped <- sh.s_dropped + 1;
     s_free_ex sh ex;
@@ -856,29 +941,32 @@ let stage2_deliver ctx sh round =
 let stage2_initiate ctx sh round =
   let k = ctx.sh_k in
   let n = Csr.n ctx.sh_csr in
-  let alive node = ctx.sh_env.env_alive ~node ~round in
+  (* Same int32 due-date guard as the sequential [step]. *)
+  if round > I32.max_value - ctx.sh_wheel then
+    raise (I32.Overflow { what = "exchange due round"; value = round + ctx.sh_wheel });
   let contact = ctx.sh_kernel.Kernel.contact in
   let row_ptr = contact.Csr.o_row_ptr
   and col = contact.Csr.o_col
   and lat = contact.Csr.o_lat in
   for u = sh.s_lo to sh.s_hi - 1 do
     sh.s_at <- u;
-    if alive u then begin
-      let base = row_ptr.(u) in
-      let deg = row_ptr.(u + 1) - base in
+    if ctx.sh_env.env_alive ~node:u ~round then begin
+      let base = I32.get row_ptr u in
+      let deg = I32.get row_ptr (u + 1) - base in
       let informed_u = Bytes.get ctx.sh_informed u <> '\000' in
       let idx =
         ctx.sh_kernel.Kernel.on_initiate ~rngs:ctx.sh_rngs ~round ~u ~deg
           ~informed:informed_u
       in
       if idx >= 0 then begin
-        let peer = col.(base + idx) in
+        let peer = I32.get col (base + idx) in
         sh.s_initiations <- sh.s_initiations + 1;
         if ctx.sh_env.env_drop ~initiator:u ~responder:peer ~round then
           sh.s_dropped <- sh.s_dropped + 1
         else begin
           let latency =
-            max 1 (ctx.sh_env.env_latency ~u ~v:peer ~latency:lat.(base + idx) ~round)
+            max 1
+              (ctx.sh_env.env_latency ~u ~v:peer ~latency:(I32.get lat (base + idx)) ~round)
           in
           if latency >= ctx.sh_wheel then
             raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
@@ -888,26 +976,25 @@ let stage2_initiate ctx sh round =
           let dst = Shard.owner ~n ~k peer in
           if dst = sh.s_id then begin
             let ex = s_alloc ctx sh round in
-            sh.s_initiator.(ex) <- u;
-            sh.s_responder.(ex) <- peer;
-            sh.s_req_pay.(ex) <- req_pay;
-            sh.s_resp_pay.(ex) <- 0;
-            sh.s_due.(ex) <- due;
-            sh.s_init.(ex) <- round;
-            sh.s_slot.(ex) <- idx;
-            sh.s_next.(ex) <- sh.s_arrival.(arr_slot);
+            I32.set sh.s_initiator ex u;
+            I32.set sh.s_responder ex peer;
+            I32.set sh.s_req_pay ex req_pay;
+            I32.set sh.s_resp_pay ex 0;
+            I32.set sh.s_due ex due;
+            I32.set sh.s_init ex round;
+            I32.set sh.s_slot ex idx;
+            I32.set sh.s_next ex sh.s_arrival.(arr_slot);
             sh.s_arrival.(arr_slot) <- ex
           end
           else begin
-            let b = ctx.sh_init_mail.((sh.s_id * k) + dst) in
-            let mb = Shard.Buf.reserve b 7 in
-            Shard.Buf.set b mb u;
-            Shard.Buf.set b (mb + 1) peer;
-            Shard.Buf.set b (mb + 2) req_pay;
-            Shard.Buf.set b (mb + 3) due;
-            Shard.Buf.set b (mb + 4) arr_slot;
-            Shard.Buf.set b (mb + 5) round;
-            Shard.Buf.set b (mb + 6) idx;
+            let m = ctx.sh_init_mail.((sh.s_id * k) + dst) in
+            Shard.Buf.push m.(0) u;
+            Shard.Buf.push m.(1) peer;
+            Shard.Buf.push m.(2) req_pay;
+            Shard.Buf.push m.(3) due;
+            Shard.Buf.push m.(4) arr_slot;
+            Shard.Buf.push m.(5) round;
+            Shard.Buf.push m.(6) idx;
             Gossip_obs.Registry.incr sh.s_c_remote_inits
           end
         end
@@ -915,13 +1002,31 @@ let stage2_initiate ctx sh round =
     end
   done
 
+(* The stage guard is a top-level five-argument function — passing the
+   stage itself as a value keeps the worker loop free of the per-round
+   [fun () -> stage ...] closures the boxed engine allocated. *)
+let guard sh rank f ctx r =
+  try f ctx sh r with e -> if sh.s_fail = None then sh.s_fail <- Some (rank, sh.s_at, e)
+
 type control = {
   mutable c_round : int;  (* rounds fully executed *)
   mutable c_count : int;
   mutable c_stop : bool;
   mutable c_rounds : int option;
   mutable c_fail : exn option;
-  mutable c_history : (int * int) list;
+  c_hist : hist;
+  (* merge scratch, written only inside the serial merge — mutable
+     fields instead of local refs so the merge allocates nothing *)
+  mutable c_worst : (int * int * exn) option;
+  mutable c_deliveries : int;
+  mutable c_initiations : int;
+  mutable c_dropped : int;
+  mutable c_payload : int;
+  mutable c_sum : int;
+  mutable c_in_flight : int;
+  mutable c_prev_d : int;
+  mutable c_prev_i : int;
+  mutable c_prev_x : int;
 }
 
 let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0)
@@ -942,8 +1047,10 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
       sh_rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n;
       sh_k = k;
       sh_pool_limit = pool_limit_of pool_capacity;
-      sh_init_mail = Array.init (k * k) (fun _ -> Shard.Buf.create ());
-      sh_resp_mail = Array.init (k * k) (fun _ -> Shard.Buf.create ());
+      sh_init_mail =
+        Array.init (k * k) (fun _ -> Array.init init_cols (fun _ -> Shard.Buf.create ()));
+      sh_resp_mail =
+        Array.init (k * k) (fun _ -> Array.init resp_cols (fun _ -> Shard.Buf.create ()));
     }
   in
   let bounds = Shard.bounds ~n ~k in
@@ -967,7 +1074,9 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let ctl =
     { c_round = 0; c_count = count0; c_stop = false; c_rounds = None; c_fail = None;
-      c_history = [ (0, count0) ] }
+      c_hist = hist_create 0 count0; c_worst = None; c_deliveries = 0; c_initiations = 0;
+      c_dropped = 0; c_payload = 0; c_sum = 0; c_in_flight = 0; c_prev_d = 0; c_prev_i = 0;
+      c_prev_x = 0 }
   in
   (* Pre-loop checks, in the sequential engine's precedence order. *)
   if ctl.c_count = n then ctl.c_rounds <- Some 0
@@ -979,77 +1088,85 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
         if now > d then raise (Deadline_exceeded { round = 0; elapsed_s = now -. started })
     | None -> ());
     let bar1 = Shard.Barrier.create k and bar2 = Shard.Barrier.create k in
-    (* Cumulative totals already observed into the telemetry
-       histograms, to turn run-cumulative shard counters back into
-       per-round deltas at the merge. *)
-    let prev_d = ref 0 and prev_i = ref 0 and prev_x = ref 0 in
     let merge () =
       let r = ctl.c_round in
-      let worst = ref None in
-      Array.iter
-        (fun sh ->
-          match (sh.s_fail, !worst) with
-          | None, _ -> ()
-          | Some f, None -> worst := Some f
-          | Some f, Some w -> if f < w then worst := Some f)
-        shards;
-      match !worst with
+      (* First failure in stage order.  [c_worst] reuses the shards'
+         own [Some] blocks, so the scan allocates only when a round
+         actually failed. *)
+      ctl.c_worst <- None;
+      for i = 0 to k - 1 do
+        let sh = shards.(i) in
+        match (sh.s_fail, ctl.c_worst) with
+        | None, _ -> ()
+        | Some _, None -> ctl.c_worst <- sh.s_fail
+        | Some f, Some w -> if f < w then ctl.c_worst <- sh.s_fail
+      done;
+      match ctl.c_worst with
       | Some (_, _, e) ->
           ctl.c_fail <- Some e;
           ctl.c_stop <- true
       | None ->
-          let deliveries = ref 0
-          and initiations = ref 0
-          and dropped = ref 0
-          and payload = ref 0
-          and count = ref 0
-          and in_flight = ref 0 in
-          Array.iter
-            (fun sh ->
-              deliveries := !deliveries + sh.s_deliveries;
-              initiations := !initiations + sh.s_initiations;
-              dropped := !dropped + sh.s_dropped;
-              payload := !payload + sh.s_payload;
-              count := !count + sh.s_count;
-              in_flight := !in_flight + sh.s_in_flight)
-            shards;
+          ctl.c_deliveries <- 0;
+          ctl.c_initiations <- 0;
+          ctl.c_dropped <- 0;
+          ctl.c_payload <- 0;
+          ctl.c_sum <- 0;
+          ctl.c_in_flight <- 0;
+          for i = 0 to k - 1 do
+            let sh = shards.(i) in
+            ctl.c_deliveries <- ctl.c_deliveries + sh.s_deliveries;
+            ctl.c_initiations <- ctl.c_initiations + sh.s_initiations;
+            ctl.c_dropped <- ctl.c_dropped + sh.s_dropped;
+            ctl.c_payload <- ctl.c_payload + sh.s_payload;
+            ctl.c_sum <- ctl.c_sum + sh.s_count;
+            ctl.c_in_flight <- ctl.c_in_flight + sh.s_in_flight
+          done;
           (* Cross-shard initiations parked in mailboxes are live
              exchanges the sequential engine would have allocated in
              phase 2 — count them so the in-flight telemetry matches. *)
-          Array.iter
-            (fun b -> in_flight := !in_flight + (Shard.Buf.length b / 7))
-            ctx.sh_init_mail;
-          metrics.Engine.deliveries <- !deliveries;
-          metrics.Engine.initiations <- !initiations;
-          metrics.Engine.dropped <- !dropped;
-          metrics.Engine.payload_words <- !payload;
+          for i = 0 to (k * k) - 1 do
+            ctl.c_in_flight <-
+              ctl.c_in_flight + Shard.Buf.length ctx.sh_init_mail.(i).(0)
+          done;
+          metrics.Engine.deliveries <- ctl.c_deliveries;
+          metrics.Engine.initiations <- ctl.c_initiations;
+          metrics.Engine.dropped <- ctl.c_dropped;
+          metrics.Engine.payload_words <- ctl.c_payload;
           metrics.Engine.rounds <- r + 1;
           ctl.c_round <- r + 1;
-          if !count <> ctl.c_count then ctl.c_history <- (r + 1, !count) :: ctl.c_history;
-          ctl.c_count <- !count;
+          if ctl.c_sum <> ctl.c_count then hist_push ctl.c_hist (r + 1) ctl.c_sum;
+          ctl.c_count <- ctl.c_sum;
           (match tel with
           | None -> ()
           | Some tel ->
-              Gossip_obs.Registry.observe tel.h_deliveries (!deliveries - !prev_d);
-              Gossip_obs.Registry.observe tel.h_initiations (!initiations - !prev_i);
-              Gossip_obs.Registry.add tel.c_kernel_deliveries (!deliveries - !prev_d);
-              Gossip_obs.Registry.add tel.c_kernel_initiations (!initiations - !prev_i);
-              Gossip_obs.Registry.observe tel.h_inflight !in_flight;
-              Gossip_obs.Registry.record_max tel.g_inflight !in_flight;
+              Gossip_obs.Registry.observe tel.h_deliveries (ctl.c_deliveries - ctl.c_prev_d);
+              Gossip_obs.Registry.observe tel.h_initiations
+                (ctl.c_initiations - ctl.c_prev_i);
+              Gossip_obs.Registry.add tel.c_kernel_deliveries
+                (ctl.c_deliveries - ctl.c_prev_d);
+              Gossip_obs.Registry.add tel.c_kernel_initiations
+                (ctl.c_initiations - ctl.c_prev_i);
+              Gossip_obs.Registry.observe tel.h_inflight ctl.c_in_flight;
+              Gossip_obs.Registry.record_max tel.g_inflight ctl.c_in_flight;
               (match tel.tel_ring with
               | None -> ()
               | Some ring ->
-                  let ev kind value =
-                    Gossip_obs.Ring.record ring ~round:r ~kind ~node:(-1) ~value
-                  in
-                  ev Gossip_obs.Ring.kind_informed !count;
-                  ev Gossip_obs.Ring.kind_deliveries (!deliveries - !prev_d);
-                  ev Gossip_obs.Ring.kind_initiations (!initiations - !prev_i);
-                  ev Gossip_obs.Ring.kind_drops (!dropped - !prev_x);
-                  ev Gossip_obs.Ring.kind_queue !in_flight));
-          prev_d := !deliveries;
-          prev_i := !initiations;
-          prev_x := !dropped;
+                  Gossip_obs.Ring.record ring ~round:r ~kind:Gossip_obs.Ring.kind_informed
+                    ~node:(-1) ~value:ctl.c_count;
+                  Gossip_obs.Ring.record ring ~round:r
+                    ~kind:Gossip_obs.Ring.kind_deliveries ~node:(-1)
+                    ~value:(ctl.c_deliveries - ctl.c_prev_d);
+                  Gossip_obs.Ring.record ring ~round:r
+                    ~kind:Gossip_obs.Ring.kind_initiations ~node:(-1)
+                    ~value:(ctl.c_initiations - ctl.c_prev_i);
+                  Gossip_obs.Ring.record ring ~round:r ~kind:Gossip_obs.Ring.kind_drops
+                    ~node:(-1)
+                    ~value:(ctl.c_dropped - ctl.c_prev_x);
+                  Gossip_obs.Ring.record ring ~round:r ~kind:Gossip_obs.Ring.kind_queue
+                    ~node:(-1) ~value:ctl.c_in_flight));
+          ctl.c_prev_d <- ctl.c_deliveries;
+          ctl.c_prev_i <- ctl.c_initiations;
+          ctl.c_prev_x <- ctl.c_dropped;
           (* The observer runs inside the serial merge — one domain at
              a time, strictly between rounds, counts already committed
              — so it is exactly as trajectory-neutral as in the
@@ -1057,13 +1174,13 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
              way an expired deadline does. *)
           (match on_round with
           | Some f -> (
-              try f ~round:(r + 1) ~informed:!count
+              try f ~round:(r + 1) ~informed:ctl.c_count
               with e ->
                 ctl.c_fail <- Some e;
                 ctl.c_stop <- true)
           | None -> ());
           if ctl.c_stop then ()
-          else if !count = n then begin
+          else if ctl.c_count = n then begin
             ctl.c_rounds <- Some (r + 1);
             ctl.c_stop <- true
           end
@@ -1082,18 +1199,14 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
                 end
             | None -> ()
     in
-    let guard sh rank f =
-      try f ()
-      with e -> if sh.s_fail = None then sh.s_fail <- Some (rank, sh.s_at, e)
-    in
     let worker sh =
       while not ctl.c_stop do
         let r = ctl.c_round in
-        guard sh 0 (fun () -> stage1 ctx sh r);
+        guard sh 0 stage1 ctx r;
         Shard.Barrier.await bar1;
-        guard sh 1 (fun () -> stage2_deliver ctx sh r);
-        guard sh 2 (fun () -> stage2_initiate ctx sh r);
-        Shard.Barrier.await ~serial:merge bar2
+        guard sh 1 stage2_deliver ctx r;
+        guard sh 2 stage2_initiate ctx r;
+        Shard.Barrier.await_serial bar2 merge
       done
     in
     let minor0 = match tel with None -> 0.0 | Some _ -> Gc.minor_words () in
@@ -1107,8 +1220,9 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
     (match tel with
     | Some tel when metrics.Engine.rounds > 0 ->
         Gossip_obs.Registry.set tel.g_minor_words
-          (int_of_float
-             ((Gc.minor_words () -. minor0) /. float_of_int metrics.Engine.rounds))
+          (gauge_of_minor_words
+             ~total:(Gc.minor_words () -. minor0)
+             ~rounds:metrics.Engine.rounds)
     | _ -> ());
     (* Merge per-shard registries (cross-shard traffic counters) into
        the caller's registry once the run is over. *)
@@ -1117,7 +1231,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
     | None -> ())
   end;
   (match ctl.c_fail with Some e -> raise e | None -> ());
-  { rounds = ctl.c_rounds; metrics; history = List.rev ctl.c_history; informed }
+  { rounds = ctl.c_rounds; metrics; history = hist_to_list ctl.c_hist; informed }
 
 let broadcast_kernel ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?telemetry
     ?pool_capacity ?informed ?(domains = 1) rng csr ~kernel ~source ~max_rounds =

@@ -8,8 +8,16 @@
     keeps {e all} state flat:
 
     - the informed set is a byte array;
-    - in-flight exchanges live in a pooled structure of parallel int
-      arrays, threaded into singly-linked lists;
+    - in-flight exchanges live in a pooled structure of parallel
+      {b int32} columns ({!I32.t} Bigarrays — 4 bytes per field, off
+      the OCaml heap), threaded into singly-linked lists; node ids and
+      latencies fit by the {!Csr} range contract, and due rounds are
+      guarded per round ({!step} raises {!I32.Overflow} rather than
+      wrapping a due date);
+    - the round loop is {e allocation-free}: no per-round closures,
+      boxed ints, or escaping refs — enforced by asserting the
+      ["wheel.minor_words_per_round"] gauge against
+      {!minor_words_budget} in the tests and bench e18;
     - the event queue is a timing wheel of [ℓ_max + 1] slots indexed by
       [round mod (ℓ_max + 1)] — legal because every event is due at
       most [ℓ_max] rounds ahead, so insertion and extraction are O(1)
@@ -151,6 +159,21 @@ exception Deadline_exceeded of { round : int; elapsed_s : float }
     as a structured failure instead of an opaque [Failure _]. *)
 exception Pool_exhausted of { used : int; round : int }
 
+(** The asserted ceiling for the ["wheel.minor_words_per_round"] gauge
+    on static (fault-free closure-free) runs: the round loop allocates
+    nothing per round, and the amortized leftovers (pool growth,
+    history doubling) stay far below this once a run spans more than a
+    handful of rounds.  Exported so the tests and bench e18 assert the
+    same number. *)
+val minor_words_budget : int
+
+(** [gauge_of_minor_words ~total ~rounds] is the per-round
+    minor-allocation gauge: [total /. rounds] rounded to {e nearest}
+    ([Float.round], not [int_of_float] truncation — the bug class PR 3
+    fixed in [busy_us] and PR 8 in [crash_fraction]).  Exposed so the
+    rounding behavior itself is testable. *)
+val gauge_of_minor_words : total:float -> rounds:int -> int
+
 type t
 
 (** [create ?faults ?wheel_latency ?max_jitter ?telemetry rng csr
@@ -168,9 +191,12 @@ type t
     [pool_capacity] bounds the exchange pool: it is both the initial
     size hint and a hard growth ceiling, so a run that would hold more
     concurrent exchanges fails fast with {!Pool_exhausted} instead of
-    doubling toward [Sys.max_array_length].  Default: unbounded
-    (ceiling [Sys.max_array_length]).  Under [?domains > 1] the
-    capacity applies to {e each} shard's pool.
+    doubling toward the hard ceiling
+    [min Sys.max_array_length I32.max_value] (pool indices live in
+    int32 cells, so the ceiling is clamped to the int32 range; an
+    explicit capacity above it is clamped too).  Default: unbounded up
+    to that ceiling.  Under [?domains > 1] the capacity applies to
+    {e each} shard's pool.
 
     [telemetry] attaches an observability registry: per round the
     engine observes delivery/initiation counts and the in-flight

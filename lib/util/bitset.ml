@@ -1,12 +1,17 @@
-type t = { n : int; words : Bytes.t }
+type t = { n : int; words : Bytes.t; mutable card : int }
 
-(* One byte per 8 elements; Bytes gives cheap copies and blits. *)
+(* One byte per 8 elements; Bytes gives cheap copies and blits.  The
+   cardinality is tracked incrementally by every mutator, so
+   [cardinal] and — critically — [is_full] are O(1): the scale drivers
+   test completion with [is_full] once per round, and the old
+   recompute-a-popcount-per-call version made that check O(n) per
+   round, an accidental O(n · rounds) term at 10^7 nodes. *)
 
 let bytes_for n = (n + 7) / 8
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative capacity";
-  { n; words = Bytes.make (bytes_for n) '\000' }
+  { n; words = Bytes.make (bytes_for n) '\000'; card = 0 }
 
 let capacity t = t.n
 
@@ -16,12 +21,20 @@ let check t i =
 let add t i =
   check t i;
   let b = Bytes.get_uint8 t.words (i lsr 3) in
-  Bytes.set_uint8 t.words (i lsr 3) (b lor (1 lsl (i land 7)))
+  let bit = 1 lsl (i land 7) in
+  if b land bit = 0 then begin
+    Bytes.set_uint8 t.words (i lsr 3) (b lor bit);
+    t.card <- t.card + 1
+  end
 
 let remove t i =
   check t i;
   let b = Bytes.get_uint8 t.words (i lsr 3) in
-  Bytes.set_uint8 t.words (i lsr 3) (b land lnot (1 lsl (i land 7)))
+  let bit = 1 lsl (i land 7) in
+  if b land bit <> 0 then begin
+    Bytes.set_uint8 t.words (i lsr 3) (b land lnot bit);
+    t.card <- t.card - 1
+  end
 
 let mem t i =
   check t i;
@@ -39,7 +52,7 @@ let full n =
   done;
   t
 
-let copy t = { n = t.n; words = Bytes.copy t.words }
+let copy t = { n = t.n; words = Bytes.copy t.words; card = t.card }
 
 let popcount_byte =
   let tbl = Array.make 256 0 in
@@ -48,18 +61,11 @@ let popcount_byte =
   done;
   fun b -> tbl.(b)
 
-let cardinal t =
-  let acc = ref 0 in
-  for w = 0 to Bytes.length t.words - 1 do
-    acc := !acc + popcount_byte (Bytes.get_uint8 t.words w)
-  done;
-  !acc
+let cardinal t = t.card
 
-let is_empty t =
-  let rec go w = w >= Bytes.length t.words || (Bytes.get_uint8 t.words w = 0 && go (w + 1)) in
-  go 0
+let is_empty t = t.card = 0
 
-let is_full t = cardinal t = t.n
+let is_full t = t.card = t.n
 
 let check_same a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
@@ -73,7 +79,9 @@ let union_into ~into src =
     let u = a lor b in
     if u <> a then begin
       changed := true;
-      Bytes.set_uint8 into.words w u
+      Bytes.set_uint8 into.words w u;
+      (* The new bits are exactly those set in [u] but not in [a]. *)
+      into.card <- into.card + popcount_byte (u lxor a)
     end
   done;
   !changed

@@ -29,12 +29,15 @@ val remove : t -> int -> unit
 
 val mem : t -> int -> bool
 
-(** [cardinal t] is the number of members (O(words)). *)
+(** [cardinal t] is the number of members — O(1): the count is
+    maintained incrementally by every mutator. *)
 val cardinal : t -> int
 
 val is_empty : t -> bool
 
-(** [is_full t] tests whether every element of the universe is present. *)
+(** [is_full t] tests whether every element of the universe is present
+    — O(1) (it used to recompute a full popcount per call, which made
+    the once-per-round completion check O(n · rounds) at scale). *)
 val is_full : t -> bool
 
 (** [union_into ~into src] adds every member of [src] to [into];

@@ -1,12 +1,33 @@
-type t = { mutable state : int64 }
+(* The stream state is 8 bytes of [Bytes.t] read and written with the
+   little-endian int64 accessors, not a [{ mutable state : int64 }]
+   record.  Same splitmix64 arithmetic, so every sequence is
+   bit-identical to the boxed representation it replaced — but a
+   stream costs 2 heap words instead of ~5 (record + boxed int64 that
+   was re-boxed on every write), and [bits64]'s state update allocates
+   nothing.  At 10^7 per-node streams that is the difference between
+   160 MB and 400 MB of pure RNG state, and the per-draw write is what
+   keeps the scale engine's round loop allocation-free. *)
+type t = Bytes.t
+
+(* The 8-byte state is accessed through the compiler's word-load
+   primitives (native endianness — the state bytes are opaque, only
+   the int64 value matters, and get/set agree on any platform).
+   Unlike the [Bytes.get_int64_le] wrappers, these compile inline, so
+   the int64 never crosses a function boundary and is never boxed. *)
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
+let create seed =
+  let t = Bytes.create 8 in
+  set64 t 0 seed;
+  t
 
 let of_int seed = create (Int64.of_int seed)
 
-let copy t = { state = t.state }
+let copy t = Bytes.copy t
 
 (* splitmix64 finaliser: two xor-shift-multiply rounds. *)
 let mix z =
@@ -15,25 +36,43 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  let s = Int64.add (get64 t 0) golden_gamma in
+  set64 t 0 s;
+  mix s
+
+(* [bits62 t] is the low 62 bits of the next draw as an immediate
+   [int].  The [mix] chain is written out inline: without flambda a
+   call to [mix] would box its int64 result, and this path runs on
+   every push-pull initiation, where it must not allocate.  The
+   arithmetic is byte-for-byte [mix] — the pinned-sequence test keeps
+   the two in sync. *)
+let bits62 t =
+  let s = Int64.add (get64 t 0) golden_gamma in
+  set64 t 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0x3FFF_FFFF_FFFF_FFFFL)
 
 let split t =
   (* Derive a new stream whose state is decorrelated from the parent by
      a second, different mixing constant. *)
   let s = bits64 t in
-  { state = Int64.mul (Int64.logxor s 0xD1B54A32D192ED03L) 0xFF51AFD7ED558CCDL }
+  create (Int64.mul (Int64.logxor s 0xD1B54A32D192ED03L) 0xFF51AFD7ED558CCDL)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling over the low 62 bits avoids modulo bias. *)
-  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
-  let rec draw () =
-    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
-    let v = r mod bound in
-    if r - v > (1 lsl 62) - bound then draw () else v
-  in
-  draw ()
+  (* Rejection sampling over the low 62 bits avoids modulo bias.  A
+     while-loop over non-escaping refs (unboxed by the compiler), not a
+     local [rec draw] closure — this runs on every push-pull initiation
+     and must not allocate. *)
+  let r = ref (bits62 t) in
+  let v = ref (!r mod bound) in
+  while !r - !v > (1 lsl 62) - bound do
+    r := bits62 t;
+    v := !r mod bound
+  done;
+  !v
 
 let int_in t lo hi =
   if lo > hi then invalid_arg "Rng.int_in: lo > hi";

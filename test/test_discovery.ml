@@ -107,7 +107,7 @@ let check_probe_scale_parity n seed d_bound =
     Alcotest.failf "complete flags diverge (scale %b)" r.Discovery.s_complete;
   let o = Csr.oriented_of_csr csr in
   for u = 0 to n - 1 do
-    let i = ref o.Csr.o_row_ptr.(u) in
+    let i = ref (Gossip_scale.I32.get o.Csr.o_row_ptr u) in
     Csr.oriented_iter_out o u (fun peer _lat ->
         let measured = r.Discovery.s_lat.(!i) in
         (match (List.assoc_opt peer core.Discovery.known.(u), measured) with

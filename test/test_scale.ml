@@ -7,6 +7,7 @@ module Graph = Gossip_graph.Graph
 module Gen = Gossip_graph.Gen
 module Engine = Gossip_sim.Engine
 module Csr = Gossip_scale.Csr
+module I32 = Gossip_scale.I32
 module Wheel = Gossip_scale.Wheel_engine
 module Shard = Gossip_scale.Shard
 module Registry = Gossip_obs.Registry
@@ -23,18 +24,18 @@ let qtest = QCheck_alcotest.to_alcotest
 (* Structural sanity of a CSR graph: monotone row_ptr, sorted simple
    rows, symmetric latencies. *)
 let assert_valid_csr name (t : Csr.t) =
-  checki (name ^ ": row_ptr length") (Csr.n t + 1) (Array.length t.Csr.row_ptr);
-  checki (name ^ ": row_ptr start") 0 t.Csr.row_ptr.(0);
-  checki (name ^ ": row_ptr end") (Array.length t.Csr.col) t.Csr.row_ptr.(Csr.n t);
+  checki (name ^ ": row_ptr length") (Csr.n t + 1) (I32.length t.Csr.row_ptr);
+  checki (name ^ ": row_ptr start") 0 (I32.get t.Csr.row_ptr 0);
+  checki (name ^ ": row_ptr end") (I32.length t.Csr.col) (I32.get t.Csr.row_ptr (Csr.n t));
   for u = 0 to Csr.n t - 1 do
-    let lo = t.Csr.row_ptr.(u) and hi = t.Csr.row_ptr.(u + 1) in
+    let lo = I32.get t.Csr.row_ptr u and hi = I32.get t.Csr.row_ptr (u + 1) in
     if lo > hi then Alcotest.failf "%s: row_ptr decreases at %d" name u;
     for i = lo to hi - 1 do
-      let v = t.Csr.col.(i) in
+      let v = I32.get t.Csr.col i in
       if v = u then Alcotest.failf "%s: self loop at %d" name u;
-      if i > lo && t.Csr.col.(i - 1) >= v then
+      if i > lo && I32.get t.Csr.col (i - 1) >= v then
         Alcotest.failf "%s: row %d not strictly sorted" name u;
-      if Csr.latency t v u <> Some t.Csr.lat.(i) then
+      if Csr.latency t v u <> Some (I32.get t.Csr.lat i) then
         Alcotest.failf "%s: edge (%d,%d) not symmetric" name u v
     done
   done
@@ -89,9 +90,10 @@ let test_with_latencies () =
       (Csr.ring_of_cliques ~cliques:4 ~size:5 ~bridge_latency:9)
   in
   assert_valid_csr "relat" c;
-  Array.iter
-    (fun l -> if l < 2 || l > 6 then Alcotest.failf "latency %d out of range" l)
-    c.Csr.lat
+  for i = 0 to I32.length c.Csr.lat - 1 do
+    let l = I32.get c.Csr.lat i in
+    if l < 2 || l > 6 then Alcotest.failf "latency %d out of range" l
+  done
 
 let test_is_connected () =
   checkb "ring connected" true
@@ -547,11 +549,16 @@ let test_sharded_telemetry () =
   checkb "cross-shard initiations observed" true (remote "wheel.shard.remote.initiations" > 0);
   checkb "cross-shard responses observed" true (remote "wheel.shard.remote.responses" > 0)
 
-(* The static path reports its allocation rate: a telemetry run sets
-   wheel.minor_words_per_round on both the sequential and the sharded
-   engine (the steady-state loop allocates, but boundedly). *)
+(* The round loop is allocation-free by construction; the
+   wheel.minor_words_per_round gauge is the enforced witness.  Both
+   runtimes must come in under the exported budget — a regression that
+   reintroduces a per-round closure or boxed int shows up here as a
+   gauge in the hundreds. *)
 let test_minor_words_gauge () =
-  let c = Csr.ring_of_cliques ~cliques:5 ~size:8 ~bridge_latency:4 in
+  (* Long enough (ring diameter ⇒ 100+ rounds) to amortize the
+     fixed-cost allocations inside the measured window (history
+     arrays, worker closures, domain spawns). *)
+  let c = Csr.ring_of_cliques ~cliques:24 ~size:8 ~bridge_latency:4 in
   let words d =
     let reg = Registry.create () in
     let r =
@@ -561,8 +568,92 @@ let test_minor_words_gauge () =
     checkb "completes" true (r.Wheel.rounds <> None);
     Registry.gauge_value (Registry.gauge reg "wheel.minor_words_per_round")
   in
-  checkb "sequential gauge set" true (words 1 > 0);
-  checkb "sharded gauge set" true (words 3 > 0)
+  let seq = words 1 and sharded = words 3 in
+  if seq > Wheel.minor_words_budget then
+    Alcotest.failf "sequential gauge %d over budget %d" seq Wheel.minor_words_budget;
+  if sharded > Wheel.minor_words_budget then
+    Alcotest.failf "sharded gauge %d over budget %d" sharded Wheel.minor_words_budget
+
+(* Regression for the gauge truncation fix: int_of_float alone rounded
+   7.9 words/round down to 7 — the same bug class PR 3 fixed in busy_us
+   and PR 8 in crash_fraction.  The gauge must round to nearest. *)
+let test_gauge_rounding () =
+  checki "7.9 rounds up" 8 (Wheel.gauge_of_minor_words ~total:79.0 ~rounds:10);
+  checki "7.4 rounds down" 7 (Wheel.gauge_of_minor_words ~total:74.0 ~rounds:10);
+  checki "exact stays" 7 (Wheel.gauge_of_minor_words ~total:70.0 ~rounds:10);
+  (* the old [int_of_float] truncation mapped 0.999... to 0, hiding a
+     one-word-per-round leak entirely *)
+  checki "just under 1 rounds up" 1 (Wheel.gauge_of_minor_words ~total:999.0 ~rounds:1000)
+
+(* The mailbox buffer's doubling loop is clamped: a reservation beyond
+   the ceiling raises the typed Buf_overflow instead of wrapping
+   negative and spinning (or handing Bigarray a bogus size). *)
+let test_buf_overflow () =
+  let b = Shard.Buf.create () in
+  Shard.Buf.push b 17;
+  (match Shard.Buf.reserve b max_int with
+  | exception Shard.Buf_overflow { need; limit } ->
+      (* len + max_int wraps negative: reported as the raw need *)
+      checkb "need reported" true (need < 0 || need > limit)
+  | _ -> Alcotest.fail "reserve max_int must raise Buf_overflow");
+  (match Shard.Buf.reserve b (Shard.Buf.max_capacity) with
+  | exception Shard.Buf_overflow { need; limit } ->
+      checki "need = len + k" (1 + Shard.Buf.max_capacity) need;
+      checki "limit is the ceiling" Shard.Buf.max_capacity limit
+  | _ -> Alcotest.fail "reserve past the ceiling must raise Buf_overflow");
+  (match Shard.Buf.reserve b (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative reservation must raise Invalid_argument");
+  (* the failed reservations left the buffer intact *)
+  checki "length unchanged" 1 (Shard.Buf.length b);
+  checki "content unchanged" 17 (Shard.Buf.get b 0)
+
+(* ------------------------------------------------------------------ *)
+(* int32 range contract: every CSR constructor rejects out-of-range
+   node ids and latencies with the typed I32.Overflow — never a
+   silently wrapped value. *)
+
+let is_overflow = function I32.Overflow _ -> true | _ -> false
+
+let prop_csr_rejects_latency_overflow =
+  QCheck.Test.make ~name:"csr constructors reject out-of-int32-range latencies" ~count:30
+    QCheck.(int_range 1 (1 lsl 20))
+    (fun excess ->
+      let big = I32.max_value + excess in
+      let raises f = match f () with exception e -> is_overflow e | _ -> false in
+      (* of_graph: a valid graph holding one oversized latency *)
+      raises (fun () -> Csr.of_graph (Graph.of_edges ~n:3 [ (0, 1, big); (1, 2, 1) ]))
+      (* of_undirected_arrays: same edge list, flat-array path *)
+      && raises (fun () ->
+             Csr.of_undirected_arrays ~n:3 [| 0; 1 |] [| 1; 2 |] [| big; 1 |] ~count:2)
+      (* with_latencies: a degenerate uniform spec pinned above range *)
+      && raises (fun () ->
+             Csr.with_latencies (Rng.of_int 3)
+               (Gen.Uniform (big, big))
+               (Csr.ring_of_cliques ~cliques:3 ~size:2 ~bridge_latency:1))
+      (* generators: the bridge latency is checked before any allocation *)
+      && raises (fun () -> Csr.ring_of_cliques ~cliques:3 ~size:2 ~bridge_latency:big)
+      && raises (fun () ->
+             Csr.braided_ring ~cliques:3 ~size:2 ~bridges:1 ~bridge_latency:big))
+
+let test_csr_rejects_node_count_overflow () =
+  (* 2^16 cliques x 2^16 nodes = 2^32 nodes > int32: the count is
+     rejected before the generator allocates anything. *)
+  match Csr.ring_of_cliques ~cliques:65536 ~size:65536 ~bridge_latency:1 with
+  | exception I32.Overflow { what = _; value } -> checki "overflowing n" 4294967296 value
+  | _ -> Alcotest.fail "2^32-node generator must raise I32.Overflow"
+
+let test_spanner_rejects_overflow () =
+  let raises f = match f () with exception e -> is_overflow e | _ -> false in
+  checkb "oversized peer id" true
+    (raises (fun () -> Csr.of_oriented_spanner [| [| (I32.max_value + 1, 1) |]; [||] |]));
+  checkb "oversized latency" true
+    (raises (fun () -> Csr.of_oriented_spanner [| [| (1, I32.max_value + 1) |]; [||] |]));
+  (* negatives keep their historical Invalid_argument, they are not
+     int32 overflows *)
+  (match Csr.of_oriented_spanner [| [| (-1, 1) |]; [||] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative peer must stay Invalid_argument")
 
 (* Dynamic scenarios ride the same parity contract as static fault
    plans: for drifting latencies and churn compiled by lib/dyn, the
@@ -640,6 +731,13 @@ let () =
           Alcotest.test_case "is_connected" `Quick test_is_connected;
           qtest prop_csr_roundtrip;
         ] );
+      ( "int32-contract",
+        [
+          qtest prop_csr_rejects_latency_overflow;
+          Alcotest.test_case "node-count overflow" `Quick test_csr_rejects_node_count_overflow;
+          Alcotest.test_case "spanner overflow" `Quick test_spanner_rejects_overflow;
+          Alcotest.test_case "buf overflow" `Quick test_buf_overflow;
+        ] );
       ( "wheel",
         [
           Alcotest.test_case "push-pull completes" `Quick test_wheel_pushpull_completes;
@@ -669,7 +767,8 @@ let () =
           Alcotest.test_case "fixed cases, all protocols" `Quick test_sharded_parity_fixed;
           qtest prop_sharded_parity;
           qtest prop_sharded_parity_scenario;
-          Alcotest.test_case "minor-words gauge" `Quick test_minor_words_gauge;
+          Alcotest.test_case "minor-words gauge under budget" `Quick test_minor_words_gauge;
+          Alcotest.test_case "gauge rounding" `Quick test_gauge_rounding;
           Alcotest.test_case "dead shard" `Quick test_sharded_dead_shard;
           Alcotest.test_case "domains validation + clamp" `Quick
             test_sharded_domains_validation;

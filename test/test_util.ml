@@ -510,6 +510,73 @@ let prop_bitset_roundtrip =
       let b = Bitset.of_list 64 l in
       Bitset.to_list b = uniq && Bitset.cardinal b = List.length uniq)
 
+(* The incrementally-tracked cardinal must agree with a naive popcount
+   after any interleaving of add / remove (including redundant ones) /
+   union_into / copy — the invariant that makes is_full O(1). *)
+let prop_bitset_cardinal_incremental =
+  QCheck.Test.make ~name:"bitset cardinal = naive count under mutation" ~count:300
+    QCheck.(
+      pair (int_range 1 70)
+        (list_of_size Gen.(int_range 0 60) (pair (int_range 0 3) (int_range 0 1000))))
+    (fun (n, ops) ->
+      let b = Bitset.create n in
+      let other = Bitset.of_list n (List.filteri (fun i _ -> i mod 3 = 0) (List.init n Fun.id)) in
+      let naive s = Bitset.fold (fun _ acc -> acc + 1) s 0 in
+      List.for_all
+        (fun (op, x) ->
+          let b' =
+            match op with
+            | 0 ->
+                Bitset.add b (x mod n);
+                b
+            | 1 ->
+                Bitset.remove b (x mod n);
+                b
+            | 2 ->
+                ignore (Bitset.union_into ~into:b other);
+                b
+            | _ -> Bitset.copy b
+          in
+          Bitset.cardinal b' = naive b'
+          && Bitset.is_full b' = (naive b' = n)
+          && Bitset.is_empty b' = (naive b' = 0))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation discipline: the Bytes-backed RNG must draw without
+   allocating (the scale engine's round loop budget depends on it).
+   Measured over enough draws that the two boxed floats Gc.minor_words
+   itself returns disappear into the average. *)
+
+let test_rng_draws_allocation_free () =
+  let t = Rng.of_int 42 in
+  (* warm up: promote the stream state, trigger any lazy init *)
+  for _ = 1 to 100 do
+    ignore (Rng.int t 97)
+  done;
+  let draws = 50_000 in
+  let before = Gc.minor_words () in
+  let acc = ref 0 in
+  for _ = 1 to draws do
+    acc := !acc + Rng.int t 97
+  done;
+  let per_draw = (Gc.minor_words () -. before) /. float_of_int draws in
+  checkb "sum sane" true (!acc > 0);
+  if per_draw > 0.1 then
+    Alcotest.failf "Rng.int allocates %.3f words/draw (expected ~0)" per_draw
+
+(* The representation change (int64 record -> 8 bytes) must not change
+   a single draw: pin a few values of the splitmix64 sequence. *)
+let test_rng_sequence_pinned () =
+  let t = Rng.of_int 1 in
+  let a = Rng.int t 1_000_000 in
+  let b = Rng.int t 1_000_000 in
+  let s = Rng.split t in
+  let c = Rng.int s 1_000_000 in
+  checki "draw 1" 46657 a;
+  checki "draw 2" 652711 b;
+  checki "split draw" 467813 c
+
 (* ------------------------------------------------------------------ *)
 (* Heap *)
 
@@ -625,6 +692,10 @@ let () =
           Alcotest.test_case "sample without replacement" `Quick
             test_rng_sample_without_replacement;
           Alcotest.test_case "sample full permutation" `Quick test_rng_sample_full;
+          Alcotest.test_case "draws are allocation-free" `Quick
+            test_rng_draws_allocation_free;
+          Alcotest.test_case "sequence pinned across representation" `Quick
+            test_rng_sequence_pinned;
           qtest prop_rng_int_in_range;
         ] );
       ( "stats",
@@ -679,6 +750,7 @@ let () =
           Alcotest.test_case "choose_missing" `Quick test_bitset_choose_missing;
           Alcotest.test_case "fold/iter" `Quick test_bitset_fold_iter;
           qtest prop_bitset_roundtrip;
+          qtest prop_bitset_cardinal_incremental;
         ] );
       ( "heap",
         [
