@@ -26,6 +26,7 @@ let experiments =
     ("e16", "Dynamic networks: broadcast under live latency drift", Exp_scale.e16);
     ("e17", "Theorem 20 at scale: unified unknown-latency vs push-pull", Exp_scale.e17);
     ("e18", "The scale ceiling: int32/SoA layout at n = 10^7", Exp_scale.e18);
+    ("e19", "k-rumor / all-to-all: completion scaling in k and B", Exp_scale.e19);
     ("fig", "Figures 1-2: gadget structure", Exp_lower_bounds.figures);
     ("a1", "Ablation: robustness under faults (Section 7)", Ablations.robustness);
     ("a2", "Ablation: bounded in-degree (Daum et al.)", Ablations.indegree);

@@ -120,6 +120,43 @@ let load_scenario path =
       Printf.eprintf "gossip-cli: --scenario: %s\n" msg;
       exit 2
 
+(* --rumors / --budget override the rumor count k and the per-message
+   word budget of a rumor-state descriptor (k-rumor, rotation,
+   algebraic).  They are meaningless on the single-rumor protocols, so
+   using them there is a loud usage error, not a silent no-op. *)
+let apply_rumor_overrides ~rumors ~budget protocol =
+  let module Wheel = Gossip_scale.Wheel_engine in
+  let k0 k = Option.value rumors ~default:k in
+  let b0 b = Option.value budget ~default:b in
+  match protocol with
+  | _ when rumors = None && budget = None -> protocol
+  | Wheel.K_rumor { k; budget = b } -> Wheel.K_rumor { k = k0 k; budget = b0 b }
+  | Wheel.Rumor_rotation { k; budget = b } ->
+      Wheel.Rumor_rotation { k = k0 k; budget = b0 b }
+  | Wheel.Algebraic { k; budget = b } -> Wheel.Algebraic { k = k0 k; budget = b0 b }
+  | p ->
+      failwith
+        (Printf.sprintf
+           "--rumors/--budget apply to the rumor-state protocols (k-rumor, rotation, \
+            algebraic), not %S"
+           (Wheel.protocol_name p))
+
+let rumors_arg =
+  let doc =
+    "Number of rumors K for the rumor-state protocols (k-rumor, rotation, algebraic): \
+     rumor $(i,j) starts at node $(i,j), completion is holding all K.  Overrides the K \
+     in the $(b,--protocol) descriptor; defaults to min(n, 16)."
+  in
+  Arg.(value & opt (some pos_int_conv) None & info [ "rumors" ] ~docv:"K" ~doc)
+
+let budget_arg =
+  let doc =
+    "Per-message payload budget in 32-bit words for the rumor-state protocols (each \
+     message carries at most B rumor ids, or B coefficient words for algebraic).  \
+     Overrides the B in the $(b,--protocol) descriptor."
+  in
+  Arg.(value & opt (some pos_int_conv) None & info [ "budget" ] ~docv:"B" ~doc)
+
 type family_args = {
   family : string;
   n : int;
@@ -235,7 +272,8 @@ let ceil_log2 x =
    name, builds the contact structure (including the Baswana-Sen
    spanner an rr-spanner kernel needs), runs, and optionally dumps the
    telemetry registry -- kernel-tagged counters included -- as JSONL. *)
-let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scenario =
+let run_wheel_protocol args ~pname ~rumors ~budget ~domains ~source ~max_rounds ~telemetry
+    ~scenario =
   let module Wheel = Gossip_scale.Wheel_engine in
   let module Scsr = Gossip_scale.Csr in
   let module Kernel = Gossip_scale.Kernel in
@@ -244,7 +282,7 @@ let run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scen
   let module Json = Gossip_util.Json in
   let protocol =
     match Wheel.protocol_of_string pname with
-    | Some p -> p
+    | Some p -> apply_rumor_overrides ~rumors ~budget p
     | None ->
         failwith
           (Printf.sprintf "unknown protocol %S (known: %s)" pname
@@ -508,8 +546,8 @@ let run_cmd =
              JSONL (plain push-pull and wheel protocol runs); inspect with \
              $(b,gossip-cli report).")
   in
-  let run args algorithm protocol domains source max_rounds crash drop capacity trace
-      telemetry scenario =
+  let run args algorithm protocol rumors budget domains source max_rounds crash drop
+      capacity trace telemetry scenario =
     (* A wheel run never touches the boxed graph: dispatch before
        build_graph so --protocol works at 10^6 nodes. *)
     let wheel_protocol =
@@ -529,9 +567,17 @@ let run_cmd =
            --algorithm wheel-PROTO)";
         exit 2
     | _ -> ());
+    (match (rumors, budget, wheel_protocol) with
+    | (Some _, _, None | _, Some _, None) ->
+        prerr_endline
+          "gossip-cli: --rumors/--budget apply to wheel-engine runs only (use --protocol \
+           k-rumor, rotation, or algebraic)";
+        exit 2
+    | _ -> ());
     match wheel_protocol with
     | Some pname ->
-        run_wheel_protocol args ~pname ~domains ~source ~max_rounds ~telemetry ~scenario
+        run_wheel_protocol args ~pname ~rumors ~budget ~domains ~source ~max_rounds
+          ~telemetry ~scenario
     | None ->
     let g = build_graph args in
     let rng = Rng.of_int (args.seed + 17) in
@@ -656,8 +702,8 @@ let run_cmd =
   let doc = "Run a dissemination algorithm and report round counts." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ family_term $ algorithm $ protocol $ domains $ source $ max_rounds
-      $ crash $ drop $ capacity $ trace $ telemetry $ scenario_arg)
+      const run $ family_term $ algorithm $ protocol $ rumors_arg $ budget_arg $ domains
+      $ source $ max_rounds $ crash $ drop $ capacity $ trace $ telemetry $ scenario_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game *)
@@ -918,9 +964,9 @@ let sweep_cmd =
             "Write per-job outcomes and pool metrics (worker busy time, job-latency \
              histogram, queue depth) as JSONL; inspect with $(b,gossip-cli report).")
   in
-  let run family n protocol trials jobs domains size bridge bridges attach ws_k beta
-      latency max_rounds retries job_timeout checkpoint resume inject_crash out telemetry
-      scenario seed =
+  let run family n protocol rumors budget trials jobs domains size bridge bridges attach
+      ws_k beta latency max_rounds retries job_timeout checkpoint resume inject_crash out
+      telemetry scenario seed =
     let family =
       match family with
       | "ring-of-cliques" -> Sweep.Ring_of_cliques { size; bridge_latency = bridge }
@@ -931,7 +977,7 @@ let sweep_cmd =
     in
     let protocol =
       match Wheel.protocol_of_string protocol with
-      | Some p -> p
+      | Some p -> apply_rumor_overrides ~rumors ~budget p
       | None ->
           failwith
             (Printf.sprintf "unknown protocol %S (known: %s)" protocol
@@ -1017,9 +1063,10 @@ let sweep_cmd =
   let doc = "Sweep a protocol over seeded trials of a large graph family (multicore)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ family $ n $ protocol $ trials $ jobs $ domains $ size $ bridge
-      $ bridges $ attach $ ws_k $ beta $ latency $ max_rounds $ retries $ job_timeout
-      $ checkpoint $ resume $ inject_crash $ out $ telemetry $ scenario_arg $ seed_arg)
+      const run $ family $ n $ protocol $ rumors_arg $ budget_arg $ trials $ jobs
+      $ domains $ size $ bridge $ bridges $ attach $ ws_k $ beta $ latency $ max_rounds
+      $ retries $ job_timeout $ checkpoint $ resume $ inject_crash $ out $ telemetry
+      $ scenario_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client: the gossip daemon *)
@@ -1159,8 +1206,8 @@ let client_cmd =
       value & opt pos_float_conv 60.0
       & info [ "wait-timeout" ] ~docv:"SECS" ~doc:"Give up on $(b,wait) after this long.")
   in
-  let run socket action job family n protocol trials size bridge bridges attach ws_k beta
-      latency max_rounds scenario wait_timeout seed =
+  let run socket action job family n protocol rumors budget trials size bridge bridges
+      attach ws_k beta latency max_rounds scenario wait_timeout seed =
     let print_resp r = print_string (Gossip_serve.Frame.frame (P.response_to_json r)) in
     let finish r =
       print_resp r;
@@ -1195,7 +1242,7 @@ let client_cmd =
             in
             let protocol =
               match Wheel.protocol_of_string protocol with
-              | Some p -> p
+              | Some p -> apply_rumor_overrides ~rumors ~budget p
               | None ->
                   failwith
                     (Printf.sprintf "unknown protocol %S (known: %s)" protocol
@@ -1263,9 +1310,9 @@ let client_cmd =
   let doc = "Talk to a running gossip daemon (submit, follow, and fetch jobs)." in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ socket_arg $ action $ job $ family $ n $ protocol $ trials $ size
-      $ bridge $ bridges $ attach $ ws_k $ beta $ latency $ max_rounds $ scenario_arg
-      $ wait_timeout $ seed_arg)
+      const run $ socket_arg $ action $ job $ family $ n $ protocol $ rumors_arg
+      $ budget_arg $ trials $ size $ bridge $ bridges $ attach $ ws_k $ beta $ latency
+      $ max_rounds $ scenario_arg $ wait_timeout $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report *)

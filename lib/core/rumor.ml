@@ -20,3 +20,116 @@ let local_broadcast_done g ?ell sets =
 
 let count_knowing ~source sets =
   Array.fold_left (fun acc s -> if Bitset.mem s source then acc + 1 else acc) 0 sets
+
+(* ------------------------------------------------------------------ *)
+(* Boxed twins of the scale rumor kernels (lib/scale/kernel.ml).  Same
+   semantics, deliberately different representation — bitsets and
+   boxed option rows instead of flat bit-packed int32 payloads — so
+   the parity tests can drive both sides through identical operation
+   sequences and catch packing bugs in either. *)
+
+module Kset = struct
+  type state = { k : int; held : Bitset.t array }
+
+  let create ~n ~k =
+    if k < 1 || k > n then invalid_arg "Rumor.Kset.create: need 1 <= k <= n";
+    let held =
+      Array.init n (fun v ->
+          let b = Bitset.create k in
+          if v < k then Bitset.add b v;
+          b)
+    in
+    { k; held }
+
+  let holds t ~v ~r = Bitset.mem t.held.(v) r
+  let count t ~v = Bitset.cardinal t.held.(v)
+  let complete t ~v = Bitset.is_full t.held.(v)
+
+  let reset t ~v =
+    let b = Bitset.create t.k in
+    if v < t.k then Bitset.add b v;
+    t.held.(v) <- b
+
+  (* k-rumor emission: cyclic scan from [start], collecting held ids
+     until the budget fills or every position was considered once. *)
+  let emit_scan t ~v ~start ~budget =
+    let out = ref [] and w = ref 0 and p = ref start and scanned = ref 0 in
+    while !w < budget && !scanned < t.k do
+      if Bitset.mem t.held.(v) !p then begin
+        out := !p :: !out;
+        incr w
+      end;
+      p := if !p + 1 = t.k then 0 else !p + 1;
+      incr scanned
+    done;
+    List.rev !out
+
+  (* rotation emission: the fixed [min budget k]-wide window at [pos]. *)
+  let emit_window t ~v ~pos ~budget =
+    let out = ref [] in
+    for j = 0 to min budget t.k - 1 do
+      let p = (pos + j) mod t.k in
+      if Bitset.mem t.held.(v) p then out := p :: !out
+    done;
+    List.rev !out
+
+  let absorb t ~v ids =
+    List.iter (fun r -> Bitset.add t.held.(v) r) ids;
+    complete t ~v
+end
+
+module Gf2 = struct
+  (* rows.(v).(p) is v's canonical-RREF basis row with pivot p (lowest
+     set bit p), or [None] while no vector with that pivot arrived. *)
+  type state = { k : int; rows : Bitset.t option array array }
+
+  let xor_into ~into src =
+    Bitset.iter (fun i -> if Bitset.mem into i then Bitset.remove into i else Bitset.add into i) src
+
+  let create ~n ~k =
+    if k < 1 || k > n then invalid_arg "Rumor.Gf2.create: need 1 <= k <= n";
+    let rows =
+      Array.init n (fun v ->
+          Array.init k (fun p -> if v < k && p = v then Some (Bitset.singleton k v) else None))
+    in
+    { k; rows }
+
+  let rank t ~v = Array.fold_left (fun a r -> if r = None then a else a + 1) 0 t.rows.(v)
+  let complete t ~v = rank t ~v = t.k
+
+  let reset t ~v =
+    Array.fill t.rows.(v) 0 t.k None;
+    if v < t.k then t.rows.(v).(v) <- Some (Bitset.singleton t.k v)
+
+  let emit t ~v ~coins =
+    let acc = Bitset.create t.k in
+    for p = 0 to t.k - 1 do
+      match t.rows.(v).(p) with
+      | Some row when Bitset.mem coins p -> xor_into ~into:acc row
+      | _ -> ()
+    done;
+    acc
+
+  let absorb t ~v vec =
+    let vec = Bitset.copy vec in
+    (* forward-reduce against present pivots, ascending *)
+    for p = 0 to t.k - 1 do
+      match t.rows.(v).(p) with
+      | Some row when Bitset.mem vec p -> xor_into ~into:vec row
+      | _ -> ()
+    done;
+    (if not (Bitset.is_empty vec) then begin
+       let p = Bitset.fold min vec max_int in
+       (* back-substitute the new pivot out of existing rows, then
+          install — the basis stays canonical *)
+       for q = 0 to t.k - 1 do
+         match t.rows.(v).(q) with
+         | Some row when Bitset.mem row p -> xor_into ~into:row vec
+         | _ -> ()
+       done;
+       t.rows.(v).(p) <- Some vec
+     end);
+    complete t ~v
+
+  let rows t ~v = List.filter_map Fun.id (Array.to_list t.rows.(v))
+end

@@ -31,3 +31,70 @@ val local_broadcast_done : Gossip_graph.Graph.t -> ?ell:int -> t array -> bool
 (** [count_knowing ~source sets] — how many nodes know [source]'s
     rumor (the informed-set size of Theorem 12's Markov process). *)
 val count_knowing : source:Gossip_graph.Graph.node -> t array -> int
+
+(** Boxed reference twin of the scale k-rumor subset kernels
+    ([Gossip_scale.Kernel.k_rumor_push_pull] / [rumor_rotation]): each
+    node holds a subset of [k] rumor ids, rumor [j] born at node [j].
+    Same semantics as the flat kernels, deliberately different
+    representation (bitsets instead of bit-packed int32 payloads), so
+    the parity tests can replay identical operation sequences on both
+    and catch packing bugs in either. *)
+module Kset : sig
+  type state
+
+  (** @raise Invalid_argument unless [1 <= k <= n]. *)
+  val create : n:int -> k:int -> state
+
+  val holds : state -> v:int -> r:int -> bool
+  val count : state -> v:int -> int
+  val complete : state -> v:int -> bool
+
+  (** Churn amnesia: [v] keeps at most its own rumor. *)
+  val reset : state -> v:int -> unit
+
+  (** [emit_scan t ~v ~start ~budget] — the k-rumor emission: scan
+      cyclically from position [start], collecting held rumor ids
+      until the budget fills or every position was considered once. *)
+  val emit_scan : state -> v:int -> start:int -> budget:int -> int list
+
+  (** [emit_window t ~v ~pos ~budget] — the rotation emission: the
+      held ids within the fixed [min budget k]-wide window at [pos]. *)
+  val emit_window : state -> v:int -> pos:int -> budget:int -> int list
+
+  (** [absorb t ~v ids] learns the ids; returns whether [v] is now
+      complete (holds all [k]). *)
+  val absorb : state -> v:int -> int list -> bool
+end
+
+(** Boxed reference twin of [Gossip_scale.Kernel.algebraic]: per-node
+    GF(2) coefficient spans over [k] coded rumors, kept in canonical
+    reduced row echelon form (pivot = lowest set bit, full
+    back-substitution) — the canonicalization that makes absorption
+    order-independent.  Vectors are bitsets over coefficient positions
+    [\[0, k)]. *)
+module Gf2 : sig
+  type state
+
+  (** @raise Invalid_argument unless [1 <= k <= n].  Node [j < k]
+      starts with the unit vector [e_j]. *)
+  val create : n:int -> k:int -> state
+
+  val rank : state -> v:int -> int
+  val complete : state -> v:int -> bool
+
+  (** Churn amnesia: [v] keeps at most its own unit vector. *)
+  val reset : state -> v:int -> unit
+
+  (** [emit t ~v ~coins] — the XOR of [v]'s basis rows whose pivot
+      position is selected by [coins] (the random linear
+      combination). *)
+  val emit : state -> v:int -> coins:Gossip_util.Bitset.t -> Gossip_util.Bitset.t
+
+  (** [absorb t ~v vec] reduces [vec] against [v]'s basis and installs
+      the survivor (if independent); returns whether [v] reached rank
+      [k].  [vec] is not mutated. *)
+  val absorb : state -> v:int -> Gossip_util.Bitset.t -> bool
+
+  (** [v]'s canonical basis rows in ascending pivot order. *)
+  val rows : state -> v:int -> Gossip_util.Bitset.t list
+end

@@ -11,6 +11,17 @@ type protocol =
   | Dtg_local of { ell : int }
   | Unknown_eid
   | Unified
+  | K_rumor of { k : int; budget : int }
+  | Rumor_rotation of { k : int; budget : int }
+  | Algebraic of { k : int; budget : int }
+
+(* Minimal printing keeps names injective on descriptors: a trailing
+   auto parameter (0) is omitted, but an explicit budget forces the k
+   field out too ("k-rumor:0:2" = auto k, budget 2). *)
+let rumor_name base k budget =
+  if budget = 0 then
+    if k = 0 then base else Printf.sprintf "%s:%d" base k
+  else Printf.sprintf "%s:%d:%d" base k budget
 
 let protocol_name = function
   | Push_pull -> "push-pull"
@@ -21,6 +32,9 @@ let protocol_name = function
   | Dtg_local { ell } -> if ell = 0 then "dtg" else Printf.sprintf "dtg:%d" ell
   | Unknown_eid -> "unknown-eid"
   | Unified -> "unified"
+  | K_rumor { k; budget } -> rumor_name "k-rumor" k budget
+  | Rumor_rotation { k; budget } -> rumor_name "rotation" k budget
+  | Algebraic { k; budget } -> rumor_name "algebraic" k budget
 
 (* "name" or "name:K" with K >= 1; K absent encodes the auto value 0. *)
 let parse_param s prefix make =
@@ -34,6 +48,25 @@ let parse_param s prefix make =
     else None
   else None
 
+(* "name", "name:K", or "name:K:B" with K, B >= 0 (0 = auto). *)
+let parse_param2 s prefix make =
+  let pl = String.length prefix and sl = String.length s in
+  if sl >= pl && String.sub s 0 pl = prefix then
+    if sl = pl then Some (make 0 0)
+    else if s.[pl] = ':' then
+      match String.split_on_char ':' (String.sub s (pl + 1) (sl - pl - 1)) with
+      | [ ks ] -> (
+          match int_of_string_opt ks with
+          | Some k when k >= 0 -> Some (make k 0)
+          | _ -> None)
+      | [ ks; bs ] -> (
+          match (int_of_string_opt ks, int_of_string_opt bs) with
+          | Some k, Some b when k >= 0 && b >= 0 -> Some (make k b)
+          | _ -> None)
+      | _ -> None
+    else None
+  else None
+
 let protocol_of_string s =
   match s with
   | "push-pull" -> Some Push_pull
@@ -42,9 +75,15 @@ let protocol_of_string s =
   | "unknown-eid" -> Some Unknown_eid
   | "unified" -> Some Unified
   | _ -> (
-      match parse_param s "rr-spanner" (fun k -> Rr_spanner { stretch_k = k }) with
-      | Some p -> Some p
-      | None -> parse_param s "dtg" (fun l -> Dtg_local { ell = l }))
+      let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+      parse_param s "rr-spanner" (fun k -> Rr_spanner { stretch_k = k })
+      <|> fun () ->
+      parse_param s "dtg" (fun l -> Dtg_local { ell = l })
+      <|> fun () ->
+      parse_param2 s "k-rumor" (fun k budget -> K_rumor { k; budget })
+      <|> fun () ->
+      parse_param2 s "rotation" (fun k budget -> Rumor_rotation { k; budget })
+      <|> fun () -> parse_param2 s "algebraic" (fun k budget -> Algebraic { k; budget }))
 
 let known_protocols =
   [
@@ -55,6 +94,9 @@ let known_protocols =
     "dtg[:L]";
     "unknown-eid";
     "unified";
+    "k-rumor[:K[:B]]";
+    "rotation[:K[:B]]";
+    "algebraic[:K[:B]]";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -64,37 +106,48 @@ type t = {
   name : string;
   contact : Csr.oriented;
   uses_rng : bool;
+  msg_words : int;
+  store : Rumor_store.t;
   on_initiate : rngs:Rng.t array -> round:int -> u:int -> deg:int -> informed:bool -> int;
-  req_pay : u:int -> informed:bool -> int;
-  on_deliver : v:int -> informed:bool -> int;
-  on_push : v:int -> pay:int -> bool;
-  on_response : u:int -> slot:int -> rtt:int -> pay:int -> bool;
+  req_pay : u:int -> informed:bool -> buf:I32.t -> off:int -> unit;
+  on_deliver : v:int -> informed:bool -> buf:I32.t -> off:int -> unit;
+  on_push : v:int -> buf:I32.t -> off:int -> bool;
+  on_response : u:int -> slot:int -> rtt:int -> buf:I32.t -> off:int -> bool;
 }
 
 let name t = t.name
 
 let contact t = t.contact
 
+let store t = t.store
+
+let completed t v = Rumor_store.completed t.store v
+
+let completed_count t = Rumor_store.count t.store
+
 (* The engine-generic halves of the classic exchange: responses carry
-   the responder's round-start informed bit, a payload bit of 1 marks
+   the responder's round-start informed bit, a payload word of 1 marks
    the receiver (request side in phase 1b, response side in phase 1c).
+   Payload words arrive zeroed, so emitters only write the 1 case.
    Kept as shared closures so kernels that want the default pay exactly
    the same indirect call. *)
-let req_informed ~u:_ ~informed = if informed then 1 else 0
+let req_informed ~u:_ ~informed ~buf ~off = if informed then I32.set buf off 1
 
-let req_always ~u:_ ~informed:_ = 1
+let req_always ~u:_ ~informed:_ ~buf ~off = I32.set buf off 1
 
-let deliver_informed ~v:_ ~informed = if informed then 1 else 0
+let deliver_informed ~v:_ ~informed ~buf ~off = if informed then I32.set buf off 1
 
-let push_if_pay ~v:_ ~pay = pay = 1
+let push_if_pay ~v:_ ~buf ~off = I32.get buf off = 1
 
-let mark_if_pay ~u:_ ~slot:_ ~rtt:_ ~pay = pay = 1
+let mark_if_pay ~u:_ ~slot:_ ~rtt:_ ~buf ~off = I32.get buf off = 1
 
 let push_pull csr =
   {
     name = "push-pull";
     contact = Csr.oriented_of_csr csr;
     uses_rng = true;
+    msg_words = 1;
+    store = Rumor_store.create (Csr.n csr);
     on_initiate =
       (fun ~rngs ~round:_ ~u ~deg ~informed:_ -> if deg = 0 then -1 else Rng.int rngs.(u) deg);
     req_pay = req_informed;
@@ -109,6 +162,8 @@ let flood csr =
     name = "flood";
     contact = Csr.oriented_of_csr csr;
     uses_rng = false;
+    msg_words = 1;
+    store = Rumor_store.create (Csr.n csr);
     on_initiate =
       (fun ~rngs:_ ~round:_ ~u ~deg ~informed ->
         if deg = 0 || not informed then -1
@@ -128,6 +183,8 @@ let random_contact csr =
     name = "random-contact";
     contact = Csr.oriented_of_csr csr;
     uses_rng = true;
+    msg_words = 1;
+    store = Rumor_store.create (Csr.n csr);
     on_initiate =
       (fun ~rngs ~round:_ ~u ~deg ~informed ->
         if deg = 0 || not informed then -1 else Rng.int rngs.(u) deg);
@@ -152,6 +209,8 @@ let rr_broadcast ?iterations ~k oriented =
     name = "rr-spanner";
     contact = usable;
     uses_rng = false;
+    msg_words = 1;
+    store = Rumor_store.create (Csr.oriented_n usable);
     on_initiate =
       (fun ~rngs:_ ~round ~u ~deg ~informed:_ ->
         if round >= iterations || deg = 0 then -1
@@ -174,6 +233,8 @@ let dtg_local ~ell csr =
     name = "dtg";
     contact;
     uses_rng = false;
+    msg_words = 1;
+    store = Rumor_store.create (Csr.n csr);
     on_initiate =
       (fun ~rngs:_ ~round:_ ~u ~deg ~informed ->
         if deg = 0 || not informed then -1
@@ -186,6 +247,318 @@ let dtg_local ~ell csr =
     on_deliver = deliver_informed;
     on_push = push_if_pay;
     on_response = mark_if_pay;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The k-rumor family (ROADMAP item 2): k rumors seeded one per node
+   (all-to-all when k = n), per-node rumor state owned by the kernel,
+   completion = "holds all k".  Two subset kernels share the flat
+   rumor-set state below; the GF(2) network-coding kernel follows.
+
+   Emission (req_pay / on_deliver) reads only round-start-stable state:
+   the held-rumor bits of the emitting node (no absorb into it happens
+   before its 1a/phase-2 hooks in either runtime) plus a selector
+   cursor advanced only in on_initiate.  Absorption (on_push /
+   on_response) is an idempotent monotone OR into the receiving node's
+   own bits, so drain order cannot change end-of-round state — the
+   shard-parity discipline the classic informed bytes follow. *)
+
+type rumor_set = { rs_k : int; rs_bpr : int; rs_has : Bytes.t; rs_cnt : int array }
+
+let rs_make ~k n =
+  let bpr = (k + 7) / 8 in
+  { rs_k = k; rs_bpr = bpr; rs_has = Bytes.make (n * bpr) '\000'; rs_cnt = Array.make n 0 }
+
+let rs_holds rs v r =
+  Char.code (Bytes.unsafe_get rs.rs_has ((v * rs.rs_bpr) + (r lsr 3))) land (1 lsl (r land 7))
+  <> 0
+
+let rs_learn rs v r =
+  let i = (v * rs.rs_bpr) + (r lsr 3) in
+  let b = Char.code (Bytes.unsafe_get rs.rs_has i) in
+  let m = 1 lsl (r land 7) in
+  if b land m = 0 then begin
+    Bytes.unsafe_set rs.rs_has i (Char.unsafe_chr (b lor m));
+    rs.rs_cnt.(v) <- rs.rs_cnt.(v) + 1
+  end
+
+(* Churn amnesia: a rejoining node keeps only its own rumor. *)
+let rs_reset rs v =
+  Bytes.fill rs.rs_has (v * rs.rs_bpr) rs.rs_bpr '\000';
+  rs.rs_cnt.(v) <- 0;
+  if v < rs.rs_k then rs_learn rs v v
+
+let rs_absorb rs ~budget v buf off =
+  for w = 0 to budget - 1 do
+    let word = I32.get buf (off + w) in
+    if word > 0 then rs_learn rs v (word - 1)
+  done;
+  rs.rs_cnt.(v) = rs.rs_k
+
+(* Seed rumor j at node j and build the kernel-owned store around the
+   "holds all k" completion predicate. *)
+let rs_seeded_store rs n =
+  let store =
+    Rumor_store.create n
+      ~on_seed:(fun v -> rs.rs_cnt.(v) = rs.rs_k)
+      ~on_forget:(fun v -> rs_reset rs v)
+  in
+  for j = 0 to rs.rs_k - 1 do
+    rs_learn rs j j;
+    if rs.rs_cnt.(j) = rs.rs_k then Rumor_store.mark store j
+  done;
+  store
+
+let check_rumor_args ~fn ~k ~budget n =
+  if k < 1 || k > n then
+    invalid_arg (Printf.sprintf "Kernel.%s: need 1 <= k <= n (k = %d, n = %d)" fn k n);
+  if budget < 1 then invalid_arg (Printf.sprintf "Kernel.%s: need budget >= 1" fn)
+
+type rumor = { rum_kernel : t; rum_holds : v:int -> r:int -> bool; rum_count : v:int -> int }
+
+let k_rumor_push_pull ~k ~budget csr =
+  let n = Csr.n csr in
+  check_rumor_args ~fn:"k_rumor_push_pull" ~k ~budget n;
+  let rs = rs_make ~k n in
+  let store = rs_seeded_store rs n in
+  (* sel.(u) is the cyclic scan start for u's next emissions, redrawn
+     every round in on_initiate — a random rumor subset within budget,
+     stable across the round for both the request and response sides. *)
+  let sel = Array.make n 0 in
+  let emit u buf off =
+    let w = ref 0 and p = ref sel.(u) and scanned = ref 0 in
+    while !w < budget && !scanned < k do
+      if rs_holds rs u !p then begin
+        I32.set buf (off + !w) (!p + 1);
+        incr w
+      end;
+      p := if !p + 1 = k then 0 else !p + 1;
+      incr scanned
+    done
+  in
+  let absorb v buf off = rs_absorb rs ~budget v buf off in
+  let rum_kernel =
+    {
+      name = "k-rumor";
+      contact = Csr.oriented_of_csr csr;
+      uses_rng = true;
+      msg_words = budget;
+      store;
+      on_initiate =
+        (fun ~rngs ~round:_ ~u ~deg ~informed:_ ->
+          let i = if deg = 0 then -1 else Rng.int rngs.(u) deg in
+          sel.(u) <- Rng.int rngs.(u) k;
+          i);
+      req_pay = (fun ~u ~informed:_ ~buf ~off -> emit u buf off);
+      on_deliver = (fun ~v ~informed:_ ~buf ~off -> emit v buf off);
+      on_push = (fun ~v ~buf ~off -> absorb v buf off);
+      on_response = (fun ~u ~slot:_ ~rtt:_ ~buf ~off -> absorb u buf off);
+    }
+  in
+  {
+    rum_kernel;
+    rum_holds = (fun ~v ~r -> rs_holds rs v r);
+    rum_count = (fun ~v -> rs.rs_cnt.(v));
+  }
+
+let rumor_rotation ~k ~budget csr =
+  let n = Csr.n csr in
+  check_rumor_args ~fn:"rumor_rotation" ~k ~budget n;
+  let rs = rs_make ~k n in
+  let store = rs_seeded_store rs n in
+  (* Dufoulon-style rotation: the emission window slides by budget
+     positions per round, so every held rumor is on the wire within
+     ceil(k/budget) rounds.  The window schedule is deterministic but
+     the contact is a uniform random neighbor — a deterministic
+     neighbor cursor would alias with the rotation period (both cycles
+     advance once per round), freezing each rumor onto the fixed
+     neighbor subset {c + t*gcd(ceil(k/budget), deg)} and disconnecting
+     the per-rumor contact graph whenever the gcd exceeds 1. *)
+  let pos = Array.make n 0 in
+  let window = min budget k in
+  let emit u buf off =
+    let w = ref 0 in
+    for j = 0 to window - 1 do
+      let p = (pos.(u) + j) mod k in
+      if rs_holds rs u p then begin
+        I32.set buf (off + !w) (p + 1);
+        incr w
+      end
+    done
+  in
+  let absorb v buf off = rs_absorb rs ~budget v buf off in
+  let rum_kernel =
+    {
+      name = "rotation";
+      contact = Csr.oriented_of_csr csr;
+      uses_rng = true;
+      msg_words = budget;
+      store;
+      on_initiate =
+        (fun ~rngs ~round:_ ~u ~deg ~informed:_ ->
+          pos.(u) <- (pos.(u) + budget) mod k;
+          if deg = 0 then -1 else Rng.int rngs.(u) deg);
+      req_pay = (fun ~u ~informed:_ ~buf ~off -> emit u buf off);
+      on_deliver = (fun ~v ~informed:_ ~buf ~off -> emit v buf off);
+      on_push = (fun ~v ~buf ~off -> absorb v buf off);
+      on_response = (fun ~u ~slot:_ ~rtt:_ ~buf ~off -> absorb u buf off);
+    }
+  in
+  {
+    rum_kernel;
+    rum_holds = (fun ~v ~r -> rs_holds rs v r);
+    rum_count = (fun ~v -> rs.rs_cnt.(v));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic gossip (Avin et al.): messages are uniform random GF(2)
+   linear combinations of the sender's decoded span, packed 30
+   coefficient bits per int32 payload word; each node keeps its basis
+   in canonical reduced row echelon form (pivot = lowest set bit, full
+   back-substitution), and completion is rank k.  Canonical RREF is
+   what makes absorption order-independent — any insertion order over
+   the same received vectors yields the same basis, rank, and rows —
+   so the kernel satisfies the shard-parity discipline even though an
+   absorb is much more than a monotone OR.  The incoming vector is
+   reduced in place in the message buffer: the engine retires those
+   payload words right after the hook, and mutating them avoids any
+   per-delivery scratch allocation (the round loop stays inside
+   minor_words_budget). *)
+
+let coeff_bits = 30
+
+type algebraic = { alg_kernel : t; alg_rank : v:int -> int; alg_rows : v:int -> int array array }
+
+let algebraic ~k ~budget csr =
+  let n = Csr.n csr in
+  let cw = (k + coeff_bits - 1) / coeff_bits in
+  check_rumor_args ~fn:"algebraic" ~k ~budget:(max budget 1) n;
+  if budget < cw then
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.algebraic: budget %d words cannot carry k = %d coefficients (need >= %d \
+          words at %d bits per word)"
+         budget k cw coeff_bits);
+  let basis = Array.make (n * k * cw) 0 in
+  let present = Bytes.make (n * k) '\000' in
+  let rank = Array.make n 0 in
+  let coins = Array.make (n * cw) 0 in
+  let row_base v p = ((v * k) + p) * cw in
+  let has_row v p = Bytes.unsafe_get present ((v * k) + p) <> '\000' in
+  (* Only ever called on an empty basis (construction / post-amnesia),
+     where the unit vector is trivially canonical. *)
+  let insert_unit v p =
+    basis.(row_base v p + (p / coeff_bits)) <- 1 lsl (p mod coeff_bits);
+    Bytes.set present ((v * k) + p) '\001';
+    rank.(v) <- rank.(v) + 1
+  in
+  let reset v =
+    Bytes.fill present (v * k) k '\000';
+    Array.fill basis (v * k * cw) (k * cw) 0;
+    rank.(v) <- 0;
+    if v < k then insert_unit v v
+  in
+  let store = Rumor_store.create n ~on_seed:(fun v -> rank.(v) = k) ~on_forget:reset in
+  for j = 0 to k - 1 do
+    insert_unit j j;
+    if rank.(j) = k then Rumor_store.mark store j
+  done;
+  let emit v buf off =
+    for p = 0 to k - 1 do
+      if
+        has_row v p
+        && coins.((v * cw) + (p / coeff_bits)) land (1 lsl (p mod coeff_bits)) <> 0
+      then begin
+        let b = row_base v p in
+        for w = 0 to cw - 1 do
+          I32.set buf (off + w) (I32.get buf (off + w) lxor basis.(b + w))
+        done
+      end
+    done
+  in
+  let absorb v buf off =
+    (* forward-reduce against the present pivots, ascending — a row
+       XOR only sets bits above its pivot, so one pass suffices *)
+    for p = 0 to k - 1 do
+      if
+        I32.get buf (off + (p / coeff_bits)) land (1 lsl (p mod coeff_bits)) <> 0
+        && has_row v p
+      then begin
+        let b = row_base v p in
+        for w = 0 to cw - 1 do
+          I32.set buf (off + w) (I32.get buf (off + w) lxor basis.(b + w))
+        done
+      end
+    done;
+    (* lowest surviving bit is the new pivot; zero vector = redundant *)
+    let piv = ref (-1) in
+    (try
+       for w = 0 to cw - 1 do
+         let x = I32.get buf (off + w) in
+         if x <> 0 then begin
+           let b = ref 0 in
+           while x land (1 lsl !b) = 0 do
+             incr b
+           done;
+           piv := (w * coeff_bits) + !b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv >= 0 then begin
+      let p = !piv in
+      (* back-substitute the new pivot out of the existing rows, then
+         install — keeps the basis canonical *)
+      for q = 0 to k - 1 do
+        if
+          has_row v q
+          && basis.(row_base v q + (p / coeff_bits)) land (1 lsl (p mod coeff_bits)) <> 0
+        then begin
+          let bq = row_base v q in
+          for w = 0 to cw - 1 do
+            basis.(bq + w) <- basis.(bq + w) lxor I32.get buf (off + w)
+          done
+        end
+      done;
+      let bp = row_base v p in
+      for w = 0 to cw - 1 do
+        basis.(bp + w) <- I32.get buf (off + w)
+      done;
+      Bytes.set present ((v * k) + p) '\001';
+      rank.(v) <- rank.(v) + 1
+    end;
+    rank.(v) = k
+  in
+  let alg_kernel =
+    {
+      name = "algebraic";
+      contact = Csr.oriented_of_csr csr;
+      uses_rng = true;
+      msg_words = budget;
+      store;
+      on_initiate =
+        (fun ~rngs ~round:_ ~u ~deg ~informed:_ ->
+          let i = if deg = 0 then -1 else Rng.int rngs.(u) deg in
+          for w = 0 to cw - 1 do
+            coins.((u * cw) + w) <- Rng.int rngs.(u) (1 lsl coeff_bits)
+          done;
+          i);
+      req_pay = (fun ~u ~informed:_ ~buf ~off -> emit u buf off);
+      on_deliver = (fun ~v ~informed:_ ~buf ~off -> emit v buf off);
+      on_push = (fun ~v ~buf ~off -> absorb v buf off);
+      on_response = (fun ~u ~slot:_ ~rtt:_ ~buf ~off -> absorb u buf off);
+    }
+  in
+  {
+    alg_kernel;
+    alg_rank = (fun ~v -> rank.(v));
+    alg_rows =
+      (fun ~v ->
+        let rows = ref [] in
+        for p = k - 1 downto 0 do
+          if has_row v p then rows := Array.init cw (fun w -> basis.(row_base v p + w)) :: !rows
+        done;
+        Array.of_list !rows);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -214,6 +587,8 @@ let discovery ~d_bound csr =
       name = "discovery";
       contact;
       uses_rng = false;
+      msg_words = 1;
+      store = Rumor_store.create n;
       on_initiate =
         (fun ~rngs:_ ~round:_ ~u ~deg ~informed:_ ->
           if cursor.(u) >= deg then -1
@@ -222,11 +597,11 @@ let discovery ~d_bound csr =
             cursor.(u) <- i + 1;
             i
           end);
-      req_pay = (fun ~u:_ ~informed:_ -> 0);
-      on_deliver = (fun ~v:_ ~informed:_ -> 0);
-      on_push = (fun ~v:_ ~pay:_ -> false);
+      req_pay = (fun ~u:_ ~informed:_ ~buf:_ ~off:_ -> ());
+      on_deliver = (fun ~v:_ ~informed:_ ~buf:_ ~off:_ -> ());
+      on_push = (fun ~v:_ ~buf:_ ~off:_ -> false);
       on_response =
-        (fun ~u ~slot ~rtt ~pay:_ ->
+        (fun ~u ~slot ~rtt ~buf:_ ~off:_ ->
           if rtt <= d_bound then disc_lat.(I32.get row_ptr u + slot) <- rtt;
           false);
     }
@@ -288,16 +663,19 @@ let termination_check ~iterations ~informed oriented =
       name = "check";
       contact = oriented;
       uses_rng = false;
+      msg_words = 1;
+      store = Rumor_store.create n;
       on_initiate = rr_cursor ~iterations n;
-      req_pay = (fun ~u ~informed:_ -> check_emit frozen flag mismatch u);
-      on_deliver = (fun ~v ~informed:_ -> check_emit frozen flag mismatch v);
+      req_pay = (fun ~u ~informed:_ ~buf ~off -> I32.set buf off (check_emit frozen flag mismatch u));
+      on_deliver =
+        (fun ~v ~informed:_ ~buf ~off -> I32.set buf off (check_emit frozen flag mismatch v));
       on_push =
-        (fun ~v ~pay ->
-          check_absorb frozen flag mismatch v pay;
+        (fun ~v ~buf ~off ->
+          check_absorb frozen flag mismatch v (I32.get buf off);
           false);
       on_response =
-        (fun ~u ~slot:_ ~rtt:_ ~pay ->
-          check_absorb frozen flag mismatch u pay;
+        (fun ~u ~slot:_ ~rtt:_ ~buf ~off ->
+          check_absorb frozen flag mismatch u (I32.get buf off);
           false);
     }
   in
@@ -313,24 +691,45 @@ let verdict_flood ~iterations ~failed oriented =
     name = "check";
     contact = oriented;
     uses_rng = false;
+    msg_words = 1;
+    store = Rumor_store.create n;
     on_initiate = rr_cursor ~iterations n;
-    req_pay = (fun ~u ~informed:_ -> if Bytes.get failed u <> '\000' then 1 else 0);
-    on_deliver = (fun ~v ~informed:_ -> if Bytes.get failed v <> '\000' then 1 else 0);
+    req_pay = (fun ~u ~informed:_ ~buf ~off -> if Bytes.get failed u <> '\000' then I32.set buf off 1);
+    on_deliver =
+      (fun ~v ~informed:_ ~buf ~off -> if Bytes.get failed v <> '\000' then I32.set buf off 1);
     on_push =
-      (fun ~v ~pay ->
-        absorb v pay;
+      (fun ~v ~buf ~off ->
+        absorb v (I32.get buf off);
         false);
     on_response =
-      (fun ~u ~slot:_ ~rtt:_ ~pay ->
-        absorb u pay;
+      (fun ~u ~slot:_ ~rtt:_ ~buf ~off ->
+        absorb u (I32.get buf off);
         false);
   }
+
+(* Auto parameters for the k-rumor family: a modest rumor count that
+   still exercises multi-word budgets, and a 4-word subset budget
+   (algebraic packs 30 coefficients per word, so its auto budget is
+   the minimum that fits k). *)
+let auto_rumor_k n = min n 16
 
 let of_protocol csr = function
   | Push_pull -> push_pull csr
   | Flood -> flood csr
   | Random_contact -> random_contact csr
   | Dtg_local { ell } -> dtg_local ~ell:(if ell = 0 then Csr.max_latency csr else ell) csr
+  | K_rumor { k; budget } ->
+      let k = if k = 0 then auto_rumor_k (Csr.n csr) else k in
+      let budget = if budget = 0 then 4 else budget in
+      (k_rumor_push_pull ~k ~budget csr).rum_kernel
+  | Rumor_rotation { k; budget } ->
+      let k = if k = 0 then auto_rumor_k (Csr.n csr) else k in
+      let budget = if budget = 0 then 4 else budget in
+      (rumor_rotation ~k ~budget csr).rum_kernel
+  | Algebraic { k; budget } ->
+      let k = if k = 0 then auto_rumor_k (Csr.n csr) else k in
+      let budget = if budget = 0 then (k + coeff_bits - 1) / coeff_bits else budget in
+      (algebraic ~k ~budget csr).alg_kernel
   | Rr_spanner _ ->
       invalid_arg
         "Kernel.of_protocol: rr-spanner needs a precomputed oriented spanner — build one \

@@ -9,6 +9,9 @@ type protocol = Kernel.protocol =
   | Dtg_local of { ell : int }
   | Unknown_eid
   | Unified
+  | K_rumor of { k : int; budget : int }
+  | Rumor_rotation of { k : int; budget : int }
+  | Algebraic of { k : int; budget : int }
 
 let protocol_name = Kernel.protocol_name
 
@@ -127,9 +130,10 @@ let gauge_of_minor_words ~total ~rounds =
   int_of_float (Float.round (total /. float_of_int rounds))
 
 (* Telemetry handles, resolved once at creation (see Engine.tel).  The
-   two kernel-tagged counters carry the kernel name in the metric name
+   kernel-tagged counters carry the kernel name in the metric name
    itself, so a JSONL report shows which kernel produced the run's
-   traffic. *)
+   traffic — and, since the rumor-state layer, how many payload words
+   it put on the wire against its declared per-message bit budget. *)
 type tel = {
   tel_ring : Gossip_obs.Ring.t option;
   h_deliveries : Gossip_obs.Registry.histogram;
@@ -139,6 +143,7 @@ type tel = {
   g_minor_words : Gossip_obs.Registry.gauge;
   c_kernel_deliveries : Gossip_obs.Registry.counter;
   c_kernel_initiations : Gossip_obs.Registry.counter;
+  c_kernel_words : Gossip_obs.Registry.counter;
 }
 
 (* In-flight exchanges are pooled in parallel int32 columns (a
@@ -154,15 +159,15 @@ type t = {
   kernel : Kernel.t;  (* protocol hooks + directed contact rows *)
   env : env;
   wheel : int;  (* slot count = wheel latency bound + 1 *)
-  informed : Bytes.t;
-  mutable count : int;
+  store : Rumor_store.t;  (* the kernel's completion state (one byte per node) *)
+  mw : int;  (* kernel msg_words: payload words per message *)
   rngs : Rng.t array;  (* per-node streams; empty for rng-free kernels *)
   arrival_head : int array;  (* wheel slot -> exchange list *)
   response_head : int array;
   mutable ex_initiator : I32.t;
   mutable ex_responder : I32.t;
-  mutable ex_req_pay : I32.t;  (* rumor bit carried by the request *)
-  mutable ex_resp_pay : I32.t;  (* rumor bit carried by the response *)
+  mutable ex_req_pay : I32.t;  (* mw request words per exchange, at ex * mw *)
+  mutable ex_resp_pay : I32.t;  (* mw response words per exchange, at ex * mw *)
   mutable ex_due : I32.t;  (* absolute response-due round *)
   mutable ex_init : I32.t;  (* initiation round, for presence-interval checks *)
   mutable ex_slot : I32.t;  (* contact-row slot [on_initiate] picked *)
@@ -212,9 +217,15 @@ let pool_limit_of = function
 let make_rngs ~uses_rng rng n =
   if uses_rng then Array.init n (fun _ -> Rng.split rng) else [||]
 
-let resolve_tel ~kernel_name telemetry =
+let resolve_tel ~kernel_name ~msg_words telemetry =
   Option.map
     (fun reg ->
+      (* The bit budget is declared state, not traffic: a gauge set
+         once at resolution (32 payload bits per int32 word). *)
+      Gossip_obs.Registry.set
+        (Gossip_obs.Registry.gauge reg
+           (Printf.sprintf "wheel.kernel.%s.bits_budget" kernel_name))
+        (32 * msg_words);
       {
         tel_ring = Gossip_obs.Registry.ring reg;
         h_deliveries = Gossip_obs.Registry.histogram reg "wheel.round.deliveries";
@@ -228,6 +239,9 @@ let resolve_tel ~kernel_name telemetry =
         c_kernel_initiations =
           Gossip_obs.Registry.counter reg
             (Printf.sprintf "wheel.kernel.%s.initiations" kernel_name);
+        c_kernel_words =
+          Gossip_obs.Registry.counter reg
+            (Printf.sprintf "wheel.kernel.%s.words_on_wire" kernel_name);
       })
     telemetry
 
@@ -249,25 +263,37 @@ let check_contact ~bound ~max_jitter kernel csr =
          (Csr.oriented_max_latency contact)
          (bound - max_jitter) (Csr.max_latency csr) max_jitter)
 
-(* An initial informed set (EID chains phases by handing one kernel's
-   informed bytes to the next); bytes are normalized and copied, never
-   shared with the caller. *)
-let init_informed ?informed ~n ~source () =
-  let b = Bytes.make n '\000' in
+(* Kernel-side validation shared by both runtimes: the store must
+   cover the graph, and the declared payload budget must be positive
+   and fit a mailbox reservation (the int32-safe ceiling — a kernel
+   whose per-message word count could not even be reserved in a
+   cross-shard column raises the same typed overflow the reservation
+   itself would). *)
+let check_kernel_shape ~n kernel =
+  if Rumor_store.capacity kernel.Kernel.store <> n then
+    invalid_arg "Wheel_engine.create: kernel store capacity differs from the node count";
+  let mw = kernel.Kernel.msg_words in
+  if mw < 1 then invalid_arg "Wheel_engine.create: kernel msg_words must be >= 1";
+  if mw > Shard.Buf.max_capacity then
+    raise (Shard.Buf_overflow { need = mw; limit = Shard.Buf.max_capacity });
+  mw
+
+(* Seed the kernel's store: an optional initial informed set (EID
+   chains phases by handing one kernel's result bytes to the next —
+   the bytes are read, never shared) plus the broadcast source.  For
+   classic kernels seeding marks (single-rumor semantics); multi-rumor
+   kernels seed their rumor state at construction and their on_seed
+   hook decides whether a node is already completed. *)
+let seed_store ?informed ~n ~source store =
   (match informed with
   | None -> ()
   | Some src ->
       if Bytes.length src <> n then
         invalid_arg "Wheel_engine.create: ?informed length differs from the node count";
       for v = 0 to n - 1 do
-        if Bytes.get src v <> '\000' then Bytes.set b v '\001'
+        if Bytes.get src v <> '\000' then Rumor_store.seed store v
       done);
-  Bytes.set b source '\001';
-  let count = ref 0 in
-  for v = 0 to n - 1 do
-    if Bytes.get b v <> '\000' then incr count
-  done;
-  (b, !count)
+  Rumor_store.seed store source
 
 let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?telemetry
     ?pool_capacity ?informed rng csr ~kernel ~source =
@@ -275,8 +301,10 @@ let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?t
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
   check_contact ~bound ~max_jitter kernel csr;
+  let mw = check_kernel_shape ~n kernel in
   let pool_limit = pool_limit_of pool_capacity in
-  let informed, count = init_informed ?informed ~n ~source () in
+  let store = kernel.Kernel.store in
+  seed_store ?informed ~n ~source store;
   let rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n in
   let cap = min (max 1024 n) pool_limit in
   {
@@ -284,15 +312,15 @@ let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?t
     kernel;
     env = resolve_env ?env faults;
     wheel = bound + 1;
-    informed;
-    count;
+    store;
+    mw;
     rngs;
     arrival_head = Array.make (bound + 1) (-1);
     response_head = Array.make (bound + 1) (-1);
     ex_initiator = I32.make cap 0;
     ex_responder = I32.make cap 0;
-    ex_req_pay = I32.make cap 0;
-    ex_resp_pay = I32.make cap 0;
+    ex_req_pay = I32.make (cap * mw) 0;
+    ex_resp_pay = I32.make (cap * mw) 0;
     ex_due = I32.make cap 0;
     ex_init = I32.make cap 0;
     ex_slot = I32.make cap 0;
@@ -303,7 +331,7 @@ let create_kernel ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0) ?t
     pool_limit;
     metrics =
       { rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0; dropped = 0 };
-    tel = resolve_tel ~kernel_name:kernel.Kernel.name telemetry;
+    tel = resolve_tel ~kernel_name:kernel.Kernel.name ~msg_words:mw telemetry;
     now = 0;
   }
 
@@ -320,23 +348,19 @@ let current_round t = t.now
 
 let metrics t = t.metrics
 
-let informed t u = Bytes.get t.informed u <> '\000'
+(* "Informed" in the engine's vocabulary now means "completed the
+   kernel's dissemination goal" — the store's byte, which for classic
+   kernels is exactly the old informed bit. *)
+let informed t u = Rumor_store.completed t.store u
 
-let informed_count t = t.count
+let informed_count t = Rumor_store.count t.store
 
-let mark t v =
-  if Bytes.get t.informed v = '\000' then begin
-    Bytes.set t.informed v '\001';
-    t.count <- t.count + 1
-  end
+let mark t v = Rumor_store.mark t.store v
 
-(* A rejoining node comes back with amnesia: its informed bit (if any)
-   is cleared, so it must hear the rumor again in its new incarnation. *)
-let unmark t v =
-  if Bytes.get t.informed v <> '\000' then begin
-    Bytes.set t.informed v '\000';
-    t.count <- t.count - 1
-  end
+(* A rejoining node comes back with amnesia: the kernel's forget hook
+   resets its rumor state and its completed bit (if any) is cleared,
+   so it must reach the goal again in its new incarnation. *)
+let unmark t v = Rumor_store.forget t.store v
 
 let grow t =
   let old = I32.length t.ex_next in
@@ -345,19 +369,19 @@ let grow t =
      typed exception (with a registered printer) lets [Sweep.run_ft]
      checkpoint the job as [Failed] with a useful message. *)
   if cap = old then raise (Pool_exhausted { used = t.pool_used; round = t.now });
-  let extend a =
-    let b = I32.make cap 0 in
-    I32.blit ~src:a ~dst:b old;
+  let extend w a =
+    let b = I32.make (cap * w) 0 in
+    I32.blit ~src:a ~dst:b (old * w);
     b
   in
-  t.ex_initiator <- extend t.ex_initiator;
-  t.ex_responder <- extend t.ex_responder;
-  t.ex_req_pay <- extend t.ex_req_pay;
-  t.ex_resp_pay <- extend t.ex_resp_pay;
-  t.ex_due <- extend t.ex_due;
-  t.ex_init <- extend t.ex_init;
-  t.ex_slot <- extend t.ex_slot;
-  t.ex_next <- extend t.ex_next
+  t.ex_initiator <- extend 1 t.ex_initiator;
+  t.ex_responder <- extend 1 t.ex_responder;
+  t.ex_req_pay <- extend t.mw t.ex_req_pay;
+  t.ex_resp_pay <- extend t.mw t.ex_resp_pay;
+  t.ex_due <- extend 1 t.ex_due;
+  t.ex_init <- extend 1 t.ex_init;
+  t.ex_slot <- extend 1 t.ex_slot;
+  t.ex_next <- extend 1 t.ex_next
 
 let alloc t =
   t.in_flight <- t.in_flight + 1;
@@ -392,12 +416,14 @@ let step t =
     raise (I32.Overflow { what = "exchange due round"; value = round + t.wheel });
   let d0 = t.metrics.Engine.deliveries
   and i0 = t.metrics.Engine.initiations
-  and x0 = t.metrics.Engine.dropped in
+  and x0 = t.metrics.Engine.dropped
+  and p0 = t.metrics.Engine.payload_words in
   let slot = round mod t.wheel in
   (* Phase 0: churned nodes scheduled to rejoin this round come back
-     with amnesia — their informed bit is cleared before any of this
-     round's deliveries, so stale in-flight traffic (already doomed by
-     the presence-interval checks below) cannot re-inform them and the
+     with amnesia — the kernel's forget hook resets their rumor state
+     and the completed bit is cleared before any of this round's
+     deliveries, so stale in-flight traffic (already doomed by the
+     presence-interval checks below) cannot re-complete them and the
      informed count stays an honest census of current incarnations. *)
   if t.env.env_has_churn then begin
     let n = Csr.n t.csr in
@@ -417,8 +443,8 @@ let step t =
     let ex = !e in
     let responder = I32.get t.ex_responder ex in
     if t.env.env_present_since ~node:responder ~since:(I32.get t.ex_init ex) ~round then
-      I32.set t.ex_resp_pay ex
-        (t.kernel.Kernel.on_deliver ~v:responder ~informed:(informed t responder));
+      t.kernel.Kernel.on_deliver ~v:responder ~informed:(informed t responder)
+        ~buf:t.ex_resp_pay ~off:(ex * t.mw);
     e := I32.get t.ex_next ex
   done;
   (* Phase 1b: merge the pushed rumor bits and park each surviving
@@ -432,8 +458,8 @@ let step t =
     let responder = I32.get t.ex_responder ex in
     if t.env.env_present_since ~node:responder ~since:(I32.get t.ex_init ex) ~round then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
-      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
-      if t.kernel.Kernel.on_push ~v:responder ~pay:(I32.get t.ex_req_pay ex) then
+      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + t.mw;
+      if t.kernel.Kernel.on_push ~v:responder ~buf:t.ex_req_pay ~off:(ex * t.mw) then
         mark t responder;
       let due_slot = I32.get t.ex_due ex mod t.wheel in
       I32.set t.ex_next ex t.response_head.(due_slot);
@@ -455,11 +481,11 @@ let step t =
     let initiator = I32.get t.ex_initiator ex in
     if t.env.env_present_since ~node:initiator ~since:(I32.get t.ex_init ex) ~round then begin
       t.metrics.Engine.deliveries <- t.metrics.Engine.deliveries + 1;
-      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + 1;
+      t.metrics.Engine.payload_words <- t.metrics.Engine.payload_words + t.mw;
       if
         t.kernel.Kernel.on_response ~u:initiator ~slot:(I32.get t.ex_slot ex)
           ~rtt:(I32.get t.ex_due ex - I32.get t.ex_init ex)
-          ~pay:(I32.get t.ex_resp_pay ex)
+          ~buf:t.ex_resp_pay ~off:(ex * t.mw)
       then mark t initiator
     end
     else t.metrics.Engine.dropped <- t.metrics.Engine.dropped + 1;
@@ -500,12 +526,18 @@ let step t =
                run, not a harness crash: the typed exception lets a
                sweep record this job as [Failed] and keep going. *)
             raise (Jitter_overflow { latency; bound = t.wheel - 1; round });
-          let req_pay = t.kernel.Kernel.req_pay ~u ~informed:informed_u in
           let ex = alloc t in
           I32.set t.ex_initiator ex u;
           I32.set t.ex_responder ex peer;
-          I32.set t.ex_req_pay ex req_pay;
-          I32.set t.ex_resp_pay ex 0;
+          (* Payload words are zeroed before the emission hook runs —
+             the hook-contract's "words arrive zeroed" — covering pool
+             reuse after a free. *)
+          let pb = ex * t.mw in
+          for w = 0 to t.mw - 1 do
+            I32.set t.ex_req_pay (pb + w) 0;
+            I32.set t.ex_resp_pay (pb + w) 0
+          done;
+          t.kernel.Kernel.req_pay ~u ~informed:informed_u ~buf:t.ex_req_pay ~off:pb;
           I32.set t.ex_due ex (round + latency);
           I32.set t.ex_init ex round;
           I32.set t.ex_slot ex idx;
@@ -525,13 +557,14 @@ let step t =
       Gossip_obs.Registry.observe tel.h_initiations (t.metrics.Engine.initiations - i0);
       Gossip_obs.Registry.add tel.c_kernel_deliveries (t.metrics.Engine.deliveries - d0);
       Gossip_obs.Registry.add tel.c_kernel_initiations (t.metrics.Engine.initiations - i0);
+      Gossip_obs.Registry.add tel.c_kernel_words (t.metrics.Engine.payload_words - p0);
       Gossip_obs.Registry.observe tel.h_inflight t.in_flight;
       Gossip_obs.Registry.record_max tel.g_inflight t.in_flight;
       (match tel.tel_ring with
       | None -> ()
       | Some ring ->
           Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_informed
-            ~node:(-1) ~value:t.count;
+            ~node:(-1) ~value:(Rumor_store.count t.store);
           Gossip_obs.Ring.record ring ~round ~kind:Gossip_obs.Ring.kind_deliveries
             ~node:(-1)
             ~value:(t.metrics.Engine.deliveries - d0);
@@ -592,9 +625,9 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
   let n = Csr.n csr in
   let started = match deadline with None -> 0.0 | Some _ -> Unix.gettimeofday () in
   let minor0 = match t.tel with None -> 0.0 | Some _ -> Gc.minor_words () in
-  let history = hist_create 0 t.count in
+  let history = hist_create 0 (informed_count t) in
   let rec go () =
-    if t.count = n then Some t.now
+    if informed_count t = n then Some t.now
     else if t.now >= max_rounds then None
     else begin
       (* The wall-clock budget is cooperative and checked only between
@@ -611,9 +644,10 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
          it reads counts the engine already committed and can abort the
          run by raising, but can never perturb the trajectory. *)
       (match on_round with
-      | Some f -> f ~round:t.now ~informed:t.count
+      | Some f -> f ~round:t.now ~informed:(informed_count t)
       | None -> ());
-      if t.count <> hist_last_count history then hist_push history t.now t.count;
+      if informed_count t <> hist_last_count history then
+        hist_push history t.now (informed_count t);
       go ()
     end
   in
@@ -628,7 +662,12 @@ let broadcast_seq ?faults ?env ?wheel_latency ?max_jitter ?deadline ?on_round ?t
            ~total:(Gc.minor_words () -. minor0)
            ~rounds:t.metrics.Engine.rounds)
   | _ -> ());
-  { rounds; metrics = t.metrics; history = hist_to_list history; informed = t.informed }
+  {
+    rounds;
+    metrics = t.metrics;
+    history = hist_to_list history;
+    informed = Rumor_store.bytes t.store;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Domain-sharded broadcast.                                          *)
@@ -666,8 +705,9 @@ type shard = {
   s_response : int array;
   mutable s_initiator : I32.t;
   mutable s_responder : I32.t;
-  mutable s_req_pay : I32.t;
-  mutable s_resp_pay : I32.t;
+  mutable s_req_pay : I32.t;  (* mw words per exchange, at ex * mw *)
+  mutable s_resp_pay : I32.t;  (* mw words per exchange, at ex * mw *)
+  s_scratch : I32.t;  (* mw words: req_pay staging for remote initiations *)
   mutable s_due : I32.t;
   mutable s_init : I32.t;
   mutable s_slot : I32.t;
@@ -692,9 +732,11 @@ type shard = {
 }
 
 (* Cross-shard mailboxes are structure-of-arrays: one int32 column
-   ({!Shard.Buf}) per record field, all columns of one mailbox always
-   the same length.  Record [i] of a mailbox is cell [i] of each
-   column. *)
+   ({!Shard.Buf}) per record field.  Record [i] of a mailbox is cell
+   [i] of each scalar column — except the payload column, which
+   carries [msg_words] cells per record (record [i]'s words start at
+   [i * msg_words]), so multi-word kernels cross shard boundaries
+   without any per-message boxing. *)
 let init_cols = 7 (* initiator responder req_pay due arr_slot init_round slot *)
 
 let resp_cols = 5 (* initiator resp_pay due init_round slot *)
@@ -704,7 +746,8 @@ type shared = {
   sh_kernel : Kernel.t;  (* one instance, owner-only per-node state access *)
   sh_env : env;
   sh_wheel : int;
-  sh_informed : Bytes.t;  (* disjoint per-shard slices, no cross-shard access *)
+  sh_mw : int;  (* kernel msg_words: payload words per message *)
+  sh_informed : Bytes.t;  (* the store's bytes; disjoint per-shard slices *)
   sh_rngs : Rng.t array;
   sh_k : int;
   sh_pool_limit : int;
@@ -726,8 +769,9 @@ let make_shard ctx id lo hi =
     s_response = Array.make ctx.sh_wheel (-1);
     s_initiator = I32.make cap 0;
     s_responder = I32.make cap 0;
-    s_req_pay = I32.make cap 0;
-    s_resp_pay = I32.make cap 0;
+    s_req_pay = I32.make (cap * ctx.sh_mw) 0;
+    s_resp_pay = I32.make (cap * ctx.sh_mw) 0;
+    s_scratch = I32.make ctx.sh_mw 0;
     s_due = I32.make cap 0;
     s_init = I32.make cap 0;
     s_slot = I32.make cap 0;
@@ -751,19 +795,19 @@ let s_grow ctx sh round =
   let old = I32.length sh.s_next in
   let cap = min (2 * old) ctx.sh_pool_limit in
   if cap = old then raise (Pool_exhausted { used = sh.s_pool_used; round });
-  let extend a =
-    let b = I32.make cap 0 in
-    I32.blit ~src:a ~dst:b old;
+  let extend w a =
+    let b = I32.make (cap * w) 0 in
+    I32.blit ~src:a ~dst:b (old * w);
     b
   in
-  sh.s_initiator <- extend sh.s_initiator;
-  sh.s_responder <- extend sh.s_responder;
-  sh.s_req_pay <- extend sh.s_req_pay;
-  sh.s_resp_pay <- extend sh.s_resp_pay;
-  sh.s_due <- extend sh.s_due;
-  sh.s_init <- extend sh.s_init;
-  sh.s_slot <- extend sh.s_slot;
-  sh.s_next <- extend sh.s_next
+  sh.s_initiator <- extend 1 sh.s_initiator;
+  sh.s_responder <- extend 1 sh.s_responder;
+  sh.s_req_pay <- extend ctx.sh_mw sh.s_req_pay;
+  sh.s_resp_pay <- extend ctx.sh_mw sh.s_resp_pay;
+  sh.s_due <- extend 1 sh.s_due;
+  sh.s_init <- extend 1 sh.s_init;
+  sh.s_slot <- extend 1 sh.s_slot;
+  sh.s_next <- extend 1 sh.s_next
 
 let s_alloc ctx sh round =
   sh.s_in_flight <- sh.s_in_flight + 1;
@@ -796,16 +840,23 @@ let stage1 ctx sh round =
   let k = ctx.sh_k in
   let slot = round mod ctx.sh_wheel in
   (* Phase 0 (churn): rejoin-with-amnesia over this shard's own nodes,
-     mirroring the sequential engine's pre-delivery scan.  Informed
-     bytes are own-shard-only, so this is race-free and the merge's
-     count sum stays exact. *)
-  if ctx.sh_env.env_has_churn then
+     mirroring the sequential engine's pre-delivery scan.  The
+     kernel's forget hook runs for every rejoiner — a multi-rumor node
+     can hold partial state without being completed — and store bytes
+     are own-shard-only, so this is race-free and the merge's count
+     sum stays exact. *)
+  if ctx.sh_env.env_has_churn then begin
+    let st = ctx.sh_kernel.Kernel.store in
     for v = sh.s_lo to sh.s_hi - 1 do
-      if ctx.sh_env.env_rejoin ~node:v ~round && Bytes.get ctx.sh_informed v <> '\000' then begin
-        Bytes.set ctx.sh_informed v '\000';
-        sh.s_count <- sh.s_count - 1
+      if ctx.sh_env.env_rejoin ~node:v ~round then begin
+        Rumor_store.forget_state st v;
+        if Bytes.get ctx.sh_informed v <> '\000' then begin
+          Bytes.set ctx.sh_informed v '\000';
+          sh.s_count <- sh.s_count - 1
+        end
       end
-    done;
+    done
+  end;
   for src = 0 to k - 1 do
     let m = ctx.sh_init_mail.((src * k) + sh.s_id) in
     let c_initiator = m.(0)
@@ -815,13 +866,17 @@ let stage1 ctx sh round =
     and c_arr_slot = m.(4)
     and c_init_round = m.(5)
     and c_slot = m.(6) in
+    let mw = ctx.sh_mw in
     let len = Shard.Buf.length c_initiator in
     for i = 0 to len - 1 do
       let ex = s_alloc ctx sh round in
       I32.set sh.s_initiator ex (Shard.Buf.unsafe_get c_initiator i);
       I32.set sh.s_responder ex (Shard.Buf.unsafe_get c_responder i);
-      I32.set sh.s_req_pay ex (Shard.Buf.unsafe_get c_req_pay i);
-      I32.set sh.s_resp_pay ex 0;
+      let pb = ex * mw and mb = i * mw in
+      for w = 0 to mw - 1 do
+        I32.set sh.s_req_pay (pb + w) (Shard.Buf.unsafe_get c_req_pay (mb + w));
+        I32.set sh.s_resp_pay (pb + w) 0
+      done;
       I32.set sh.s_due ex (Shard.Buf.unsafe_get c_due i);
       let arr_slot = Shard.Buf.unsafe_get c_arr_slot i in
       I32.set sh.s_init ex (Shard.Buf.unsafe_get c_init_round i);
@@ -841,9 +896,9 @@ let stage1 ctx sh round =
     let responder = I32.get sh.s_responder ex in
     if ctx.sh_env.env_present_since ~node:responder ~since:(I32.get sh.s_init ex) ~round
     then
-      I32.set sh.s_resp_pay ex
-        (ctx.sh_kernel.Kernel.on_deliver ~v:responder
-           ~informed:(Bytes.get ctx.sh_informed responder <> '\000'));
+      ctx.sh_kernel.Kernel.on_deliver ~v:responder
+        ~informed:(Bytes.get ctx.sh_informed responder <> '\000')
+        ~buf:sh.s_resp_pay ~off:(ex * ctx.sh_mw);
     e := I32.get sh.s_next ex
   done;
   (* 1b: merge pushed bits; park the response at its due slot, or ship
@@ -856,9 +911,10 @@ let stage1 ctx sh round =
     let responder = I32.get sh.s_responder ex in
     if ctx.sh_env.env_present_since ~node:responder ~since:(I32.get sh.s_init ex) ~round
     then begin
+      let mw = ctx.sh_mw in
       sh.s_deliveries <- sh.s_deliveries + 1;
-      sh.s_payload <- sh.s_payload + 1;
-      if ctx.sh_kernel.Kernel.on_push ~v:responder ~pay:(I32.get sh.s_req_pay ex) then
+      sh.s_payload <- sh.s_payload + mw;
+      if ctx.sh_kernel.Kernel.on_push ~v:responder ~buf:sh.s_req_pay ~off:(ex * mw) then
         s_mark ctx sh responder;
       let initiator = I32.get sh.s_initiator ex in
       let due_slot = I32.get sh.s_due ex mod ctx.sh_wheel in
@@ -870,7 +926,10 @@ let stage1 ctx sh round =
       else begin
         let m = ctx.sh_resp_mail.((sh.s_id * k) + dst) in
         Shard.Buf.push m.(0) initiator;
-        Shard.Buf.push m.(1) (I32.get sh.s_resp_pay ex);
+        let b = Shard.Buf.reserve m.(1) mw in
+        for w = 0 to mw - 1 do
+          Shard.Buf.set m.(1) (b + w) (I32.get sh.s_resp_pay ((ex * mw) + w))
+        done;
         Shard.Buf.push m.(2) (I32.get sh.s_due ex);
         Shard.Buf.push m.(3) (I32.get sh.s_init ex);
         Shard.Buf.push m.(4) (I32.get sh.s_slot ex);
@@ -898,11 +957,15 @@ let stage2_deliver ctx sh round =
     and c_due = m.(2)
     and c_init_round = m.(3)
     and c_slot = m.(4) in
+    let mw = ctx.sh_mw in
     let len = Shard.Buf.length c_initiator in
     for i = 0 to len - 1 do
       let ex = s_alloc ctx sh round in
       I32.set sh.s_initiator ex (Shard.Buf.unsafe_get c_initiator i);
-      I32.set sh.s_resp_pay ex (Shard.Buf.unsafe_get c_resp_pay i);
+      let pb = ex * mw and mb = i * mw in
+      for w = 0 to mw - 1 do
+        I32.set sh.s_resp_pay (pb + w) (Shard.Buf.unsafe_get c_resp_pay (mb + w))
+      done;
       let due = Shard.Buf.unsafe_get c_due i in
       I32.set sh.s_due ex due;
       I32.set sh.s_init ex (Shard.Buf.unsafe_get c_init_round i);
@@ -924,11 +987,11 @@ let stage2_deliver ctx sh round =
     if ctx.sh_env.env_present_since ~node:initiator ~since:(I32.get sh.s_init ex) ~round
     then begin
       sh.s_deliveries <- sh.s_deliveries + 1;
-      sh.s_payload <- sh.s_payload + 1;
+      sh.s_payload <- sh.s_payload + ctx.sh_mw;
       if
         ctx.sh_kernel.Kernel.on_response ~u:initiator ~slot:(I32.get sh.s_slot ex)
           ~rtt:(I32.get sh.s_due ex - I32.get sh.s_init ex)
-          ~pay:(I32.get sh.s_resp_pay ex)
+          ~buf:sh.s_resp_pay ~off:(ex * ctx.sh_mw)
       then s_mark ctx sh initiator
     end
     else sh.s_dropped <- sh.s_dropped + 1;
@@ -970,7 +1033,7 @@ let stage2_initiate ctx sh round =
           in
           if latency >= ctx.sh_wheel then
             raise (Jitter_overflow { latency; bound = ctx.sh_wheel - 1; round });
-          let req_pay = ctx.sh_kernel.Kernel.req_pay ~u ~informed:informed_u in
+          let mw = ctx.sh_mw in
           let due = round + latency in
           let arr_slot = (round + ((latency + 1) / 2)) mod ctx.sh_wheel in
           let dst = Shard.owner ~n ~k peer in
@@ -978,8 +1041,12 @@ let stage2_initiate ctx sh round =
             let ex = s_alloc ctx sh round in
             I32.set sh.s_initiator ex u;
             I32.set sh.s_responder ex peer;
-            I32.set sh.s_req_pay ex req_pay;
-            I32.set sh.s_resp_pay ex 0;
+            let pb = ex * mw in
+            for w = 0 to mw - 1 do
+              I32.set sh.s_req_pay (pb + w) 0;
+              I32.set sh.s_resp_pay (pb + w) 0
+            done;
+            ctx.sh_kernel.Kernel.req_pay ~u ~informed:informed_u ~buf:sh.s_req_pay ~off:pb;
             I32.set sh.s_due ex due;
             I32.set sh.s_init ex round;
             I32.set sh.s_slot ex idx;
@@ -987,10 +1054,20 @@ let stage2_initiate ctx sh round =
             sh.s_arrival.(arr_slot) <- ex
           end
           else begin
+            (* The emission hook writes into the shard's scratch run,
+               then the words are copied into the mailbox column — the
+               hook never sees a Buf, only flat I32 words. *)
+            for w = 0 to mw - 1 do
+              I32.set sh.s_scratch w 0
+            done;
+            ctx.sh_kernel.Kernel.req_pay ~u ~informed:informed_u ~buf:sh.s_scratch ~off:0;
             let m = ctx.sh_init_mail.((sh.s_id * k) + dst) in
             Shard.Buf.push m.(0) u;
             Shard.Buf.push m.(1) peer;
-            Shard.Buf.push m.(2) req_pay;
+            let b = Shard.Buf.reserve m.(2) mw in
+            for w = 0 to mw - 1 do
+              Shard.Buf.set m.(2) (b + w) (I32.get sh.s_scratch w)
+            done;
             Shard.Buf.push m.(3) due;
             Shard.Buf.push m.(4) arr_slot;
             Shard.Buf.push m.(5) round;
@@ -1027,6 +1104,7 @@ type control = {
   mutable c_prev_d : int;
   mutable c_prev_i : int;
   mutable c_prev_x : int;
+  mutable c_prev_p : int;
 }
 
 let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter = 0)
@@ -1036,13 +1114,18 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
   if source < 0 || source >= n then invalid_arg "Wheel_engine.create: source out of range";
   let bound = wheel_bound ?wheel_latency ~max_jitter csr in
   check_contact ~bound ~max_jitter kernel csr;
-  let informed, count0 = init_informed ?informed ~n ~source () in
+  let mw = check_kernel_shape ~n kernel in
+  let store = kernel.Kernel.store in
+  seed_store ?informed ~n ~source store;
+  let informed = Rumor_store.bytes store in
+  let count0 = Rumor_store.count store in
   let ctx =
     {
       sh_csr = csr;
       sh_kernel = kernel;
       sh_env = resolve_env ?env faults;
       sh_wheel = bound + 1;
+      sh_mw = mw;
       sh_informed = informed;
       sh_rngs = make_rngs ~uses_rng:kernel.Kernel.uses_rng rng n;
       sh_k = k;
@@ -1067,7 +1150,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
     { Engine.rounds = 0; initiations = 0; deliveries = 0; payload_words = 0; rejected = 0;
       dropped = 0 }
   in
-  let tel = resolve_tel ~kernel_name:kernel.Kernel.name telemetry in
+  let tel = resolve_tel ~kernel_name:kernel.Kernel.name ~msg_words:mw telemetry in
   (match telemetry with
   | Some reg -> Gossip_obs.Registry.set (Gossip_obs.Registry.gauge reg "wheel.shards") k
   | None -> ());
@@ -1076,7 +1159,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
     { c_round = 0; c_count = count0; c_stop = false; c_rounds = None; c_fail = None;
       c_hist = hist_create 0 count0; c_worst = None; c_deliveries = 0; c_initiations = 0;
       c_dropped = 0; c_payload = 0; c_sum = 0; c_in_flight = 0; c_prev_d = 0; c_prev_i = 0;
-      c_prev_x = 0 }
+      c_prev_x = 0; c_prev_p = 0 }
   in
   (* Pre-loop checks, in the sequential engine's precedence order. *)
   if ctl.c_count = n then ctl.c_rounds <- Some 0
@@ -1146,6 +1229,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
                 (ctl.c_deliveries - ctl.c_prev_d);
               Gossip_obs.Registry.add tel.c_kernel_initiations
                 (ctl.c_initiations - ctl.c_prev_i);
+              Gossip_obs.Registry.add tel.c_kernel_words (ctl.c_payload - ctl.c_prev_p);
               Gossip_obs.Registry.observe tel.h_inflight ctl.c_in_flight;
               Gossip_obs.Registry.record_max tel.g_inflight ctl.c_in_flight;
               (match tel.tel_ring with
@@ -1167,6 +1251,7 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
           ctl.c_prev_d <- ctl.c_deliveries;
           ctl.c_prev_i <- ctl.c_initiations;
           ctl.c_prev_x <- ctl.c_dropped;
+          ctl.c_prev_p <- ctl.c_payload;
           (* The observer runs inside the serial merge — one domain at
              a time, strictly between rounds, counts already committed
              — so it is exactly as trajectory-neutral as in the
@@ -1230,6 +1315,10 @@ let broadcast_sharded ~k ?(faults = no_faults) ?env ?wheel_latency ?(max_jitter 
     | Some reg -> Array.iter (fun sh -> Gossip_obs.Registry.merge ~into:reg sh.s_reg) shards
     | None -> ())
   end;
+  (* During the run the store's count was shard-local (s_count); the
+     merged total becomes the store's count once the domains joined,
+     so Kernel.completed_count agrees with the result. *)
+  Rumor_store.set_count store ctl.c_count;
   (match ctl.c_fail with Some e -> raise e | None -> ());
   { rounds = ctl.c_rounds; metrics; history = hist_to_list ctl.c_hist; informed }
 

@@ -43,8 +43,12 @@
     shard mailboxes. *)
 
 (** The serializable protocol descriptors ({!Kernel.protocol},
-    re-exported).  All spread one rumor from a source; they differ in
-    who initiates, toward whom, and over which contact structure. *)
+    re-exported).  The classic descriptors spread one rumor from a
+    source; the rumor-state descriptors ([K_rumor], [Rumor_rotation],
+    [Algebraic]) run k-rumor all-to-all dissemination under a bounded
+    per-message word budget.  They differ in who initiates, toward
+    whom, over which contact structure, and in what a message
+    carries. *)
 type protocol = Kernel.protocol =
   | Push_pull
       (** every node contacts a uniformly random neighbor each round;
@@ -75,6 +79,23 @@ type protocol = Kernel.protocol =
       (** Theorem 20's unified algorithm: push-pull raced against the
           unknown-latency chain.  A kernel chain — run
           [Gossip_core.Dissemination.broadcast_scale]. *)
+  | K_rumor of { k : int; budget : int }
+      (** [k]-rumor all-to-all push-pull: node [j < k] starts with
+          rumor [j]; each exchange carries at most [budget] rumor ids
+          (a rotating subset of what the initiator holds); completion
+          = holding all [k].  [k = 0] means [min n 16]; [budget = 0]
+          means 4 words. *)
+  | Rumor_rotation of { k : int; budget : int }
+      (** small-message dissemination: nodes rotate a [budget]-wide
+          window deterministically over their [k]-rumor state and
+          contact a uniform random neighbor each round (Dufoulon-style
+          rumor rotation). *)
+  | Algebraic of { k : int; budget : int }
+      (** algebraic gossip (Avin et al.): messages are random GF(2)
+          linear combinations of held coded rows; completion = rank
+          [k].  [budget = 0] means exactly the [⌈k/30⌉] coefficient
+          words a combination needs; an explicit budget below that is
+          rejected. *)
 
 val protocol_name : protocol -> string
 
@@ -208,7 +229,11 @@ type t
     events.  Kernel-tagged traffic totals additionally accumulate into
     the ["wheel.kernel.<name>.deliveries"] /
     ["wheel.kernel.<name>.initiations"] counters, so a JSONL report
-    shows which kernel produced a run's traffic.  All handles are
+    shows which kernel produced a run's traffic, payload words
+    accumulate into ["wheel.kernel.<name>.words_on_wire"], and the
+    ["wheel.kernel.<name>.bits_budget"] gauge records the kernel's
+    declared per-message bit budget ([32 * msg_words]) once at
+    creation.  All handles are
     resolved at creation; a telemetry-off run pays one option match
     per round.  A full {!broadcast} run additionally sets the
     ["wheel.minor_words_per_round"] gauge — minor-heap words allocated
@@ -290,9 +315,12 @@ type result = {
       (** (round, informed-count) at every change — the informed-set
           trajectory of Theorem 12's proof *)
   informed : Bytes.t;
-      (** final informed set, one byte per node ([informed.(v) <> 0]
-          iff [v] heard the rumor) — what the sharded-parity property
-          compares beyond the trajectory *)
+      (** final completion set, one byte per node ([informed.(v) <> 0]
+          iff [v] completed — heard the rumor for single-rumor
+          kernels, holds all [k] rumors / reached rank [k] for the
+          rumor-state kernels) — what the sharded-parity property
+          compares beyond the trajectory.  This is the kernel's
+          {!Rumor_store} byte array, shared, not copied. *)
 }
 
 (** [broadcast ?faults ?wheel_latency ?max_jitter ?deadline ?domains

@@ -1,14 +1,72 @@
 #!/usr/bin/env bash
 # Regenerate the full reproduction record: build, run every test suite,
-# regenerate every experiment table (EXPERIMENTS.md's source data), and
-# run a multicore sweep over the flat-array runtime.
+# regenerate every experiment table (EXPERIMENTS.md's source data), run
+# a multicore sweep over the flat-array runtime (static, dynamic
+# scenario, and multi-rumor legs), and smoke the gossipd daemon.
+#
+# The heavyweight experiments read their scale from the environment so
+# a laptop reproduction finishes in minutes; unset them (or raise them)
+# to reproduce the paper-scale numbers:
+#
+#   E17_N   unknown-latency unified run size   (default here 4000;  full 200000)
+#   E18_N   int32/SoA scale-ceiling run size   (default here 50000; full 10^7)
+#   E19_N   k-rumor / all-to-all run size      (default here 600;   full 1504)
+#   E19_K   rumors in the k-rumor sweeps       (default here 8;     full 16)
 #
 # bash, not sh: the test and bench stages pipe through tee, and without
 # pipefail a failing left-hand command would be masked by tee's exit 0.
 set -euo pipefail
+
+: "${E17_N:=4000}"
+: "${E18_N:=50000}"
+: "${E19_N:=600}"
+: "${E19_K:=8}"
+export E17_N E18_N E19_N E19_K
+
 dune build @all
 dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Static sweep: the flat-array runtime over seeded trials, multicore.
 dune exec bin/gossip_cli.exe -- sweep --family barabasi-albert -n 100000 \
   --attach 3 --latency uniform:1-8 --trials 8 --seed 1 --out sweep.json
-echo "done: see test_output.txt, bench_output.txt, and sweep.json"
+
+# Dynamic-network leg: the same sweep under a latency-drift + random
+# churn scenario (lib/dyn), exercising the scenario compiler end to end.
+cat > scenario_drift.json <<'EOF'
+{ "name": "drift-churn",
+  "schedules": [
+    { "kind": "linear", "rate": 0.02, "cap": 3.0,
+      "filter": { "kind": "lat-ge", "latency": 4 } } ],
+  "churn": [
+    { "kind": "random", "fraction": 0.01, "leave": 30, "down": 15, "period": 8 } ] }
+EOF
+dune exec bin/gossip_cli.exe -- sweep --family ring-of-cliques -n 4096 \
+  --size 8 --bridge 8 --trials 4 --seed 1 --scenario scenario_drift.json \
+  --out sweep_scenario.json
+
+# Multi-rumor leg: all-to-all dissemination with a bounded message
+# budget through the same sweep machinery (rumor-state kernels).
+dune exec bin/gossip_cli.exe -- sweep --family ring-of-cliques -n 4096 \
+  --size 8 --bridge 8 --trials 4 --seed 1 \
+  --protocol k-rumor --rumors "$E19_K" --budget 2 --out sweep_rumor.json
+
+# Daemon smoke: serve a job over the JSONL socket protocol and read the
+# results back, then shut the daemon down cleanly.
+SOCK="$(mktemp -u /tmp/gossipd.XXXXXX.sock)"
+dune exec bin/gossip_cli.exe -- serve --socket "$SOCK" \
+  --journal gossipd_journal.jsonl &
+SRV=$!
+for _ in $(seq 1 150); do [ -S "$SOCK" ] && break; sleep 0.1; done
+dune exec bin/gossip_cli.exe -- client --socket "$SOCK" ping
+dune exec bin/gossip_cli.exe -- client --socket "$SOCK" submit \
+  --family ring-of-cliques --n 128 --size 8 --trials 3 --seed 11
+dune exec bin/gossip_cli.exe -- client --socket "$SOCK" wait job-1
+dune exec bin/gossip_cli.exe -- client --socket "$SOCK" results job-1 \
+  > daemon_results.jsonl
+dune exec bin/gossip_cli.exe -- client --socket "$SOCK" shutdown
+wait "$SRV"
+test "$(grep -c '"resp":"result"' daemon_results.jsonl)" = 3
+
+echo "done: see test_output.txt, bench_output.txt, sweep.json," \
+  "sweep_scenario.json, sweep_rumor.json, and daemon_results.jsonl"

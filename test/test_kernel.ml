@@ -55,16 +55,35 @@ let test_protocol_roundtrip () =
       Kernel.Dtg_local { ell = 5 };
       Kernel.Unknown_eid;
       Kernel.Unified;
+      Kernel.K_rumor { k = 0; budget = 0 };
+      Kernel.K_rumor { k = 8; budget = 0 };
+      Kernel.K_rumor { k = 8; budget = 3 };
+      Kernel.Rumor_rotation { k = 0; budget = 0 };
+      Kernel.Rumor_rotation { k = 5; budget = 2 };
+      Kernel.Algebraic { k = 0; budget = 0 };
+      Kernel.Algebraic { k = 16; budget = 1 };
     ];
   (* Parameterless forms mean "choose automatically". *)
   checkb "bare rr-spanner" true
     (Kernel.protocol_of_string "rr-spanner" = Some (Kernel.Rr_spanner { stretch_k = 0 }));
   checkb "bare dtg" true
     (Kernel.protocol_of_string "dtg" = Some (Kernel.Dtg_local { ell = 0 }));
+  checkb "bare k-rumor" true
+    (Kernel.protocol_of_string "k-rumor" = Some (Kernel.K_rumor { k = 0; budget = 0 }));
+  checkb "k-rumor:4" true
+    (Kernel.protocol_of_string "k-rumor:4" = Some (Kernel.K_rumor { k = 4; budget = 0 }));
+  checkb "rotation:4:2" true
+    (Kernel.protocol_of_string "rotation:4:2"
+    = Some (Kernel.Rumor_rotation { k = 4; budget = 2 }));
+  checkb "algebraic:16:1" true
+    (Kernel.protocol_of_string "algebraic:16:1" = Some (Kernel.Algebraic { k = 16; budget = 1 }));
   List.iter
     (fun s -> checkb ("\"" ^ s ^ "\" rejected") true (Kernel.protocol_of_string s = None))
-    [ "nope"; "rr-spanner:0"; "rr-spanner:x"; "dtg:-2"; "dtg:"; "" ];
-  checki "known protocols listed" 7 (List.length Kernel.known_protocols);
+    [
+      "nope"; "rr-spanner:0"; "rr-spanner:x"; "dtg:-2"; "dtg:"; ""; "k-rumor:"; "k-rumor:-1";
+      "k-rumor:2:"; "k-rumor:2:-1"; "k-rumor:2:3:4"; "rotation:x"; "algebraic:1:x";
+    ];
+  checki "known protocols listed" 10 (List.length Kernel.known_protocols);
   (* The engine and the sweep both delegate to this one parser. *)
   checkb "wheel re-export is the same table" true
     (Wheel.protocol_of_string "dtg:3" = Some (Wheel.Dtg_local { ell = 3 }));
@@ -83,6 +102,32 @@ let test_of_protocol_rr_needs_spanner () =
   match Kernel.of_protocol csr (Kernel.Rr_spanner { stretch_k = 2 }) with
   | _ -> Alcotest.fail "Rr_spanner built without a spanner"
   | exception Invalid_argument _ -> ()
+
+(* Satellite: the name <-> descriptor bijection holds over the whole
+   descriptor space, parameterized forms included — one generator
+   spanning all ten grammar productions. *)
+let protocol_gen =
+  let open QCheck.Gen in
+  let param2 mk = map2 (fun k budget -> mk k budget) (int_range 0 40) (int_range 0 6) in
+  oneof
+    [
+      return Kernel.Push_pull;
+      return Kernel.Flood;
+      return Kernel.Random_contact;
+      map (fun stretch_k -> Kernel.Rr_spanner { stretch_k }) (int_range 0 12);
+      map (fun ell -> Kernel.Dtg_local { ell }) (int_range 0 12);
+      return Kernel.Unknown_eid;
+      return Kernel.Unified;
+      param2 (fun k budget -> Kernel.K_rumor { k; budget });
+      param2 (fun k budget -> Kernel.Rumor_rotation { k; budget });
+      param2 (fun k budget -> Kernel.Algebraic { k; budget });
+    ]
+
+let prop_protocol_roundtrip =
+  QCheck.Test.make ~name:"protocol_of_string inverts protocol_name on every descriptor"
+    ~count:300
+    (QCheck.make protocol_gen ~print:Kernel.protocol_name)
+    (fun p -> Kernel.protocol_of_string (Kernel.protocol_name p) = Some p)
 
 (* ------------------------------------------------------------------ *)
 (* Oriented spanner packing *)
@@ -275,6 +320,268 @@ let test_kernel_fault_smoke () =
     [ ("rr-spanner", mk_rr); ("dtg", fun () -> Kernel.dtg_local ~ell:3 csr) ]
 
 (* ------------------------------------------------------------------ *)
+(* Rumor-state kernels: k-rumor all-to-all dissemination *)
+
+module Rumor = Gossip_core.Rumor
+module Rumor_store = Gossip_scale.Rumor_store
+module Shard = Gossip_scale.Shard
+module I32 = Gossip_scale.I32
+
+let test_rumor_all_to_all () =
+  let csr = Csr.ring_of_cliques ~cliques:4 ~size:6 ~bridge_latency:2 in
+  let n = Csr.n csr in
+  List.iter
+    (fun (label, proto, cname, mw) ->
+      let reg = Registry.create () in
+      let r =
+        Wheel.broadcast ~telemetry:reg (Rng.of_int 3) csr ~protocol:proto ~source:0
+          ~max_rounds:50_000
+      in
+      checkb (label ^ " completes") true (r.Wheel.rounds <> None);
+      checki (label ^ " everyone complete") n (count_informed r.Wheel.informed);
+      (* Per-message words accounted: the tagged counter tracks the
+         engine's payload-word total, and the budget gauge declares
+         the kernel's per-message bit ceiling. *)
+      checki (label ^ " words on wire")
+        r.Wheel.metrics.Engine.payload_words
+        (Registry.counter_value
+           (Registry.counter reg ("wheel.kernel." ^ cname ^ ".words_on_wire")));
+      checki (label ^ " bits budget") (32 * mw)
+        (Registry.gauge_value (Registry.gauge reg ("wheel.kernel." ^ cname ^ ".bits_budget")));
+      checki (label ^ " payload = words x deliveries")
+        (mw * r.Wheel.metrics.Engine.deliveries)
+        r.Wheel.metrics.Engine.payload_words)
+    [
+      ("k-rumor", Kernel.K_rumor { k = 5; budget = 2 }, "k-rumor", 2);
+      ("rotation", Kernel.Rumor_rotation { k = 5; budget = 2 }, "rotation", 2);
+      ("algebraic", Kernel.Algebraic { k = 5; budget = 0 }, "algebraic", 1);
+      ("k-rumor k=1", Kernel.K_rumor { k = 1; budget = 1 }, "k-rumor", 1);
+    ]
+
+let test_rumor_holdings_after_run () =
+  (* After a completed run every node holds every rumor — checked
+     through the kernel's own accessor, not the engine's bytes. *)
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:5 ~bridge_latency:2 in
+  let n = Csr.n csr in
+  let k = 4 in
+  let rum = Kernel.k_rumor_push_pull ~k ~budget:2 csr in
+  let r =
+    Wheel.broadcast_kernel (Rng.of_int 7) csr ~kernel:rum.Kernel.rum_kernel ~source:0
+      ~max_rounds:50_000
+  in
+  checkb "completes" true (r.Wheel.rounds <> None);
+  for v = 0 to n - 1 do
+    checki (Printf.sprintf "node %d holds all" v) k (rum.Kernel.rum_count ~v);
+    for j = 0 to k - 1 do
+      checkb (Printf.sprintf "node %d holds rumor %d" v j) true (rum.Kernel.rum_holds ~v ~r:j)
+    done
+  done
+
+let test_rumor_args_validated () =
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:1 in
+  (match Kernel.k_rumor_push_pull ~k:0 ~budget:1 csr with
+  | _ -> Alcotest.fail "k = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  (match Kernel.rumor_rotation ~k:(Csr.n csr + 1) ~budget:1 csr with
+  | _ -> Alcotest.fail "k > n accepted"
+  | exception Invalid_argument _ -> ());
+  (match Kernel.k_rumor_push_pull ~k:2 ~budget:0 csr with
+  | _ -> Alcotest.fail "budget = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* A coefficient vector for k = 40 needs two 30-bit words. *)
+  match Kernel.algebraic ~k:9 ~budget:1 (Csr.ring_of_cliques ~cliques:5 ~size:2 ~bridge_latency:1) with
+  | exception Invalid_argument _ -> Alcotest.fail "sufficient budget rejected"
+  | _ -> (
+      match
+        Kernel.algebraic ~k:40 ~budget:1
+          (Csr.ring_of_cliques ~cliques:20 ~size:2 ~bridge_latency:1)
+      with
+      | _ -> Alcotest.fail "budget below ceil(k/30) accepted"
+      | exception Invalid_argument _ -> ())
+
+(* Satellite: a kernel declaring a message width beyond what the
+   int32 mailbox columns can address must be refused up front with
+   the typed overflow, not fail deep inside a shard drain. *)
+let test_msg_words_ceiling () =
+  let csr = Csr.ring_of_cliques ~cliques:3 ~size:3 ~bridge_latency:1 in
+  let kernel = { (Kernel.push_pull csr) with Kernel.msg_words = Shard.Buf.max_capacity + 1 } in
+  match Wheel.create_kernel (Rng.of_int 0) csr ~kernel ~source:0 with
+  | _ -> Alcotest.fail "oversized msg_words accepted"
+  | exception Shard.Buf_overflow { need; limit } ->
+      checki "need is the declared width" (Shard.Buf.max_capacity + 1) need;
+      checki "limit is the mailbox ceiling" Shard.Buf.max_capacity limit
+
+(* ------------------------------------------------------------------ *)
+(* Boxed-twin parity: the flat bit-packed kernels against the
+   Bitset-based reference twins in Gossip_core.Rumor, replaying
+   identical operation sequences on both sides. *)
+
+(* Read a packed id list back out of a payload buffer: nonzero words
+   are rumor ids + 1, in emission order. *)
+let ids_of_buf buf budget =
+  let out = ref [] in
+  for w = budget - 1 downto 0 do
+    let x = I32.get buf w in
+    if x > 0 then out := (x - 1) :: !out
+  done;
+  !out
+
+let prop_rotation_twin =
+  QCheck.Test.make ~name:"rotation kernel = boxed Kset twin (operation replay)" ~count:40
+    QCheck.(quad (int_range 2 12) (int_range 1 6) (int_range 0 100_000) (int_range 10 60))
+    (fun (k, budget, seed, steps) ->
+      let n = max 6 (k + (seed mod 5)) in
+      let csr = Csr.of_graph (gen_graph n seed 4) in
+      let rum = Kernel.rumor_rotation ~k ~budget csr in
+      let kern = rum.Kernel.rum_kernel in
+      let twin = Rumor.Kset.create ~n ~k in
+      let pos = Array.make n 0 in
+      (* Mirrored streams: the kernel's random neighbor draw replayed
+         twin-side, same as the k-rumor property below. *)
+      let rngs_k = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let rngs_t = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let rng = Rng.of_int (seed + 17) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 ->
+            let i = kern.Kernel.on_initiate ~rngs:rngs_k ~round:0 ~u ~deg:3 ~informed:true in
+            if i <> Rng.int rngs_t.(u) 3 then ok := false;
+            pos.(u) <- (pos.(u) + budget) mod k
+        | 3 ->
+            Rumor_store.forget (Kernel.store kern) u;
+            Rumor.Kset.reset twin ~v:u
+        | _ ->
+            let buf = I32.make budget 0 in
+            kern.Kernel.req_pay ~u ~informed:true ~buf ~off:0;
+            let expect = Rumor.Kset.emit_window twin ~v:u ~pos:pos.(u) ~budget in
+            if ids_of_buf buf budget <> expect then ok := false;
+            let dk = kern.Kernel.on_push ~v ~buf ~off:0 in
+            let dt = Rumor.Kset.absorb twin ~v expect in
+            if dk <> dt then ok := false
+      done;
+      for v = 0 to n - 1 do
+        if rum.Kernel.rum_count ~v <> Rumor.Kset.count twin ~v then ok := false;
+        for r = 0 to k - 1 do
+          if rum.Kernel.rum_holds ~v ~r <> Rumor.Kset.holds twin ~v ~r then ok := false
+        done
+      done;
+      !ok)
+
+let prop_k_rumor_twin =
+  QCheck.Test.make ~name:"k-rumor kernel = boxed Kset twin (mirrored RNG replay)" ~count:40
+    QCheck.(quad (int_range 2 12) (int_range 1 6) (int_range 0 100_000) (int_range 10 60))
+    (fun (k, budget, seed, steps) ->
+      let n = max 6 (k + (seed mod 5)) in
+      let csr = Csr.of_graph (gen_graph n seed 4) in
+      let rum = Kernel.k_rumor_push_pull ~k ~budget csr in
+      let kern = rum.Kernel.rum_kernel in
+      let twin = Rumor.Kset.create ~n ~k in
+      (* Two identical stream arrays: the kernel consumes one, the twin
+         replays the draws from the other. *)
+      let rngs_k = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let rngs_t = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let sel = Array.make n 0 in
+      let rng = Rng.of_int (seed + 17) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 ->
+            let i = kern.Kernel.on_initiate ~rngs:rngs_k ~round:0 ~u ~deg:3 ~informed:true in
+            if i <> Rng.int rngs_t.(u) 3 then ok := false;
+            sel.(u) <- Rng.int rngs_t.(u) k
+        | 3 ->
+            Rumor_store.forget (Kernel.store kern) u;
+            Rumor.Kset.reset twin ~v:u
+        | _ ->
+            let buf = I32.make budget 0 in
+            kern.Kernel.req_pay ~u ~informed:true ~buf ~off:0;
+            let expect = Rumor.Kset.emit_scan twin ~v:u ~start:sel.(u) ~budget in
+            if ids_of_buf buf budget <> expect then ok := false;
+            let dk = kern.Kernel.on_push ~v ~buf ~off:0 in
+            let dt = Rumor.Kset.absorb twin ~v expect in
+            if dk <> dt then ok := false
+      done;
+      for v = 0 to n - 1 do
+        if rum.Kernel.rum_count ~v <> Rumor.Kset.count twin ~v then ok := false;
+        for r = 0 to k - 1 do
+          if rum.Kernel.rum_holds ~v ~r <> Rumor.Kset.holds twin ~v ~r then ok := false
+        done
+      done;
+      !ok)
+
+let coeff_bits = 30
+
+let prop_algebraic_twin =
+  QCheck.Test.make ~name:"algebraic kernel = boxed Gf2 twin (mirrored RNG replay)" ~count:40
+    QCheck.(triple (int_range 2 64) (int_range 0 100_000) (int_range 10 60))
+    (fun (k, seed, steps) ->
+      let n = max 6 (k + (seed mod 5)) in
+      let cw = (k + coeff_bits - 1) / coeff_bits in
+      let csr = Csr.of_graph (gen_graph n seed 4) in
+      let alg = Kernel.algebraic ~k ~budget:cw csr in
+      let kern = alg.Kernel.alg_kernel in
+      let twin = Rumor.Gf2.create ~n ~k in
+      let rngs_k = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let rngs_t = Array.init n (fun i -> Rng.of_int (seed + (31 * i))) in
+      let coins = Array.init n (fun _ -> Bitset.create k) in
+      let rng = Rng.of_int (seed + 17) in
+      let ok = ref true in
+      let packed_eq buf vec =
+        let same = ref true in
+        for p = 0 to k - 1 do
+          let bit = I32.get buf (p / coeff_bits) land (1 lsl (p mod coeff_bits)) <> 0 in
+          if bit <> Bitset.mem vec p then same := false
+        done;
+        !same
+      in
+      for _ = 1 to steps do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 ->
+            let i = kern.Kernel.on_initiate ~rngs:rngs_k ~round:0 ~u ~deg:3 ~informed:true in
+            if i <> Rng.int rngs_t.(u) 3 then ok := false;
+            let c = Bitset.create k in
+            for w = 0 to cw - 1 do
+              let word = Rng.int rngs_t.(u) (1 lsl coeff_bits) in
+              for b = 0 to coeff_bits - 1 do
+                let p = (w * coeff_bits) + b in
+                if p < k && word land (1 lsl b) <> 0 then Bitset.add c p
+              done
+            done;
+            coins.(u) <- c
+        | 3 ->
+            Rumor_store.forget (Kernel.store kern) u;
+            Rumor.Gf2.reset twin ~v:u
+        | _ ->
+            let buf = I32.make cw 0 in
+            kern.Kernel.req_pay ~u ~informed:true ~buf ~off:0;
+            let vec = Rumor.Gf2.emit twin ~v:u ~coins:coins.(u) in
+            if not (packed_eq buf vec) then ok := false;
+            let dk = kern.Kernel.on_push ~v ~buf ~off:0 in
+            let dt = Rumor.Gf2.absorb twin ~v vec in
+            if dk <> dt then ok := false;
+            if alg.Kernel.alg_rank ~v <> Rumor.Gf2.rank twin ~v then ok := false
+      done;
+      (* The canonical bases themselves coincide row for row. *)
+      for v = 0 to n - 1 do
+        let packed_rows = alg.Kernel.alg_rows ~v in
+        let twin_rows = Array.of_list (Rumor.Gf2.rows twin ~v) in
+        if Array.length packed_rows <> Array.length twin_rows then ok := false
+        else
+          Array.iteri
+            (fun i row ->
+              for p = 0 to k - 1 do
+                let bit = row.(p / coeff_bits) land (1 lsl (p mod coeff_bits)) <> 0 in
+                if bit <> Bitset.mem twin_rows.(i) p then ok := false
+              done)
+            packed_rows
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Sharded-vs-sequential parity for the new kernels *)
 
 (* Same CI matrix convention as test_scale: GOSSIP_PARITY_DOMAINS
@@ -401,6 +708,93 @@ let prop_sharded_kernel_parity_scenario =
           ~domains:d
           (Rng.of_int (seed + 1))
           csr ~kernel:(mk ()) ~source ~max_rounds:400
+      in
+      let base = run 1 in
+      List.for_all
+        (fun d ->
+          let r = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed)
+        parity_domains)
+
+(* The acceptance property for the rumor-state layer: multi-rumor
+   all-to-all runs are bit-identical across shard counts — completion
+   trajectory, metrics, final completion bytes, and the words-on-wire
+   counter — under every static fault plan.  The algebraic kernel is
+   the hard case: its absorb is a full GF(2) reduction, not a
+   monotone OR, and only the canonical-RREF discipline makes it
+   insertion-order-independent. *)
+let prop_rumor_sharded_parity =
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (rumor kernels x faults)" ~count:20
+    QCheck.(
+      quad (int_range 6 50) (int_range 0 100_000) (int_range 0 2) (int_range 0 3))
+    (fun (n, seed, which, pick) ->
+      let g = gen_graph n seed 5 in
+      let csr = Csr.of_graph g in
+      let k = 1 + (seed mod min n 8) in
+      let budget = 1 + (seed mod 3) in
+      let proto, cname =
+        match which with
+        | 0 -> (Kernel.K_rumor { k; budget }, "k-rumor")
+        | 1 -> (Kernel.Rumor_rotation { k; budget }, "rotation")
+        | _ -> (Kernel.Algebraic { k; budget = 0 }, "algebraic")
+      in
+      let _, faults, max_jitter = List.nth parity_fault_plans pick in
+      let run d =
+        let reg = Registry.create () in
+        let r =
+          Wheel.broadcast ~faults ~max_jitter ~telemetry:reg ~domains:d
+            (Rng.of_int (seed + 1))
+            csr ~protocol:proto ~source:(seed mod n) ~max_rounds:400
+        in
+        ( r,
+          Registry.counter_value
+            (Registry.counter reg ("wheel.kernel." ^ cname ^ ".words_on_wire")) )
+      in
+      let base, base_w = run 1 in
+      List.for_all
+        (fun d ->
+          let r, w = run d in
+          r.Wheel.rounds = base.Wheel.rounds
+          && r.Wheel.history = base.Wheel.history
+          && r.Wheel.metrics = base.Wheel.metrics
+          && Bytes.equal r.Wheel.informed base.Wheel.informed
+          && w = base_w)
+        parity_domains)
+
+(* Churn is the rumor-specific hazard: a rejoining node must drop to
+   its own rumor (partial subsets, partial spans) on every runtime the
+   same way.  Dynamic scenarios with Random_churn drive exactly that
+   path. *)
+let prop_rumor_sharded_parity_churn =
+  let module Scenario = Gossip_dyn.Scenario in
+  QCheck.Test.make ~name:"sharded wheel = sequential wheel (rumor kernels x churn scenarios)"
+    ~count:10
+    QCheck.(triple (int_range 8 40) (int_range 0 100_000) (int_range 0 2))
+    (fun (n, seed, which) ->
+      let g = gen_graph n seed 5 in
+      let csr = Csr.of_graph g in
+      let k = 1 + (seed mod min n 6) in
+      let proto =
+        match which with
+        | 0 -> Kernel.K_rumor { k; budget = 2 }
+        | 1 -> Kernel.Rumor_rotation { k; budget = 2 }
+        | _ -> Kernel.Algebraic { k; budget = 0 }
+      in
+      let scen =
+        {
+          Scenario.static with
+          Scenario.seed;
+          churn = [ Scenario.Random_churn { fraction = 0.2; leave = 3; down = 4; period = 2 } ];
+        }
+      in
+      let c = Scenario.compile scen ~csr ~source:0 in
+      let run d =
+        Wheel.broadcast ~env:c.Scenario.env ~wheel_latency:c.Scenario.wheel_latency ~domains:d
+          (Rng.of_int (seed + 1))
+          csr ~protocol:proto ~source:0 ~max_rounds:300
       in
       let base = run 1 in
       List.for_all
@@ -639,6 +1033,18 @@ let () =
           Alcotest.test_case "name round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "Rr_spanner needs a spanner" `Quick
             test_of_protocol_rr_needs_spanner;
+          qtest prop_protocol_roundtrip;
+        ] );
+      ( "rumor",
+        [
+          Alcotest.test_case "all-to-all completion + word accounting" `Quick
+            test_rumor_all_to_all;
+          Alcotest.test_case "holdings after a run" `Quick test_rumor_holdings_after_run;
+          Alcotest.test_case "argument validation" `Quick test_rumor_args_validated;
+          Alcotest.test_case "msg_words ceiling" `Quick test_msg_words_ceiling;
+          qtest prop_rotation_twin;
+          qtest prop_k_rumor_twin;
+          qtest prop_algebraic_twin;
         ] );
       ( "spanner-oriented",
         [
@@ -662,6 +1068,8 @@ let () =
           Alcotest.test_case "fixed cases" `Quick test_sharded_kernel_fixed;
           qtest prop_sharded_kernel_parity;
           qtest prop_sharded_kernel_parity_scenario;
+          qtest prop_rumor_sharded_parity;
+          qtest prop_rumor_sharded_parity_churn;
           qtest prop_check_sharded_parity;
           qtest prop_discovery_sharded_parity;
         ] );

@@ -608,6 +608,44 @@ let test_buf_overflow () =
   checki "length unchanged" 1 (Shard.Buf.length b);
   checki "content unchanged" 17 (Shard.Buf.get b 0)
 
+(* Multi-word payload records: the mailbox discipline the wheel engine
+   uses for kernels with msg_words > 1 — a scalar column of record
+   count m paired with a payload column of m * mw cells, record i's
+   words at [i*mw, (i+1)*mw).  reserve/set appends must land exactly
+   where the drain loop reads, across doubling growth, for any record
+   mix of reserve-then-set and plain push. *)
+let prop_buf_multiword_roundtrip =
+  QCheck.Test.make ~name:"Buf reserve/set multi-word records drain at i*mw" ~count:200
+    QCheck.(triple (int_range 1 7) (int_range 0 200) (int_range 0 100_000))
+    (fun (mw, records, seed) ->
+      let scalar = Shard.Buf.create () and pay = Shard.Buf.create () in
+      let word i w = ((i * 31) + (w * 7) + seed) land 0xFFFF in
+      for i = 0 to records - 1 do
+        Shard.Buf.push scalar (i + seed);
+        if (i + seed) mod 2 = 0 then begin
+          let base = Shard.Buf.reserve pay mw in
+          if base <> i * mw then
+            QCheck.Test.fail_reportf "reserve base %d at record %d (mw %d)" base i mw;
+          for w = 0 to mw - 1 do
+            Shard.Buf.set pay (base + w) (word i w)
+          done
+        end
+        else
+          for w = 0 to mw - 1 do
+            Shard.Buf.push pay (word i w)
+          done
+      done;
+      let ok = ref (Shard.Buf.length scalar = records && Shard.Buf.length pay = records * mw) in
+      for i = 0 to records - 1 do
+        if Shard.Buf.get scalar i <> i + seed then ok := false;
+        for w = 0 to mw - 1 do
+          if Shard.Buf.unsafe_get pay ((i * mw) + w) <> word i w then ok := false
+        done
+      done;
+      Shard.Buf.clear scalar;
+      Shard.Buf.clear pay;
+      !ok && Shard.Buf.length pay = 0)
+
 (* ------------------------------------------------------------------ *)
 (* int32 range contract: every CSR constructor rejects out-of-range
    node ids and latencies with the typed I32.Overflow — never a
@@ -737,6 +775,7 @@ let () =
           Alcotest.test_case "node-count overflow" `Quick test_csr_rejects_node_count_overflow;
           Alcotest.test_case "spanner overflow" `Quick test_spanner_rejects_overflow;
           Alcotest.test_case "buf overflow" `Quick test_buf_overflow;
+          qtest prop_buf_multiword_roundtrip;
         ] );
       ( "wheel",
         [
